@@ -1,0 +1,236 @@
+//! Plain-text import/export for RTL descriptions and instruction traces,
+//! so the library can be driven by real instruction-level simulators.
+//!
+//! # RTL format
+//!
+//! One instruction per line: `name: module module …`, where each module is
+//! either `M<k>` (1-based, the paper's Table-1 notation) or a bare 0-based
+//! index. Blank lines and `#` comments are ignored. The module universe is
+//! either given explicitly or inferred as the largest index + 1.
+//!
+//! ```text
+//! # Table 1 of the paper
+//! I1: M1 M2 M3 M5
+//! I2: M1 M4
+//! I3: M2 M5 M6
+//! I4: M3 M4
+//! ```
+//!
+//! # Trace format
+//!
+//! Whitespace-separated instruction names (or 0-based indices), in
+//! execution order; `#` starts a comment until end of line.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{ActivityError, InstructionStream, Rtl};
+
+/// Parses an RTL description from the text format above.
+///
+/// `num_modules` fixes the module universe; pass `None` to infer it from
+/// the largest module index used.
+///
+/// # Errors
+///
+/// Returns [`ActivityError::InvalidStream`] for malformed lines or module
+/// tokens, and the usual builder errors for out-of-range indices or empty
+/// descriptions.
+pub fn parse_rtl(text: &str, num_modules: Option<usize>) -> Result<Rtl, ActivityError> {
+    let mut entries: Vec<(String, Vec<usize>)> = Vec::new();
+    let mut max_module = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, rest) = line
+            .split_once(':')
+            .ok_or_else(|| ActivityError::InvalidStream {
+                reason: format!("line {}: expected `name: modules…`", lineno + 1),
+            })?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(ActivityError::InvalidStream {
+                reason: format!("line {}: empty instruction name", lineno + 1),
+            });
+        }
+        let mut modules = Vec::new();
+        for tok in rest.split_whitespace() {
+            let m = parse_module(tok).ok_or_else(|| ActivityError::InvalidStream {
+                reason: format!("line {}: bad module token `{tok}`", lineno + 1),
+            })?;
+            max_module = max_module.max(m);
+            modules.push(m);
+        }
+        entries.push((name.to_owned(), modules));
+    }
+    let universe = num_modules.unwrap_or(if entries.is_empty() {
+        0
+    } else {
+        max_module + 1
+    });
+    let mut builder = Rtl::builder(universe);
+    for (name, modules) in entries {
+        builder = builder.instruction(&name, modules)?;
+    }
+    builder.build()
+}
+
+/// Parses an instruction trace: whitespace-separated instruction names or
+/// 0-based indices, validated against `rtl`.
+///
+/// # Errors
+///
+/// Returns [`ActivityError::InvalidStream`] for unknown instruction names
+/// and the usual stream errors (length < 2, index out of range).
+pub fn parse_trace(rtl: &Rtl, text: &str) -> Result<InstructionStream, ActivityError> {
+    let by_name: HashMap<&str, usize> = rtl
+        .instruction_ids()
+        .map(|id| (rtl.name(id), id.index()))
+        .collect();
+    let mut indices = Vec::new();
+    for raw in text.lines() {
+        for tok in strip_comment(raw).split_whitespace() {
+            let idx = if let Some(&i) = by_name.get(tok) {
+                i
+            } else if let Ok(i) = tok.parse::<usize>() {
+                i
+            } else {
+                return Err(ActivityError::InvalidStream {
+                    reason: format!("unknown instruction `{tok}`"),
+                });
+            };
+            indices.push(idx);
+        }
+    }
+    InstructionStream::from_indices(rtl, indices)
+}
+
+/// Serializes an RTL description to the text format (round-trips through
+/// [`parse_rtl`]).
+#[must_use]
+pub fn format_rtl(rtl: &Rtl) -> String {
+    let mut out = String::new();
+    for id in rtl.instruction_ids() {
+        let _ = write!(out, "{}:", rtl.name(id));
+        for m in rtl.modules_used(id).iter() {
+            let _ = write!(out, " M{}", m + 1);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a trace as one instruction name per line (round-trips
+/// through [`parse_trace`]).
+#[must_use]
+pub fn format_trace(rtl: &Rtl, stream: &InstructionStream) -> String {
+    let mut out = String::new();
+    for &id in stream.instructions() {
+        out.push_str(rtl.name(id));
+        out.push('\n');
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// `M<k>` (1-based) or a bare 0-based index.
+fn parse_module(tok: &str) -> Option<usize> {
+    if let Some(rest) = tok.strip_prefix(['M', 'm']) {
+        let k: usize = rest.parse().ok()?;
+        (k >= 1).then(|| k - 1)
+    } else {
+        tok.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{paper_example_rtl, ModuleSet};
+
+    const PAPER_RTL: &str = "\
+# Table 1 of the paper
+I1: M1 M2 M3 M5
+I2: M1 M4
+
+I3: M2 M5 M6
+I4: M3 M4  # integer/memory
+";
+
+    #[test]
+    fn parses_the_paper_rtl() {
+        let rtl = parse_rtl(PAPER_RTL, None).unwrap();
+        assert_eq!(rtl.num_instructions(), 4);
+        assert_eq!(rtl.num_modules(), 6);
+        let i1 = rtl.instruction(0).unwrap();
+        assert_eq!(rtl.name(i1), "I1");
+        assert!(rtl.uses(i1, 0) && rtl.uses(i1, 4) && !rtl.uses(i1, 3));
+    }
+
+    #[test]
+    fn explicit_universe_overrides_inference() {
+        let rtl = parse_rtl("a: 0 1\nb: 2", Some(10)).unwrap();
+        assert_eq!(rtl.num_modules(), 10);
+    }
+
+    #[test]
+    fn rtl_round_trip() {
+        let rtl = paper_example_rtl();
+        let text = format_rtl(&rtl);
+        let back = parse_rtl(&text, Some(rtl.num_modules())).unwrap();
+        assert_eq!(back.num_instructions(), rtl.num_instructions());
+        for id in rtl.instruction_ids() {
+            let back_id = back.instruction(id.index()).unwrap();
+            assert_eq!(back.name(back_id), rtl.name(id));
+            for m in 0..rtl.num_modules() {
+                assert_eq!(back.uses(back_id, m), rtl.uses(id, m));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_by_name_and_index() {
+        let rtl = parse_rtl(PAPER_RTL, None).unwrap();
+        let s = parse_trace(&rtl, "I1 I2 0 3 I3 # trailing comment\nI1").unwrap();
+        assert_eq!(s.len(), 6);
+        // Name and index resolve to the same instruction.
+        assert_eq!(s.instructions()[0], s.instructions()[2]);
+        // And probabilities work end to end.
+        let m1 = ModuleSet::with_modules(6, [0]);
+        assert!(s.signal_probability(&rtl, &m1) > 0.0);
+    }
+
+    #[test]
+    fn trace_round_trip() {
+        let rtl = paper_example_rtl();
+        let s = InstructionStream::from_indices(&rtl, [0, 1, 2, 3, 0]).unwrap();
+        let text = format_trace(&rtl, &s);
+        let back = parse_trace(&rtl, &text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn errors_are_reported_with_context() {
+        assert!(parse_rtl("no-colon-here", None).is_err());
+        assert!(parse_rtl("x: M0", None).is_err()); // M is 1-based
+        assert!(parse_rtl("x: banana", None).is_err());
+        assert!(parse_rtl(": M1", None).is_err());
+        let rtl = paper_example_rtl();
+        assert!(parse_trace(&rtl, "I1 NOPE").is_err());
+        assert!(parse_trace(&rtl, "I1").is_err()); // too short
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let rtl = parse_rtl("# header\n\n  a: M1  # tail\n", Some(2)).unwrap();
+        assert_eq!(rtl.num_instructions(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+use std::fmt;
+
+use crate::{ActivityTables, InstructionStream, ModuleSet, Rtl};
+
+/// Summary statistics of an instruction stream against an RTL description —
+/// the quantities reported in Table 4 of the paper.
+///
+/// ```
+/// use gcr_activity::{paper_example_rtl, InstructionStream, StreamStats};
+///
+/// let rtl = paper_example_rtl();
+/// let s = InstructionStream::from_indices(&rtl, [0, 1, 2, 3, 0, 0])?;
+/// let stats = StreamStats::collect(&rtl, &s);
+/// assert_eq!(stats.num_cycles, 6);
+/// assert!(stats.avg_module_activity > 0.0 && stats.avg_module_activity < 1.0);
+/// # Ok::<(), gcr_activity::ActivityError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamStats {
+    /// Number of cycles in the stream (Table 4's "No. of instr").
+    pub num_cycles: usize,
+    /// Number of distinct instructions in the RTL.
+    pub num_instructions: usize,
+    /// Number of modules in the universe.
+    pub num_modules: usize,
+    /// Average fraction of modules active per cycle — Table 4's
+    /// `Ave(M(I))`, "about 40 % of the modules are active at any given
+    /// time".
+    pub avg_module_activity: f64,
+    /// Per-module signal probability `P(M_j)`.
+    pub module_activity: Vec<f64>,
+}
+
+impl StreamStats {
+    /// Scans `stream` once and collects the statistics.
+    #[must_use]
+    pub fn collect(rtl: &Rtl, stream: &InstructionStream) -> Self {
+        let n = rtl.num_modules();
+        let mut active_cycles = vec![0usize; n];
+        let mut active_total = 0usize;
+        for &i in stream.instructions() {
+            let used = rtl.modules_used(i);
+            active_total += used.len();
+            for m in used.iter() {
+                active_cycles[m] += 1;
+            }
+        }
+        let b = stream.len() as f64;
+        Self {
+            num_cycles: stream.len(),
+            num_instructions: rtl.num_instructions(),
+            num_modules: n,
+            avg_module_activity: active_total as f64 / (b * n as f64),
+            module_activity: active_cycles.iter().map(|&c| c as f64 / b).collect(),
+        }
+    }
+
+    /// Collects the same statistics from pre-built tables (no stream scan):
+    /// `P(M_j)` is the table-driven signal probability of the singleton set
+    /// and the average activity is the IFT-weighted usage fraction.
+    #[must_use]
+    pub fn from_tables(tables: &ActivityTables) -> Self {
+        let rtl = tables.rtl();
+        let n = rtl.num_modules();
+        let module_activity: Vec<f64> = (0..n)
+            .map(|m| tables.enable_stats(&ModuleSet::with_modules(n, [m])).signal)
+            .collect();
+        let avg: f64 = rtl
+            .instruction_ids()
+            .map(|i| tables.ift().probability(i) * rtl.modules_used(i).len() as f64)
+            .sum::<f64>()
+            / n as f64;
+        Self {
+            num_cycles: 0, // unknown without the stream
+            num_instructions: rtl.num_instructions(),
+            num_modules: n,
+            avg_module_activity: avg,
+            module_activity,
+        }
+    }
+}
+
+impl fmt::Display for StreamStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles, {} instructions, {} modules, avg activity {:.1}%",
+            self.num_cycles,
+            self.num_instructions,
+            self.num_modules,
+            100.0 * self.avg_module_activity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{paper_example_rtl, CpuModel};
+
+    #[test]
+    fn per_module_activity_matches_brute_force() {
+        let rtl = paper_example_rtl();
+        let s = InstructionStream::from_indices(&rtl, [0, 1, 2, 3, 0, 2]).unwrap();
+        let stats = StreamStats::collect(&rtl, &s);
+        for m in 0..6 {
+            let set = ModuleSet::with_modules(6, [m]);
+            assert!((stats.module_activity[m] - s.signal_probability(&rtl, &set)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stream_scan_and_tables_agree() {
+        let model = CpuModel::builder(50)
+            .instructions(10)
+            .seed(42)
+            .build()
+            .unwrap();
+        let stream = model.generate_stream(5_000);
+        let scanned = StreamStats::collect(model.rtl(), &stream);
+        let tabled = StreamStats::from_tables(&ActivityTables::scan(model.rtl(), &stream));
+        assert!((scanned.avg_module_activity - tabled.avg_module_activity).abs() < 1e-9);
+        for (a, b) in scanned.module_activity.iter().zip(&tabled.module_activity) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn avg_activity_is_mean_of_module_activities() {
+        let rtl = paper_example_rtl();
+        let s = InstructionStream::from_indices(&rtl, [0, 0, 1, 2, 3, 1]).unwrap();
+        let stats = StreamStats::collect(&rtl, &s);
+        let mean: f64 = stats.module_activity.iter().sum::<f64>() / stats.num_modules as f64;
+        assert!((stats.avg_module_activity - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_percentage() {
+        let rtl = paper_example_rtl();
+        let s = InstructionStream::from_indices(&rtl, [0, 1]).unwrap();
+        assert!(format!("{}", StreamStats::collect(&rtl, &s)).contains('%'));
+    }
+}

@@ -1,0 +1,495 @@
+use std::fmt;
+
+use crate::{ActivityError, InstructionId, InstructionStream, ModuleSet, Rtl};
+
+/// The Instruction Frequency Table (Table 2 of the paper): the probability
+/// that each instruction executes in a random cycle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ift {
+    probs: Vec<f64>,
+}
+
+impl Ift {
+    /// Builds the table by scanning `stream` once (O(B)).
+    #[must_use]
+    pub fn scan(rtl: &Rtl, stream: &InstructionStream) -> Self {
+        let mut counts = vec![0usize; rtl.num_instructions()];
+        for &i in stream.instructions() {
+            counts[i.index()] += 1;
+        }
+        let b = stream.len() as f64;
+        Self {
+            probs: counts.iter().map(|&c| c as f64 / b).collect(),
+        }
+    }
+
+    /// Builds the table from explicit probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError::InvalidStream`] when any probability is
+    /// negative/non-finite or the probabilities do not sum to 1 (within
+    /// 1e-9).
+    pub fn from_probabilities(probs: Vec<f64>) -> Result<Self, ActivityError> {
+        if probs.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err(ActivityError::InvalidStream {
+                reason: "instruction probabilities must be finite and >= 0".into(),
+            });
+        }
+        let sum: f64 = probs.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(ActivityError::InvalidStream {
+                reason: format!("instruction probabilities sum to {sum}, expected 1"),
+            });
+        }
+        Ok(Self { probs })
+    }
+
+    /// P(I) for instruction `id`.
+    #[must_use]
+    pub fn probability(&self, id: InstructionId) -> f64 {
+        self.probs[id.index()]
+    }
+
+    /// Number of instructions covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+}
+
+/// The Instruction-Transition Module-Activation Table (Table 3 of the
+/// paper): for every ordered pair of instructions, the probability that
+/// they execute in consecutive cycles.
+///
+/// The per-module 2-bit activation tags `AT(M_j)` of the paper are not
+/// stored — they are fully determined by the pair's two usage bitsets and
+/// are evaluated on the fly during
+/// [`ActivityTables::enable_stats`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Itmatt {
+    k: usize,
+    /// Dense row-major K×K pair probabilities.
+    pair_probs: Vec<f64>,
+    /// Sparse view of the non-zero pairs — streams with high persistence
+    /// populate only a sliver of the K² matrix, and the transition query
+    /// in the router's inner loop only needs those.
+    nonzero: Vec<(u16, u16, f64)>,
+}
+
+impl Itmatt {
+    /// Builds the table by scanning the B−1 consecutive pairs of `stream`
+    /// once (O(B)).
+    #[must_use]
+    pub fn scan(rtl: &Rtl, stream: &InstructionStream) -> Self {
+        let k = rtl.num_instructions();
+        let mut counts = vec![0usize; k * k];
+        for (a, b) in stream.pairs() {
+            counts[a.index() * k + b.index()] += 1;
+        }
+        let pairs = (stream.len() - 1) as f64;
+        let pair_probs: Vec<f64> = counts.iter().map(|&c| c as f64 / pairs).collect();
+        Self::from_dense(k, pair_probs)
+    }
+
+    fn from_dense(k: usize, pair_probs: Vec<f64>) -> Self {
+        assert!(
+            k <= u16::MAX as usize,
+            "instruction count {k} exceeds the sparse index width"
+        );
+        let nonzero = pair_probs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p > 0.0)
+            .map(|(i, &p)| ((i / k) as u16, (i % k) as u16, p))
+            .collect();
+        Self {
+            k,
+            pair_probs,
+            nonzero,
+        }
+    }
+
+    /// Probability that `a` is followed by `b` in consecutive cycles.
+    #[must_use]
+    pub fn pair_probability(&self, a: InstructionId, b: InstructionId) -> f64 {
+        self.pair_probs[a.index() * self.k + b.index()]
+    }
+
+    /// Iterator over the pairs with non-zero probability.
+    pub fn nonzero_pairs(&self) -> impl Iterator<Item = (InstructionId, InstructionId, f64)> + '_ {
+        self.pair_probs
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &p)| {
+                (p > 0.0).then(|| {
+                    (
+                        InstructionId((i / self.k) as u32),
+                        InstructionId((i % self.k) as u32),
+                        p,
+                    )
+                })
+            })
+    }
+
+    /// Number of instructions covered (K); the table holds K² entries.
+    #[must_use]
+    pub fn num_instructions(&self) -> usize {
+        self.k
+    }
+}
+
+/// Signal and transition probability of one gate-enable signal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnableStats {
+    /// `P(EN)` — probability the enable is 1 in a random cycle. Weights the
+    /// clock-tree switched capacitance (§2.1).
+    pub signal: f64,
+    /// `P_tr(EN)` — probability the enable changes value across a random
+    /// cycle boundary. Weights the controller-tree switched capacitance
+    /// (§2.2).
+    pub transition: f64,
+}
+
+impl EnableStats {
+    /// Stats for an always-on signal (ungated node).
+    pub const ALWAYS_ON: EnableStats = EnableStats {
+        signal: 1.0,
+        transition: 0.0,
+    };
+}
+
+/// IFT + ITMATT bundled with the RTL: everything needed to answer
+/// probability queries for arbitrary module sets without rescanning the
+/// instruction stream (§3.3).
+#[derive(Clone, Debug)]
+pub struct ActivityTables {
+    rtl: Rtl,
+    ift: Ift,
+    itmatt: Itmatt,
+}
+
+impl ActivityTables {
+    /// Builds both tables with a single O(B) scan of `stream`.
+    #[must_use]
+    pub fn scan(rtl: &Rtl, stream: &InstructionStream) -> Self {
+        Self {
+            rtl: rtl.clone(),
+            ift: Ift::scan(rtl, stream),
+            itmatt: Itmatt::scan(rtl, stream),
+        }
+    }
+
+    /// Builds tables from explicit probabilities instead of a stream scan:
+    /// `ift` is the stationary instruction distribution and
+    /// `pair_probs[a][b]` the probability of the consecutive pair
+    /// `(I_a, I_b)` (row-major K×K, summing to 1).
+    ///
+    /// Used with closed-form models (see
+    /// [`CpuModel::analytic_tables`](crate::CpuModel::analytic_tables)),
+    /// and handy when statistics come from an external simulator that
+    /// already aggregated them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError::InvalidStream`] when dimensions mismatch
+    /// the RTL or the probabilities are invalid.
+    pub fn from_probabilities(
+        rtl: &Rtl,
+        ift: Vec<f64>,
+        pair_probs: Vec<f64>,
+    ) -> Result<Self, ActivityError> {
+        let k = rtl.num_instructions();
+        if ift.len() != k || pair_probs.len() != k * k {
+            return Err(ActivityError::InvalidStream {
+                reason: format!(
+                    "expected {k} IFT entries and {} pair entries, got {} and {}",
+                    k * k,
+                    ift.len(),
+                    pair_probs.len()
+                ),
+            });
+        }
+        let ift = Ift::from_probabilities(ift)?;
+        if pair_probs.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err(ActivityError::InvalidStream {
+                reason: "pair probabilities must be finite and >= 0".into(),
+            });
+        }
+        let sum: f64 = pair_probs.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(ActivityError::InvalidStream {
+                reason: format!("pair probabilities sum to {sum}, expected 1"),
+            });
+        }
+        Ok(Self {
+            rtl: rtl.clone(),
+            ift,
+            itmatt: Itmatt::from_dense(k, pair_probs),
+        })
+    }
+
+    /// The RTL description the tables refer to.
+    #[must_use]
+    pub fn rtl(&self) -> &Rtl {
+        &self.rtl
+    }
+
+    /// The instruction frequency table.
+    #[must_use]
+    pub fn ift(&self) -> &Ift {
+        &self.ift
+    }
+
+    /// The instruction-transition table.
+    #[must_use]
+    pub fn itmatt(&self) -> &Itmatt {
+        &self.itmatt
+    }
+
+    /// Which instructions activate a node owning module set `set`.
+    ///
+    /// O(K·W) for W bitset words; exposed so callers issuing many queries
+    /// against the same set can reuse the vector via
+    /// [`Self::enable_stats_for_active`].
+    #[must_use]
+    pub fn active_vector(&self, set: &ModuleSet) -> Vec<bool> {
+        self.rtl
+            .instruction_ids()
+            .map(|i| self.rtl.activates(i, set))
+            .collect()
+    }
+
+    /// Signal and transition probability of the enable of a node owning
+    /// `set`, computed from the tables in O(KL + K²) — Equation (2) and the
+    /// OR-of-activation-tags rule of §3.3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is over a different module universe than the RTL.
+    #[must_use]
+    pub fn enable_stats(&self, set: &ModuleSet) -> EnableStats {
+        self.enable_stats_for_active(&self.active_vector(set))
+    }
+
+    /// Probability that the modules of `a` and of `b` are active in the
+    /// *same* cycle — the co-activity the gated router exploits when it
+    /// groups modules under one enable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either set is over a different module universe.
+    #[must_use]
+    pub fn joint_signal(&self, a: &ModuleSet, b: &ModuleSet) -> f64 {
+        self.rtl
+            .instruction_ids()
+            .filter(|&i| self.rtl.activates(i, a) && self.rtl.activates(i, b))
+            .map(|i| self.ift.probability(i))
+            .sum()
+    }
+
+    /// The lift of two module sets' activities:
+    /// `P(A ∧ B) / (P(A) · P(B))` — 1 for independent activity, > 1 for
+    /// co-active groups (a functional cluster), < 1 for mutually exclusive
+    /// ones (e.g. integer vs FP pipelines). Returns `f64::NAN` when either
+    /// marginal is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either set is over a different module universe.
+    #[must_use]
+    pub fn activity_lift(&self, a: &ModuleSet, b: &ModuleSet) -> f64 {
+        let pa = self.enable_stats(a).signal;
+        let pb = self.enable_stats(b).signal;
+        if pa <= 0.0 || pb <= 0.0 {
+            return f64::NAN;
+        }
+        self.joint_signal(a, b) / (pa * pb)
+    }
+
+    /// As [`Self::enable_stats`], for a precomputed activation vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active.len()` differs from the instruction count.
+    #[must_use]
+    pub fn enable_stats_for_active(&self, active: &[bool]) -> EnableStats {
+        assert_eq!(
+            active.len(),
+            self.rtl.num_instructions(),
+            "activation vector length mismatch"
+        );
+        let signal = self
+            .rtl
+            .instruction_ids()
+            .filter(|i| active[i.index()])
+            .map(|i| self.ift.probability(i))
+            .sum();
+        // Only the observed pairs can contribute; with persistent streams
+        // that is far fewer than K².
+        let mut transition = 0.0;
+        for &(a, b, p) in &self.itmatt.nonzero {
+            if active[a as usize] != active[b as usize] {
+                transition += p;
+            }
+        }
+        EnableStats { signal, transition }
+    }
+}
+
+impl fmt::Display for ActivityTables {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ActivityTables[{} instructions, {} modules]",
+            self.rtl.num_instructions(),
+            self.rtl.num_modules()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example_rtl;
+
+    fn paper_stream(rtl: &Rtl) -> InstructionStream {
+        InstructionStream::from_indices(
+            rtl,
+            [0, 1, 3, 0, 2, 1, 0, 0, 1, 0, 2, 0, 1, 2, 0, 0, 1, 1, 3, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ift_matches_hand_counts() {
+        let rtl = paper_example_rtl();
+        let s = paper_stream(&rtl);
+        let ift = Ift::scan(&rtl, &s);
+        // Counts: I1=8, I2=7, I3=3, I4=2 over 20 cycles.
+        assert!((ift.probability(rtl.instruction(0).unwrap()) - 0.40).abs() < 1e-12);
+        assert!((ift.probability(rtl.instruction(1).unwrap()) - 0.35).abs() < 1e-12);
+        assert!((ift.probability(rtl.instruction(2).unwrap()) - 0.15).abs() < 1e-12);
+        assert!((ift.probability(rtl.instruction(3).unwrap()) - 0.10).abs() < 1e-12);
+        let total: f64 = rtl.instruction_ids().map(|i| ift.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn itmatt_pair_probabilities_sum_to_one() {
+        let rtl = paper_example_rtl();
+        let s = paper_stream(&rtl);
+        let t = Itmatt::scan(&rtl, &s);
+        let total: f64 = t.nonzero_pairs().map(|(_, _, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(t.num_instructions(), 4);
+        // Pair (I1, I2) occurs 4 times in the 19 pairs.
+        let (i1, i2) = (rtl.instruction(0).unwrap(), rtl.instruction(1).unwrap());
+        assert!((t.pair_probability(i1, i2) - 4.0 / 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_driven_signal_matches_paper_values() {
+        let rtl = paper_example_rtl();
+        let s = paper_stream(&rtl);
+        let tables = ActivityTables::scan(&rtl, &s);
+        let m1 = ModuleSet::with_modules(6, [0]);
+        assert!((tables.enable_stats(&m1).signal - 0.75).abs() < 1e-12);
+        let m56 = ModuleSet::with_modules(6, [4, 5]);
+        assert!((tables.enable_stats(&m56).signal - 0.55).abs() < 1e-12);
+    }
+
+    /// The heart of §3.3: the table-driven computation must agree *exactly*
+    /// with the brute-force stream scan — for every one of the 63 nonempty
+    /// module subsets of the worked example.
+    #[test]
+    fn tables_equal_brute_force_on_all_subsets() {
+        let rtl = paper_example_rtl();
+        let s = paper_stream(&rtl);
+        let tables = ActivityTables::scan(&rtl, &s);
+        for mask in 1u32..64 {
+            let set = ModuleSet::with_modules(6, (0..6).filter(|m| mask & (1 << m) != 0));
+            let stats = tables.enable_stats(&set);
+            let sig = s.signal_probability(&rtl, &set);
+            let tr = s.transition_probability(&rtl, &set);
+            assert!(
+                (stats.signal - sig).abs() < 1e-12,
+                "signal mismatch for {set}: table {} vs scan {sig}",
+                stats.signal
+            );
+            assert!(
+                (stats.transition - tr).abs() < 1e-12,
+                "transition mismatch for {set}: table {} vs scan {tr}",
+                stats.transition
+            );
+        }
+    }
+
+    #[test]
+    fn enable_stats_monotone_under_union() {
+        let rtl = paper_example_rtl();
+        let s = paper_stream(&rtl);
+        let tables = ActivityTables::scan(&rtl, &s);
+        let a = ModuleSet::with_modules(6, [4]);
+        let b = ModuleSet::with_modules(6, [5]);
+        let u = a.union(&b);
+        let (sa, sb, su) = (
+            tables.enable_stats(&a),
+            tables.enable_stats(&b),
+            tables.enable_stats(&u),
+        );
+        assert!(su.signal >= sa.signal.max(sb.signal) - 1e-12);
+        assert!(su.signal <= sa.signal + sb.signal + 1e-12);
+    }
+
+    #[test]
+    fn joint_signal_and_lift() {
+        let rtl = paper_example_rtl();
+        let s = paper_stream(&rtl);
+        let tables = ActivityTables::scan(&rtl, &s);
+        // M1 is used by I1 and I2; M4 by I2 and I4. Joint = P(I2).
+        let m1 = ModuleSet::with_modules(6, [0]);
+        let m4 = ModuleSet::with_modules(6, [3]);
+        let i2 = rtl.instruction(1).unwrap();
+        assert!((tables.joint_signal(&m1, &m4) - tables.ift().probability(i2)).abs() < 1e-12);
+        // Joint probability is bounded by each marginal.
+        let j = tables.joint_signal(&m1, &m4);
+        assert!(j <= tables.enable_stats(&m1).signal + 1e-12);
+        assert!(j <= tables.enable_stats(&m4).signal + 1e-12);
+        // A set is perfectly co-active with itself: lift = 1/P.
+        let lift_self = tables.activity_lift(&m1, &m1);
+        assert!((lift_self - 1.0 / tables.enable_stats(&m1).signal).abs() < 1e-9);
+        // Lift vs a never-active... there is none here; check NaN guard via
+        // an empty set instead.
+        let empty = ModuleSet::new(6);
+        assert!(tables.activity_lift(&m1, &empty).is_nan());
+    }
+
+    #[test]
+    fn from_probabilities_validation() {
+        assert!(Ift::from_probabilities(vec![0.5, 0.5]).is_ok());
+        assert!(Ift::from_probabilities(vec![0.5, 0.6]).is_err());
+        assert!(Ift::from_probabilities(vec![-0.1, 1.1]).is_err());
+        assert!(Ift::from_probabilities(vec![f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn always_on_constant() {
+        assert_eq!(EnableStats::ALWAYS_ON.signal, 1.0);
+        assert_eq!(EnableStats::ALWAYS_ON.transition, 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let rtl = paper_example_rtl();
+        let s = paper_stream(&rtl);
+        let tables = ActivityTables::scan(&rtl, &s);
+        assert!(format!("{tables}").contains("4 instructions"));
+    }
+}

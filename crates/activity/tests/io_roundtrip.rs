@@ -1,0 +1,61 @@
+//! Property-based round-trip tests of the plain-text RTL/trace formats.
+
+use gcr_activity::{io, CpuModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// format_rtl -> parse_rtl preserves every usage bit, for arbitrary
+    /// generated models.
+    #[test]
+    fn rtl_round_trip(
+        modules in 1usize..60,
+        instructions in 1usize..20,
+        usage in 0.05..0.9f64,
+        seed in 0u64..1_000,
+    ) {
+        let model = CpuModel::builder(modules)
+            .instructions(instructions)
+            .usage_fraction(usage)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let rtl = model.rtl();
+        let text = io::format_rtl(rtl);
+        let back = io::parse_rtl(&text, Some(modules)).unwrap();
+        prop_assert_eq!(back.num_instructions(), rtl.num_instructions());
+        prop_assert_eq!(back.num_modules(), rtl.num_modules());
+        for id in rtl.instruction_ids() {
+            let bid = back.instruction(id.index()).unwrap();
+            prop_assert_eq!(back.name(bid), rtl.name(id));
+            for m in 0..modules {
+                prop_assert_eq!(back.uses(bid, m), rtl.uses(id, m), "instr {} module {}", id, m);
+            }
+        }
+    }
+
+    /// format_trace -> parse_trace reproduces the exact stream, and the
+    /// derived probability tables are therefore identical.
+    #[test]
+    fn trace_round_trip(
+        modules in 2usize..30,
+        seed in 0u64..1_000,
+        len in 2usize..500,
+    ) {
+        let model = CpuModel::builder(modules)
+            .instructions(6)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let rtl = model.rtl();
+        let stream = model.generate_stream(len);
+        let text = io::format_trace(rtl, &stream);
+        let back = io::parse_trace(rtl, &text).unwrap();
+        prop_assert_eq!(&back, &stream);
+        let a = gcr_activity::ActivityTables::scan(rtl, &stream);
+        let b = gcr_activity::ActivityTables::scan(rtl, &back);
+        let set = gcr_activity::ModuleSet::with_modules(modules, [0]);
+        prop_assert_eq!(a.enable_stats(&set), b.enable_stats(&set));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests: the table-driven probability computation (§3.3)
+//! must agree exactly with brute-force stream scanning, and the resulting
+//! probabilities must satisfy the algebra the router relies on.
+
+use gcr_activity::{ActivityTables, CpuModel, ModuleSet};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Table-driven == brute force, on random models, streams and sets.
+    #[test]
+    fn tables_match_brute_force(
+        seed in 0u64..1_000,
+        modules in 4usize..40,
+        instructions in 2usize..12,
+        persistence in 0.0..0.95f64,
+        set_bits in prop::collection::vec(any::<bool>(), 40),
+    ) {
+        let model = CpuModel::builder(modules)
+            .instructions(instructions)
+            .persistence(persistence)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let stream = model.generate_stream(500);
+        let tables = ActivityTables::scan(model.rtl(), &stream);
+        let set = ModuleSet::with_modules(
+            modules,
+            (0..modules).filter(|&m| set_bits[m]),
+        );
+        prop_assume!(!set.is_empty());
+        let stats = tables.enable_stats(&set);
+        let sig = stream.signal_probability(model.rtl(), &set);
+        let tr = stream.transition_probability(model.rtl(), &set);
+        prop_assert!((stats.signal - sig).abs() < 1e-12);
+        prop_assert!((stats.transition - tr).abs() < 1e-12);
+    }
+
+    /// Probability algebra: 0 ≤ P ≤ 1; P_tr ≤ 2·min(P, 1−P) (an enable can
+    /// only toggle by leaving its majority state); union monotonicity and
+    /// the union bound.
+    #[test]
+    fn probability_invariants(
+        seed in 0u64..1_000,
+        modules in 6usize..30,
+        split in 1usize..5,
+    ) {
+        let model = CpuModel::builder(modules)
+            .instructions(8)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let stream = model.generate_stream(400);
+        let tables = ActivityTables::scan(model.rtl(), &stream);
+
+        let a = ModuleSet::with_modules(modules, 0..split);
+        let b = ModuleSet::with_modules(modules, split..modules.min(split + 4));
+        let u = a.union(&b);
+        let (sa, sb, su) = (
+            tables.enable_stats(&a),
+            tables.enable_stats(&b),
+            tables.enable_stats(&u),
+        );
+        for s in [sa, sb, su] {
+            // Allow a few ulps of float-summation error around the bounds.
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&s.signal));
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&s.transition));
+            prop_assert!(
+                s.transition <= 2.0 * s.signal.min(1.0 - s.signal) + 1e-9,
+                "P_tr {} exceeds 2·min(P, 1-P) for P {}",
+                s.transition,
+                s.signal
+            );
+        }
+        // P(EN) grows monotonically as subtrees merge…
+        prop_assert!(su.signal + 1e-12 >= sa.signal.max(sb.signal));
+        // …but never beyond the union bound.
+        prop_assert!(su.signal <= sa.signal + sb.signal + 1e-12);
+    }
+
+    /// The full module set's enable is on whenever any instruction runs,
+    /// i.e. always (every instruction uses at least one module).
+    #[test]
+    fn root_enable_is_always_on(seed in 0u64..500, modules in 4usize..30) {
+        let model = CpuModel::builder(modules).instructions(6).seed(seed).build().unwrap();
+        let stream = model.generate_stream(300);
+        let tables = ActivityTables::scan(model.rtl(), &stream);
+        let all = ModuleSet::with_modules(modules, 0..modules);
+        let stats = tables.enable_stats(&all);
+        prop_assert!((stats.signal - 1.0).abs() < 1e-12);
+        prop_assert!(stats.transition.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,71 @@
+//! One bench per paper artifact: how long each table/figure takes to
+//! regenerate on its reference benchmark (r1 unless stated).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcr_bench::bench_params;
+use gcr_rctree::Technology;
+use gcr_report::{fig3, fig4, fig5, fig6, run_pipeline, table4, DEFAULT_STRENGTHS};
+use gcr_workloads::{TsayBenchmark, Workload};
+
+fn bench_table4(c: &mut Criterion) {
+    let params = bench_params();
+    c.bench_function("table4/r1-r2", |b| {
+        b.iter(|| table4(&[TsayBenchmark::R1, TsayBenchmark::R2], &params).unwrap())
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let params = bench_params();
+    let tech = Technology::default();
+    c.bench_function("fig3/r1", |b| {
+        b.iter(|| fig3(&[TsayBenchmark::R1], &params, &tech).unwrap())
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let params = bench_params();
+    let tech = Technology::default();
+    c.bench_function("fig4/r1-two-points", |b| {
+        b.iter(|| fig4(&[0.2, 0.6], TsayBenchmark::R1, &params, &tech).unwrap())
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let params = bench_params();
+    let tech = Technology::default();
+    c.bench_function("fig5/r1-five-strengths", |b| {
+        b.iter(|| {
+            fig5(
+                &[0.0, 0.1, 0.2, 0.4, 0.8],
+                TsayBenchmark::R1,
+                &params,
+                &tech,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let params = bench_params();
+    let tech = Technology::default();
+    c.bench_function("fig6/r1-three-levels", |b| {
+        b.iter(|| fig6(&[0, 1, 2], &[TsayBenchmark::R1], &params, &tech).unwrap())
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let params = bench_params();
+    let tech = Technology::default();
+    let w = Workload::generate(TsayBenchmark::R1, &params).unwrap();
+    c.bench_function("pipeline/r1-full", |b| {
+        b.iter(|| run_pipeline(&w, &tech, DEFAULT_STRENGTHS).unwrap())
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table4, bench_fig3, bench_fig4, bench_fig5, bench_fig6, bench_pipeline
+}
+criterion_main!(experiments);

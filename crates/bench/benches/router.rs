@@ -1,0 +1,168 @@
+//! Scaling of the core routing algorithms: the Equation-3 greedy router,
+//! the nearest-neighbor baseline, embedding, gate reduction, and
+//! evaluation — plus the objective ablation (min-SC vs nearest-neighbor
+//! under identical gating).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcr_bench::uniform_fixture;
+use gcr_core::{
+    evaluate_with_mask, reduce_gates_untied, route_gated, ReductionParams, RouterConfig,
+};
+use gcr_cts::{build_buffered_tree, embed_sized, DeviceAssignment, SizingLimits};
+
+fn bench_route_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_gated");
+    group.sample_size(10);
+    for n in [64usize, 128, 267, 512] {
+        let f = uniform_fixture(n);
+        let config = RouterConfig::new(f.tech.clone(), f.workload.benchmark.die);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                route_gated(&f.workload.benchmark.sinks, &f.workload.tables, &config).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_buffered_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffered_tree");
+    group.sample_size(10);
+    for n in [128usize, 512] {
+        let f = uniform_fixture(n);
+        let src = f.workload.benchmark.die.center();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| build_buffered_tree(&f.tech, &f.workload.benchmark.sinks, src).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_embed(c: &mut Criterion) {
+    let f = uniform_fixture(267);
+    let config = RouterConfig::new(f.tech.clone(), f.workload.benchmark.die);
+    let routing = route_gated(&f.workload.benchmark.sinks, &f.workload.tables, &config).unwrap();
+    c.bench_function("embed_sized/267", |b| {
+        b.iter(|| {
+            embed_sized(
+                &routing.topology,
+                &f.workload.benchmark.sinks,
+                &f.tech,
+                &DeviceAssignment::everywhere(&routing.topology, f.tech.and_gate()),
+                config.source(),
+                SizingLimits::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_reduction_and_evaluate(c: &mut Criterion) {
+    let f = uniform_fixture(267);
+    let config = RouterConfig::new(f.tech.clone(), f.workload.benchmark.die);
+    let routing = route_gated(&f.workload.benchmark.sinks, &f.workload.tables, &config).unwrap();
+    let params = ReductionParams::from_strength_scaled(
+        0.2,
+        &f.tech,
+        f.workload.benchmark.die.half_perimeter() / 8.0,
+    );
+    c.bench_function("reduce_gates_untied/267", |b| {
+        b.iter(|| reduce_gates_untied(&routing, &f.tech, &params))
+    });
+    let mask = reduce_gates_untied(&routing, &f.tech, &params);
+    c.bench_function("evaluate_with_mask/267", |b| {
+        b.iter(|| {
+            evaluate_with_mask(
+                &routing.tree,
+                &routing.node_stats,
+                config.controller(),
+                &f.tech,
+                &mask,
+            )
+        })
+    });
+}
+
+/// Ablation: the Equation-3 objective vs the geometry-only
+/// nearest-neighbor objective, building the same-size topology. (The
+/// quality comparison lives in `gcr-report --bin ablations`.)
+fn bench_objective_ablation(c: &mut Criterion) {
+    let f = uniform_fixture(267);
+    let config = RouterConfig::new(f.tech.clone(), f.workload.benchmark.die);
+    let mut group = c.benchmark_group("objective");
+    group.sample_size(10);
+    group.bench_function("min_switched_cap", |b| {
+        b.iter(|| route_gated(&f.workload.benchmark.sinks, &f.workload.tables, &config).unwrap())
+    });
+    group.bench_function("nearest_neighbor", |b| {
+        b.iter(|| {
+            gcr_cts::nearest_neighbor_topology(
+                &f.tech,
+                &f.workload.benchmark.sinks,
+                Some(f.tech.and_gate()),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let f = uniform_fixture(267);
+    let config = RouterConfig::new(f.tech.clone(), f.workload.benchmark.die);
+    let routing = route_gated(&f.workload.benchmark.sinks, &f.workload.tables, &config).unwrap();
+    c.bench_function("reduce_gates_optimal/267", |b| {
+        b.iter(|| gcr_core::reduce_gates_optimal(&routing, &f.tech, config.controller()))
+    });
+    c.bench_function("embed_bounded_skew/267", |b| {
+        b.iter(|| {
+            gcr_cts::embed_bounded_skew(
+                &routing.topology,
+                &f.workload.benchmark.sinks,
+                &f.tech,
+                &routing.assignment,
+                config.source(),
+                25.0,
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("realize_routes/267", |b| {
+        b.iter(|| gcr_cts::realize_routes(&routing.tree))
+    });
+    let stream = {
+        let w = &f.workload;
+        gcr_activity::CpuModel::builder(w.benchmark.sinks.len())
+            .instructions(w.params.instructions)
+            .usage_fraction(w.params.usage_fraction)
+            .persistence(w.params.persistence)
+            .groups(w.params.groups)
+            .seed(w.params.seed)
+            .build()
+            .unwrap()
+            .generate_stream(w.params.stream_len)
+    };
+    let mask = vec![true; routing.tree.len()];
+    c.bench_function("simulate_stream/267x5000", |b| {
+        b.iter(|| {
+            gcr_core::simulate_stream(
+                &routing.tree,
+                &routing.node_modules,
+                &mask,
+                f.workload.tables.rtl(),
+                &stream,
+                config.controller(),
+                &f.tech,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = router;
+    config = Criterion::default().sample_size(10);
+    targets = bench_route_scaling, bench_buffered_baseline, bench_embed,
+              bench_reduction_and_evaluate, bench_objective_ablation,
+              bench_extensions
+}
+criterion_main!(router);

@@ -1,0 +1,82 @@
+//! Micro-benches of the substrates: geometry kernel, zero-skew merge,
+//! activity tables, probability queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcr_activity::{ActivityTables, CpuModel, ModuleSet, StreamStats};
+use gcr_cts::{zero_skew_merge, Sink, SubtreeState};
+use gcr_geometry::{Point, Trr};
+use gcr_rctree::Technology;
+
+fn bench_geometry(c: &mut Criterion) {
+    let a = Trr::point(Point::new(100.0, 200.0)).expanded(500.0);
+    let b = Trr::point(Point::new(2_000.0, 900.0)).expanded(800.0);
+    c.bench_function("trr/distance", |bch| b_iter_distance(bch, &a, &b));
+    c.bench_function("trr/expand_intersect", |bch| {
+        bch.iter(|| {
+            let d = a.distance(&b);
+            a.expanded(d * 0.4)
+                .intersection_with_slack(&b.expanded(d * 0.6), 1e-6)
+        })
+    });
+}
+
+fn b_iter_distance(bch: &mut criterion::Bencher<'_>, a: &Trr, b: &Trr) {
+    bch.iter(|| a.distance(b));
+}
+
+fn bench_zero_skew_merge(c: &mut Criterion) {
+    let tech = Technology::default();
+    let a = SubtreeState::leaf_with_device(
+        &Sink::new(Point::new(0.0, 0.0), 0.05),
+        Some(tech.and_gate()),
+    );
+    let b = SubtreeState::leaf_with_device(
+        &Sink::new(Point::new(5_000.0, 2_000.0), 0.08),
+        Some(tech.and_gate()),
+    );
+    c.bench_function("zero_skew_merge/gated_pair", |bch| {
+        bch.iter(|| zero_skew_merge(&tech, &a, &b))
+    });
+}
+
+fn bench_activity(c: &mut Criterion) {
+    let model = CpuModel::builder(267)
+        .instructions(32)
+        .groups(16)
+        .seed(3)
+        .build()
+        .unwrap();
+    let stream = model.generate_stream(20_000);
+
+    c.bench_function("activity/scan_20k_stream", |b| {
+        b.iter(|| ActivityTables::scan(model.rtl(), &stream))
+    });
+
+    let tables = ActivityTables::scan(model.rtl(), &stream);
+    let set = ModuleSet::with_modules(267, (0..267).step_by(3));
+    c.bench_function("activity/enable_stats_K32", |b| {
+        b.iter(|| tables.enable_stats(&set))
+    });
+
+    c.bench_function("activity/stream_stats", |b| {
+        b.iter(|| StreamStats::collect(model.rtl(), &stream))
+    });
+
+    // The brute-force oracle the tables replace — the paper's complexity
+    // argument in numbers.
+    c.bench_function("activity/brute_force_scan", |b| {
+        b.iter(|| {
+            (
+                stream.signal_probability(model.rtl(), &set),
+                stream.transition_probability(model.rtl(), &set),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = substrates;
+    config = Criterion::default();
+    targets = bench_geometry, bench_zero_skew_merge, bench_activity
+}
+criterion_main!(substrates);

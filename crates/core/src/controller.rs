@@ -1,0 +1,188 @@
+use std::fmt;
+
+use gcr_geometry::{BBox, Point};
+
+/// Placement of the gate controller(s) that drive every enable signal.
+///
+/// The paper's main experiments use a single controller "located at the
+/// center of the chip" with star routing to every gate (§2); §6 proposes
+/// dividing the chip into `k = 4^levels` equal partitions, each served by
+/// its own controller, cutting the expected star wire length — and hence
+/// the control routing area — by a factor of `√k`.
+///
+/// ```
+/// use gcr_core::ControllerPlan;
+/// use gcr_geometry::{BBox, Point};
+///
+/// let die = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+/// let central = ControllerPlan::centralized(&die);
+/// assert_eq!(central.num_controllers(), 1);
+/// let four = ControllerPlan::distributed(die, 1);
+/// assert_eq!(four.num_controllers(), 4);
+/// // A gate in the SW quadrant is served by the SW controller.
+/// let gate = Point::new(100.0, 100.0);
+/// assert!(four.enable_wire_length(gate) < central.enable_wire_length(gate));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum ControllerPlan {
+    /// One controller at a fixed location (the paper's default: the die
+    /// center).
+    Centralized {
+        /// Where the controller sits.
+        location: Point,
+    },
+    /// `4^levels` controllers at the centers of a regular partition of the
+    /// die (§6, Figure 6b).
+    Distributed {
+        /// The die outline being partitioned.
+        die: BBox,
+        /// Recursion depth: `k = 4^levels` partitions.
+        levels: u32,
+    },
+}
+
+impl ControllerPlan {
+    /// A single controller at the center of `die`.
+    #[must_use]
+    pub fn centralized(die: &BBox) -> Self {
+        ControllerPlan::Centralized {
+            location: die.center(),
+        }
+    }
+
+    /// `4^levels` distributed controllers over `die`.
+    #[must_use]
+    pub fn distributed(die: BBox, levels: u32) -> Self {
+        ControllerPlan::Distributed { die, levels }
+    }
+
+    /// Number of controllers.
+    #[must_use]
+    pub fn num_controllers(&self) -> usize {
+        match self {
+            ControllerPlan::Centralized { .. } => 1,
+            ControllerPlan::Distributed { levels, .. } => 4usize.pow(*levels),
+        }
+    }
+
+    /// The controller that serves a gate at `gate`: the fixed controller,
+    /// or the center of the partition containing the gate (points outside
+    /// the die clamp to the nearest partition).
+    #[must_use]
+    pub fn controller_for(&self, gate: Point) -> Point {
+        match self {
+            ControllerPlan::Centralized { location } => *location,
+            ControllerPlan::Distributed { die, levels } => {
+                let side = 2usize.pow(*levels);
+                let cell_w = die.width() / side as f64;
+                let cell_h = die.height() / side as f64;
+                let clamp = |v: f64, cells: usize, lo: f64, cell: f64| -> usize {
+                    if cell <= 0.0 {
+                        return 0;
+                    }
+                    (((v - lo) / cell).floor() as isize).clamp(0, cells as isize - 1) as usize
+                };
+                let ix = clamp(gate.x, side, die.min().x, cell_w);
+                let iy = clamp(gate.y, side, die.min().y, cell_h);
+                Point::new(
+                    die.min().x + (ix as f64 + 0.5) * cell_w,
+                    die.min().y + (iy as f64 + 0.5) * cell_h,
+                )
+            }
+        }
+    }
+
+    /// Manhattan length of the enable wire serving a gate at `gate` — one
+    /// leg of the star routing.
+    #[must_use]
+    pub fn enable_wire_length(&self, gate: Point) -> f64 {
+        self.controller_for(gate).manhattan(gate)
+    }
+}
+
+impl fmt::Display for ControllerPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControllerPlan::Centralized { location } => {
+                write!(f, "centralized controller at {location}")
+            }
+            ControllerPlan::Distributed { levels, .. } => {
+                write!(f, "{} distributed controllers", 4usize.pow(*levels))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn die() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0))
+    }
+
+    #[test]
+    fn centralized_distance_is_manhattan_to_center() {
+        let plan = ControllerPlan::centralized(&die());
+        assert_eq!(plan.enable_wire_length(Point::new(0.0, 0.0)), 1000.0);
+        assert_eq!(plan.enable_wire_length(Point::new(500.0, 500.0)), 0.0);
+    }
+
+    #[test]
+    fn distributed_partitions_serve_local_gates() {
+        let plan = ControllerPlan::distributed(die(), 1);
+        // SW quadrant center is (250, 250).
+        assert_eq!(
+            plan.controller_for(Point::new(10.0, 10.0)),
+            Point::new(250.0, 250.0)
+        );
+        // NE quadrant center is (750, 750).
+        assert_eq!(
+            plan.controller_for(Point::new(990.0, 990.0)),
+            Point::new(750.0, 750.0)
+        );
+    }
+
+    #[test]
+    fn out_of_die_gates_clamp() {
+        let plan = ControllerPlan::distributed(die(), 2);
+        let c = plan.controller_for(Point::new(-50.0, 2000.0));
+        // First column, last row: centers at x = 125/2? levels=2 -> 4x4 grid
+        // with 250-wide cells; centers at 125, 375, 625, 875.
+        assert_eq!(c, Point::new(125.0, 875.0));
+    }
+
+    #[test]
+    fn deeper_partitions_shorten_wires_on_average() {
+        // The sqrt(k) area claim of §6: average star length over a grid of
+        // gates shrinks roughly by 2x per level.
+        let gates: Vec<Point> = (0..32)
+            .flat_map(|i| (0..32).map(move |j| Point::new(i as f64 * 31.25, j as f64 * 31.25)))
+            .collect();
+        let avg = |levels: u32| {
+            let plan = if levels == 0 {
+                ControllerPlan::centralized(&die())
+            } else {
+                ControllerPlan::distributed(die(), levels)
+            };
+            gates
+                .iter()
+                .map(|&g| plan.enable_wire_length(g))
+                .sum::<f64>()
+                / gates.len() as f64
+        };
+        let (a0, a1, a2) = (avg(0), avg(1), avg(2));
+        assert!(a1 < a0 && a2 < a1, "{a0} -> {a1} -> {a2}");
+        // Ratio should be near 2.0 per level for a uniform gate field.
+        assert!((a0 / a1 - 2.0).abs() < 0.3, "a0/a1 = {}", a0 / a1);
+        assert!((a1 / a2 - 2.0).abs() < 0.3, "a1/a2 = {}", a1 / a2);
+    }
+
+    #[test]
+    fn counts_and_display() {
+        assert_eq!(ControllerPlan::centralized(&die()).num_controllers(), 1);
+        assert_eq!(ControllerPlan::distributed(die(), 2).num_controllers(), 16);
+        assert!(format!("{}", ControllerPlan::distributed(die(), 1)).contains('4'));
+        assert!(format!("{}", ControllerPlan::centralized(&die())).contains("centralized"));
+    }
+}

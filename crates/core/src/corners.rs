@@ -1,0 +1,175 @@
+use gcr_cts::ClockTree;
+use gcr_rctree::{Technology, TechnologyError};
+
+/// Skew and delay of one process corner.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CornerResult {
+    /// Corner label, e.g. `"r+20% c-20%"`.
+    pub name: String,
+    /// Wire resistance scale applied.
+    pub res_scale: f64,
+    /// Wire capacitance scale applied.
+    pub cap_scale: f64,
+    /// Elmore skew across sinks at this corner (ps).
+    pub skew: f64,
+    /// Source-to-sink Elmore delay at this corner (ps).
+    pub delay: f64,
+}
+
+/// Re-measures an embedded tree's skew and delay under wire process
+/// corners: unit resistance and capacitance each scaled by ±`spread`
+/// (devices keep their nominal parameters — interconnect and transistors
+/// do not track each other across corners).
+///
+/// Wire delay terms scale uniformly with the corner, but fixed pin loads
+/// (sinks, gate inputs) and device stage delays do not — so balanced
+/// trees develop corner skew in proportion to how much non-wire delay
+/// they contain. Gated trees, whose paths are mostly device stages, are
+/// hit hardest; this quantifies the robustness cost of inserting gates —
+/// a question the paper leaves open.
+///
+/// Returns the five corners (nominal plus the four extremes), nominal
+/// first.
+///
+/// # Errors
+///
+/// Returns [`TechnologyError`] when the scaled parameters are invalid
+/// (spread ≥ 1 would zero them out).
+pub fn corner_analysis(
+    tree: &ClockTree,
+    tech: &Technology,
+    spread: f64,
+) -> Result<Vec<CornerResult>, TechnologyError> {
+    let corners = [
+        ("nominal", 1.0, 1.0),
+        ("r+ c+", 1.0 + spread, 1.0 + spread),
+        ("r+ c-", 1.0 + spread, 1.0 - spread),
+        ("r- c+", 1.0 - spread, 1.0 + spread),
+        ("r- c-", 1.0 - spread, 1.0 - spread),
+    ];
+    corners
+        .iter()
+        .map(|&(name, rs, cs)| {
+            let corner_tech = Technology::builder()
+                .unit_res(tech.unit_res() * rs)
+                .unit_cap(tech.unit_cap() * cs)
+                .wire_width(tech.wire_width())
+                .control_unit_cap(tech.control_unit_cap() * cs)
+                .control_wire_width(tech.control_wire_width())
+                .and_gate(tech.and_gate())
+                .buffer(tech.buffer())
+                .source(tech.source())
+                .supply_v(tech.supply_v())
+                .clock_mhz(tech.clock_mhz())
+                .build()?;
+            let (rc, sinks) = tree.to_rc_tree(&corner_tech);
+            let analysis = rc.analyze();
+            Ok(CornerResult {
+                name: format!("{name} ({rs:.2}, {cs:.2})"),
+                res_scale: rs,
+                cap_scale: cs,
+                skew: analysis.skew(&sinks),
+                delay: analysis.max_arrival(&sinks),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_cts::{embed, nearest_neighbor_topology, DeviceAssignment, Sink};
+    use gcr_geometry::Point;
+
+    fn sinks() -> Vec<Sink> {
+        (0..10)
+            .map(|i| {
+                Sink::new(
+                    Point::new(
+                        (i as f64 * 4321.0) % 20_000.0,
+                        (i as f64 * 8765.0) % 20_000.0,
+                    ),
+                    0.02 + 0.01 * (i % 4) as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plain_tree_stays_zero_skew_at_all_corners() {
+        let tech = Technology::default();
+        let s = sinks();
+        let topo = nearest_neighbor_topology(&tech, &s, None).unwrap();
+        let tree = embed(
+            &topo,
+            &s,
+            &tech,
+            &DeviceAssignment::none(&topo),
+            Point::new(10_000.0, 10_000.0),
+        )
+        .unwrap();
+        let corners = corner_analysis(&tree, &tech, 0.2).unwrap();
+        assert_eq!(corners.len(), 5);
+        // Nominal is exactly balanced.
+        assert!(corners[0].skew <= 1e-9 * corners[0].delay.max(1.0));
+        for c in &corners {
+            // Wire terms scale uniformly but the fixed sink-pin loads do
+            // not, so a small residual corner skew is physical; it must
+            // stay a sliver of the total delay.
+            assert!(
+                c.skew <= 0.02 * c.delay.max(1.0),
+                "{}: skew {} at delay {}",
+                c.name,
+                c.skew,
+                c.delay
+            );
+        }
+        // Delay itself does move with the corner.
+        assert!(corners[1].delay > corners[0].delay);
+        assert!(corners[4].delay < corners[0].delay);
+    }
+
+    #[test]
+    fn gated_tree_develops_corner_skew() {
+        let tech = Technology::default();
+        let s = sinks();
+        let topo = nearest_neighbor_topology(&tech, &s, Some(tech.and_gate())).unwrap();
+        let tree = embed(
+            &topo,
+            &s,
+            &tech,
+            &DeviceAssignment::everywhere(&topo, tech.and_gate()),
+            Point::new(10_000.0, 10_000.0),
+        )
+        .unwrap();
+        let corners = corner_analysis(&tree, &tech, 0.2).unwrap();
+        // Nominal is zero-skew…
+        assert!(corners[0].skew <= 1e-9 * corners[0].delay.max(1.0));
+        // …but the extremes are not: wires moved, gate stages did not.
+        let worst = corners[1..].iter().map(|c| c.skew).fold(0.0f64, f64::max);
+        assert!(
+            worst > corners[0].skew + 1e-6,
+            "gated tree shows no corner skew at all ({worst})"
+        );
+        // Still bounded well below the total delay.
+        for c in &corners {
+            assert!(c.skew < 0.25 * c.delay, "{}: runaway skew", c.name);
+        }
+    }
+
+    #[test]
+    fn invalid_spread_is_rejected() {
+        let tech = Technology::default();
+        let s = sinks();
+        let topo = nearest_neighbor_topology(&tech, &s, None).unwrap();
+        let tree = embed(
+            &topo,
+            &s,
+            &tech,
+            &DeviceAssignment::none(&topo),
+            Point::ORIGIN,
+        )
+        .unwrap();
+        assert!(corner_analysis(&tree, &tech, 1.0).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+use gcr_activity::EnableStats;
+use gcr_rctree::Technology;
+
+/// Equation (3): the switched capacitance incurred by merging two subtrees
+/// `v_i`, `v_j` into a new node — the greedy objective of §4.2.
+///
+/// ```text
+/// SC(v_i, v_j) = (c·e_i + C_i)·P(EN_i)  +  (c·e_j + C_j)·P(EN_j)
+///              + (c·dist(CP, mid(ms_i)) + C_g)·P_tr(EN_i)
+///              + (c·dist(CP, mid(ms_j)) + C_g)·P_tr(EN_j)
+/// ```
+///
+/// The first two terms are the new clock-tree edges (wire plus the node
+/// capacitance they feed) weighted by signal probability; the last two are
+/// the enable star wires for the gates on those edges weighted by
+/// transition probability. Because the gate locations are not known during
+/// bottom-up merging, the controller distance is estimated from the
+/// midpoint of each child's merging segment (`cp_dist_*`), exactly as in
+/// the paper.
+///
+/// # Arguments
+///
+/// * `e_i`, `e_j` — electrical tap lengths from the zero-skew balance.
+/// * `node_cap_i/j` — the node capacitance `C_i` at the bottom of each new
+///   edge: the sink load for a leaf, the child gates' input capacitances
+///   for an internal node.
+/// * `stats_i/j` — signal/transition probabilities of the two enables.
+/// * `cp_dist_i/j` — estimated controller-to-gate star distances.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn merge_switched_cap(
+    tech: &Technology,
+    e_i: f64,
+    e_j: f64,
+    node_cap_i: f64,
+    node_cap_j: f64,
+    stats_i: EnableStats,
+    stats_j: EnableStats,
+    cp_dist_i: f64,
+    cp_dist_j: f64,
+) -> f64 {
+    let c = tech.unit_cap();
+    let c_ctl = tech.control_unit_cap();
+    let c_g = tech.and_gate().input_cap();
+    (c * e_i + node_cap_i) * stats_i.signal
+        + (c * e_j + node_cap_j) * stats_j.signal
+        + (c_ctl * cp_dist_i + c_g) * stats_i.transition
+        + (c_ctl * cp_dist_j + c_g) * stats_j.transition
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_geometry::{BBox, Point};
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn hand_computed_cost() {
+        let t = tech();
+        let c = t.unit_cap();
+        let cg = t.and_gate().input_cap();
+        let si = EnableStats {
+            signal: 0.5,
+            transition: 0.2,
+        };
+        let sj = EnableStats {
+            signal: 1.0,
+            transition: 0.0,
+        };
+        let sc = merge_switched_cap(&t, 100.0, 200.0, 0.05, 0.07, si, sj, 1000.0, 2000.0);
+        let c_ctl = t.control_unit_cap();
+        let expect = (c * 100.0 + 0.05) * 0.5
+            + (c * 200.0 + 0.07) * 1.0
+            + (c_ctl * 1000.0 + cg) * 0.2
+            + (c_ctl * 2000.0 + cg) * 0.0;
+        assert!((sc - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lower_activity_is_cheaper() {
+        let t = tech();
+        let base = EnableStats {
+            signal: 0.9,
+            transition: 0.1,
+        };
+        let quiet = EnableStats {
+            signal: 0.2,
+            transition: 0.1,
+        };
+        let cost = |s| merge_switched_cap(&t, 500.0, 500.0, 0.05, 0.05, s, base, 1000.0, 1000.0);
+        assert!(cost(quiet) < cost(base));
+    }
+
+    #[test]
+    fn higher_toggle_rate_is_costlier() {
+        let t = tech();
+        let calm = EnableStats {
+            signal: 0.5,
+            transition: 0.05,
+        };
+        let busy = EnableStats {
+            signal: 0.5,
+            transition: 0.6,
+        };
+        let cost = |s| merge_switched_cap(&t, 500.0, 500.0, 0.05, 0.05, s, calm, 1500.0, 1500.0);
+        assert!(cost(busy) > cost(calm));
+    }
+
+    #[test]
+    fn distance_to_controller_matters() {
+        let t = tech();
+        let s = EnableStats {
+            signal: 0.5,
+            transition: 0.3,
+        };
+        let near = merge_switched_cap(&t, 500.0, 500.0, 0.05, 0.05, s, s, 100.0, 100.0);
+        let far = merge_switched_cap(&t, 500.0, 500.0, 0.05, 0.05, s, s, 10_000.0, 10_000.0);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn controller_plan_feeds_the_distance_term() {
+        let die = BBox::new(Point::new(0.0, 0.0), Point::new(10_000.0, 10_000.0));
+        let plan = crate::ControllerPlan::centralized(&die);
+        let d = plan.enable_wire_length(Point::new(0.0, 0.0));
+        assert_eq!(d, 10_000.0);
+    }
+}

@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+use gcr_cts::CtsError;
+
+/// Errors produced by the gated clock router.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// The sink list and the activity model disagree on the module count
+    /// (sink `i` must be module `i`).
+    SinkModuleMismatch {
+        /// Number of sinks supplied.
+        sinks: usize,
+        /// Number of modules in the activity model.
+        modules: usize,
+    },
+    /// An underlying clock-tree-synthesis failure.
+    Cts(CtsError),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::SinkModuleMismatch { sinks, modules } => write!(
+                f,
+                "sink list has {sinks} entries but the activity model covers {modules} modules"
+            ),
+            RouteError::Cts(e) => write!(f, "clock tree synthesis failed: {e}"),
+        }
+    }
+}
+
+impl Error for RouteError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RouteError::Cts(e) => Some(e),
+            RouteError::SinkModuleMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<CtsError> for RouteError {
+    fn from(e: CtsError) -> Self {
+        RouteError::Cts(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RouteError::SinkModuleMismatch {
+            sinks: 4,
+            modules: 6,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('6'));
+        assert!(e.source().is_none());
+        let c: RouteError = CtsError::NoSinks.into();
+        assert!(c.source().is_some());
+        assert!(c.to_string().contains("sink"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<RouteError>();
+    }
+}

@@ -1,0 +1,405 @@
+use gcr_cts::DeviceAssignment;
+use gcr_rctree::Technology;
+
+use crate::GatedRouting;
+
+/// Thresholds of the §4.3 gate-reduction heuristic.
+///
+/// A gate on edge `e_i` is *removed* when any rule fires (a zero threshold
+/// disables its rule):
+///
+/// * **R1** — the node is almost always active: `P(EN_i) ≥ 1 − activity`;
+/// * **R2** — the switched capacitance the gate masks is negligible: the
+///   *subtree* capacitance below the gate (wires, loads, and device pins),
+///   weighted by `P(EN_i)`, is `≤ cap` (pF);
+/// * **R3** — the parent is barely more active:
+///   `P(EN_parent) − P(EN_i) ≤ similarity`.
+///
+/// Removal is then vetoed by the **forced-insertion rule**: walking
+/// top-down, whenever the unmasked capacitance accumulated since the last
+/// surviving gate reaches `forced_cap_multiple · C_g`, the gate is put
+/// back — "a rule for enforcing a gate insertion … whenever the subtree
+/// capacitance of the node reaches, say γ·C_g".
+///
+/// ```
+/// use gcr_core::ReductionParams;
+/// use gcr_rctree::Technology;
+///
+/// let tech = Technology::default();
+/// let off = ReductionParams::from_strength(0.0, &tech);
+/// assert_eq!(off.activity_threshold, 0.0); // all rules disabled
+/// let strong = ReductionParams::from_strength(1.0, &tech);
+/// assert!(strong.activity_threshold > 0.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReductionParams {
+    /// R1 threshold on `1 − P(EN_i)`; 0 disables.
+    pub activity_threshold: f64,
+    /// R2 threshold on the edge's switched capacitance (pF); 0 disables.
+    pub cap_threshold: f64,
+    /// R3 threshold on `P(EN_parent) − P(EN_i)`; 0 disables.
+    pub similarity_threshold: f64,
+    /// Forced re-insertion when the unmasked capacitance since the last
+    /// gate reaches this many gate input capacitances; 0 disables the
+    /// veto.
+    pub forced_cap_multiple: f64,
+}
+
+impl ReductionParams {
+    /// No reduction: every gate stays.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            activity_threshold: 0.0,
+            cap_threshold: 0.0,
+            similarity_threshold: 0.0,
+            forced_cap_multiple: 0.0,
+        }
+    }
+
+    /// A single-knob parameterization used for the Fig. 5 sweep: strength
+    /// 0 keeps every gate, strength 1 applies the rules aggressively
+    /// (forced insertion still bounds the damage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strength` is outside `[0, 1]`.
+    #[must_use]
+    pub fn from_strength(strength: f64, tech: &Technology) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&strength),
+            "reduction strength must be in [0, 1], got {strength}"
+        );
+        let c_g = tech.and_gate().input_cap();
+        Self {
+            activity_threshold: strength,
+            cap_threshold: 2.0 * c_g * strength,
+            similarity_threshold: 0.35 * strength,
+            // Fixed γ: however aggressive the rules, a gate returns
+            // whenever γ·C_g of capacitance has gone unmasked — the
+            // paper's guard against runaway phase delay.
+            forced_cap_multiple: 40.0,
+        }
+    }
+
+    /// As [`Self::from_strength`], with the R2 threshold scaled to the
+    /// cost of a typical enable wire (`star_len` layout units of control
+    /// wire plus the gate's enable pin): a gate masking less capacitance
+    /// than its own star wire carries is pure overhead. Pass
+    /// `die.half_perimeter() / 8.0` (= D/4 for a square die, the paper's
+    /// average star-edge estimate) for `star_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strength` is outside `[0, 1]` or `star_len` is negative
+    /// or non-finite.
+    #[must_use]
+    pub fn from_strength_scaled(strength: f64, tech: &Technology, star_len: f64) -> Self {
+        assert!(
+            star_len.is_finite() && star_len >= 0.0,
+            "star length must be finite and >= 0, got {star_len}"
+        );
+        let star_cap = tech.control_unit_cap() * star_len + tech.and_gate().input_cap();
+        Self {
+            cap_threshold: strength * star_cap,
+            ..Self::from_strength(strength, tech)
+        }
+    }
+}
+
+impl Default for ReductionParams {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Applies the §4.3 gate-reduction rules to a fully gated routing,
+/// producing the sparser device assignment for **physical removal**:
+/// re-embed it with [`GatedRouting::reembed`] to restore zero skew (wire
+/// lengths change — removing a gate stage must be re-balanced).
+///
+/// Physical removal trades control routing against re-balancing wire; the
+/// cheaper and usually better option is [`reduce_gates_untied`], which
+/// ties the reduced gates' enables high instead. Both share the same
+/// R1/R2/R3 + forced-insertion rules.
+#[must_use]
+pub fn reduce_gates(
+    routing: &GatedRouting,
+    tech: &Technology,
+    params: &ReductionParams,
+) -> DeviceAssignment {
+    let keep = keep_mask(routing, tech, params);
+    let mut assignment = routing.assignment.clone();
+    for (i, &k) in keep.iter().enumerate() {
+        if !k {
+            assignment.set(i, None);
+        }
+    }
+    assignment
+}
+
+/// Applies the §4.3 gate-reduction rules in **untie mode**: reduced gates
+/// stay in the tree as always-on buffers (an AND gate with its enable tied
+/// high), so the embedding — and the zero skew — are untouched, while the
+/// enable star wire and its switching disappear.
+///
+/// Because the gates remain electrically, the forced-insertion veto (a
+/// guard against un-buffered RC paths and runaway phase delay) has nothing
+/// to protect and is skipped.
+///
+/// Returns the `controlled` mask for
+/// [`evaluate_with_mask`](crate::evaluate_with_mask): `true` where the
+/// gate keeps its controller connection.
+///
+/// ```
+/// use gcr_activity::{ActivityTables, CpuModel};
+/// use gcr_core::{
+///     evaluate_with_mask, reduce_gates_untied, route_gated, ReductionParams, RouterConfig,
+/// };
+/// use gcr_cts::Sink;
+/// use gcr_geometry::{BBox, Point};
+/// use gcr_rctree::Technology;
+///
+/// let sinks: Vec<Sink> = (0..6)
+///     .map(|i| Sink::new(Point::new(i as f64 * 2_000.0, 500.0), 0.05))
+///     .collect();
+/// let cpu = CpuModel::builder(6).instructions(6).seed(3).build()?;
+/// let tables = ActivityTables::scan(cpu.rtl(), &cpu.generate_stream(1_000));
+/// let die = BBox::new(Point::new(0.0, 0.0), Point::new(10_000.0, 1_000.0));
+/// let config = RouterConfig::new(Technology::default(), die);
+/// let routing = route_gated(&sinks, &tables, &config)?;
+///
+/// let tech = config.tech();
+/// let mask = reduce_gates_untied(
+///     &routing,
+///     tech,
+///     &ReductionParams::from_strength_scaled(0.3, tech, die.half_perimeter() / 8.0),
+/// );
+/// let report = evaluate_with_mask(
+///     &routing.tree, &routing.node_stats, config.controller(), tech, &mask,
+/// );
+/// // Some controls survive, some were untied; the tree is untouched.
+/// assert!(mask.iter().filter(|&&k| k).count() <= routing.tree.device_count());
+/// assert!(report.total_switched_cap > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn reduce_gates_untied(
+    routing: &GatedRouting,
+    tech: &Technology,
+    params: &ReductionParams,
+) -> Vec<bool> {
+    let untied = ReductionParams {
+        forced_cap_multiple: 0.0,
+        ..*params
+    };
+    keep_mask(routing, tech, &untied)
+}
+
+/// The shared R1/R2/R3 + forced-insertion decision: which edges keep a
+/// *controlled* masking gate.
+fn keep_mask(routing: &GatedRouting, tech: &Technology, params: &ReductionParams) -> Vec<bool> {
+    let tree = &routing.tree;
+    let stats = &routing.node_stats;
+    let n = tree.len();
+    let c = tech.unit_cap();
+    let c_g = tech.and_gate().input_cap();
+    let parents = routing.topology.parents();
+
+    // The node capacitance C_i under full gating: sink load at leaves,
+    // two child-gate input pins at internal nodes.
+    let node_cap = |i: usize| -> f64 {
+        let node = tree.node(tree.id(i));
+        match node.sink() {
+            Some(s) => tree.sink_cap(s),
+            None => 2.0 * c_g,
+        }
+    };
+
+    // The capacitance a gate on edge i masks: everything below the gate —
+    // its own edge wire plus the full subtree (wires, loads, device pins).
+    let mut subtree_cap = vec![0.0f64; n];
+    for i in 0..n {
+        let node = tree.node(tree.id(i));
+        let mut cap = c * node.electrical_length();
+        cap += match node.sink() {
+            Some(s) => tree.sink_cap(s),
+            None => 0.0,
+        };
+        for &ch in node.children() {
+            cap += subtree_cap[ch.index()];
+            if let Some(d) = tree.node(ch).device() {
+                cap += d.input_cap();
+            }
+        }
+        subtree_cap[i] = cap;
+    }
+
+    // Phase 1: mark removals by R1 / R2 / R3.
+    let mut keep = vec![true; n];
+    for i in 0..n {
+        let p_en = stats[i].signal;
+        let r1 = params.activity_threshold > 0.0 && p_en >= 1.0 - params.activity_threshold;
+        let r2 = params.cap_threshold > 0.0 && subtree_cap[i] * p_en <= params.cap_threshold;
+        let r3 = params.similarity_threshold > 0.0
+            && parents[i]
+                .map(|p| stats[p].signal - p_en <= params.similarity_threshold)
+                .unwrap_or(false);
+        if r1 || r2 || r3 {
+            keep[i] = false;
+        }
+    }
+
+    // Phase 2: forced insertion, top-down. `acc[i]` is the capacitance
+    // left unmasked since the nearest surviving gate above node i.
+    if params.forced_cap_multiple > 0.0 {
+        let limit = params.forced_cap_multiple * c_g;
+        let mut acc = vec![0.0f64; n];
+        for i in (0..n).rev() {
+            let upstream = parents[i].map(|p| acc[p]).unwrap_or(0.0);
+            let own = c * tree.node(tree.id(i)).electrical_length() + node_cap(i);
+            let mut total = if keep[i] { own } else { upstream + own };
+            if !keep[i] && total >= limit {
+                keep[i] = true;
+                total = own;
+            }
+            acc[i] = total;
+        }
+    }
+
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{route_gated, RouterConfig};
+    use gcr_activity::{ActivityTables, CpuModel};
+    use gcr_cts::Sink;
+    use gcr_geometry::{BBox, Point};
+
+    fn routing(n: usize) -> (Vec<Sink>, GatedRouting, RouterConfig, ActivityTables) {
+        let side = 20_000.0;
+        let sinks: Vec<Sink> = (0..n)
+            .map(|i| {
+                let x = (i as f64 * 7919.0) % side;
+                let y = (i as f64 * 4973.0) % side;
+                Sink::new(Point::new(x, y), 0.04)
+            })
+            .collect();
+        let model = CpuModel::builder(n)
+            .instructions(10)
+            .usage_fraction(0.4)
+            .seed(17)
+            .build()
+            .unwrap();
+        let tables = ActivityTables::scan(model.rtl(), &model.generate_stream(4_000));
+        let die = BBox::new(Point::new(0.0, 0.0), Point::new(side, side));
+        let config = RouterConfig::new(Technology::default(), die);
+        let r = route_gated(&sinks, &tables, &config).unwrap();
+        (sinks, r, config, tables)
+    }
+
+    #[test]
+    fn zero_strength_keeps_every_gate() {
+        let tech = Technology::default();
+        let (_, r, _, _) = routing(12);
+        let a = reduce_gates(&r, &tech, &ReductionParams::none());
+        assert_eq!(a.device_count(), r.assignment.device_count());
+        let s0 = ReductionParams::from_strength(0.0, &tech);
+        let a0 = reduce_gates(&r, &tech, &s0);
+        assert_eq!(a0.device_count(), r.assignment.device_count());
+    }
+
+    #[test]
+    fn stronger_reduction_removes_more_gates() {
+        let tech = Technology::default();
+        let (_, r, _, _) = routing(16);
+        let count = |s: f64| {
+            reduce_gates(&r, &tech, &ReductionParams::from_strength(s, &tech)).device_count()
+        };
+        let full = r.assignment.device_count();
+        assert!(count(0.3) <= full);
+        assert!(count(1.0) <= count(0.3));
+        assert!(count(1.0) < full, "strength 1 must remove something");
+    }
+
+    #[test]
+    fn r1_removes_always_on_gates() {
+        let tech = Technology::default();
+        let (_, r, _, _) = routing(12);
+        let params = ReductionParams {
+            activity_threshold: 0.05,
+            cap_threshold: 0.0,
+            similarity_threshold: 0.0,
+            forced_cap_multiple: 0.0,
+        };
+        let a = reduce_gates(&r, &tech, &params);
+        // The root's enable has P = 1, so its gate must be removed.
+        assert!(a.get(r.topology.root()).is_none());
+        // Any gate with low activity must survive.
+        for i in 0..r.topology.len() {
+            if r.node_stats[i].signal < 0.9 {
+                assert!(a.get(i).is_some(), "low-activity gate {i} removed by R1");
+            }
+        }
+    }
+
+    #[test]
+    fn r3_removes_gates_similar_to_parent() {
+        let tech = Technology::default();
+        let (_, r, _, _) = routing(12);
+        let params = ReductionParams {
+            activity_threshold: 0.0,
+            cap_threshold: 0.0,
+            similarity_threshold: 1.0, // everything is "similar"
+            forced_cap_multiple: 0.0,
+        };
+        let a = reduce_gates(&r, &tech, &params);
+        // Every node with a parent is removed; only the root survives.
+        assert_eq!(a.device_count(), 1);
+        assert!(a.get(r.topology.root()).is_some());
+    }
+
+    #[test]
+    fn forced_insertion_bounds_unmasked_capacitance() {
+        let tech = Technology::default();
+        let (_, r, _, _) = routing(20);
+        let aggressive = ReductionParams {
+            activity_threshold: 1.0, // would remove every gate…
+            cap_threshold: 0.0,
+            similarity_threshold: 0.0,
+            forced_cap_multiple: 10.0, // …but the veto puts some back
+        };
+        let a = reduce_gates(&r, &tech, &aggressive);
+        assert!(a.device_count() > 0, "forced insertion must keep gates");
+        let no_veto = ReductionParams {
+            forced_cap_multiple: 0.0,
+            ..aggressive
+        };
+        let b = reduce_gates(&r, &tech, &no_veto);
+        assert_eq!(b.device_count(), 0);
+        assert!(a.device_count() > b.device_count());
+    }
+
+    #[test]
+    fn reduced_assignment_reembeds_zero_skew() {
+        let tech = Technology::default();
+        let (sinks, r, config, _) = routing(14);
+        let a = reduce_gates(&r, &tech, &ReductionParams::from_strength(0.6, &tech));
+        let reduced = r.reembed(&sinks, a, &config).unwrap();
+        let delay = reduced.tree.source_to_sink_delay(&tech);
+        assert!(reduced.tree.verify_skew(&tech) < 1e-9 * delay.max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strength")]
+    fn out_of_range_strength_panics() {
+        let _ = ReductionParams::from_strength(1.5, &Technology::default());
+    }
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(ReductionParams::default(), ReductionParams::none());
+    }
+}

@@ -1,0 +1,706 @@
+use gcr_activity::{ActivityTables, EnableStats, ModuleSet};
+use gcr_cts::{
+    embed_sized, run_greedy, zero_skew_merge, ClockTree, DeviceAssignment, MergeObjective, Sink,
+    SizingLimits, SubtreeState, Topology,
+};
+use gcr_geometry::{BBox, Point};
+use gcr_rctree::{Device, Technology};
+
+use crate::{merge_switched_cap, ControllerPlan, RouteError};
+
+/// Configuration of the gated clock router: technology, die outline, clock
+/// source location, and controller placement.
+///
+/// ```
+/// use gcr_core::{ControllerPlan, RouterConfig};
+/// use gcr_geometry::{BBox, Point};
+/// use gcr_rctree::Technology;
+///
+/// let die = BBox::new(Point::new(0.0, 0.0), Point::new(10_000.0, 10_000.0));
+/// let config = RouterConfig::new(Technology::default(), die)
+///     .with_controller(ControllerPlan::distributed(die, 1));
+/// assert_eq!(config.controller().num_controllers(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    tech: Technology,
+    die: BBox,
+    source: Point,
+    controller: ControllerPlan,
+}
+
+impl RouterConfig {
+    /// Creates a configuration with the paper's defaults: clock source and
+    /// a single centralized controller at the die center.
+    #[must_use]
+    pub fn new(tech: Technology, die: BBox) -> Self {
+        Self {
+            tech,
+            die,
+            source: die.center(),
+            controller: ControllerPlan::centralized(&die),
+        }
+    }
+
+    /// Overrides the controller placement (e.g. §6 distributed
+    /// controllers).
+    #[must_use]
+    pub fn with_controller(mut self, controller: ControllerPlan) -> Self {
+        self.controller = controller;
+        self
+    }
+
+    /// Overrides the clock source location (default: die center).
+    #[must_use]
+    pub fn with_source(mut self, source: Point) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// The technology parameters.
+    #[must_use]
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// The die outline.
+    #[must_use]
+    pub fn die(&self) -> BBox {
+        self.die
+    }
+
+    /// The clock source location.
+    #[must_use]
+    pub fn source(&self) -> Point {
+        self.source
+    }
+
+    /// The controller placement.
+    #[must_use]
+    pub fn controller(&self) -> &ControllerPlan {
+        &self.controller
+    }
+}
+
+/// Per-node bookkeeping of the gated merge objective.
+struct NodeCtx {
+    state: SubtreeState,
+    /// Which instructions activate this node (OR over the module set).
+    active: Vec<bool>,
+    stats: EnableStats,
+    modules: ModuleSet,
+    /// The node capacitance `C_i`: sink load for leaves, children's gate
+    /// input capacitances for internal nodes.
+    node_cap: f64,
+    /// Estimated star-wire distance from the serving controller to the
+    /// gate on this node's parent edge (gate location ≈ mid of ms).
+    cp_dist: f64,
+}
+
+/// The Equation-3 merge objective: among all live subtree pairs, merge the
+/// one whose new edges and enable wires add the least switched
+/// capacitance.
+struct GatedObjective<'a> {
+    tech: &'a Technology,
+    gate: Device,
+    controller: &'a ControllerPlan,
+    tables: &'a ActivityTables,
+    nodes: Vec<NodeCtx>,
+}
+
+impl<'a> GatedObjective<'a> {
+    fn new(
+        tech: &'a Technology,
+        controller: &'a ControllerPlan,
+        tables: &'a ActivityTables,
+        sinks: &[Sink],
+        module_of: &[usize],
+    ) -> Self {
+        let gate = tech.and_gate();
+        let num_modules = tables.rtl().num_modules();
+        let nodes = sinks
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let modules = ModuleSet::with_modules(num_modules, [module_of[i]]);
+                let active = tables.active_vector(&modules);
+                let stats = tables.enable_stats_for_active(&active);
+                let state = SubtreeState::leaf_with_device(s, Some(gate));
+                let cp_dist = controller.enable_wire_length(s.location());
+                NodeCtx {
+                    state,
+                    active,
+                    stats,
+                    modules,
+                    node_cap: s.cap(),
+                    cp_dist,
+                }
+            })
+            .collect();
+        Self {
+            tech,
+            gate,
+            controller,
+            tables,
+            nodes,
+        }
+    }
+}
+
+impl MergeObjective for GatedObjective<'_> {
+    fn cost(&self, a: usize, b: usize) -> f64 {
+        let (na, nb) = (&self.nodes[a], &self.nodes[b]);
+        let outcome = zero_skew_merge(self.tech, &na.state, &nb.state);
+        merge_switched_cap(
+            self.tech,
+            outcome.ea,
+            outcome.eb,
+            na.node_cap,
+            nb.node_cap,
+            na.stats,
+            nb.stats,
+            na.cp_dist,
+            nb.cp_dist,
+        )
+    }
+
+    fn merge(&mut self, a: usize, b: usize, k: usize) {
+        debug_assert_eq!(k, self.nodes.len());
+        let outcome = {
+            let (na, nb) = (&self.nodes[a], &self.nodes[b]);
+            zero_skew_merge(self.tech, &na.state, &nb.state)
+        };
+        let modules = self.nodes[a].modules.union(&self.nodes[b].modules);
+        let active: Vec<bool> = self.nodes[a]
+            .active
+            .iter()
+            .zip(&self.nodes[b].active)
+            .map(|(&x, &y)| x || y)
+            .collect();
+        let stats = self.tables.enable_stats_for_active(&active);
+        // Both child edges are gated during construction, so the new node
+        // feeds exactly two gate input capacitances.
+        let node_cap = 2.0 * self.gate.input_cap();
+        let cp_dist = self.controller.enable_wire_length(outcome.ms.center());
+        self.nodes.push(NodeCtx {
+            state: outcome.gated_state(Some(self.gate)),
+            active,
+            stats,
+            modules,
+            node_cap,
+            cp_dist,
+        });
+    }
+}
+
+/// The output of [`route_gated`]: the embedded tree plus everything needed
+/// to evaluate, reduce, and re-embed it.
+#[derive(Clone, Debug)]
+pub struct GatedRouting {
+    /// The merge structure chosen by the Equation-3 greedy.
+    pub topology: Topology,
+    /// Device on every edge (the fully gated tree; gate reduction produces
+    /// sparser assignments from this).
+    pub assignment: DeviceAssignment,
+    /// The embedded zero-skew tree.
+    pub tree: ClockTree,
+    /// Signal/transition probability of `EN_i` for every topology node.
+    pub node_stats: Vec<EnableStats>,
+    /// Module set under every topology node.
+    pub node_modules: Vec<ModuleSet>,
+}
+
+impl GatedRouting {
+    /// Engineering-change insertion: adds `new_sink` (gated by `module` of
+    /// the activity model) next to its geometrically nearest existing
+    /// leaf, rebuilds the affected statistics, and re-embeds — the whole
+    /// tree re-balances in O(N) while the topology changes only locally.
+    ///
+    /// Returns the new routing together with the extended sink list (the
+    /// new sink is appended, index `old_sinks.len()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::SinkModuleMismatch`] when `module` is not in
+    /// the activity model or `old_sinks` does not match this routing.
+    pub fn insert_sink(
+        &self,
+        old_sinks: &[Sink],
+        new_sink: Sink,
+        module: usize,
+        tables: &ActivityTables,
+        config: &RouterConfig,
+    ) -> Result<(GatedRouting, Vec<Sink>), RouteError> {
+        if old_sinks.len() != self.topology.num_leaves() || module >= tables.rtl().num_modules() {
+            return Err(RouteError::SinkModuleMismatch {
+                sinks: old_sinks.len(),
+                modules: tables.rtl().num_modules(),
+            });
+        }
+        // Nearest existing leaf hosts the new sibling.
+        let sibling = (0..old_sinks.len())
+            .min_by(|&a, &b| {
+                let da = old_sinks[a].location().manhattan(new_sink.location());
+                let db = old_sinks[b].location().manhattan(new_sink.location());
+                da.total_cmp(&db)
+            })
+            .expect("old_sinks is non-empty (topology has leaves)");
+        let topology = self.topology.insert_leaf(sibling)?;
+        let mut sinks = old_sinks.to_vec();
+        sinks.push(new_sink);
+        // Existing leaves keep their module (leaf sets are singletons by
+        // construction); the new leaf gets `module`.
+        let mut module_of: Vec<usize> = (0..old_sinks.len())
+            .map(|i| {
+                self.node_modules[i]
+                    .iter()
+                    .next()
+                    .expect("leaf owns one module")
+            })
+            .collect();
+        module_of.push(module);
+        let routing =
+            gated_routing_for_topology_mapped(topology, &sinks, &module_of, tables, config)?;
+        Ok((routing, sinks))
+    }
+
+    /// Engineering-change removal: drops sink `victim` from the design,
+    /// letting its sibling subtree take its parent's place, and re-embeds.
+    /// Returns the new routing and the shrunken sink list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::SinkModuleMismatch`] when `old_sinks` does
+    /// not match this routing and [`RouteError::Cts`] when the victim is
+    /// invalid or the last remaining sink.
+    pub fn remove_sink(
+        &self,
+        old_sinks: &[Sink],
+        victim: usize,
+        tables: &ActivityTables,
+        config: &RouterConfig,
+    ) -> Result<(GatedRouting, Vec<Sink>), RouteError> {
+        if old_sinks.len() != self.topology.num_leaves() {
+            return Err(RouteError::SinkModuleMismatch {
+                sinks: old_sinks.len(),
+                modules: tables.rtl().num_modules(),
+            });
+        }
+        let topology = self.topology.remove_leaf(victim)?;
+        let mut sinks = old_sinks.to_vec();
+        sinks.remove(victim);
+        let mut module_of: Vec<usize> = (0..old_sinks.len())
+            .map(|i| {
+                self.node_modules[i]
+                    .iter()
+                    .next()
+                    .expect("leaf owns one module")
+            })
+            .collect();
+        module_of.remove(victim);
+        let routing =
+            gated_routing_for_topology_mapped(topology, &sinks, &module_of, tables, config)?;
+        Ok((routing, sinks))
+    }
+
+    /// Re-embeds the same topology with a different device assignment
+    /// (e.g. after gate reduction), restoring exact zero skew.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::Cts`] if the assignment does not match the
+    /// topology.
+    pub fn reembed(
+        &self,
+        sinks: &[Sink],
+        assignment: DeviceAssignment,
+        config: &RouterConfig,
+    ) -> Result<GatedRouting, RouteError> {
+        let tree = embed_sized(
+            &self.topology,
+            sinks,
+            config.tech(),
+            &assignment,
+            config.source(),
+            SizingLimits::default(),
+        )?;
+        Ok(GatedRouting {
+            topology: self.topology.clone(),
+            assignment,
+            tree,
+            node_stats: self.node_stats.clone(),
+            node_modules: self.node_modules.clone(),
+        })
+    }
+}
+
+/// Builds a fully gated routing over an *externally supplied* topology
+/// (nearest-neighbor, MMM, hand-written…): computes every node's module
+/// set and enable statistics, puts a gate on every edge, and embeds with
+/// sizing — everything [`route_gated`] does except choosing the merge
+/// order. Used by the objective ablations.
+///
+/// # Errors
+///
+/// Returns [`RouteError::SinkModuleMismatch`] when the sink count differs
+/// from the activity model's module count, and [`RouteError::Cts`] when
+/// the topology does not match the sinks.
+pub fn gated_routing_for_topology(
+    topology: Topology,
+    sinks: &[Sink],
+    tables: &ActivityTables,
+    config: &RouterConfig,
+) -> Result<GatedRouting, RouteError> {
+    if sinks.len() != tables.rtl().num_modules() {
+        return Err(RouteError::SinkModuleMismatch {
+            sinks: sinks.len(),
+            modules: tables.rtl().num_modules(),
+        });
+    }
+    let identity: Vec<usize> = (0..sinks.len()).collect();
+    gated_routing_for_topology_mapped(topology, sinks, &identity, tables, config)
+}
+
+/// As [`gated_routing_for_topology`], with an explicit sink-to-module map
+/// (see [`route_gated_mapped`]).
+///
+/// # Errors
+///
+/// Returns [`RouteError::SinkModuleMismatch`] for an inconsistent map and
+/// [`RouteError::Cts`] when the topology does not fit the sinks.
+pub fn gated_routing_for_topology_mapped(
+    topology: Topology,
+    sinks: &[Sink],
+    module_of: &[usize],
+    tables: &ActivityTables,
+    config: &RouterConfig,
+) -> Result<GatedRouting, RouteError> {
+    if module_of.len() != sinks.len() || module_of.iter().any(|&m| m >= tables.rtl().num_modules())
+    {
+        return Err(RouteError::SinkModuleMismatch {
+            sinks: sinks.len(),
+            modules: tables.rtl().num_modules(),
+        });
+    }
+    let n_modules = tables.rtl().num_modules();
+    let mut node_modules: Vec<ModuleSet> = Vec::with_capacity(topology.len());
+    let mut node_stats: Vec<EnableStats> = Vec::with_capacity(topology.len());
+    for (_, node) in topology.bottom_up() {
+        let set = match node {
+            gcr_cts::TopoNode::Leaf { sink } => {
+                ModuleSet::with_modules(n_modules, [module_of[sink]])
+            }
+            gcr_cts::TopoNode::Internal { left, right } => {
+                node_modules[left].union(&node_modules[right])
+            }
+        };
+        node_stats.push(tables.enable_stats(&set));
+        node_modules.push(set);
+    }
+    let assignment = DeviceAssignment::everywhere(&topology, config.tech().and_gate());
+    let tree = embed_sized(
+        &topology,
+        sinks,
+        config.tech(),
+        &assignment,
+        config.source(),
+        SizingLimits::default(),
+    )?;
+    Ok(GatedRouting {
+        topology,
+        assignment,
+        tree,
+        node_stats,
+        node_modules,
+    })
+}
+
+/// The paper's `GatedClockRouting` procedure (§4.2): greedy bottom-up
+/// merging ordered by the Equation-3 switched capacitance, a masking gate
+/// on every edge, then top-down zero-skew placement.
+///
+/// Sink `i` must correspond to module `i` of the activity model ("the
+/// sinks correspond to the locations of modules").
+///
+/// # Errors
+///
+/// Returns [`RouteError::SinkModuleMismatch`] when the sink count differs
+/// from the activity model's module count, and [`RouteError::Cts`] for an
+/// empty sink list.
+pub fn route_gated(
+    sinks: &[Sink],
+    tables: &ActivityTables,
+    config: &RouterConfig,
+) -> Result<GatedRouting, RouteError> {
+    if sinks.len() != tables.rtl().num_modules() {
+        return Err(RouteError::SinkModuleMismatch {
+            sinks: sinks.len(),
+            modules: tables.rtl().num_modules(),
+        });
+    }
+    let identity: Vec<usize> = (0..sinks.len()).collect();
+    route_gated_mapped(sinks, &identity, tables, config)
+}
+
+/// As [`route_gated`], for designs where a module clocks **several**
+/// sinks: `module_of[i]` names the module whose activity gates sink `i`
+/// (the paper's 1:1 mapping is the identity). All of a module's sinks
+/// share its enable probability, so the router naturally groups them; the
+/// reduction and evaluation machinery is unchanged.
+///
+/// # Errors
+///
+/// Returns [`RouteError::SinkModuleMismatch`] when `module_of` does not
+/// cover every sink or references a module outside the activity model,
+/// and [`RouteError::Cts`] for an empty sink list.
+pub fn route_gated_mapped(
+    sinks: &[Sink],
+    module_of: &[usize],
+    tables: &ActivityTables,
+    config: &RouterConfig,
+) -> Result<GatedRouting, RouteError> {
+    if module_of.len() != sinks.len() || module_of.iter().any(|&m| m >= tables.rtl().num_modules())
+    {
+        return Err(RouteError::SinkModuleMismatch {
+            sinks: sinks.len(),
+            modules: tables.rtl().num_modules(),
+        });
+    }
+    let mut objective =
+        GatedObjective::new(config.tech(), config.controller(), tables, sinks, module_of);
+    let topology = run_greedy(sinks.len(), &mut objective)?;
+    let assignment = DeviceAssignment::everywhere(&topology, config.tech().and_gate());
+    let tree = embed_sized(
+        &topology,
+        sinks,
+        config.tech(),
+        &assignment,
+        config.source(),
+        SizingLimits::default(),
+    )?;
+    let node_stats = objective.nodes.iter().map(|n| n.stats).collect();
+    let node_modules = objective.nodes.iter().map(|n| n.modules.clone()).collect();
+    Ok(GatedRouting {
+        topology,
+        assignment,
+        tree,
+        node_stats,
+        node_modules,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_activity::CpuModel;
+
+    fn setup(n: usize, seed: u64) -> (Vec<Sink>, ActivityTables, RouterConfig) {
+        let side = 10_000.0;
+        let sinks: Vec<Sink> = (0..n)
+            .map(|i| {
+                let x = (i as f64 * 2654.435) % side;
+                let y = (i as f64 * 1618.034) % side;
+                Sink::new(Point::new(x, y), 0.03 + 0.01 * (i % 5) as f64)
+            })
+            .collect();
+        let model = CpuModel::builder(n)
+            .instructions(8)
+            .usage_fraction(0.4)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let stream = model.generate_stream(4_000);
+        let tables = ActivityTables::scan(model.rtl(), &stream);
+        let die = BBox::new(Point::new(0.0, 0.0), Point::new(side, side));
+        let config = RouterConfig::new(Technology::default(), die);
+        (sinks, tables, config)
+    }
+
+    #[test]
+    fn routed_tree_is_zero_skew_and_fully_gated() {
+        let (sinks, tables, config) = setup(12, 3);
+        let routing = route_gated(&sinks, &tables, &config).unwrap();
+        assert_eq!(routing.tree.num_sinks(), 12);
+        assert_eq!(routing.tree.device_count(), routing.tree.len());
+        let delay = routing.tree.source_to_sink_delay(config.tech());
+        assert!(routing.tree.verify_skew(config.tech()) < 1e-9 * delay.max(1.0));
+    }
+
+    #[test]
+    fn node_stats_are_monotone_up_the_tree() {
+        let (sinks, tables, config) = setup(10, 7);
+        let routing = route_gated(&sinks, &tables, &config).unwrap();
+        let parents = routing.topology.parents();
+        for (i, p) in parents.iter().enumerate() {
+            if let Some(p) = p {
+                assert!(
+                    routing.node_stats[*p].signal >= routing.node_stats[i].signal - 1e-12,
+                    "P(EN) must grow toward the root"
+                );
+            }
+        }
+        // The root covers every module and is effectively always on.
+        let root = routing.topology.root();
+        assert!(routing.node_stats[root].signal > 0.99);
+        assert_eq!(routing.node_modules[root].len(), 10);
+    }
+
+    #[test]
+    fn mismatched_module_count_is_rejected() {
+        let (sinks, tables, config) = setup(8, 1);
+        let err = route_gated(&sinks[..4], &tables, &config).unwrap_err();
+        assert!(matches!(err, RouteError::SinkModuleMismatch { .. }));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (sinks, tables, config) = setup(9, 5);
+        let a = route_gated(&sinks, &tables, &config).unwrap();
+        let b = route_gated(&sinks, &tables, &config).unwrap();
+        assert_eq!(a.topology, b.topology);
+        assert_eq!(a.tree, b.tree);
+    }
+
+    #[test]
+    fn reembed_with_sparser_gates_keeps_zero_skew() {
+        let (sinks, tables, config) = setup(10, 11);
+        let routing = route_gated(&sinks, &tables, &config).unwrap();
+        let mut sparse = routing.assignment.clone();
+        for i in 0..routing.topology.len() {
+            if i % 2 == 0 {
+                sparse.set(i, None);
+            }
+        }
+        let reduced = routing.reembed(&sinks, sparse, &config).unwrap();
+        let delay = reduced.tree.source_to_sink_delay(config.tech());
+        assert!(reduced.tree.verify_skew(config.tech()) < 1e-9 * delay.max(1.0));
+        assert!(reduced.tree.device_count() < routing.tree.device_count());
+        // Stats carry over unchanged.
+        assert_eq!(reduced.node_stats.len(), routing.node_stats.len());
+    }
+
+    #[test]
+    fn mapped_routing_groups_a_modules_sinks() {
+        // 12 sinks over 3 modules (4 each); a module's sinks share one
+        // enable probability and the leaf stats must reflect the map.
+        let side = 9_000.0;
+        let sinks: Vec<Sink> = (0..12)
+            .map(|i| {
+                // Module m's sinks cluster around x = m * 3000.
+                let m = i / 4;
+                Sink::new(
+                    Point::new(
+                        1_000.0 + m as f64 * 3_000.0 + (i % 4) as f64 * 150.0,
+                        4_000.0 + (i % 2) as f64 * 300.0,
+                    ),
+                    0.04,
+                )
+            })
+            .collect();
+        let module_of: Vec<usize> = (0..12).map(|i| i / 4).collect();
+        let model = CpuModel::builder(3)
+            .instructions(5)
+            .seed(8)
+            .build()
+            .unwrap();
+        let tables = ActivityTables::scan(model.rtl(), &model.generate_stream(1_000));
+        let die = BBox::new(Point::new(0.0, 0.0), Point::new(side, side));
+        let config = RouterConfig::new(Technology::default(), die);
+        let routing = route_gated_mapped(&sinks, &module_of, &tables, &config).unwrap();
+        // Leaf stats equal their module's stats.
+        for i in 0..12 {
+            let expect = tables
+                .enable_stats(&gcr_activity::ModuleSet::with_modules(3, [module_of[i]]))
+                .signal;
+            assert!(
+                (routing.node_stats[i].signal - expect).abs() < 1e-12,
+                "sink {i}"
+            );
+            assert!(routing.node_modules[i].contains(module_of[i]));
+            assert_eq!(routing.node_modules[i].len(), 1);
+        }
+        // The root owns all three modules and stays zero-skew.
+        assert_eq!(routing.node_modules[routing.topology.root()].len(), 3);
+        let tech = config.tech();
+        let delay = routing.tree.source_to_sink_delay(tech);
+        assert!(routing.tree.verify_skew(tech) <= 1e-9 * delay.max(1.0));
+        // Bad maps are rejected.
+        assert!(matches!(
+            route_gated_mapped(&sinks, &[0; 5], &tables, &config),
+            Err(RouteError::SinkModuleMismatch { .. })
+        ));
+        assert!(matches!(
+            route_gated_mapped(&sinks, &vec![7; 12], &tables, &config),
+            Err(RouteError::SinkModuleMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn eco_insertion_stays_zero_skew_and_local() {
+        let (sinks, tables, config) = setup(10, 21);
+        let routing = route_gated(&sinks, &tables, &config).unwrap();
+        // Insert a new sink for module 3 right next to sink 3.
+        let new_sink = Sink::new(
+            Point::new(sinks[3].location().x + 120.0, sinks[3].location().y + 80.0),
+            0.03,
+        );
+        let (grown, grown_sinks) = routing
+            .insert_sink(&sinks, new_sink, 3, &tables, &config)
+            .unwrap();
+        assert_eq!(grown_sinks.len(), 11);
+        assert_eq!(grown.tree.num_sinks(), 11);
+        // The new leaf (index 10) pairs with its nearest neighbor, sink 3.
+        assert!(grown.node_modules[10].contains(3));
+        let fresh = grown_sinks.len(); // first internal node index
+        assert_eq!(
+            grown.topology.node(fresh),
+            gcr_cts::TopoNode::Internal { left: 3, right: 10 }
+        );
+        // Zero skew holds after the ECO.
+        let tech = config.tech();
+        let delay = grown.tree.source_to_sink_delay(tech);
+        assert!(grown.tree.verify_skew(tech) <= 1e-9 * delay.max(1.0));
+        // The duplicated module's enable stats are shared.
+        assert_eq!(grown.node_stats[10].signal, grown.node_stats[3].signal);
+        // Errors: unknown module, stale sink list.
+        assert!(routing
+            .insert_sink(&sinks, new_sink, 99, &tables, &config)
+            .is_err());
+        assert!(routing
+            .insert_sink(&sinks[..5], new_sink, 3, &tables, &config)
+            .is_err());
+    }
+
+    #[test]
+    fn eco_removal_stays_zero_skew() {
+        let (sinks, tables, config) = setup(9, 33);
+        let routing = route_gated(&sinks, &tables, &config).unwrap();
+        let (shrunk, shrunk_sinks) = routing.remove_sink(&sinks, 4, &tables, &config).unwrap();
+        assert_eq!(shrunk_sinks.len(), 8);
+        assert_eq!(shrunk.tree.num_sinks(), 8);
+        let tech = config.tech();
+        let delay = shrunk.tree.source_to_sink_delay(tech);
+        assert!(shrunk.tree.verify_skew(tech) <= 1e-9 * delay.max(1.0));
+        // The surviving leaves keep their original modules (shifted past
+        // the victim).
+        for i in 0..8 {
+            let orig = if i < 4 { i } else { i + 1 };
+            assert!(shrunk.node_modules[i].contains(orig), "leaf {i}");
+        }
+        assert!(routing.remove_sink(&sinks, 99, &tables, &config).is_err());
+        assert!(routing
+            .remove_sink(&sinks[..3], 0, &tables, &config)
+            .is_err());
+    }
+
+    #[test]
+    fn config_builders() {
+        let die = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let cfg = RouterConfig::new(Technology::default(), die)
+            .with_source(Point::new(0.0, 0.0))
+            .with_controller(ControllerPlan::distributed(die, 1));
+        assert_eq!(cfg.source(), Point::new(0.0, 0.0));
+        assert_eq!(cfg.controller().num_controllers(), 4);
+        assert_eq!(cfg.die(), die);
+    }
+}

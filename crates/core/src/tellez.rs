@@ -1,0 +1,212 @@
+use gcr_activity::{ActivityTables, EnableStats, ModuleSet};
+use gcr_cts::{
+    embed_sized, run_greedy, zero_skew_merge, DeviceAssignment, MergeObjective, Sink, SizingLimits,
+    SubtreeState,
+};
+use gcr_rctree::{Device, Technology};
+
+use crate::{GatedRouting, RouteError, RouterConfig};
+
+/// The activity-driven merge objective in the spirit of Téllez, Farrahi &
+/// Sarrafzadeh \[5\] ("Activity Driven Clock Design for Low Power
+/// Circuits"): merge the pair whose **combined enable activity** is
+/// lowest, so rarely-co-active modules share subtrees and gates stay off
+/// longer. Geometry enters only as a tie-break.
+///
+/// This is the prior work the paper extends; `route_activity_driven`
+/// exists as the comparator for the objective ablation
+/// (`gcr-report --bin ablations`). It ignores wire lengths and controller
+/// distances during ordering — exactly the information the paper's
+/// Equation-3 objective adds.
+pub struct ActivityDrivenObjective<'a> {
+    tech: &'a Technology,
+    gate: Device,
+    tables: &'a ActivityTables,
+    /// Normalization for the geometric tie-break (die half-perimeter).
+    dist_scale: f64,
+    nodes: Vec<ActivityNode>,
+}
+
+struct ActivityNode {
+    state: SubtreeState,
+    active: Vec<bool>,
+    stats: EnableStats,
+    modules: ModuleSet,
+}
+
+impl<'a> ActivityDrivenObjective<'a> {
+    /// Creates the objective over `sinks` (sink `i` = module `i`).
+    #[must_use]
+    pub fn new(
+        tech: &'a Technology,
+        tables: &'a ActivityTables,
+        sinks: &[Sink],
+        dist_scale: f64,
+    ) -> Self {
+        let gate = tech.and_gate();
+        let num_modules = tables.rtl().num_modules();
+        let nodes = sinks
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let modules = ModuleSet::with_modules(num_modules, [i]);
+                let active = tables.active_vector(&modules);
+                let stats = tables.enable_stats_for_active(&active);
+                ActivityNode {
+                    state: SubtreeState::leaf_with_device(s, Some(gate)),
+                    active,
+                    stats,
+                    modules,
+                }
+            })
+            .collect();
+        Self {
+            tech,
+            gate,
+            tables,
+            dist_scale: dist_scale.max(1.0),
+            nodes,
+        }
+    }
+
+    fn union_signal(&self, a: usize, b: usize) -> f64 {
+        let (na, nb) = (&self.nodes[a], &self.nodes[b]);
+        let ift = self.tables.ift();
+        self.tables
+            .rtl()
+            .instruction_ids()
+            .filter(|i| na.active[i.index()] || nb.active[i.index()])
+            .map(|i| ift.probability(i))
+            .sum()
+    }
+}
+
+impl MergeObjective for ActivityDrivenObjective<'_> {
+    fn cost(&self, a: usize, b: usize) -> f64 {
+        // Primary key: the merged node's activity; secondary: distance,
+        // scaled well below one activity quantum so it only breaks ties.
+        let activity = self.union_signal(a, b);
+        let dist = self.nodes[a].state.distance(&self.nodes[b].state);
+        activity + 1e-3 * dist / self.dist_scale
+    }
+
+    fn merge(&mut self, a: usize, b: usize, k: usize) {
+        debug_assert_eq!(k, self.nodes.len());
+        let outcome = zero_skew_merge(self.tech, &self.nodes[a].state, &self.nodes[b].state);
+        let modules = self.nodes[a].modules.union(&self.nodes[b].modules);
+        let active: Vec<bool> = self.nodes[a]
+            .active
+            .iter()
+            .zip(&self.nodes[b].active)
+            .map(|(&x, &y)| x || y)
+            .collect();
+        let stats = self.tables.enable_stats_for_active(&active);
+        self.nodes.push(ActivityNode {
+            state: outcome.gated_state(Some(self.gate)),
+            active,
+            stats,
+            modules,
+        });
+    }
+}
+
+/// Routes a gated clock tree with the activity-driven ordering of \[5\]
+/// instead of the paper's Equation-3 ordering. Gating, embedding and
+/// evaluation machinery are identical, so the difference between the two
+/// results isolates the objective.
+///
+/// # Errors
+///
+/// Returns [`RouteError::SinkModuleMismatch`] when the sink count differs
+/// from the activity model's module count, and [`RouteError::Cts`] for an
+/// empty sink list.
+pub fn route_activity_driven(
+    sinks: &[Sink],
+    tables: &ActivityTables,
+    config: &RouterConfig,
+) -> Result<GatedRouting, RouteError> {
+    if sinks.len() != tables.rtl().num_modules() {
+        return Err(RouteError::SinkModuleMismatch {
+            sinks: sinks.len(),
+            modules: tables.rtl().num_modules(),
+        });
+    }
+    let mut objective =
+        ActivityDrivenObjective::new(config.tech(), tables, sinks, config.die().half_perimeter());
+    let topology = run_greedy(sinks.len(), &mut objective)?;
+    let assignment = DeviceAssignment::everywhere(&topology, config.tech().and_gate());
+    let tree = embed_sized(
+        &topology,
+        sinks,
+        config.tech(),
+        &assignment,
+        config.source(),
+        SizingLimits::default(),
+    )?;
+    let node_stats = objective.nodes.iter().map(|n| n.stats).collect();
+    let node_modules = objective.nodes.iter().map(|n| n.modules.clone()).collect();
+    Ok(GatedRouting {
+        topology,
+        assignment,
+        tree,
+        node_stats,
+        node_modules,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_activity::{InstructionStream, Rtl};
+    use gcr_geometry::{BBox, Point};
+
+    /// Two co-active module pairs placed so that geometry disagrees with
+    /// activity: the activity-driven objective must pair by activity.
+    #[test]
+    fn pairs_by_activity_not_geometry() {
+        // Modules 0, 2 are always used together; 1, 3 together.
+        let rtl = Rtl::builder(4)
+            .instruction("A", [0, 2])
+            .and_then(|b| b.instruction("B", [1, 3]))
+            .and_then(gcr_activity::RtlBuilder::build)
+            .unwrap();
+        let stream = InstructionStream::from_indices(&rtl, [0, 0, 1, 0, 1, 1, 0, 1, 0, 0]).unwrap();
+        let tables = ActivityTables::scan(&rtl, &stream);
+        // Geometry pairs (0,1) and (2,3); activity pairs (0,2) and (1,3).
+        let sinks = vec![
+            Sink::new(Point::new(0.0, 0.0), 0.05),     // module 0
+            Sink::new(Point::new(100.0, 0.0), 0.05),   // module 1
+            Sink::new(Point::new(5_000.0, 0.0), 0.05), // module 2
+            Sink::new(Point::new(5_100.0, 0.0), 0.05), // module 3
+        ];
+        let die = BBox::new(Point::new(0.0, 0.0), Point::new(6_000.0, 1_000.0));
+        let config = RouterConfig::new(Technology::default(), die);
+        let routing = route_activity_driven(&sinks, &tables, &config).unwrap();
+        // First two merges must unite {0,2} and {1,3}.
+        let n4 = &routing.node_modules[4];
+        assert!(
+            (n4.contains(0) && n4.contains(2)) || (n4.contains(1) && n4.contains(3)),
+            "first merge paired {n4:?} by geometry, not activity"
+        );
+        // Mid-level enables keep the low per-class activity.
+        assert!(routing.node_stats[4].signal < 0.75);
+        // And the tree is still zero-skew.
+        let tech = config.tech();
+        let delay = routing.tree.source_to_sink_delay(tech);
+        assert!(routing.tree.verify_skew(tech) <= 1e-9 * delay.max(1.0));
+    }
+
+    #[test]
+    fn mismatched_modules_rejected() {
+        let rtl = gcr_activity::paper_example_rtl();
+        let stream = InstructionStream::from_indices(&rtl, [0, 1, 2]).unwrap();
+        let tables = ActivityTables::scan(&rtl, &stream);
+        let sinks = vec![Sink::new(Point::ORIGIN, 0.05); 3];
+        let die = BBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
+        let config = RouterConfig::new(Technology::default(), die);
+        assert!(matches!(
+            route_activity_driven(&sinks, &tables, &config),
+            Err(RouteError::SinkModuleMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,375 @@
+//! Bounded-skew tree construction: relax the exact zero-skew constraint to
+//! a skew *budget* and harvest the wire (and power) the balancing detours
+//! were costing.
+//!
+//! Classic zero-skew DME forces every merge to equalize the two sides'
+//! Elmore delays exactly, snaking wire whenever the geometry cannot absorb
+//! the imbalance. With a budget `B`, each subtree instead carries a delay
+//! *interval* `[lo, hi]`; a merge only needs the union interval to stay
+//! within `B`, so small imbalances ride for free. This is the
+//! bounded-skew-tree idea of Cong–Koh, restricted to the interval
+//! abstraction our merging-region machinery supports.
+
+use gcr_geometry::{Point, Trr, GEOM_EPS};
+use gcr_rctree::{Device, Technology};
+
+use crate::tree::build_clock_tree;
+use crate::{ClockTree, CtsError, DeviceAssignment, Sink, TopoNode, Topology};
+
+/// The bounded-skew analogue of [`SubtreeState`](crate::SubtreeState): a
+/// merging region, a delay *interval* across the subtree's sinks, the
+/// presented capacitance, and the pending edge device.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BstState {
+    /// Merging region for the subtree root.
+    pub ms: Trr,
+    /// Earliest sink arrival below the root (ps).
+    pub lo: f64,
+    /// Latest sink arrival below the root (ps).
+    pub hi: f64,
+    /// Downstream capacitance at the root (pF).
+    pub cap: f64,
+    /// Gate or buffer at the top of the edge that will feed this root.
+    pub edge_device: Option<Device>,
+}
+
+impl BstState {
+    /// The state of a single sink.
+    #[must_use]
+    pub fn leaf_with_device(sink: &Sink, device: Option<Device>) -> Self {
+        Self {
+            ms: Trr::point(sink.location()),
+            lo: 0.0,
+            hi: 0.0,
+            cap: sink.cap(),
+            edge_device: device,
+        }
+    }
+
+    /// The skew already accumulated inside this subtree.
+    #[must_use]
+    pub fn spread(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Delay-shift polynomial coefficients `(s0, α, β)` for feeding this
+    /// subtree through an edge of length `e`: every sink below shifts by
+    /// `s0 + α·e + β·e²` (upstream resistance is shared by all sinks, so
+    /// the interval translates rigidly).
+    fn shift_coefficients(&self, tech: &Technology) -> (f64, f64, f64) {
+        let r = tech.unit_res();
+        let c = tech.unit_cap();
+        let beta = r * c / 2.0;
+        match &self.edge_device {
+            Some(d) => (
+                d.intrinsic_delay() + d.output_res() * self.cap,
+                r * self.cap + d.output_res() * c,
+                beta,
+            ),
+            None => (0.0, r * self.cap, beta),
+        }
+    }
+
+    fn shift(&self, tech: &Technology, e: f64) -> f64 {
+        let (s0, alpha, beta) = self.shift_coefficients(tech);
+        s0 + alpha * e + beta * e * e
+    }
+
+    fn presented_cap(&self, tech: &Technology, e: f64) -> f64 {
+        match &self.edge_device {
+            Some(d) => d.input_cap(),
+            None => tech.unit_cap() * e + self.cap,
+        }
+    }
+}
+
+/// The result of one bounded-skew merge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BstOutcome {
+    /// The merged subtree state (edge device unset; the caller assigns it).
+    pub state: BstState,
+    /// Electrical tap length to the first child.
+    pub ea: f64,
+    /// Electrical tap length to the second child.
+    pub eb: f64,
+}
+
+/// Merges two bounded-skew subtrees so the union delay interval stays
+/// within `bound` (ps), snaking only the residual that the budget cannot
+/// absorb. With `bound == 0` this degenerates to the exact zero-skew merge
+/// on point intervals.
+///
+/// # Panics
+///
+/// Panics if `bound` is negative/non-finite, if a child's own spread
+/// already exceeds `bound`, or if the merge regions fail to intersect
+/// (non-finite inputs).
+#[must_use]
+pub fn bounded_skew_merge(tech: &Technology, a: &BstState, b: &BstState, bound: f64) -> BstOutcome {
+    assert!(
+        bound.is_finite() && bound >= 0.0,
+        "skew bound must be finite and >= 0, got {bound}"
+    );
+    assert!(
+        a.spread() <= bound + 1e-9 && b.spread() <= bound + 1e-9,
+        "child spread ({}, {}) exceeds the bound {bound}",
+        a.spread(),
+        b.spread()
+    );
+    let d = a.ms.distance(&b.ms);
+    let (s0a, alpha_a, beta) = a.shift_coefficients(tech);
+    let (s0b, alpha_b, _) = b.shift_coefficients(tech);
+
+    // Midpoint-aligned split, exactly as in the zero-skew solve but on
+    // interval midpoints.
+    let mid_a = (a.lo + a.hi) / 2.0 + s0a;
+    let mid_b = (b.lo + b.hi) / 2.0 + s0b;
+    let denom = alpha_a + alpha_b + 2.0 * beta * d;
+    let x = if denom > 0.0 {
+        (mid_b - mid_a + alpha_b * d + beta * d * d) / denom
+    } else {
+        0.0
+    };
+
+    let (mut ea, mut eb) = (x.clamp(0.0, d), d - x.clamp(0.0, d));
+    // Width after the clamped split.
+    let width = |ea: f64, eb: f64| -> f64 {
+        let (sa, sb) = (a.shift(tech, ea), b.shift(tech, eb));
+        (a.hi + sa).max(b.hi + sb) - (a.lo + sa).min(b.lo + sb)
+    };
+    if width(ea, eb) > bound {
+        // The budget cannot absorb the clamped imbalance: snake the fast
+        // side just enough to bring the union width down to the bound.
+        let slow_is_a = a.lo + a.shift(tech, ea) + a.hi > b.lo + b.shift(tech, eb) + b.hi;
+        let need = width(ea, eb) - bound;
+        let (alpha_f, base_e) = if slow_is_a {
+            (alpha_b, eb)
+        } else {
+            (alpha_a, ea)
+        };
+        // Solve β·e² + (α + 2β·base)·e = need for the extra length.
+        let lin = alpha_f + 2.0 * beta * base_e;
+        let extra = if beta > 0.0 {
+            ((lin * lin + 4.0 * beta * need).sqrt() - lin) / (2.0 * beta)
+        } else if lin > 0.0 {
+            need / lin
+        } else {
+            0.0
+        };
+        if slow_is_a {
+            eb += extra;
+        } else {
+            ea += extra;
+        }
+    }
+
+    let scale = 1.0
+        + d
+        + ea
+        + eb
+        + a.ms.center().manhattan(Point::ORIGIN)
+        + b.ms.center().manhattan(Point::ORIGIN);
+    let ta = a.ms.expanded(ea);
+    let tb = b.ms.expanded(eb);
+    let ms = ta
+        .intersection_with_slack(&tb, GEOM_EPS * scale)
+        .or_else(|| ta.intersection_with_slack(&tb, 1e-3 * scale))
+        .unwrap_or_else(|| {
+            panic!("bounded-skew merge regions failed to intersect: d={d}, ea={ea}, eb={eb}")
+        });
+
+    let (sa, sb) = (a.shift(tech, ea), b.shift(tech, eb));
+    BstOutcome {
+        state: BstState {
+            ms,
+            lo: (a.lo + sa).min(b.lo + sb),
+            hi: (a.hi + sa).max(b.hi + sb),
+            cap: a.presented_cap(tech, ea) + b.presented_cap(tech, eb),
+            edge_device: None,
+        },
+        ea,
+        eb,
+    }
+}
+
+/// Deferred-merge embedding under a skew budget: like
+/// [`embed`](crate::embed), but each merge may leave up to `bound` ps of
+/// sink-arrival spread, trading skew for wirelength.
+///
+/// # Errors
+///
+/// Same as [`embed`](crate::embed).
+///
+/// # Panics
+///
+/// Panics if `bound` is negative or non-finite.
+pub fn embed_bounded_skew(
+    topology: &Topology,
+    sinks: &[Sink],
+    tech: &Technology,
+    assignment: &DeviceAssignment,
+    source: Point,
+    bound: f64,
+) -> Result<ClockTree, CtsError> {
+    if sinks.len() != topology.num_leaves() {
+        return Err(CtsError::InvalidTopology {
+            reason: format!(
+                "topology has {} leaves but {} sinks were supplied",
+                topology.num_leaves(),
+                sinks.len()
+            ),
+        });
+    }
+    if assignment.len() != topology.len() {
+        return Err(CtsError::AssignmentMismatch {
+            assigned: assignment.len(),
+            expected: topology.len(),
+        });
+    }
+
+    let n = topology.len();
+    let mut states: Vec<Option<BstState>> = vec![None; n];
+    let mut tap_lengths: Vec<(f64, f64)> = vec![(0.0, 0.0); n];
+    let devices: Vec<Option<Device>> = (0..n).map(|i| assignment.get(i)).collect();
+
+    for (i, node) in topology.bottom_up() {
+        let state = match node {
+            TopoNode::Leaf { sink } => BstState::leaf_with_device(&sinks[sink], devices[i]),
+            TopoNode::Internal { left, right } => {
+                let a = states[left].clone().expect("bottom-up order");
+                let b = states[right].clone().expect("bottom-up order");
+                let outcome = bounded_skew_merge(tech, &a, &b, bound);
+                tap_lengths[i] = (outcome.ea, outcome.eb);
+                let mut merged = outcome.state;
+                merged.edge_device = devices[i];
+                merged
+            }
+        };
+        states[i] = Some(state);
+    }
+
+    let mut locations: Vec<Point> = vec![Point::ORIGIN; n];
+    let root = topology.root();
+    locations[root] = states[root]
+        .as_ref()
+        .expect("root state")
+        .ms
+        .closest_point(source);
+    for i in (0..n).rev() {
+        if let TopoNode::Internal { left, right } = topology.node(i) {
+            let p = locations[i];
+            locations[left] = states[left].as_ref().expect("state").ms.closest_point(p);
+            locations[right] = states[right].as_ref().expect("state").ms.closest_point(p);
+        }
+    }
+
+    Ok(build_clock_tree(
+        topology,
+        sinks,
+        &devices,
+        &locations,
+        &tap_lengths,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{embed, nearest_neighbor_topology};
+    use gcr_geometry::Point;
+
+    fn sinks() -> Vec<Sink> {
+        // Asymmetric loads and spacing so zero skew genuinely costs wire.
+        (0..12)
+            .map(|i| {
+                Sink::new(
+                    Point::new(
+                        (i as f64 * 3_137.0) % 20_000.0,
+                        (i as f64 * 7_411.0) % 20_000.0,
+                    ),
+                    0.02 + 0.01 * (i % 6) as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_bound_matches_zero_skew_embedding() {
+        let tech = Technology::default();
+        let sinks = sinks();
+        let topo = nearest_neighbor_topology(&tech, &sinks, None).unwrap();
+        let assignment = DeviceAssignment::none(&topo);
+        let src = Point::new(10_000.0, 10_000.0);
+        let zst = embed(&topo, &sinks, &tech, &assignment, src).unwrap();
+        let bst = embed_bounded_skew(&topo, &sinks, &tech, &assignment, src, 0.0).unwrap();
+        assert!((zst.total_wire_length() - bst.total_wire_length()).abs() < 1e-6);
+        assert!(bst.verify_skew(&tech) < 1e-9 * bst.source_to_sink_delay(&tech).max(1.0));
+    }
+
+    #[test]
+    fn measured_skew_respects_the_budget() {
+        let tech = Technology::default();
+        let sinks = sinks();
+        let topo = nearest_neighbor_topology(&tech, &sinks, None).unwrap();
+        let assignment = DeviceAssignment::none(&topo);
+        let src = Point::new(10_000.0, 10_000.0);
+        for bound in [0.0, 5.0, 20.0, 100.0] {
+            let tree = embed_bounded_skew(&topo, &sinks, &tech, &assignment, src, bound).unwrap();
+            let skew = tree.verify_skew(&tech);
+            assert!(skew <= bound + 1e-6, "bound {bound}: measured skew {skew}");
+        }
+    }
+
+    #[test]
+    fn larger_budget_never_costs_more_wire() {
+        let tech = Technology::default();
+        let sinks = sinks();
+        let topo = nearest_neighbor_topology(&tech, &sinks, None).unwrap();
+        let assignment = DeviceAssignment::none(&topo);
+        let src = Point::new(10_000.0, 10_000.0);
+        let wire = |bound: f64| {
+            embed_bounded_skew(&topo, &sinks, &tech, &assignment, src, bound)
+                .unwrap()
+                .total_wire_length()
+        };
+        let (w0, w20, w200) = (wire(0.0), wire(20.0), wire(200.0));
+        assert!(w20 <= w0 + 1e-6, "{w20} > {w0}");
+        assert!(w200 <= w20 + 1e-6, "{w200} > {w20}");
+        // And a generous budget should actually save something on this
+        // asymmetric instance.
+        assert!(w200 < w0, "budget saved no wire at all");
+    }
+
+    #[test]
+    fn gated_bounded_tree_works() {
+        let tech = Technology::default();
+        let sinks = sinks();
+        let topo = nearest_neighbor_topology(&tech, &sinks, Some(tech.and_gate())).unwrap();
+        let assignment = DeviceAssignment::everywhere(&topo, tech.and_gate());
+        let src = Point::new(10_000.0, 10_000.0);
+        let tree = embed_bounded_skew(&topo, &sinks, &tech, &assignment, src, 50.0).unwrap();
+        assert!(tree.verify_skew(&tech) <= 50.0 + 1e-6);
+        assert_eq!(tree.device_count(), tree.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "skew bound")]
+    fn negative_bound_panics() {
+        let tech = Technology::default();
+        let a = BstState::leaf_with_device(&Sink::new(Point::ORIGIN, 0.05), None);
+        let b = BstState::leaf_with_device(&Sink::new(Point::new(10.0, 0.0), 0.05), None);
+        let _ = bounded_skew_merge(&tech, &a, &b, -1.0);
+    }
+
+    #[test]
+    fn interval_bookkeeping_is_conservative() {
+        let tech = Technology::default();
+        let a = BstState::leaf_with_device(&Sink::new(Point::ORIGIN, 0.05), None);
+        let b = BstState::leaf_with_device(&Sink::new(Point::new(4_000.0, 0.0), 0.30), None);
+        let m = bounded_skew_merge(&tech, &a, &b, 10.0);
+        assert!(m.state.spread() <= 10.0 + 1e-9);
+        assert!(m.state.lo <= m.state.hi);
+        assert!(m.state.cap > 0.0);
+        assert!(m.ea + m.eb >= a.ms.distance(&b.ms) - 1e-9);
+    }
+}

@@ -1,0 +1,288 @@
+//! Save/load of routed designs: sinks, topology, per-edge devices (post
+//! sizing) and the clock source, in a line-oriented text format.
+//!
+//! Re-embedding a loaded design with [`embed`](crate::embed) (no sizing —
+//! the saved devices already carry their final sizes) reproduces the
+//! original tree exactly, so routed results can be archived, diffed and
+//! re-evaluated without re-running the router.
+//!
+//! ```text
+//! gcr-design v1
+//! source <x> <y>
+//! sinks <N>
+//! <x> <y> <cap>            × N
+//! merges <N-1>
+//! <left> <right>           × N-1
+//! devices <2N-1>
+//! - | <cin> <rout> <d0> <area>   × 2N-1   (one per topology node)
+//! ```
+
+use std::fmt::Write as _;
+
+use gcr_geometry::Point;
+use gcr_rctree::Device;
+
+use crate::{ClockTree, CtsError, DeviceAssignment, Sink, Topology};
+
+/// Serializes a routed design.
+///
+/// The device of each node is taken from `tree` (post gate-sizing), so the
+/// file reproduces the tree bit-exactly under [`embed`](crate::embed).
+///
+/// # Panics
+///
+/// Panics if `topology` and `tree` disagree on node count.
+#[must_use]
+pub fn save_design(topology: &Topology, sinks: &[Sink], tree: &ClockTree, source: Point) -> String {
+    assert_eq!(topology.len(), tree.len(), "topology/tree mismatch");
+    let mut out = String::from("gcr-design v1\n");
+    let _ = writeln!(out, "source {} {}", source.x, source.y);
+    let _ = writeln!(out, "sinks {}", sinks.len());
+    for s in sinks {
+        let _ = writeln!(out, "{} {} {}", s.location().x, s.location().y, s.cap());
+    }
+    let _ = writeln!(out, "merges {}", topology.len() - topology.num_leaves());
+    for (_, node) in topology.bottom_up() {
+        if let crate::TopoNode::Internal { left, right } = node {
+            let _ = writeln!(out, "{left} {right}");
+        }
+    }
+    let _ = writeln!(out, "devices {}", topology.len());
+    for i in 0..topology.len() {
+        match tree.node(tree.id(i)).device() {
+            Some(d) => {
+                let _ = writeln!(
+                    out,
+                    "{} {} {} {}",
+                    d.input_cap(),
+                    d.output_res(),
+                    d.intrinsic_delay(),
+                    d.area()
+                );
+            }
+            None => out.push_str("-\n"),
+        }
+    }
+    out
+}
+
+/// A design loaded by [`load_design`].
+#[derive(Clone, Debug)]
+pub struct LoadedDesign {
+    /// Sink locations and loads.
+    pub sinks: Vec<Sink>,
+    /// The merge structure.
+    pub topology: Topology,
+    /// Per-edge devices, final sizes included.
+    pub assignment: DeviceAssignment,
+    /// The clock source location.
+    pub source: Point,
+}
+
+/// Parses a design saved by [`save_design`].
+///
+/// # Errors
+///
+/// Returns [`CtsError::InvalidTopology`] for any structural or syntactic
+/// problem (with the offending detail in the message).
+pub fn load_design(text: &str) -> Result<LoadedDesign, CtsError> {
+    let bad = |reason: String| CtsError::InvalidTopology { reason };
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let mut next = |what: &str| {
+        lines
+            .next()
+            .ok_or_else(|| bad(format!("unexpected end of file, expected {what}")))
+    };
+
+    let header = next("header")?;
+    if header.trim() != "gcr-design v1" {
+        return Err(bad(format!("unknown header `{header}`")));
+    }
+
+    let source_line = next("source")?;
+    let source = {
+        let mut it = source_line.split_whitespace();
+        if it.next() != Some("source") {
+            return Err(bad(format!("expected `source x y`, got `{source_line}`")));
+        }
+        let parse = |tok: Option<&str>| -> Result<f64, CtsError> {
+            tok.ok_or_else(|| bad("missing source coordinate".into()))?
+                .parse()
+                .map_err(|e| bad(format!("source coordinate: {e}")))
+        };
+        Point::new(parse(it.next())?, parse(it.next())?)
+    };
+
+    let count_after = |line: &str, key: &str| -> Result<usize, CtsError> {
+        let mut it = line.split_whitespace();
+        if it.next() != Some(key) {
+            return Err(bad(format!("expected `{key} <n>`, got `{line}`")));
+        }
+        it.next()
+            .ok_or_else(|| bad(format!("missing count after {key}")))?
+            .parse()
+            .map_err(|e| bad(format!("{key} count: {e}")))
+    };
+
+    let n = count_after(next("sinks")?, "sinks")?;
+    let mut sinks = Vec::with_capacity(n);
+    for _ in 0..n {
+        let line = next("a sink")?;
+        let mut it = line.split_whitespace();
+        let mut num = |what: &str| -> Result<f64, CtsError> {
+            it.next()
+                .ok_or_else(|| bad(format!("sink line missing {what}")))?
+                .parse()
+                .map_err(|e| bad(format!("sink {what}: {e}")))
+        };
+        let (x, y, cap) = (num("x")?, num("y")?, num("cap")?);
+        if !(cap.is_finite() && cap >= 0.0) {
+            return Err(bad(format!("invalid sink cap {cap}")));
+        }
+        sinks.push(Sink::new(Point::new(x, y), cap));
+    }
+
+    let m = count_after(next("merges")?, "merges")?;
+    let mut merges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let line = next("a merge")?;
+        let mut it = line.split_whitespace();
+        let mut idx = |what: &str| -> Result<usize, CtsError> {
+            it.next()
+                .ok_or_else(|| bad(format!("merge line missing {what}")))?
+                .parse()
+                .map_err(|e| bad(format!("merge {what}: {e}")))
+        };
+        merges.push((idx("left")?, idx("right")?));
+    }
+    let topology = Topology::from_merges(n, &merges)?;
+
+    let d = count_after(next("devices")?, "devices")?;
+    if d != topology.len() {
+        return Err(bad(format!(
+            "device count {d} does not match {} nodes",
+            topology.len()
+        )));
+    }
+    let mut assignment = DeviceAssignment::none(&topology);
+    for i in 0..d {
+        let line = next("a device")?;
+        if line.trim() == "-" {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let mut num = |what: &str| -> Result<f64, CtsError> {
+            it.next()
+                .ok_or_else(|| bad(format!("device line missing {what}")))?
+                .parse()
+                .map_err(|e| bad(format!("device {what}: {e}")))
+        };
+        let (cin, rout, d0, area) = (num("cin")?, num("rout")?, num("d0")?, num("area")?);
+        if !(cin >= 0.0 && rout > 0.0 && d0 >= 0.0 && area >= 0.0)
+            || ![cin, rout, d0, area].iter().all(|v| v.is_finite())
+        {
+            return Err(bad(format!("invalid device parameters on node {i}")));
+        }
+        assignment.set(i, Some(Device::new(cin, rout, d0, area)));
+    }
+
+    Ok(LoadedDesign {
+        sinks,
+        topology,
+        assignment,
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{embed, embed_sized, nearest_neighbor_topology, SizingLimits};
+    use gcr_rctree::Technology;
+
+    fn routed() -> (Topology, Vec<Sink>, ClockTree, Point, Technology) {
+        let tech = Technology::default();
+        let sinks: Vec<Sink> = (0..9)
+            .map(|i| {
+                Sink::new(
+                    Point::new(
+                        (i as f64 * 3_777.0) % 12_000.0,
+                        (i as f64 * 2_333.0) % 12_000.0,
+                    ),
+                    0.02 + 0.01 * (i % 3) as f64,
+                )
+            })
+            .collect();
+        let topo = nearest_neighbor_topology(&tech, &sinks, Some(tech.and_gate())).unwrap();
+        let mut assignment = DeviceAssignment::everywhere(&topo, tech.and_gate());
+        assignment.set(2, None);
+        assignment.set(10, None);
+        let source = Point::new(6_000.0, 6_000.0);
+        let tree = embed_sized(
+            &topo,
+            &sinks,
+            &tech,
+            &assignment,
+            source,
+            SizingLimits::default(),
+        )
+        .unwrap();
+        (topo, sinks, tree, source, tech)
+    }
+
+    #[test]
+    fn save_load_reproduces_the_tree_exactly() {
+        let (topo, sinks, tree, source, tech) = routed();
+        let text = save_design(&topo, &sinks, &tree, source);
+        let loaded = load_design(&text).unwrap();
+        assert_eq!(loaded.topology, topo);
+        assert_eq!(loaded.sinks.len(), sinks.len());
+        assert_eq!(loaded.source, source);
+        // Re-embedding without sizing (devices already sized) reproduces
+        // the original tree bit-for-bit.
+        let rebuilt = embed(
+            &loaded.topology,
+            &loaded.sinks,
+            &tech,
+            &loaded.assignment,
+            loaded.source,
+        )
+        .unwrap();
+        assert_eq!(rebuilt, tree);
+    }
+
+    #[test]
+    fn text_round_trips_through_itself() {
+        let (topo, sinks, tree, source, tech) = routed();
+        let text = save_design(&topo, &sinks, &tree, source);
+        let loaded = load_design(&text).unwrap();
+        let rebuilt = embed(
+            &loaded.topology,
+            &loaded.sinks,
+            &tech,
+            &loaded.assignment,
+            loaded.source,
+        )
+        .unwrap();
+        let text2 = save_design(&loaded.topology, &loaded.sinks, &rebuilt, loaded.source);
+        assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_with_context() {
+        assert!(load_design("nope").is_err());
+        assert!(load_design("gcr-design v1\nsource 0 0\nsinks 1\n1 2 0.05\nmerges 5\n").is_err());
+        let err = load_design("gcr-design v1\nsource 0 x\n").unwrap_err();
+        assert!(err.to_string().contains("source"));
+        let err =
+            load_design("gcr-design v1\nsource 0 0\nsinks 1\n1 2 0.05\nmerges 0\ndevices 7\n")
+                .unwrap_err();
+        assert!(err.to_string().contains("device count"));
+        // Invalid device params.
+        let err = load_design(
+            "gcr-design v1\nsource 0 0\nsinks 1\n1 2 0.05\nmerges 0\ndevices 1\n0.1 0 0 0\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("device parameters"));
+    }
+}

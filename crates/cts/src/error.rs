@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by clock-tree synthesis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtsError {
+    /// Synthesis was asked to route an empty sink set.
+    NoSinks,
+    /// A topology description was structurally invalid.
+    InvalidTopology {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A device assignment did not match the topology it was applied to.
+    AssignmentMismatch {
+        /// Nodes in the assignment.
+        assigned: usize,
+        /// Nodes in the topology.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CtsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtsError::NoSinks => write!(f, "clock routing needs at least one sink"),
+            CtsError::InvalidTopology { reason } => write!(f, "invalid topology: {reason}"),
+            CtsError::AssignmentMismatch { assigned, expected } => write!(
+                f,
+                "device assignment covers {assigned} nodes but topology has {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for CtsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CtsError::NoSinks.to_string().contains("sink"));
+        let e = CtsError::AssignmentMismatch {
+            assigned: 3,
+            expected: 5,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<CtsError>();
+    }
+}

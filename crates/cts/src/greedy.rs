@@ -1,0 +1,302 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{CtsError, Topology};
+
+/// The pluggable cost model of the bottom-up greedy merger.
+///
+/// The engine owns the *control flow* of the paper's `GatedClockRouting`
+/// loop ("pick the pair whose SC is minimum … until only the root is
+/// left"); the objective owns the *state*: subtree electrical summaries,
+/// activity statistics, whatever the cost needs. Implementations:
+///
+/// * [`NearestNeighborObjective`](crate::NearestNeighborObjective) — cost =
+///   geometric distance between merging regions (Edahiro \[3\], the paper's
+///   buffered baseline);
+/// * the Equation-3 switched-capacitance objective in `gcr-core` (the
+///   paper's contribution).
+///
+/// `cost` takes `&self` (and the trait requires [`Sync`]) so the engine can
+/// evaluate candidate batches on multiple threads; all mutation happens in
+/// `merge`.
+pub trait MergeObjective: Sync {
+    /// Cost of merging the live subtrees rooted at topology nodes `a` and
+    /// `b`. Must depend only on the states of `a` and `b` (both immutable
+    /// once created) so that heap entries never go stale.
+    fn cost(&self, a: usize, b: usize) -> f64;
+
+    /// Commit the merge of `a` and `b` into the new topology node `k`
+    /// (`k` is always the next unused index). The objective must create
+    /// and cache whatever state node `k` needs for future cost queries.
+    fn merge(&mut self, a: usize, b: usize, k: usize);
+}
+
+/// A candidate pair in the lazy-deletion min-heap.
+#[derive(Debug, PartialEq)]
+struct Candidate {
+    cost: f64,
+    a: u32,
+    b: u32,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the cheapest pair on
+        // top. Tie-break on indices for determinism.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.a.cmp(&self.a))
+            .then_with(|| other.b.cmp(&self.b))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Candidate batches below this size are evaluated on the calling thread.
+const PARALLEL_THRESHOLD: usize = 4_096;
+
+/// Evaluates `cost` for every pair, fanning out across threads for large
+/// batches. Deterministic: per-pair results do not depend on evaluation
+/// order, and the heap tie-breaks on indices.
+fn evaluate_costs<O: MergeObjective>(objective: &O, pairs: &[(u32, u32)]) -> Vec<Candidate> {
+    let eval = |&(a, b): &(u32, u32)| {
+        let cost = objective.cost(a as usize, b as usize);
+        assert!(!cost.is_nan(), "merge cost of ({a}, {b}) is NaN");
+        Candidate { cost, a, b }
+    };
+    if pairs.len() < PARALLEL_THRESHOLD {
+        return pairs.iter().map(eval).collect();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(16);
+    if threads == 1 {
+        return pairs.iter().map(eval).collect();
+    }
+    let chunk = pairs.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || slice.iter().map(eval).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("cost worker panicked"))
+            .collect()
+    })
+}
+
+/// Runs the paper's greedy bottom-up merge loop: repeatedly merge the live
+/// pair of minimum cost until a single root remains, returning the
+/// resulting [`Topology`].
+///
+/// Candidate pairs live in a lazy-deletion binary heap; because a pair's
+/// cost depends only on its two endpoint states (immutable once created),
+/// popped entries are either exact or reference dead nodes — never stale.
+/// Total work is `O(N² log N)` heap traffic plus one `cost` evaluation per
+/// candidate, matching the complexity budget of §4.2; large candidate
+/// batches (the initial N²/2 pairs and each merge's survivor sweep) are
+/// evaluated on all available cores.
+///
+/// # Errors
+///
+/// Returns [`CtsError::NoSinks`] when `num_leaves == 0`.
+///
+/// # Panics
+///
+/// Panics if the objective returns a NaN cost.
+pub fn run_greedy<O: MergeObjective>(
+    num_leaves: usize,
+    objective: &mut O,
+) -> Result<Topology, CtsError> {
+    if num_leaves == 0 {
+        return Err(CtsError::NoSinks);
+    }
+    if num_leaves == 1 {
+        return Topology::single_sink();
+    }
+
+    let total = 2 * num_leaves - 1;
+    let mut alive = vec![false; total];
+    let mut live: Vec<usize> = (0..num_leaves).collect();
+    for &i in &live {
+        alive[i] = true;
+    }
+
+    // Initial candidate set: all leaf pairs, evaluated in parallel, then
+    // heapified in one shot.
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(num_leaves * (num_leaves - 1) / 2);
+    for i in 0..live.len() {
+        for j in (i + 1)..live.len() {
+            pairs.push((live[i] as u32, live[j] as u32));
+        }
+    }
+    let mut heap = BinaryHeap::from(evaluate_costs(&*objective, &pairs));
+    drop(pairs);
+
+    let mut merges = Vec::with_capacity(num_leaves - 1);
+    let mut next = num_leaves;
+    let mut batch: Vec<(u32, u32)> = Vec::with_capacity(num_leaves);
+    while next < total {
+        let Candidate { a, b, .. } = heap.pop().expect("heap exhausted before root was formed");
+        let (a, b) = (a as usize, b as usize);
+        if !alive[a] || !alive[b] {
+            continue; // lazy deletion
+        }
+        alive[a] = false;
+        alive[b] = false;
+        objective.merge(a, b, next);
+        merges.push((a, b));
+        live.retain(|&n| alive[n]);
+        batch.clear();
+        batch.extend(live.iter().map(|&n| (n as u32, next as u32)));
+        for cand in evaluate_costs(&*objective, &batch) {
+            heap.push(cand);
+        }
+        alive[next] = true;
+        live.push(next);
+        next += 1;
+    }
+
+    Topology::from_merges(num_leaves, &merges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_geometry::Point;
+
+    /// Objective over plain points: cost = Manhattan distance; a merge
+    /// creates the midpoint.
+    struct PointObjective {
+        points: Vec<Point>,
+    }
+
+    impl MergeObjective for PointObjective {
+        fn cost(&self, a: usize, b: usize) -> f64 {
+            self.points[a].manhattan(self.points[b])
+        }
+        fn merge(&mut self, a: usize, b: usize, k: usize) {
+            assert_eq!(k, self.points.len());
+            let mid = self.points[a].midpoint(self.points[b]);
+            self.points.push(mid);
+        }
+    }
+
+    #[test]
+    fn merges_closest_pairs_first() {
+        // Two tight clusters far apart: the first two merges must be
+        // intra-cluster.
+        let mut obj = PointObjective {
+            points: vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(100.0, 0.0),
+                Point::new(101.0, 0.0),
+            ],
+        };
+        let topo = run_greedy(4, &mut obj).unwrap();
+        // Nodes 4 and 5 are the cluster merges; the root merges them.
+        assert_eq!(
+            topo.node(4),
+            crate::TopoNode::Internal { left: 0, right: 1 }
+        );
+        assert_eq!(
+            topo.node(5),
+            crate::TopoNode::Internal { left: 2, right: 3 }
+        );
+        assert_eq!(
+            topo.node(6),
+            crate::TopoNode::Internal { left: 4, right: 5 }
+        );
+    }
+
+    #[test]
+    fn produces_valid_topology_for_various_sizes() {
+        for n in [1usize, 2, 3, 7, 16, 33] {
+            let mut obj = PointObjective {
+                points: (0..n)
+                    .map(|i| Point::new((i * 13 % 97) as f64, (i * 29 % 83) as f64))
+                    .collect(),
+            };
+            let topo = run_greedy(n, &mut obj).unwrap();
+            assert_eq!(topo.num_leaves(), n);
+            assert_eq!(topo.len(), 2 * n - 1);
+            assert_eq!(topo.subtree_sizes()[topo.root()], n);
+        }
+    }
+
+    #[test]
+    fn zero_sinks_is_an_error() {
+        let mut obj = PointObjective { points: vec![] };
+        assert_eq!(run_greedy(0, &mut obj).unwrap_err(), CtsError::NoSinks);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        // Four corners of a square: all intra-side distances tie; the
+        // tie-break on indices must make runs reproducible.
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+        ];
+        let run = || {
+            let mut obj = PointObjective {
+                points: points.clone(),
+            };
+            run_greedy(4, &mut obj).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// The parallel batch path (> PARALLEL_THRESHOLD initial pairs) must
+    /// produce the same topology run to run — determinism is independent
+    /// of threading.
+    #[test]
+    fn parallel_path_is_deterministic() {
+        // 128 leaves -> 8128 initial pairs > PARALLEL_THRESHOLD.
+        let points: Vec<Point> = (0..128)
+            .map(|i| Point::new((i * 37 % 997) as f64, (i * 71 % 983) as f64))
+            .collect();
+        let run = || {
+            let mut obj = PointObjective {
+                points: points.clone(),
+            };
+            run_greedy(128, &mut obj).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn candidate_ordering_is_min_first() {
+        let mut h = BinaryHeap::new();
+        h.push(Candidate {
+            cost: 5.0,
+            a: 0,
+            b: 1,
+        });
+        h.push(Candidate {
+            cost: 1.0,
+            a: 2,
+            b: 3,
+        });
+        h.push(Candidate {
+            cost: 3.0,
+            a: 4,
+            b: 5,
+        });
+        assert_eq!(h.pop().unwrap().cost, 1.0);
+        assert_eq!(h.pop().unwrap().cost, 3.0);
+        assert_eq!(h.pop().unwrap().cost, 5.0);
+    }
+}

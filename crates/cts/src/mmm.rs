@@ -1,0 +1,176 @@
+//! The Method of Means and Medians (Jackson–Srinivasan–Kuh): the classic
+//! *top-down* clock topology generator, included as a second baseline
+//! alongside the bottom-up nearest-neighbor heuristic.
+//!
+//! The sink set is split recursively at the median coordinate, alternating
+//! between x and y, producing a geometrically balanced binary topology.
+//! MMM predates DME; here it only decides the *shape* — the zero-skew
+//! embedding still comes from [`embed`](crate::embed).
+
+use crate::{CtsError, Sink, Topology};
+
+/// Builds a topology by recursive median partitioning, alternating between
+/// x- and y-cuts ("method of means and medians").
+///
+/// ```
+/// use gcr_cts::{mmm_topology, Sink};
+/// use gcr_geometry::Point;
+///
+/// let sinks: Vec<Sink> = (0..8)
+///     .map(|i| Sink::new(Point::new((i % 4) as f64 * 100.0, (i / 4) as f64 * 100.0), 0.05))
+///     .collect();
+/// let topo = mmm_topology(&sinks)?;
+/// assert_eq!(topo.num_leaves(), 8);
+/// assert_eq!(topo.height(), 3); // perfectly balanced on a grid
+/// # Ok::<(), gcr_cts::CtsError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`CtsError::NoSinks`] when `sinks` is empty.
+pub fn mmm_topology(sinks: &[Sink]) -> Result<Topology, CtsError> {
+    if sinks.is_empty() {
+        return Err(CtsError::NoSinks);
+    }
+    let mut merges: Vec<(usize, usize)> = Vec::with_capacity(sinks.len().saturating_sub(1));
+    let mut next = sinks.len();
+    let all: Vec<usize> = (0..sinks.len()).collect();
+    build(sinks, all, true, &mut merges, &mut next);
+    Topology::from_merges(sinks.len(), &merges)
+}
+
+/// Recursively partitions `members` (sink indices) and records merges
+/// bottom-up; returns the topology node index of the subtree root.
+fn build(
+    sinks: &[Sink],
+    mut members: Vec<usize>,
+    cut_x: bool,
+    merges: &mut Vec<(usize, usize)>,
+    next: &mut usize,
+) -> usize {
+    if members.len() == 1 {
+        return members[0];
+    }
+    // Median split on the alternating coordinate (ties broken by the other
+    // coordinate then index, for determinism).
+    members.sort_by(|&a, &b| {
+        let (pa, pb) = (sinks[a].location(), sinks[b].location());
+        let key = |p: gcr_geometry::Point| if cut_x { (p.x, p.y) } else { (p.y, p.x) };
+        key(pa)
+            .partial_cmp(&key(pb))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mid = members.len() / 2;
+    let right = members.split_off(mid);
+    let left_root = build(sinks, members, !cut_x, merges, next);
+    let right_root = build(sinks, right, !cut_x, merges, next);
+    let this = *next;
+    *next += 1;
+    merges.push((left_root, right_root));
+    this
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{embed, DeviceAssignment};
+    use gcr_geometry::Point;
+    use gcr_rctree::Technology;
+
+    fn grid_sinks(n: usize) -> Vec<Sink> {
+        (0..n)
+            .map(|i| {
+                Sink::new(
+                    Point::new((i % 4) as f64 * 1_000.0, (i / 4) as f64 * 1_000.0),
+                    0.05,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn splits_a_grid_balanced() {
+        let topo = mmm_topology(&grid_sinks(16)).unwrap();
+        assert_eq!(topo.num_leaves(), 16);
+        // A 16-sink median split is perfectly balanced: height 4.
+        assert_eq!(topo.height(), 4);
+        let sizes = topo.subtree_sizes();
+        // The root's two children split 8/8.
+        if let crate::TopoNode::Internal { left, right } = topo.node(topo.root()) {
+            assert_eq!(sizes[left], 8);
+            assert_eq!(sizes[right], 8);
+        } else {
+            panic!("root must be internal");
+        }
+    }
+
+    #[test]
+    fn first_cut_separates_left_from_right() {
+        // 4 sinks on a horizontal line: the x-median must put {0,1} and
+        // {2,3} in different halves.
+        let sinks: Vec<Sink> = (0..4)
+            .map(|i| Sink::new(Point::new(i as f64 * 100.0, 0.0), 0.05))
+            .collect();
+        let topo = mmm_topology(&sinks).unwrap();
+        if let crate::TopoNode::Internal { left, right } = topo.node(topo.root()) {
+            let members = |node: usize| -> Vec<usize> {
+                let mut v = Vec::new();
+                let mut stack = vec![node];
+                while let Some(i) = stack.pop() {
+                    match topo.node(i) {
+                        crate::TopoNode::Leaf { sink } => v.push(sink),
+                        crate::TopoNode::Internal { left, right } => {
+                            stack.push(left);
+                            stack.push(right);
+                        }
+                    }
+                }
+                v.sort_unstable();
+                v
+            };
+            let (mut a, mut b) = (members(left), members(right));
+            if a[0] > b[0] {
+                std::mem::swap(&mut a, &mut b);
+            }
+            assert_eq!(a, vec![0, 1]);
+            assert_eq!(b, vec![2, 3]);
+        }
+    }
+
+    #[test]
+    fn odd_counts_and_singletons() {
+        for n in [1usize, 2, 3, 5, 7, 13] {
+            let topo = mmm_topology(&grid_sinks(n)).unwrap();
+            assert_eq!(topo.num_leaves(), n);
+            assert_eq!(topo.len(), 2 * n - 1);
+        }
+        assert!(matches!(mmm_topology(&[]), Err(CtsError::NoSinks)));
+    }
+
+    #[test]
+    fn embeds_zero_skew() {
+        let tech = Technology::default();
+        let sinks = grid_sinks(10);
+        let topo = mmm_topology(&sinks).unwrap();
+        let tree = embed(
+            &topo,
+            &sinks,
+            &tech,
+            &DeviceAssignment::none(&topo),
+            Point::new(1_500.0, 1_000.0),
+        )
+        .unwrap();
+        let delay = tree.source_to_sink_delay(&tech);
+        assert!(tree.verify_skew(&tech) <= 1e-9 * delay.max(1.0));
+    }
+
+    #[test]
+    fn deterministic_under_duplicates() {
+        let mut sinks = grid_sinks(6);
+        sinks.push(sinks[0]); // duplicate location
+        let a = mmm_topology(&sinks).unwrap();
+        let b = mmm_topology(&sinks).unwrap();
+        assert_eq!(a, b);
+    }
+}

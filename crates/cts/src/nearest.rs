@@ -1,0 +1,172 @@
+use gcr_geometry::Point;
+use gcr_rctree::{Device, Technology};
+
+use crate::{
+    embed, run_greedy, zero_skew_merge, ClockTree, CtsError, DeviceAssignment, MergeObjective,
+    Sink, SubtreeState, Topology,
+};
+
+/// The nearest-neighbor merge objective (Edahiro \[3\]): merge the two live
+/// subtrees whose merging regions are geometrically closest.
+///
+/// This is the topology generator of the paper's buffered baseline (§5.1)
+/// and the reference point for the switched-capacitance objective's
+/// ablation.
+#[derive(Debug)]
+pub struct NearestNeighborObjective<'a> {
+    tech: &'a Technology,
+    /// Device assumed at the top of every edge as the tree is built
+    /// (affects the electrical state seen by later merges), or `None` for
+    /// a plain wire tree.
+    edge_device: Option<Device>,
+    states: Vec<SubtreeState>,
+}
+
+impl<'a> NearestNeighborObjective<'a> {
+    /// Creates the objective over `sinks`, assuming `edge_device` on every
+    /// edge during construction.
+    #[must_use]
+    pub fn new(tech: &'a Technology, sinks: &[Sink], edge_device: Option<Device>) -> Self {
+        Self {
+            tech,
+            edge_device,
+            states: sinks
+                .iter()
+                .map(|s| SubtreeState::leaf_with_device(s, edge_device))
+                .collect(),
+        }
+    }
+}
+
+impl MergeObjective for NearestNeighborObjective<'_> {
+    fn cost(&self, a: usize, b: usize) -> f64 {
+        self.states[a].distance(&self.states[b])
+    }
+
+    fn merge(&mut self, a: usize, b: usize, k: usize) {
+        debug_assert_eq!(k, self.states.len());
+        let outcome = zero_skew_merge(self.tech, &self.states[a], &self.states[b]);
+        self.states.push(outcome.gated_state(self.edge_device));
+    }
+}
+
+/// Builds a clock-tree [`Topology`] with the nearest-neighbor heuristic.
+///
+/// `edge_device` is the device assumed at the top of every edge *during
+/// construction* (it changes subtree caps and hence later merge
+/// geometry); pass the technology's buffer for the buffered baseline.
+///
+/// # Errors
+///
+/// Returns [`CtsError::NoSinks`] when `sinks` is empty.
+pub fn nearest_neighbor_topology(
+    tech: &Technology,
+    sinks: &[Sink],
+    edge_device: Option<Device>,
+) -> Result<Topology, CtsError> {
+    let mut objective = NearestNeighborObjective::new(tech, sinks, edge_device);
+    run_greedy(sinks.len(), &mut objective)
+}
+
+/// Builds the paper's §5.1 baseline in one call: nearest-neighbor
+/// topology, a buffer (half the AND-gate size) on every edge, zero-skew
+/// embedding rooted toward `source`.
+///
+/// # Errors
+///
+/// Returns [`CtsError::NoSinks`] when `sinks` is empty.
+pub fn build_buffered_tree(
+    tech: &Technology,
+    sinks: &[Sink],
+    source: Point,
+) -> Result<ClockTree, CtsError> {
+    let buffer = tech.buffer();
+    let topology = nearest_neighbor_topology(tech, sinks, Some(buffer))?;
+    let assignment = DeviceAssignment::everywhere(&topology, buffer);
+    embed(&topology, sinks, tech, &assignment, source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_sinks() -> Vec<Sink> {
+        vec![
+            Sink::new(Point::new(0.0, 0.0), 0.05),
+            Sink::new(Point::new(50.0, 0.0), 0.05),
+            Sink::new(Point::new(5000.0, 5000.0), 0.05),
+            Sink::new(Point::new(5050.0, 5000.0), 0.05),
+        ]
+    }
+
+    #[test]
+    fn clusters_merge_first() {
+        let tech = Technology::default();
+        let topo = nearest_neighbor_topology(&tech, &clustered_sinks(), None).unwrap();
+        assert_eq!(
+            topo.node(4),
+            crate::TopoNode::Internal { left: 0, right: 1 }
+        );
+        assert_eq!(
+            topo.node(5),
+            crate::TopoNode::Internal { left: 2, right: 3 }
+        );
+    }
+
+    #[test]
+    fn buffered_tree_is_zero_skew() {
+        let tech = Technology::default();
+        let tree =
+            build_buffered_tree(&tech, &clustered_sinks(), Point::new(2500.0, 2500.0)).unwrap();
+        assert!(tree.verify_skew(&tech) < 1e-6);
+        // A buffer on every edge (7 nodes including the root stub).
+        assert_eq!(tree.device_count(), 7);
+        for (_, d) in tree.devices() {
+            assert_eq!(d, tech.buffer());
+        }
+    }
+
+    #[test]
+    fn buffering_reduces_source_delay_on_spread_sinks() {
+        // With widely spread, heavily loaded sinks, buffers decouple the
+        // root from the full subtree capacitance.
+        let tech = Technology::default();
+        let sinks: Vec<Sink> = (0..16)
+            .map(|i| {
+                Sink::new(
+                    Point::new((i % 4) as f64 * 20_000.0, (i / 4) as f64 * 20_000.0),
+                    0.2,
+                )
+            })
+            .collect();
+        let src = Point::new(30_000.0, 30_000.0);
+        let buffered = build_buffered_tree(&tech, &sinks, src).unwrap();
+        let topo = nearest_neighbor_topology(&tech, &sinks, None).unwrap();
+        let plain = embed(&topo, &sinks, &tech, &DeviceAssignment::none(&topo), src).unwrap();
+        assert!(
+            buffered.source_to_sink_delay(&tech) < plain.source_to_sink_delay(&tech),
+            "buffered {} >= plain {}",
+            buffered.source_to_sink_delay(&tech),
+            plain.source_to_sink_delay(&tech)
+        );
+    }
+
+    #[test]
+    fn empty_sinks_error() {
+        let tech = Technology::default();
+        assert_eq!(
+            nearest_neighbor_topology(&tech, &[], None).unwrap_err(),
+            CtsError::NoSinks
+        );
+        assert!(build_buffered_tree(&tech, &[], Point::ORIGIN).is_err());
+    }
+
+    #[test]
+    fn single_sink_buffered_tree() {
+        let tech = Technology::default();
+        let sinks = vec![Sink::new(Point::new(3.0, 4.0), 0.02)];
+        let tree = build_buffered_tree(&tech, &sinks, Point::ORIGIN).unwrap();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.device_count(), 1); // source buffer on the root stub
+    }
+}

@@ -1,0 +1,281 @@
+//! Rectilinear realization of the embedded tree's edges.
+//!
+//! The embedder records each edge's *electrical* length, which may exceed
+//! the Manhattan distance between its placed endpoints (wire snaking for
+//! delay balancing). This module turns every edge into a concrete
+//! axis-parallel polyline whose length equals the electrical length
+//! exactly: an L-shape for the geometric part plus, when needed, a
+//! trombone detour for the snaked excess — what a detailed router would
+//! hand to the fab.
+
+use gcr_geometry::Point;
+
+use crate::{ClockTree, TreeId};
+
+/// One realized edge: an axis-parallel polyline from the parent's location
+/// to the child's.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutedEdge {
+    /// The child node this edge feeds (the polyline runs parent → child).
+    pub child: TreeId,
+    /// Polyline vertices, starting at the parent location and ending at
+    /// the child location; consecutive points differ in exactly one
+    /// coordinate.
+    pub points: Vec<Point>,
+}
+
+impl RoutedEdge {
+    /// Total polyline length.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.points.windows(2).map(|w| w[0].manhattan(w[1])).sum()
+    }
+
+    /// Whether every segment is axis-parallel.
+    #[must_use]
+    pub fn is_rectilinear(&self) -> bool {
+        self.points.windows(2).all(|w| {
+            let dx = (w[0].x - w[1].x).abs();
+            let dy = (w[0].y - w[1].y).abs();
+            dx < 1e-9 || dy < 1e-9
+        })
+    }
+}
+
+/// Realizes every edge of the tree as a rectilinear polyline whose length
+/// equals the edge's electrical length (L-route plus a trombone detour for
+/// snaked wire).
+///
+/// ```
+/// use gcr_cts::{build_buffered_tree, realize_routes, Sink};
+/// use gcr_geometry::Point;
+/// use gcr_rctree::Technology;
+///
+/// let tech = Technology::default();
+/// let sinks = vec![
+///     Sink::new(Point::new(0.0, 0.0), 0.05),
+///     Sink::new(Point::new(600.0, 300.0), 0.05),
+/// ];
+/// let tree = build_buffered_tree(&tech, &sinks, Point::new(300.0, 0.0))?;
+/// let routes = realize_routes(&tree);
+/// assert_eq!(routes.len(), tree.len() - 1);
+/// assert!(routes.iter().all(|r| r.is_rectilinear()));
+/// # Ok::<(), gcr_cts::CtsError>(())
+/// ```
+///
+/// Edges of zero electrical length (coincident endpoints) produce a
+/// two-point degenerate polyline.
+#[must_use]
+pub fn realize_routes(tree: &ClockTree) -> Vec<RoutedEdge> {
+    tree.ids()
+        .filter_map(|id| {
+            let node = tree.node(id);
+            let parent = node.parent()?;
+            let a = tree.node(parent).location();
+            let b = node.location();
+            Some(RoutedEdge {
+                child: id,
+                points: route_edge(a, b, node.electrical_length()),
+            })
+        })
+        .collect()
+}
+
+/// An axis-parallel polyline from `a` to `b` of total length `target`
+/// (≥ the Manhattan distance, within rounding).
+fn route_edge(a: Point, b: Point, target: f64) -> Vec<Point> {
+    let dist = a.manhattan(b);
+    let extra = (target - dist).max(0.0);
+
+    // Base L-route: horizontal first, then vertical.
+    let corner = Point::new(b.x, a.y);
+    let mut pts = vec![a];
+    if (a.x - b.x).abs() > 1e-9 && (a.y - b.y).abs() > 1e-9 {
+        pts.push(corner);
+    }
+    pts.push(b);
+
+    if extra <= 1e-9 {
+        return pts;
+    }
+
+    // Trombone: replace the midpoint of the longest segment with a U
+    // detour of depth `extra / 2`, perpendicular to the segment. Total
+    // added length is exactly 2 × depth.
+    let depth = extra / 2.0;
+    let (seg, seg_len) = pts
+        .windows(2)
+        .enumerate()
+        .map(|(i, w)| (i, w[0].manhattan(w[1])))
+        .max_by(|x, y| x.1.total_cmp(&y.1))
+        .expect("polyline has at least one segment");
+    let (p, q) = (pts[seg], pts[seg + 1]);
+    let mid = p.midpoint(q);
+    let horizontal = (p.y - q.y).abs() < 1e-9;
+    // Perpendicular offset direction: +y for horizontal runs, +x for
+    // vertical ones.
+    let (u1, u2) = if horizontal {
+        (Point::new(mid.x, mid.y + depth), Point::new(mid.x, mid.y))
+    } else {
+        (Point::new(mid.x + depth, mid.y), Point::new(mid.x, mid.y))
+    };
+    // Even a zero-length base segment (p == q) works: the U degenerates to
+    // out-and-back at the shared point.
+    let mut routed = Vec::with_capacity(pts.len() + 3);
+    routed.extend_from_slice(&pts[..=seg]);
+    routed.push(u2); // enter the detour at the segment midpoint
+    routed.push(u1); // out…
+    routed.push(u2); // …and back
+    routed.extend_from_slice(&pts[seg + 1..]);
+    // `seg_len` unused beyond selection; silence the tuple.
+    let _ = seg_len;
+    routed
+}
+
+/// Serializes realized routes in a simple interchange format: one line per
+/// edge, `edge <child-index>: (x y) (x y) …` — trivially parseable and
+/// diff-friendly for golden tests.
+#[must_use]
+pub fn format_routes(routes: &[RoutedEdge]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in routes {
+        let _ = write!(out, "edge {}:", r.child.index());
+        for p in &r.points {
+            let _ = write!(out, " ({:.2} {:.2})", p.x, p.y);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{embed, nearest_neighbor_topology, DeviceAssignment, Sink};
+    use gcr_rctree::Technology;
+
+    fn tree_with_snaking() -> (ClockTree, Technology) {
+        let tech = Technology::default();
+        // Sinks 0 and 1 are far apart: their merge carries a large delay.
+        // Sink 2 sits right next to that merge region, so matching its
+        // zero delay requires snaked wire.
+        let sinks = vec![
+            Sink::new(Point::new(0.0, 0.0), 0.30),
+            Sink::new(Point::new(20_000.0, 0.0), 0.30),
+            Sink::new(Point::new(10_000.0, 100.0), 0.02),
+        ];
+        let topo = crate::Topology::from_merges(3, &[(0, 1), (3, 2)]).unwrap();
+        let tree = embed(
+            &topo,
+            &sinks,
+            &tech,
+            &DeviceAssignment::none(&topo),
+            Point::new(10_000.0, 0.0),
+        )
+        .unwrap();
+        (tree, tech)
+    }
+
+    #[test]
+    fn every_route_matches_its_electrical_length() {
+        let tech = Technology::default();
+        let sinks = vec![
+            Sink::new(Point::new(0.0, 0.0), 0.30),
+            Sink::new(Point::new(900.0, 50.0), 0.02),
+            Sink::new(Point::new(200.0, 800.0), 0.25),
+            Sink::new(Point::new(950.0, 900.0), 0.01),
+        ];
+        let topo = nearest_neighbor_topology(&tech, &sinks, None).unwrap();
+        let tree = embed(
+            &topo,
+            &sinks,
+            &tech,
+            &DeviceAssignment::none(&topo),
+            Point::new(500.0, 500.0),
+        )
+        .unwrap();
+        let routes = realize_routes(&tree);
+        assert_eq!(routes.len(), tree.len() - 1); // every non-root edge
+        for r in &routes {
+            let target = tree.node(r.child).electrical_length();
+            assert!(
+                (r.length() - target).abs() < 1e-6,
+                "edge {}: polyline {} vs electrical {target}",
+                r.child.index(),
+                r.length()
+            );
+            assert!(
+                r.is_rectilinear(),
+                "edge {} not rectilinear",
+                r.child.index()
+            );
+            // Endpoints are the placed locations.
+            let parent = tree.node(r.child).parent().unwrap();
+            assert_eq!(r.points[0], tree.node(parent).location());
+            assert_eq!(*r.points.last().unwrap(), tree.node(r.child).location());
+        }
+    }
+
+    #[test]
+    fn snaked_edges_get_detours() {
+        let (tree, _) = tree_with_snaking();
+        assert!(
+            tree.snaked_wire_length() > 1.0,
+            "fixture should actually snake ({} λ)",
+            tree.snaked_wire_length()
+        );
+        let routes = realize_routes(&tree);
+        let detoured = routes
+            .iter()
+            .filter(|r| {
+                let parent = tree.node(r.child).parent().unwrap();
+                let dist = tree
+                    .node(parent)
+                    .location()
+                    .manhattan(tree.node(r.child).location());
+                r.length() > dist + 1e-6
+            })
+            .count();
+        assert!(detoured > 0, "no trombones realized");
+    }
+
+    #[test]
+    fn straight_and_l_routes_are_minimal() {
+        let straight = route_edge(Point::new(0.0, 0.0), Point::new(10.0, 0.0), 10.0);
+        assert_eq!(straight.len(), 2);
+        let l = route_edge(Point::new(0.0, 0.0), Point::new(10.0, 5.0), 15.0);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l[1], Point::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn trombone_adds_exactly_the_excess() {
+        let r = RoutedEdge {
+            child: crate::TreeId(0),
+            points: route_edge(Point::new(0.0, 0.0), Point::new(10.0, 5.0), 40.0),
+        };
+        assert!((r.length() - 40.0).abs() < 1e-9);
+        assert!(r.is_rectilinear());
+    }
+
+    #[test]
+    fn coincident_endpoints_with_snake() {
+        let pts = route_edge(Point::new(3.0, 3.0), Point::new(3.0, 3.0), 8.0);
+        let r = RoutedEdge {
+            child: crate::TreeId(0),
+            points: pts,
+        };
+        assert!((r.length() - 8.0).abs() < 1e-9);
+        assert!(r.is_rectilinear());
+    }
+
+    #[test]
+    fn format_is_parseable_lines() {
+        let (tree, _) = tree_with_snaking();
+        let routes = realize_routes(&tree);
+        let text = format_routes(&routes);
+        assert_eq!(text.lines().count(), routes.len());
+        assert!(text.lines().all(|l| l.starts_with("edge ")));
+    }
+}

@@ -1,0 +1,79 @@
+use std::fmt;
+
+use gcr_geometry::Point;
+
+/// A clock sink: the clock pin of one module, at a fixed location with a
+/// fixed load capacitance.
+///
+/// In the paper "the sinks correspond to the locations of modules"; each
+/// sink index doubles as the module index used by the activity model.
+///
+/// ```
+/// use gcr_cts::Sink;
+/// use gcr_geometry::Point;
+///
+/// let s = Sink::new(Point::new(10.0, 20.0), 0.05);
+/// assert_eq!(s.cap(), 0.05);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sink {
+    location: Point,
+    cap: f64,
+}
+
+impl Sink {
+    /// Creates a sink at `location` with load capacitance `cap` (pF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is negative or non-finite.
+    #[must_use]
+    pub fn new(location: Point, cap: f64) -> Self {
+        assert!(
+            cap.is_finite() && cap >= 0.0,
+            "sink load must be finite and >= 0, got {cap}"
+        );
+        Self { location, cap }
+    }
+
+    /// The sink's layout location.
+    #[must_use]
+    pub fn location(&self) -> Point {
+        self.location
+    }
+
+    /// The sink's load capacitance (pF).
+    #[must_use]
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+}
+
+impl fmt::Display for Sink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sink@{} {}pF", self.location, self.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Sink::new(Point::new(1.0, 2.0), 0.1);
+        assert_eq!(s.location(), Point::new(1.0, 2.0));
+        assert_eq!(s.cap(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sink load")]
+    fn negative_cap_rejected() {
+        let _ = Sink::new(Point::ORIGIN, -0.1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(format!("{}", Sink::new(Point::ORIGIN, 0.0)).contains("pF"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests: every embedding the DME substrate produces must
+//! be exactly zero-skew under the independent Elmore oracle, regardless of
+//! sink placement, loads, or device policy.
+
+use gcr_cts::{
+    build_buffered_tree, embed, nearest_neighbor_topology, DeviceAssignment, Sink, Topology,
+};
+use gcr_geometry::Point;
+use gcr_rctree::Technology;
+use proptest::prelude::*;
+
+fn sinks_strategy(max: usize) -> impl Strategy<Value = Vec<Sink>> {
+    prop::collection::vec((0.0..50_000.0f64, 0.0..50_000.0f64, 0.005..0.3f64), 2..max).prop_map(
+        |v| {
+            v.into_iter()
+                .map(|(x, y, c)| Sink::new(Point::new(x, y), c))
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Zero skew holds for plain, buffered and gated embeddings of
+    /// nearest-neighbor topologies over random sinks.
+    #[test]
+    fn all_embeddings_are_zero_skew(sinks in sinks_strategy(24)) {
+        let tech = Technology::default();
+        let source = Point::new(25_000.0, 25_000.0);
+
+        let buffered = build_buffered_tree(&tech, &sinks, source).unwrap();
+        let delay = buffered.source_to_sink_delay(&tech);
+        prop_assert!(buffered.verify_skew(&tech) <= 1e-9 * delay.max(1.0),
+            "buffered skew {} vs delay {delay}", buffered.verify_skew(&tech));
+
+        let topo = nearest_neighbor_topology(&tech, &sinks, Some(tech.and_gate())).unwrap();
+        let gated = embed(
+            &topo, &sinks, &tech,
+            &DeviceAssignment::everywhere(&topo, tech.and_gate()),
+            source,
+        ).unwrap();
+        let gdelay = gated.source_to_sink_delay(&tech);
+        prop_assert!(gated.verify_skew(&tech) <= 1e-9 * gdelay.max(1.0));
+
+        let plain_topo = nearest_neighbor_topology(&tech, &sinks, None).unwrap();
+        let plain = embed(
+            &plain_topo, &sinks, &tech,
+            &DeviceAssignment::none(&plain_topo),
+            source,
+        ).unwrap();
+        let pdelay = plain.source_to_sink_delay(&tech);
+        prop_assert!(plain.verify_skew(&tech) <= 1e-9 * pdelay.max(1.0));
+    }
+
+    /// Electrical edge lengths always cover the placed Manhattan distance,
+    /// and total wire length is at least the placed total.
+    #[test]
+    fn electrical_lengths_cover_placement(sinks in sinks_strategy(20)) {
+        let tech = Technology::default();
+        let tree = build_buffered_tree(&tech, &sinks, Point::ORIGIN).unwrap();
+        for id in tree.ids() {
+            let node = tree.node(id);
+            if let Some(p) = node.parent() {
+                let dist = node.location().manhattan(tree.node(p).location());
+                prop_assert!(node.electrical_length() + 1e-6 >= dist);
+            }
+        }
+        prop_assert!(tree.snaked_wire_length() >= -1e-6);
+    }
+
+    /// Re-embedding the same topology with gates removed still yields zero
+    /// skew (the re-balancing property the gate-reduction heuristic needs).
+    #[test]
+    fn reembedding_after_device_removal_is_zero_skew(
+        sinks in sinks_strategy(16),
+        strip_mask in any::<u32>(),
+    ) {
+        let tech = Technology::default();
+        let source = Point::new(25_000.0, 25_000.0);
+        let topo = nearest_neighbor_topology(&tech, &sinks, Some(tech.and_gate())).unwrap();
+        let mut assignment = DeviceAssignment::everywhere(&topo, tech.and_gate());
+        for (bit, i) in (0..topo.len()).enumerate() {
+            if strip_mask & (1 << (bit % 32)) != 0 {
+                assignment.set(i, None);
+            }
+        }
+        let tree = embed(&topo, &sinks, &tech, &assignment, source).unwrap();
+        let delay = tree.source_to_sink_delay(&tech);
+        prop_assert!(tree.verify_skew(&tech) <= 1e-9 * delay.max(1.0),
+            "skew {} after stripping devices", tree.verify_skew(&tech));
+        prop_assert_eq!(tree.device_count(), assignment.device_count());
+    }
+
+    /// Merge-sequence validation round-trips through Topology.
+    #[test]
+    fn greedy_topologies_are_structurally_valid(sinks in sinks_strategy(20)) {
+        let tech = Technology::default();
+        let topo = nearest_neighbor_topology(&tech, &sinks, None).unwrap();
+        prop_assert_eq!(topo.num_leaves(), sinks.len());
+        prop_assert_eq!(topo.len(), 2 * sinks.len() - 1);
+        // Every non-root node has exactly one parent; sizes telescope.
+        let parents = topo.parents();
+        let orphans = parents.iter().filter(|p| p.is_none()).count();
+        prop_assert_eq!(orphans, 1);
+        prop_assert_eq!(topo.subtree_sizes()[topo.root()], sinks.len());
+        // Determinism.
+        let again = nearest_neighbor_topology(&tech, &sinks, None).unwrap();
+        prop_assert_eq!(&topo, &again);
+        let _ = Topology::from_merges(1, &[]).unwrap();
+    }
+}

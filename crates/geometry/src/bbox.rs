@@ -1,0 +1,180 @@
+use std::fmt;
+
+use crate::Point;
+
+/// An axis-aligned bounding box in layout (x, y) coordinates.
+///
+/// Used for die outlines and for partitioning the chip among distributed
+/// gate controllers (§6 of the paper).
+///
+/// ```
+/// use gcr_geometry::{BBox, Point};
+///
+/// let die = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+/// assert_eq!(die.center(), Point::new(50.0, 50.0));
+/// let quads = die.quadrants();
+/// assert_eq!(quads.len(), 4);
+/// assert!(quads.iter().all(|q| q.width() == 50.0 && q.height() == 50.0));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BBox {
+    min: Point,
+    max: Point,
+}
+
+impl BBox {
+    /// Creates a box spanning the two corner points (in any order).
+    #[must_use]
+    pub fn new(a: Point, b: Point) -> Self {
+        Self {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The smallest box containing every point of `points`, or `None` when
+    /// the iterator is empty.
+    #[must_use]
+    pub fn of_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = BBox::new(first, first);
+        for p in it {
+            bb.min.x = bb.min.x.min(p.x);
+            bb.min.y = bb.min.y.min(p.y);
+            bb.max.x = bb.max.x.max(p.x);
+            bb.max.y = bb.max.y.max(p.y);
+        }
+        Some(bb)
+    }
+
+    /// Lower-left corner.
+    #[must_use]
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Upper-right corner.
+    #[must_use]
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Horizontal extent.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Vertical extent.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Half the bounding-box perimeter — the standard wirelength lower bound.
+    #[must_use]
+    pub fn half_perimeter(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Geometric center — where the paper places the centralized gate
+    /// controller ("we assume that the controller is located at the center
+    /// of the chip").
+    #[must_use]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Whether `p` lies inside the closed box.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        self.min.x <= p.x && p.x <= self.max.x && self.min.y <= p.y && p.y <= self.max.y
+    }
+
+    /// The four equal quadrants of the box, ordered SW, SE, NW, NE.
+    #[must_use]
+    pub fn quadrants(&self) -> [BBox; 4] {
+        let c = self.center();
+        [
+            BBox::new(self.min, c),
+            BBox::new(Point::new(c.x, self.min.y), Point::new(self.max.x, c.y)),
+            BBox::new(Point::new(self.min.x, c.y), Point::new(c.x, self.max.y)),
+            BBox::new(c, self.max),
+        ]
+    }
+
+    /// Recursively subdivides into `4^levels` equal partitions.
+    ///
+    /// `levels == 0` returns the box itself. Used to model the k-way
+    /// distributed controllers of §6 (k a power of four).
+    #[must_use]
+    pub fn subdivide(&self, levels: u32) -> Vec<BBox> {
+        let mut boxes = vec![*self];
+        for _ in 0..levels {
+            boxes = boxes.iter().flat_map(|b| b.quadrants()).collect();
+        }
+        boxes
+    }
+}
+
+impl fmt::Display for BBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_normalize() {
+        let b = BBox::new(Point::new(5.0, 1.0), Point::new(0.0, 9.0));
+        assert_eq!(b.min(), Point::new(0.0, 1.0));
+        assert_eq!(b.max(), Point::new(5.0, 9.0));
+        assert_eq!(b.width(), 5.0);
+        assert_eq!(b.height(), 8.0);
+        assert_eq!(b.half_perimeter(), 13.0);
+    }
+
+    #[test]
+    fn of_points_covers_all() {
+        let pts = [
+            Point::new(1.0, 2.0),
+            Point::new(-3.0, 7.0),
+            Point::new(4.0, 0.0),
+        ];
+        let bb = BBox::of_points(pts).unwrap();
+        assert!(pts.iter().all(|&p| bb.contains(p)));
+        assert_eq!(bb.min(), Point::new(-3.0, 0.0));
+        assert_eq!(bb.max(), Point::new(4.0, 7.0));
+        assert!(BBox::of_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn quadrants_tile_the_box() {
+        let b = BBox::new(Point::new(0.0, 0.0), Point::new(8.0, 4.0));
+        let qs = b.quadrants();
+        let area: f64 = qs.iter().map(|q| q.width() * q.height()).sum();
+        assert_eq!(area, 32.0);
+        assert!(qs.iter().all(|q| q.center().x < 8.0 && q.center().y < 4.0));
+    }
+
+    #[test]
+    fn subdivide_counts() {
+        let b = BBox::new(Point::new(0.0, 0.0), Point::new(16.0, 16.0));
+        assert_eq!(b.subdivide(0).len(), 1);
+        assert_eq!(b.subdivide(1).len(), 4);
+        assert_eq!(b.subdivide(2).len(), 16);
+        // All partitions have equal size.
+        let parts = b.subdivide(2);
+        assert!(parts.iter().all(|p| p.width() == 4.0 && p.height() == 4.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let b = BBox::new(Point::ORIGIN, Point::new(1.0, 1.0));
+        assert!(!format!("{b}").is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+use std::fmt;
+
+/// A closed 1-D interval `[lo, hi]`.
+///
+/// The building block of [`Trr`](crate::Trr): a tilted rectangular region is
+/// the Cartesian product of a `u`-interval and a `v`-interval in rotated
+/// coordinates. Intervals are always well-formed (`lo <= hi`); constructors
+/// normalize the endpoint order.
+///
+/// ```
+/// use gcr_geometry::Interval;
+///
+/// let i = Interval::new(3.0, 1.0); // endpoints are reordered
+/// assert_eq!((i.lo(), i.hi()), (1.0, 3.0));
+/// assert_eq!(i.length(), 2.0);
+/// assert_eq!(i.gap_to(&Interval::new(5.0, 6.0)), 2.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates the interval spanning `a` and `b` (in either order).
+    #[must_use]
+    pub fn new(a: f64, b: f64) -> Self {
+        if a <= b {
+            Self { lo: a, hi: b }
+        } else {
+            Self { lo: b, hi: a }
+        }
+    }
+
+    /// Creates the degenerate interval `[x, x]`.
+    #[must_use]
+    pub fn point(x: f64) -> Self {
+        Self { lo: x, hi: x }
+    }
+
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Length `hi - lo` (zero for a point interval).
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint `(lo + hi) / 2`.
+    #[must_use]
+    pub fn midpoint(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+
+    /// Whether `x` lies inside the closed interval.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Clamps `x` into the interval (the closest interior point).
+    #[must_use]
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.max(self.lo).min(self.hi)
+    }
+
+    /// The interval inflated by `r` on both sides.
+    ///
+    /// `r` may be negative (deflation); the result is normalized so that a
+    /// deflation past the midpoint collapses to the midpoint rather than
+    /// producing an inverted interval.
+    #[must_use]
+    pub fn expanded(&self, r: f64) -> Self {
+        let lo = self.lo - r;
+        let hi = self.hi + r;
+        if lo <= hi {
+            Self { lo, hi }
+        } else {
+            Self::point(self.midpoint())
+        }
+    }
+
+    /// Intersection with `other`, or `None` when the intervals are disjoint.
+    #[must_use]
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Intersection with `other`, tolerating a gap of up to `slack`.
+    ///
+    /// When the intervals are disjoint by at most `slack`, the midpoint of
+    /// the gap is returned as a degenerate interval. Zero-skew merges
+    /// compute tap radii that sum to the segment distance *exactly* in real
+    /// arithmetic; this variant absorbs the f64 rounding that would
+    /// otherwise make the merge region empty by a hair.
+    #[must_use]
+    pub fn intersection_with_slack(&self, other: &Interval, slack: f64) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else if lo - hi <= slack {
+            Some(Interval::point((lo + hi) / 2.0))
+        } else {
+            None
+        }
+    }
+
+    /// Distance separating the intervals (zero when they overlap or touch).
+    #[must_use]
+    pub fn gap_to(&self, other: &Interval) -> f64 {
+        (self.lo - other.hi).max(other.lo - self.hi).max(0.0)
+    }
+
+    /// Distance from `x` to the interval (zero when `x` is inside).
+    #[must_use]
+    pub fn distance_to_point(&self, x: f64) -> f64 {
+        (self.lo - x).max(x - self.hi).max(0.0)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.3}, {:.3}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_normalizes_order() {
+        assert_eq!(Interval::new(5.0, 2.0), Interval::new(2.0, 5.0));
+    }
+
+    #[test]
+    fn point_interval_has_zero_length() {
+        let p = Interval::point(3.0);
+        assert_eq!(p.length(), 0.0);
+        assert_eq!(p.midpoint(), 3.0);
+        assert!(p.contains(3.0));
+    }
+
+    #[test]
+    fn expansion_and_deflation() {
+        let i = Interval::new(2.0, 4.0);
+        assert_eq!(i.expanded(1.0), Interval::new(1.0, 5.0));
+        // Deflation past the midpoint collapses to the midpoint.
+        assert_eq!(i.expanded(-2.0), Interval::point(3.0));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Interval::new(0.0, 4.0);
+        let b = Interval::new(3.0, 8.0);
+        assert_eq!(a.intersection(&b), Some(Interval::new(3.0, 4.0)));
+        let c = Interval::new(5.0, 6.0);
+        assert_eq!(a.intersection(&c), None);
+        // Touching intervals intersect in a point.
+        let d = Interval::new(4.0, 9.0);
+        assert_eq!(a.intersection(&d), Some(Interval::point(4.0)));
+    }
+
+    #[test]
+    fn gaps_and_point_distance() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(5.0, 7.0);
+        assert_eq!(a.gap_to(&b), 3.0);
+        assert_eq!(b.gap_to(&a), 3.0);
+        assert_eq!(a.gap_to(&a), 0.0);
+        assert_eq!(a.distance_to_point(-1.5), 1.5);
+        assert_eq!(a.distance_to_point(1.0), 0.0);
+        assert_eq!(a.distance_to_point(4.0), 2.0);
+    }
+
+    #[test]
+    fn clamp_projects_to_closest_point() {
+        let a = Interval::new(1.0, 2.0);
+        assert_eq!(a.clamp(0.0), 1.0);
+        assert_eq!(a.clamp(1.5), 1.5);
+        assert_eq!(a.clamp(9.0), 2.0);
+    }
+}

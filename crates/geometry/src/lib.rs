@@ -1,0 +1,85 @@
+//! Manhattan-plane geometry for zero-skew clock routing.
+//!
+//! Clock routing in the DME (deferred-merge embedding) style works with
+//! *merging segments*: sets of points that are all at a prescribed Manhattan
+//! distance from two child segments. Under the rotation
+//!
+//! ```text
+//! u = x + y,    v = y - x
+//! ```
+//!
+//! the Manhattan (L1) metric of the layout plane becomes the Chebyshev (L∞)
+//! metric, diagonal (slope ±1) segments become axis-aligned, and a *tilted
+//! rectangular region* (TRR — all points within radius `r` of a segment)
+//! becomes a plain axis-aligned rectangle. Every geometric operation the
+//! router needs — distance between regions, inflation by a radius,
+//! intersection, closest-point projection — is then O(1) interval
+//! arithmetic.
+//!
+//! The crate exposes:
+//!
+//! * [`Point`] — a location in layout (x, y) coordinates with
+//!   [`Point::manhattan`] distance.
+//! * [`RotPoint`] — the same location in rotated (u, v) coordinates.
+//! * [`Interval`] — a closed 1-D interval used as a building block.
+//! * [`Trr`] — a tilted rectangular region, the generalized merging segment.
+//! * [`BBox`] — an ordinary axis-aligned bounding box in layout coordinates
+//!   (die outlines, controller partitions).
+//!
+//! # Example
+//!
+//! Build the merging region of two sinks that must be tapped at equal wire
+//! length, then pick the concrete embedding point closest to a parent:
+//!
+//! ```
+//! use gcr_geometry::{Point, Trr};
+//!
+//! let a = Trr::point(Point::new(0.0, 0.0));
+//! let b = Trr::point(Point::new(10.0, 0.0));
+//! let d = a.distance(&b);
+//! assert_eq!(d, 10.0);
+//!
+//! // Tap both with 5 units of wire: the merging region is the diagonal
+//! // segment equidistant from both sinks.
+//! let ms = a.expanded(5.0).intersection(&b.expanded(5.0)).unwrap();
+//! let parent = Point::new(5.0, 7.0);
+//! let tap = ms.closest_point(parent);
+//! assert_eq!(tap.manhattan(Point::new(0.0, 0.0)), 5.0);
+//! assert_eq!(tap.manhattan(Point::new(10.0, 0.0)), 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbox;
+mod interval;
+mod point;
+mod rotated;
+mod trr;
+
+pub use bbox::BBox;
+pub use interval::Interval;
+pub use point::Point;
+pub use rotated::RotPoint;
+pub use trr::Trr;
+
+/// Absolute tolerance used by the geometry routines when classifying
+/// degenerate regions (for instance deciding whether a [`Trr`] is a point).
+///
+/// Coordinates are expressed in λ-like layout units that are typically in
+/// the 1–100 000 range, so 1e-6 is far below any meaningful feature size
+/// while comfortably above accumulated f64 rounding error.
+pub const GEOM_EPS: f64 = 1e-6;
+
+/// Returns `true` when `a` and `b` are equal within [`GEOM_EPS`] scaled by
+/// the magnitude of the operands.
+///
+/// ```
+/// assert!(gcr_geometry::approx_eq(1.0, 1.0 + 1e-12));
+/// assert!(!gcr_geometry::approx_eq(1.0, 1.01));
+/// ```
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= GEOM_EPS * scale
+}

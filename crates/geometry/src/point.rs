@@ -1,0 +1,124 @@
+use std::fmt;
+
+use crate::RotPoint;
+
+/// A location in layout (x, y) coordinates.
+///
+/// Distances between points are measured with the Manhattan (L1) metric,
+/// the routing metric of rectilinear VLSI layout. Coordinates are `f64`
+/// expressed in abstract layout units (the paper reports lengths in λ).
+///
+/// ```
+/// use gcr_geometry::Point;
+///
+/// let a = Point::new(1.0, 2.0);
+/// let b = Point::new(4.0, -2.0);
+/// assert_eq!(a.manhattan(b), 7.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from layout coordinates.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Manhattan (L1) distance to `other`.
+    #[must_use]
+    pub fn manhattan(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean (L2) distance to `other`.
+    ///
+    /// Only used for reporting; all routing decisions use [`Self::manhattan`].
+    #[must_use]
+    pub fn euclidean(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Midpoint of the straight segment between `self` and `other`.
+    #[must_use]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Converts to rotated (u, v) coordinates where Manhattan distance
+    /// becomes Chebyshev distance.
+    #[must_use]
+    pub fn to_rotated(self) -> RotPoint {
+        RotPoint::new(self.x + self.y, self.y - self.x)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_symmetric_and_zero_on_self() {
+        let a = Point::new(3.5, -1.0);
+        let b = Point::new(-2.0, 9.0);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0.0);
+    }
+
+    #[test]
+    fn manhattan_dominates_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.manhattan(b), 7.0);
+        assert_eq!(a.euclidean(b), 5.0);
+        assert!(a.manhattan(b) >= a.euclidean(b));
+    }
+
+    #[test]
+    fn midpoint_halves_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 6.0);
+        let m = a.midpoint(b);
+        assert_eq!(m, Point::new(5.0, 3.0));
+        assert_eq!(a.manhattan(m), m.manhattan(b));
+    }
+
+    #[test]
+    fn rotation_preserves_distance_as_chebyshev() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 5.0);
+        let (ra, rb) = (a.to_rotated(), b.to_rotated());
+        assert_eq!(a.manhattan(b), ra.chebyshev(rb));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(p, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Point::ORIGIN).is_empty());
+    }
+}

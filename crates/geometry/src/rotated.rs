@@ -1,0 +1,87 @@
+use std::fmt;
+
+use crate::Point;
+
+/// A location in rotated (u, v) coordinates.
+///
+/// The rotation `u = x + y`, `v = y - x` turns the Manhattan metric of the
+/// layout plane into the Chebyshev metric: for any two points the Manhattan
+/// distance of their layout coordinates equals [`RotPoint::chebyshev`] of
+/// their rotated coordinates. Axis-aligned boxes in (u, v) correspond to the
+/// 45°-tilted rectangles (TRRs) used by DME-style clock routers.
+///
+/// ```
+/// use gcr_geometry::{Point, RotPoint};
+///
+/// let p = Point::new(2.0, 5.0);
+/// let r = p.to_rotated();
+/// assert_eq!(r, RotPoint::new(7.0, 3.0));
+/// assert_eq!(r.to_layout(), p);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RotPoint {
+    /// Rotated coordinate `u = x + y`.
+    pub u: f64,
+    /// Rotated coordinate `v = y - x`.
+    pub v: f64,
+}
+
+impl RotPoint {
+    /// Creates a rotated point from (u, v) coordinates.
+    #[must_use]
+    pub const fn new(u: f64, v: f64) -> Self {
+        Self { u, v }
+    }
+
+    /// Chebyshev (L∞) distance to `other`; equals the Manhattan distance of
+    /// the corresponding layout points.
+    #[must_use]
+    pub fn chebyshev(self, other: RotPoint) -> f64 {
+        (self.u - other.u).abs().max((self.v - other.v).abs())
+    }
+
+    /// Converts back to layout (x, y) coordinates.
+    #[must_use]
+    pub fn to_layout(self) -> Point {
+        Point::new((self.u - self.v) / 2.0, (self.u + self.v) / 2.0)
+    }
+}
+
+impl fmt::Display for RotPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(u={:.3}, v={:.3})", self.u, self.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_layout_rotated() {
+        let p = Point::new(-4.25, 11.5);
+        assert_eq!(p.to_rotated().to_layout(), p);
+        let r = RotPoint::new(3.0, -9.0);
+        assert_eq!(r.to_layout().to_rotated(), r);
+    }
+
+    #[test]
+    fn chebyshev_matches_manhattan() {
+        let cases = [
+            (Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            (Point::new(2.0, -3.0), Point::new(2.0, 7.0)),
+            (Point::new(-1.5, 0.25), Point::new(4.0, -8.0)),
+        ];
+        for (a, b) in cases {
+            assert!(
+                (a.manhattan(b) - a.to_rotated().chebyshev(b.to_rotated())).abs() < 1e-12,
+                "mismatch for {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", RotPoint::default()).is_empty());
+    }
+}

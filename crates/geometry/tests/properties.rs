@@ -1,0 +1,153 @@
+//! Property-based tests for the Manhattan/TRR geometry kernel.
+//!
+//! The analytic interval arithmetic is checked against brute-force sampling
+//! and against the metric axioms that the DME router relies on.
+
+use gcr_geometry::{BBox, Point, Trr};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    // Mix of small and die-scale coordinates, kept finite and well away from
+    // f64 extremes.
+    prop_oneof![-1000.0..1000.0f64, -1e6..1e6f64]
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (coord(), coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn trr() -> impl Strategy<Value = Trr> {
+    (point(), 0.0..5000.0f64).prop_map(|(p, r)| Trr::point(p).expanded(r))
+}
+
+/// Dense boundary+interior sample of a TRR for brute-force checks.
+fn sample(t: &Trr, n: usize) -> Vec<Point> {
+    let (u, v) = (t.u(), t.v());
+    let mut pts = Vec::new();
+    for i in 0..=n {
+        for j in 0..=n {
+            let uu = u.lo() + u.length() * (i as f64) / (n as f64);
+            let vv = v.lo() + v.length() * (j as f64) / (n as f64);
+            pts.push(gcr_geometry::RotPoint::new(uu, vv).to_layout());
+        }
+    }
+    pts
+}
+
+proptest! {
+    #[test]
+    fn manhattan_triangle_inequality(a in point(), b in point(), c in point()) {
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c) + 1e-9);
+    }
+
+    #[test]
+    fn rotation_round_trip(p in point()) {
+        let q = p.to_rotated().to_layout();
+        prop_assert!((p.x - q.x).abs() < 1e-9 && (p.y - q.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trr_distance_is_symmetric(a in trr(), b in trr()) {
+        prop_assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn trr_distance_matches_brute_force(a in trr(), b in trr()) {
+        let analytic = a.distance(&b);
+        let brute = sample(&a, 8)
+            .iter()
+            .flat_map(|p| sample(&b, 8).iter().map(|q| p.manhattan(*q)).collect::<Vec<_>>())
+            .fold(f64::INFINITY, f64::min);
+        // Sampling can only overestimate the true minimum.
+        prop_assert!(brute + 1e-6 >= analytic,
+            "brute {brute} must be >= analytic {analytic}");
+        // For point/ball pairs the corner sampling includes the minimizer on
+        // the boundary grid, so the bound is tight within the grid pitch.
+        let pitch = (a.u().length() + a.v().length() + b.u().length() + b.v().length()) / 8.0;
+        prop_assert!(brute <= analytic + pitch + 1e-6);
+    }
+
+    #[test]
+    fn expansion_grows_distance_correctly(a in trr(), b in trr(), r in 0.0..1000.0f64) {
+        let d = a.distance(&b);
+        let d2 = a.expanded(r).distance(&b);
+        prop_assert!((d2 - (d - r).max(0.0)).abs() < 1e-6,
+            "expanding by r must shrink separation by exactly r (d={d}, r={r}, d2={d2})");
+    }
+
+    #[test]
+    fn intersection_iff_expanded_radii_cover_distance(a in trr(), b in trr(), ra in 0.0..2000.0f64, rb in 0.0..2000.0f64) {
+        let d = a.distance(&b);
+        let isect = a.expanded(ra).intersection(&b.expanded(rb));
+        if ra + rb >= d + 1e-6 {
+            prop_assert!(isect.is_some(), "radii {ra}+{rb} cover distance {d}");
+        }
+        if ra + rb + 1e-6 < d {
+            prop_assert!(isect.is_none(), "radii {ra}+{rb} cannot cover {d}");
+        }
+        if let Some(ms) = isect {
+            // Every point of the merge region is within the tap radii.
+            for p in sample(&ms, 4) {
+                prop_assert!(a.distance_to_point(p) <= ra + 1e-6);
+                prop_assert!(b.distance_to_point(p) <= rb + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_skew_merge_segment_is_equidistant(pa in point(), pb in point()) {
+        let a = Trr::point(pa);
+        let b = Trr::point(pb);
+        let d = pa.manhattan(pb);
+        prop_assume!(d > 1.0);
+        // Split the distance arbitrarily 30/70, keeping ea + eb == d exact
+        // in floating point so the intersection cannot be empty by rounding.
+        let ea = 0.3 * d;
+        let eb = d - ea;
+        let slack = 1e-9 * d.max(1.0);
+        let ms = a
+            .expanded(ea)
+            .intersection_with_slack(&b.expanded(eb), slack)
+            .expect("radii sum to d");
+        for p in sample(&ms, 6) {
+            prop_assert!((p.manhattan(pa) - ea).abs() < 1e-6 * d.max(1.0));
+            prop_assert!((p.manhattan(pb) - eb).abs() < 1e-6 * d.max(1.0));
+        }
+    }
+
+    #[test]
+    fn closest_point_is_optimal(t in trr(), p in point()) {
+        let c = t.closest_point(p);
+        prop_assert!(t.distance_to_point(c) < 1e-6);
+        let d = t.distance_to_point(p);
+        prop_assert!((p.manhattan(c) - d).abs() < 1e-6,
+            "closest point at {} but region distance {}", p.manhattan(c), d);
+        // No sampled point does better.
+        for q in sample(&t, 6) {
+            prop_assert!(p.manhattan(q) + 1e-6 >= p.manhattan(c));
+        }
+    }
+
+    #[test]
+    fn bbox_contains_its_points(pts in prop::collection::vec(point(), 1..40)) {
+        let bb = BBox::of_points(pts.iter().copied()).unwrap();
+        for p in &pts {
+            prop_assert!(bb.contains(*p));
+        }
+        prop_assert!(bb.contains(bb.center()));
+    }
+
+    #[test]
+    fn subdivided_partitions_cover_center_points(levels in 0u32..3) {
+        let die = BBox::new(Point::new(0.0, 0.0), Point::new(1024.0, 1024.0));
+        let parts = die.subdivide(levels);
+        prop_assert_eq!(parts.len(), 4usize.pow(levels));
+        // Every partition center is inside the die and no two coincide.
+        for (i, p) in parts.iter().enumerate() {
+            prop_assert!(die.contains(p.center()));
+            for q in &parts[i + 1..] {
+                prop_assert!(p.center().manhattan(q.center()) > 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+use crate::NodeId;
+
+/// Result of an Elmore delay pass over an [`RcTree`](crate::RcTree).
+///
+/// Stores, per node: the signal arrival time at the node's input (ps), the
+/// capacitance the node presents to the wire above it, and the capacitance
+/// driven at the node's output point. Skew queries operate over any chosen
+/// set of nodes (normally the sinks).
+#[derive(Clone, Debug)]
+pub struct DelayAnalysis {
+    arrival: Vec<f64>,
+    cap_seen: Vec<f64>,
+    cap_at_output: Vec<f64>,
+}
+
+impl DelayAnalysis {
+    pub(crate) fn new(arrival: Vec<f64>, cap_seen: Vec<f64>, cap_at_output: Vec<f64>) -> Self {
+        Self {
+            arrival,
+            cap_seen,
+            cap_at_output,
+        }
+    }
+
+    /// Arrival time (ps) at the input of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to the analyzed tree.
+    #[must_use]
+    pub fn arrival(&self, node: NodeId) -> f64 {
+        self.arrival[node.index()]
+    }
+
+    /// Capacitance (pF) the node presents to its parent wire: the device
+    /// input capacitance when the node is buffered, the full downstream
+    /// capacitance otherwise.
+    #[must_use]
+    pub fn cap_seen(&self, node: NodeId) -> f64 {
+        self.cap_seen[node.index()]
+    }
+
+    /// Capacitance (pF) driven at the node's output point (children wires
+    /// plus decoupled loads).
+    #[must_use]
+    pub fn cap_at_output(&self, node: NodeId) -> f64 {
+        self.cap_at_output[node.index()]
+    }
+
+    /// Largest arrival among `nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    #[must_use]
+    pub fn max_arrival(&self, nodes: &[NodeId]) -> f64 {
+        assert!(!nodes.is_empty(), "max_arrival over an empty node set");
+        nodes
+            .iter()
+            .map(|&n| self.arrival(n))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest arrival among `nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    #[must_use]
+    pub fn min_arrival(&self, nodes: &[NodeId]) -> f64 {
+        assert!(!nodes.is_empty(), "min_arrival over an empty node set");
+        nodes
+            .iter()
+            .map(|&n| self.arrival(n))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Skew across `nodes`: `max_arrival − min_arrival`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    #[must_use]
+    pub fn skew(&self, nodes: &[NodeId]) -> f64 {
+        self.max_arrival(nodes) - self.min_arrival(nodes)
+    }
+
+    /// The node among `nodes` with the largest arrival — the head of the
+    /// critical path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    #[must_use]
+    pub fn critical_sink(&self, nodes: &[NodeId]) -> NodeId {
+        assert!(!nodes.is_empty(), "critical_sink over an empty node set");
+        *nodes
+            .iter()
+            .max_by(|a, b| self.arrival(**a).total_cmp(&self.arrival(**b)))
+            .expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_accessors() {
+        let an = DelayAnalysis::new(vec![0.0, 5.0, 9.0], vec![0.0; 3], vec![0.0; 3]);
+        let ids = [NodeId(1), NodeId(2)];
+        assert_eq!(an.min_arrival(&ids), 5.0);
+        assert_eq!(an.max_arrival(&ids), 9.0);
+        assert_eq!(an.skew(&ids), 4.0);
+        assert_eq!(an.arrival(NodeId(0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty node set")]
+    fn empty_skew_panics() {
+        let an = DelayAnalysis::new(vec![0.0], vec![0.0], vec![0.0]);
+        let _ = an.skew(&[]);
+    }
+}

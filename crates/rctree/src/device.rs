@@ -1,0 +1,174 @@
+use std::fmt;
+
+/// A buffering device inserted in the clock tree: an AND masking gate, a
+/// plain buffer, or the root driver.
+///
+/// The electrical model is the standard switch-level abstraction used with
+/// the Elmore delay: a fixed input capacitance presented upstream, an
+/// intrinsic delay, and a linear output resistance driving the downstream
+/// RC load. Area is carried along for the paper's area comparisons.
+///
+/// Sizing follows the usual linear scaling: a device of size `s` has
+/// `s×` input capacitance and area and `1/s×` output resistance — the paper
+/// assumes "the size of a buffer is half the size of AND-gates":
+///
+/// ```
+/// use gcr_rctree::Device;
+///
+/// let and_gate = Device::new(0.04, 250.0, 40.0, 1000.0);
+/// let buffer = and_gate.scaled(0.5);
+/// assert_eq!(buffer.input_cap(), 0.02);
+/// assert_eq!(buffer.output_res(), 500.0);
+/// assert_eq!(buffer.area(), 500.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Device {
+    input_cap: f64,
+    output_res: f64,
+    intrinsic_delay: f64,
+    area: f64,
+}
+
+impl Device {
+    /// Creates a device model.
+    ///
+    /// * `input_cap` — gate input capacitance in pF.
+    /// * `output_res` — linearized driver resistance in Ω.
+    /// * `intrinsic_delay` — unloaded delay in ps.
+    /// * `area` — layout area in λ².
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is negative or non-finite, or if
+    /// `output_res` is zero (a zero-resistance driver breaks the Elmore
+    /// model's stage decomposition).
+    #[must_use]
+    pub fn new(input_cap: f64, output_res: f64, intrinsic_delay: f64, area: f64) -> Self {
+        for (name, v) in [
+            ("input_cap", input_cap),
+            ("output_res", output_res),
+            ("intrinsic_delay", intrinsic_delay),
+            ("area", area),
+        ] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "device {name} must be finite and >= 0, got {v}"
+            );
+        }
+        assert!(output_res > 0.0, "device output_res must be > 0");
+        Self {
+            input_cap,
+            output_res,
+            intrinsic_delay,
+            area,
+        }
+    }
+
+    /// Input capacitance in pF (the paper's `C_g`).
+    #[must_use]
+    pub fn input_cap(&self) -> f64 {
+        self.input_cap
+    }
+
+    /// Output resistance in Ω.
+    #[must_use]
+    pub fn output_res(&self) -> f64 {
+        self.output_res
+    }
+
+    /// Intrinsic (unloaded) delay in ps.
+    #[must_use]
+    pub fn intrinsic_delay(&self) -> f64 {
+        self.intrinsic_delay
+    }
+
+    /// Layout area in λ².
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// The delay through the device when driving `load` pF downstream:
+    /// `intrinsic + R_out · load`.
+    #[must_use]
+    pub fn stage_delay(&self, load: f64) -> f64 {
+        self.intrinsic_delay + self.output_res * load
+    }
+
+    /// A linearly resized copy: input capacitance and area scale by
+    /// `factor`, output resistance by `1 / factor`; intrinsic delay is
+    /// first-order size-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive and finite.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "device scale factor must be > 0, got {factor}"
+        );
+        Self {
+            input_cap: self.input_cap * factor,
+            output_res: self.output_res / factor,
+            intrinsic_delay: self.intrinsic_delay,
+            area: self.area * factor,
+        }
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Device{{Cin={}pF, Rout={}Ω, d0={}ps, A={}λ²}}",
+            self.input_cap, self.output_res, self.intrinsic_delay, self.area
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_delay_is_affine_in_load() {
+        let d = Device::new(0.04, 250.0, 40.0, 1000.0);
+        assert_eq!(d.stage_delay(0.0), 40.0);
+        assert_eq!(d.stage_delay(1.0), 290.0);
+        assert_eq!(d.stage_delay(2.0) - d.stage_delay(1.0), 250.0);
+    }
+
+    #[test]
+    fn scaling_preserves_rc_product() {
+        let d = Device::new(0.04, 250.0, 40.0, 1000.0);
+        let s = d.scaled(3.0);
+        let rc = d.input_cap() * d.output_res();
+        assert!((s.input_cap() * s.output_res() - rc).abs() < 1e-12);
+        assert_eq!(s.intrinsic_delay(), d.intrinsic_delay());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn zero_scale_rejected() {
+        let _ = Device::new(0.04, 250.0, 40.0, 1000.0).scaled(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "output_res")]
+    fn zero_resistance_rejected() {
+        let _ = Device::new(0.04, 0.0, 40.0, 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input_cap")]
+    fn negative_cap_rejected() {
+        let _ = Device::new(-0.04, 250.0, 40.0, 1000.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let d = Device::new(0.04, 250.0, 40.0, 1000.0);
+        assert!(format!("{d}").contains("pF"));
+    }
+}

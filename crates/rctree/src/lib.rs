@@ -1,0 +1,51 @@
+//! Technology parameters, device models, and Elmore delay analysis for
+//! clock trees.
+//!
+//! The paper evaluates everything in terms of two physical quantities:
+//!
+//! * **switched capacitance** (pF) — the exact power measure once supply
+//!   voltage and clock frequency are fixed, `P = C_sw · f · V_dd²`, and
+//! * **phase delay / skew** under the **Elmore delay model** (Tsay's exact
+//!   zero-skew formulation).
+//!
+//! This crate supplies the shared physical substrate:
+//!
+//! * [`Technology`] — unit wire RC, device models, source driver, supply —
+//!   with a validated builder and documented 1998-class defaults.
+//! * [`Device`] — an AND masking gate or buffer: input capacitance, output
+//!   resistance, intrinsic delay, area; buffers are derived by
+//!   [`Device::scaled`] (the paper sizes buffers at half the AND gate).
+//! * [`RcTree`] — a generic RC tree with optional buffering devices at
+//!   internal nodes and an exact Elmore [`RcTree::analyze`] pass. Devices
+//!   *decouple* their subtree: upstream sees only the device input
+//!   capacitance — exactly how "inserting gates reduces the subtree
+//!   capacitance in the Elmore delay computation".
+//!
+//! The clock-tree synthesis crates build trees incrementally with their own
+//! cached delay state; `RcTree` is the independent from-scratch oracle that
+//! integration tests verify those caches against.
+//!
+//! # Units
+//!
+//! | quantity | unit |
+//! |---|---|
+//! | length | layout units (λ) |
+//! | capacitance | pF |
+//! | resistance | Ω |
+//! | delay | ps (Ω × pF = ps) |
+//! | area | λ² |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod device;
+mod spice;
+mod technology;
+mod tree;
+
+pub use analysis::DelayAnalysis;
+pub use device::Device;
+pub use spice::to_spice;
+pub use technology::{Technology, TechnologyBuilder, TechnologyError};
+pub use tree::{NodeId, RcTree};

@@ -1,0 +1,127 @@
+//! Property-based tests for the Elmore delay engine.
+
+use gcr_rctree::{Device, NodeId, RcTree};
+use proptest::prelude::*;
+
+fn src() -> Device {
+    Device::new(0.1, 50.0, 0.0, 0.0)
+}
+
+/// A random tree shape: for each node after the first, the index of its
+/// parent among previously created nodes, plus its wire RC and load.
+#[derive(Debug, Clone)]
+struct RandomTree {
+    specs: Vec<(usize, f64, f64, f64)>,
+}
+
+fn random_tree(max_nodes: usize) -> impl Strategy<Value = RandomTree> {
+    prop::collection::vec(
+        (0usize..1000, 0.1..50.0f64, 0.001..1.0f64, 0.0..0.5f64),
+        1..max_nodes,
+    )
+    .prop_map(|raw| RandomTree {
+        specs: raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (p, r, c, l))| (p % (i + 1), r, c, l))
+            .collect(),
+    })
+}
+
+fn build(spec: &RandomTree) -> (RcTree, Vec<NodeId>) {
+    let mut t = RcTree::new(src());
+    let mut ids = vec![t.root()];
+    for &(p, r, c, l) in &spec.specs {
+        let id = t.add_node(ids[p], r, c);
+        t.set_load(id, l);
+        ids.push(id);
+    }
+    (t, ids)
+}
+
+proptest! {
+    /// Arrival times are monotone along every root-to-node path: signal
+    /// cannot arrive earlier downstream.
+    #[test]
+    fn arrival_monotone_along_paths(spec in random_tree(40)) {
+        let (t, ids) = build(&spec);
+        let an = t.analyze();
+        for &id in &ids {
+            if let Some(p) = t.parent(id) {
+                prop_assert!(an.arrival(id) >= an.arrival(p) - 1e-12,
+                    "child {id} at {} before parent {p} at {}",
+                    an.arrival(id), an.arrival(p));
+            }
+        }
+    }
+
+    /// Adding load anywhere never decreases any arrival time (Elmore is
+    /// monotone in capacitance).
+    #[test]
+    fn arrival_monotone_in_load(spec in random_tree(30), extra in 0.01..1.0f64, which in 0usize..30) {
+        let (t, ids) = build(&spec);
+        let target = ids[which % ids.len()];
+        let before = t.analyze();
+        let mut t2 = t.clone();
+        t2.set_load(target, extra + 1.0); // strictly larger than any default load
+        let after = t2.analyze();
+        for &id in &ids {
+            prop_assert!(after.arrival(id) + 1e-12 >= before.arrival(id));
+        }
+    }
+
+    /// Inserting a device at a node strictly reduces the capacitance seen
+    /// upstream (to C_g) and therefore cannot slow any node outside the
+    /// device's subtree.
+    #[test]
+    fn device_never_slows_upstream(spec in random_tree(30), which in 1usize..30) {
+        let (t, ids) = build(&spec);
+        prop_assume!(ids.len() > 1);
+        let target = ids[1 + (which % (ids.len() - 1))];
+        let before = t.analyze();
+        prop_assume!(before.cap_seen(target) > 0.04); // gate must actually decouple
+        let mut t2 = t.clone();
+        t2.set_device(target, Device::new(0.04, 250.0, 40.0, 0.0));
+        let after = t2.analyze();
+        // Nodes outside the target's subtree: arrival must not increase.
+        let mut in_subtree = vec![false; ids.len()];
+        in_subtree[target.index()] = true;
+        for &id in &ids {
+            if let Some(p) = t.parent(id) {
+                if in_subtree[p.index()] {
+                    in_subtree[id.index()] = true;
+                }
+            }
+        }
+        for &id in &ids {
+            if !in_subtree[id.index()] {
+                prop_assert!(after.arrival(id) <= before.arrival(id) + 1e-12,
+                    "node {id} slowed from {} to {}", before.arrival(id), after.arrival(id));
+            }
+        }
+        // The node itself arrives no later than before.
+        prop_assert!(after.arrival(target) <= before.arrival(target) + 1e-12);
+    }
+
+    /// Two mirror-image subtrees hung off the root arrive simultaneously.
+    #[test]
+    fn mirrored_subtrees_have_zero_skew(spec in random_tree(15)) {
+        let mut t = RcTree::new(src());
+        let left = t.add_node(t.root(), 3.0, 0.2);
+        let right = t.add_node(t.root(), 3.0, 0.2);
+        let mut sinks = Vec::new();
+        for side in [left, right] {
+            let mut map = vec![side];
+            for &(p, r, c, l) in &spec.specs {
+                let id = t.add_node(map[p % map.len()], r, c);
+                t.set_load(id, l);
+                map.push(id);
+            }
+            sinks.push(*map.last().unwrap());
+        }
+        let an = t.analyze();
+        let skew = (an.arrival(sinks[0]) - an.arrival(sinks[1])).abs();
+        let scale = an.arrival(sinks[0]).abs().max(1.0);
+        prop_assert!(skew <= 1e-9 * scale, "mirror skew {skew}");
+    }
+}

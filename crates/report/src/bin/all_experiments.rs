@@ -1,0 +1,158 @@
+//! Runs every experiment of the paper's evaluation in sequence — the
+//! one-shot reproduction of §5 and §6.
+//!
+//! Usage:
+//! `cargo run --release -p gcr-report --bin all_experiments [--quick] [--html out.html]`
+//! (`--quick` trims each experiment to its smallest benchmarks; `--html`
+//! additionally writes a self-contained report with an embedded SVG
+//! floorplan of the gated r1 tree).
+
+use gcr_core::{reduce_gates_untied, route_gated, ReductionParams, RouterConfig};
+use gcr_rctree::Technology;
+use gcr_report::{
+    fig3, fig4, fig5, fig6, render_fig3_area, render_fig3_switched_cap, render_fig4, render_fig5,
+    render_fig6, render_svg, render_table4, table4, SvgOptions,
+};
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+/// Captures every section for both stdout and the optional HTML report.
+struct Report {
+    sections: Vec<(String, String)>,
+}
+
+impl Report {
+    fn add(&mut self, title: &str, body: String) {
+        println!("== {title} ==");
+        println!("{body}");
+        self.sections.push((title.to_owned(), body));
+    }
+
+    fn to_html(&self, svg: Option<&str>) -> String {
+        let mut h = String::from(
+            "<!DOCTYPE html><html><head><meta charset=\"utf-8\">\
+             <title>gated-clock-routing — experiments</title>\
+             <style>body{font-family:sans-serif;max-width:70em;margin:2em auto}\
+             pre{background:#f6f6f2;padding:1em;overflow-x:auto}</style>\
+             </head><body><h1>Gated Clock Routing — reproduced experiments</h1>",
+        );
+        for (title, body) in &self.sections {
+            h.push_str(&format!("<h2>{title}</h2><pre>{body}</pre>"));
+        }
+        if let Some(svg) = svg {
+            h.push_str("<h2>Gated r1 floorplan</h2>");
+            h.push_str(svg);
+        }
+        h.push_str("</body></html>");
+        h
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let html_out = args
+        .iter()
+        .position(|a| a == "--html")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let params = WorkloadParams::default();
+    let tech = Technology::default();
+    let mut report = Report {
+        sections: Vec::new(),
+    };
+
+    let table4_benches: &[TsayBenchmark] = if quick {
+        &TsayBenchmark::ALL[..3]
+    } else {
+        &TsayBenchmark::ALL
+    };
+    let fig3_benches: &[TsayBenchmark] = if quick {
+        &TsayBenchmark::ALL[..2]
+    } else {
+        &TsayBenchmark::ALL
+    };
+    let fig6_benches: &[TsayBenchmark] = if quick {
+        &TsayBenchmark::ALL[..1]
+    } else {
+        &TsayBenchmark::ALL[..3]
+    };
+
+    match table4(table4_benches, &params) {
+        Ok(rows) => report.add(
+            "Table 4: benchmark characteristics",
+            render_table4(&rows).to_string(),
+        ),
+        Err(e) => eprintln!("table4 failed: {e}"),
+    }
+
+    match fig3(fig3_benches, &params, &tech) {
+        Ok(rows) => report.add(
+            "Figure 3: buffered vs gated vs gate-reduced",
+            format!(
+                "Switched capacitance (pF):\n{}\nArea (10^6 λ²):\n{}",
+                render_fig3_switched_cap(&rows),
+                render_fig3_area(&rows)
+            ),
+        ),
+        Err(e) => eprintln!("fig3 failed: {e}"),
+    }
+
+    let activities = [0.1, 0.3, 0.5, 0.7, 0.9];
+    match fig4(&activities, TsayBenchmark::R1, &params, &tech) {
+        Ok(rows) => report.add(
+            "Figure 4: module activity vs switched capacitance (r1)",
+            render_fig4(&rows).to_string(),
+        ),
+        Err(e) => eprintln!("fig4 failed: {e}"),
+    }
+
+    let strengths = [0.0, 0.05, 0.1, 0.2, 0.4, 0.8];
+    match fig5(&strengths, TsayBenchmark::R1, &params, &tech) {
+        Ok(rows) => report.add(
+            "Figure 5: gate reduction sweep (r1)",
+            render_fig5(&rows).to_string(),
+        ),
+        Err(e) => eprintln!("fig5 failed: {e}"),
+    }
+
+    match fig6(&[0, 1, 2], fig6_benches, &params, &tech) {
+        Ok(rows) => report.add(
+            "Figure 6 / §6: distributed controllers",
+            render_fig6(&rows).to_string(),
+        ),
+        Err(e) => eprintln!("fig6 failed: {e}"),
+    }
+
+    if let Some(path) = html_out {
+        // Embed a floorplan of the gated r1 tree.
+        let svg = Workload::generate(TsayBenchmark::R1, &params)
+            .ok()
+            .and_then(|w| {
+                let config = RouterConfig::new(tech.clone(), w.benchmark.die);
+                let routing = route_gated(&w.benchmark.sinks, &w.tables, &config).ok()?;
+                let mask = reduce_gates_untied(
+                    &routing,
+                    &tech,
+                    &ReductionParams::from_strength_scaled(
+                        0.2,
+                        &tech,
+                        w.benchmark.die.half_perimeter() / 8.0,
+                    ),
+                );
+                Some(render_svg(
+                    &routing.tree,
+                    w.benchmark.die,
+                    config.controller(),
+                    &SvgOptions {
+                        node_stats: Some(routing.node_stats.clone()),
+                        controlled: Some(mask),
+                        ..SvgOptions::default()
+                    },
+                ))
+            });
+        match std::fs::write(&path, report.to_html(svg.as_deref())) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+}

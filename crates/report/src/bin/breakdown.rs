@@ -1,0 +1,68 @@
+//! Extension experiment: where the power goes — switched capacitance by
+//! tree depth, before and after gate reduction.
+//!
+//! Usage: `cargo run --release -p gcr-report --bin breakdown [bench]`
+
+use gcr_core::{
+    evaluate_breakdown, reduce_gates_untied, route_gated, ReductionParams, RouterConfig,
+};
+use gcr_rctree::Technology;
+use gcr_report::TextTable;
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+fn main() {
+    let which = match std::env::args().nth(1).as_deref() {
+        Some("r2") => TsayBenchmark::R2,
+        Some("r3") => TsayBenchmark::R3,
+        _ => TsayBenchmark::R1,
+    };
+    let tech = Technology::default();
+    let w = Workload::generate(which, &WorkloadParams::default()).expect("workload");
+    let config = RouterConfig::new(tech.clone(), w.benchmark.die);
+    let routing = route_gated(&w.benchmark.sinks, &w.tables, &config).expect("routing");
+
+    let full = vec![true; routing.tree.len()];
+    let reduced = reduce_gates_untied(
+        &routing,
+        &tech,
+        &ReductionParams::from_strength_scaled(0.2, &tech, w.benchmark.die.half_perimeter() / 8.0),
+    );
+    let rows_full = evaluate_breakdown(
+        &routing.tree,
+        &routing.node_stats,
+        config.controller(),
+        &tech,
+        &full,
+    );
+    let rows_red = evaluate_breakdown(
+        &routing.tree,
+        &routing.node_stats,
+        config.controller(),
+        &tech,
+        &reduced,
+    );
+
+    let mut t = TextTable::new(vec![
+        "depth",
+        "edges",
+        "full: W(T) pF",
+        "full: W(S) pF",
+        "reduced: W(T) pF",
+        "reduced: W(S) pF",
+    ]);
+    for (f, r) in rows_full.iter().zip(&rows_red) {
+        t.row(vec![
+            f.depth.to_string(),
+            f.nodes.to_string(),
+            format!("{:.2}", f.clock_switched_cap),
+            format!("{:.2}", f.control_switched_cap),
+            format!("{:.2}", r.clock_switched_cap),
+            format!("{:.2}", r.control_switched_cap),
+        ]);
+    }
+    println!(
+        "Switched capacitance by tree depth on {} (fully gated vs reduced):",
+        which.name()
+    );
+    println!("{t}");
+}

@@ -1,0 +1,67 @@
+//! Internal calibration probe: prints per-strength totals for one
+//! benchmark so the reduction sweep's shape can be inspected.
+//!
+//! Usage: `cargo run --release -p gcr-report --bin calibrate [bench]`
+
+use gcr_core::{
+    evaluate_buffered, evaluate_with_mask, reduce_gates_untied, route_gated, ReductionParams,
+    RouterConfig,
+};
+use gcr_cts::build_buffered_tree;
+use gcr_rctree::Technology;
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+fn main() {
+    let tech = Technology::default();
+    let which = match std::env::args().nth(1).as_deref() {
+        Some("r2") => TsayBenchmark::R2,
+        Some("r3") => TsayBenchmark::R3,
+        Some("r4") => TsayBenchmark::R4,
+        Some("r5") => TsayBenchmark::R5,
+        _ => TsayBenchmark::R1,
+    };
+    let params = WorkloadParams::default();
+    let w = Workload::generate(which, &params).unwrap();
+    let config = RouterConfig::new(tech.clone(), w.benchmark.die);
+    let buffered = build_buffered_tree(&tech, &w.benchmark.sinks, config.source()).unwrap();
+    let buf = evaluate_buffered(&buffered, &tech);
+    println!(
+        "{}: buffered total {:.1} pF (wire {:.1}, area {:.2}Mλ²)",
+        which.name(),
+        buf.total_switched_cap,
+        tech.wire_cap(buf.clock_wire_length),
+        buf.total_area / 1e6
+    );
+    let routing = route_gated(&w.benchmark.sinks, &w.tables, &config).unwrap();
+    let full = routing.assignment.device_count();
+    for s in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+        let mask = reduce_gates_untied(
+            &routing,
+            &tech,
+            &ReductionParams::from_strength_scaled(
+                s,
+                &tech,
+                w.benchmark.die.half_perimeter() / 8.0,
+            ),
+        );
+        let kept = mask.iter().filter(|&&k| k).count();
+        let r = evaluate_with_mask(
+            &routing.tree,
+            &routing.node_stats,
+            config.controller(),
+            &tech,
+            &mask,
+        );
+        println!(
+            "s={s:.1} ctl {kept:4}/{full} ({:3.0}% rm) | W(T) {:6.1} W(S) {:6.1} total {:6.1} | ratio {:.2}",
+            100.0 * (1.0 - kept as f64 / full as f64),
+            r.clock_switched_cap,
+            r.control_switched_cap,
+            r.total_switched_cap,
+            r.total_switched_cap / buf.total_switched_cap
+        );
+    }
+}
+
+#[allow(dead_code)]
+fn unused() {}

@@ -1,0 +1,39 @@
+//! Extension experiment: wire process corners (±20 % unit R and C, fixed
+//! devices) for the buffered baseline vs the gated tree — the robustness
+//! cost of device-heavy clock paths.
+//!
+//! Usage: `cargo run --release -p gcr-report --bin corners [bench]`
+
+use gcr_rctree::Technology;
+use gcr_report::{corner_study, TextTable};
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+fn main() {
+    let which = match std::env::args().nth(1).as_deref() {
+        Some("r2") => TsayBenchmark::R2,
+        Some("r3") => TsayBenchmark::R3,
+        _ => TsayBenchmark::R1,
+    };
+    let tech = Technology::default();
+    let w = Workload::generate(which, &WorkloadParams::default()).expect("workload");
+    let rows = corner_study(&w, &tech, 0.2).expect("corner study");
+
+    let mut t = TextTable::new(vec![
+        "corner",
+        "buffered skew (ps)",
+        "buffered delay (ps)",
+        "gated skew (ps)",
+        "gated delay (ps)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.corner,
+            format!("{:.2}", r.buffered_skew),
+            format!("{:.0}", r.buffered_delay),
+            format!("{:.2}", r.gated_skew),
+            format!("{:.0}", r.gated_delay),
+        ]);
+    }
+    println!("Wire corners (devices fixed) on {}:", which.name());
+    println!("{t}");
+}

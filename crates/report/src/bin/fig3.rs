@@ -1,0 +1,35 @@
+//! Regenerates **Figure 3**: switched capacitance and area comparison
+//! among buffered, gated, and gate-reduced clock routing on r1–r5.
+//!
+//! Usage: `cargo run --release -p gcr-report --bin fig3 [--quick]`
+//! (`--quick` limits the run to r1–r2; the full suite routes up to 3101
+//! sinks and takes a few minutes).
+
+use gcr_rctree::Technology;
+use gcr_report::{fig3, render_fig3_area, render_fig3_switched_cap};
+use gcr_workloads::{TsayBenchmark, WorkloadParams};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let benches: &[TsayBenchmark] = if quick {
+        &TsayBenchmark::ALL[..2]
+    } else {
+        &TsayBenchmark::ALL
+    };
+    let params = WorkloadParams::default();
+    let tech = Technology::default();
+    match fig3(benches, &params, &tech) {
+        Ok(rows) => {
+            println!("Figure 3: Comparison among different clock routing methods");
+            println!();
+            println!("Switched capacitance (pF):");
+            println!("{}", render_fig3_switched_cap(&rows));
+            println!("Area (10^6 λ²):");
+            println!("{}", render_fig3_area(&rows));
+        }
+        Err(e) => {
+            eprintln!("fig3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

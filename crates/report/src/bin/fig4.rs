@@ -1,0 +1,24 @@
+//! Regenerates **Figure 4**: average module activity vs switched
+//! capacitance (buffered vs gate-reduced) on benchmark r1.
+//!
+//! Usage: `cargo run --release -p gcr-report --bin fig4`
+
+use gcr_rctree::Technology;
+use gcr_report::{fig4, render_fig4};
+use gcr_workloads::{TsayBenchmark, WorkloadParams};
+
+fn main() {
+    let activities = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let params = WorkloadParams::default();
+    let tech = Technology::default();
+    match fig4(&activities, TsayBenchmark::R1, &params, &tech) {
+        Ok(rows) => {
+            println!("Figure 4: Average module activity vs switched capacitance (r1)");
+            println!("{}", render_fig4(&rows));
+        }
+        Err(e) => {
+            eprintln!("fig4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

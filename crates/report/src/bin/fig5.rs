@@ -1,0 +1,34 @@
+//! Regenerates **Figure 5**: gate reduction vs switched capacitance and
+//! area (controller tree / clock tree split) on benchmark r1.
+//!
+//! Usage: `cargo run --release -p gcr-report --bin fig5`
+
+use gcr_rctree::Technology;
+use gcr_report::{fig5, render_fig5};
+use gcr_workloads::{TsayBenchmark, WorkloadParams};
+
+fn main() {
+    let strengths = [0.0, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.6, 0.8];
+    let params = WorkloadParams::default();
+    let tech = Technology::default();
+    match fig5(&strengths, TsayBenchmark::R1, &params, &tech) {
+        Ok(rows) => {
+            println!("Figure 5: Gate reduction vs switched capacitance and area (r1)");
+            println!("{}", render_fig5(&rows));
+            if let Some(best) = rows
+                .iter()
+                .min_by(|a, b| a.total_switched_cap.total_cmp(&b.total_switched_cap))
+            {
+                println!(
+                    "optimum: {:.0}% gate reduction at W = {:.2} pF",
+                    100.0 * best.reduction_fraction,
+                    best.total_switched_cap
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("fig5 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Figure 6 / §6**: centralized vs distributed gate
+//! controllers — star routing length shrinks by ≈ √k for k controllers.
+//!
+//! Usage: `cargo run --release -p gcr-report --bin fig6 [--quick]`
+
+use gcr_rctree::Technology;
+use gcr_report::{fig6, render_fig6};
+use gcr_workloads::{TsayBenchmark, WorkloadParams};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let benches: &[TsayBenchmark] = if quick {
+        &TsayBenchmark::ALL[..1]
+    } else {
+        &TsayBenchmark::ALL[..3]
+    };
+    let params = WorkloadParams::default();
+    let tech = Technology::default();
+    match fig6(&[0, 1, 2], benches, &params, &tech) {
+        Ok(rows) => {
+            println!("Figure 6 / §6: centralized vs distributed controllers");
+            println!("{}", render_fig6(&rows));
+        }
+        Err(e) => {
+            eprintln!("fig6 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Extension experiment: the exact tree-DP control-subset optimum
+//! (`reduce_gates_optimal`) vs the paper's §4.3 heuristic, across
+//! benchmarks.
+//!
+//! Usage: `cargo run --release -p gcr-report --bin optimal_reduction [--quick]`
+
+use gcr_rctree::Technology;
+use gcr_report::{optimal_vs_heuristic, TextTable};
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let benches: &[TsayBenchmark] = if quick {
+        &TsayBenchmark::ALL[..2]
+    } else {
+        &TsayBenchmark::ALL
+    };
+    let tech = Technology::default();
+    let params = WorkloadParams::default();
+
+    let mut t = TextTable::new(vec![
+        "Bench",
+        "Buffered pF",
+        "Heuristic pF",
+        "heur. gates",
+        "DP optimum pF",
+        "DP gates",
+        "DP vs heur.",
+    ]);
+    for &b in benches {
+        let w = Workload::generate(b, &params).expect("workload");
+        let row = optimal_vs_heuristic(&w, &tech).expect("study");
+        t.row(vec![
+            row.bench.clone(),
+            format!("{:.1}", row.buffered),
+            format!("{:.1}", row.heuristic.0),
+            row.heuristic.1.to_string(),
+            format!("{:.1}", row.optimal.0),
+            row.optimal.1.to_string(),
+            format!("-{:.1}%", 100.0 * (1.0 - row.optimal.0 / row.heuristic.0)),
+        ]);
+    }
+    println!("Exact control-subset optimum vs the paper's reduction rules:");
+    println!("{t}");
+}

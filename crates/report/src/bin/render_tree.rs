@@ -1,0 +1,69 @@
+//! Renders a gated routing of a benchmark as an SVG floorplan: clock
+//! wires, sinks, gates colored by enable probability, and the controller
+//! star routing.
+//!
+//! Usage: `cargo run --release -p gcr-report --bin render_tree [bench] [out.svg]`
+//! (defaults: r1, `gated_tree.svg` in the current directory).
+
+use gcr_core::{reduce_gates_untied, route_gated, ReductionParams, RouterConfig};
+use gcr_rctree::Technology;
+use gcr_report::{render_svg, SvgOptions};
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let which = match args.next().as_deref() {
+        Some("r2") => TsayBenchmark::R2,
+        Some("r3") => TsayBenchmark::R3,
+        Some("r4") => TsayBenchmark::R4,
+        Some("r5") => TsayBenchmark::R5,
+        _ => TsayBenchmark::R1,
+    };
+    let out = args.next().unwrap_or_else(|| "gated_tree.svg".to_owned());
+
+    let tech = Technology::default();
+    let params = WorkloadParams::default();
+    let w = match Workload::generate(which, &params) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("workload generation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let config = RouterConfig::new(tech.clone(), w.benchmark.die);
+    let routing = match route_gated(&w.benchmark.sinks, &w.tables, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("routing failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mask = reduce_gates_untied(
+        &routing,
+        &tech,
+        &ReductionParams::from_strength_scaled(0.2, &tech, w.benchmark.die.half_perimeter() / 8.0),
+    );
+    let options = SvgOptions {
+        width_px: 1200.0,
+        node_stats: Some(routing.node_stats.clone()),
+        controlled: Some(mask),
+        ..SvgOptions::default()
+    };
+    let svg = render_svg(&routing.tree, config.die(), config.controller(), &options);
+    if let Err(e) = std::fs::write(&out, svg) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {out}: {} sinks, {} gates ({} controlled)",
+        routing.tree.num_sinks(),
+        routing.tree.device_count(),
+        options_controlled_count(&options)
+    );
+}
+
+fn options_controlled_count(o: &SvgOptions) -> usize {
+    o.controlled
+        .as_ref()
+        .map_or(0, |c| c.iter().filter(|&&k| k).count())
+}

@@ -1,0 +1,42 @@
+//! Extension experiment: bounded-skew embedding of the gated topology —
+//! how much wire (and switched capacitance) a skew budget buys back.
+//!
+//! Usage: `cargo run --release -p gcr-report --bin skew_tradeoff [bench]`
+
+use gcr_rctree::Technology;
+use gcr_report::{skew_tradeoff_study, TextTable};
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+fn main() {
+    let which = match std::env::args().nth(1).as_deref() {
+        Some("r2") => TsayBenchmark::R2,
+        Some("r3") => TsayBenchmark::R3,
+        _ => TsayBenchmark::R1,
+    };
+    let tech = Technology::default();
+    let w = Workload::generate(which, &WorkloadParams::default()).expect("workload");
+    let rows = skew_tradeoff_study(&w, &tech, &[0.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0])
+        .expect("trade-off study");
+
+    let mut t = TextTable::new(vec![
+        "skew bound (ps)",
+        "measured skew (ps)",
+        "wire (kλ)",
+        "W(T) pF",
+        "total W pF",
+    ]);
+    for r in rows {
+        t.row(vec![
+            format!("{:.0}", r.bound),
+            format!("{:.2}", r.measured_skew),
+            format!("{:.0}", r.wire_length / 1e3),
+            format!("{:.2}", r.clock_switched_cap),
+            format!("{:.2}", r.total_switched_cap),
+        ]);
+    }
+    println!(
+        "Bounded-skew trade-off on {} (gated topology):",
+        which.name()
+    );
+    println!("{t}");
+}

@@ -1,0 +1,28 @@
+//! Regenerates **Table 4**: benchmark characteristics for gated clock
+//! routing.
+//!
+//! Usage: `cargo run --release -p gcr-report --bin table4 [--quick]`
+//! (`--quick` limits the run to r1–r3).
+
+use gcr_report::{render_table4, table4};
+use gcr_workloads::{TsayBenchmark, WorkloadParams};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let benches: &[TsayBenchmark] = if quick {
+        &TsayBenchmark::ALL[..3]
+    } else {
+        &TsayBenchmark::ALL
+    };
+    let params = WorkloadParams::default();
+    match table4(benches, &params) {
+        Ok(rows) => {
+            println!("Table 4: Benchmark characteristics for gated clock routing");
+            println!("{}", render_table4(&rows));
+        }
+        Err(e) => {
+            eprintln!("table4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

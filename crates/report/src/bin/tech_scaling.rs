@@ -1,0 +1,50 @@
+//! Extension experiment: how the gated-vs-buffered trade-off moves across
+//! technology generations (0.5 µm → 0.35 µm → 0.25 µm presets).
+//!
+//! Usage: `cargo run --release -p gcr-report --bin tech_scaling`
+
+use gcr_rctree::Technology;
+use gcr_report::{tech_scaling_study, TextTable};
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+fn main() {
+    let w = Workload::generate(TsayBenchmark::R1, &WorkloadParams::default()).expect("workload");
+    let rows = tech_scaling_study(
+        &w,
+        &[
+            ("0.5um/5V/100MHz", Technology::half_micron()),
+            ("0.35um/3.3V/200MHz", Technology::three_fifty_nm()),
+            ("0.25um/2.5V/400MHz", Technology::quarter_micron()),
+        ],
+    )
+    .expect("scaling study");
+
+    let techs = [
+        Technology::half_micron(),
+        Technology::three_fifty_nm(),
+        Technology::quarter_micron(),
+    ];
+    let mut t = TextTable::new(vec![
+        "node",
+        "buffered pF",
+        "reduced pF",
+        "ratio",
+        "buffered mW",
+        "reduced mW",
+    ]);
+    for (r, tech) in rows.iter().zip(&techs) {
+        t.row(vec![
+            r.node.clone(),
+            format!("{:.1}", r.buffered.total_switched_cap),
+            format!("{:.1}", r.reduced.total_switched_cap),
+            format!(
+                "{:.2}",
+                r.reduced.total_switched_cap / r.buffered.total_switched_cap
+            ),
+            format!("{:.1}", r.buffered.power_uw(tech) / 1e3),
+            format!("{:.1}", r.reduced.power_uw(tech) / 1e3),
+        ]);
+    }
+    println!("Technology scaling of the gated clock advantage (r1):");
+    println!("{t}");
+}

@@ -1,0 +1,44 @@
+//! Statistical robustness of the headline result: the Figure-3 ratios
+//! across many benchmark/workload seeds. The synthetic r1 is a *random*
+//! instance; this shows the conclusions do not hinge on one draw.
+//!
+//! Usage: `cargo run --release -p gcr-report --bin variance [n_seeds]`
+
+use gcr_rctree::Technology;
+use gcr_report::{seeded_workload, variance_study, Stats1d, TextTable};
+use gcr_workloads::{TsayBenchmark, WorkloadParams};
+
+fn main() {
+    let n_seeds: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let tech = Technology::default();
+    let base = WorkloadParams::default();
+    let v = variance_study(
+        |seed| seeded_workload(TsayBenchmark::R1, &base, seed),
+        n_seeds,
+        &tech,
+    )
+    .expect("variance study");
+
+    let mut t = TextTable::new(vec!["metric", "mean", "std", "min", "max"]);
+    let row = |t: &mut TextTable, name: &str, s: &Stats1d| {
+        t.row(vec![
+            name.to_owned(),
+            format!("{:.3}", s.mean),
+            format!("{:.3}", s.std),
+            format!("{:.3}", s.min),
+            format!("{:.3}", s.max),
+        ]);
+    };
+    row(&mut t, "gated / buffered", &v.gated_ratio);
+    row(&mut t, "reduced / buffered", &v.reduced_ratio);
+    row(&mut t, "% controls removed", &v.reduction_pct);
+    println!("Figure-3 ratios on r1 across {n_seeds} seeds:");
+    println!("{t}");
+    println!(
+        "gate reduction beats buffered on {}/{} seeds",
+        v.wins, v.seeds
+    );
+}

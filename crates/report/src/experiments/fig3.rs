@@ -1,0 +1,128 @@
+use gcr_core::RouteError;
+use gcr_rctree::Technology;
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+use crate::experiments::pipeline::{run_pipeline, DEFAULT_STRENGTHS};
+use crate::{PipelineResult, TextTable};
+
+/// One bar group of Figure 3: switched capacitance and area for the three
+/// routing methods on one benchmark.
+#[derive(Clone, Debug)]
+pub struct Fig3Row {
+    /// Benchmark name.
+    pub bench: String,
+    /// The three evaluated design points.
+    pub result: PipelineResult,
+}
+
+/// Regenerates Figure 3 ("Comparison among different clock routing
+/// methods: switched capacitance in pF, area in 10⁶λ²") over the given
+/// benchmarks.
+///
+/// # Errors
+///
+/// Returns [`RouteError`] when a workload cannot be generated or routed.
+pub fn fig3(
+    benches: &[TsayBenchmark],
+    params: &WorkloadParams,
+    tech: &Technology,
+) -> Result<Vec<Fig3Row>, RouteError> {
+    benches
+        .iter()
+        .map(|&b| {
+            let w = Workload::generate(b, params).map_err(|e| {
+                gcr_core::RouteError::Cts(gcr_cts::CtsError::InvalidTopology {
+                    reason: format!("workload generation failed: {e}"),
+                })
+            })?;
+            let result = run_pipeline(&w, tech, DEFAULT_STRENGTHS)?;
+            Ok(Fig3Row {
+                bench: b.name().to_owned(),
+                result,
+            })
+        })
+        .collect()
+}
+
+/// Renders the switched-capacitance panel of Figure 3.
+#[must_use]
+pub fn render_switched_cap(rows: &[Fig3Row]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Bench",
+        "Buffered (pF)",
+        "Gated (pF)",
+        "Gate Red. (pF)",
+        "Red./Buf.",
+        "gates removed",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.bench.clone(),
+            format!("{:.2}", r.result.buffered.total_switched_cap),
+            format!("{:.2}", r.result.gated.total_switched_cap),
+            format!("{:.2}", r.result.reduced.total_switched_cap),
+            format!(
+                "{:.2}",
+                r.result.reduced.total_switched_cap / r.result.buffered.total_switched_cap
+            ),
+            format!("{:.0}%", 100.0 * r.result.reduction_fraction),
+        ]);
+    }
+    t
+}
+
+/// Renders the area panel of Figure 3.
+#[must_use]
+pub fn render_area(rows: &[Fig3Row]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Bench",
+        "Buffered (Mλ²)",
+        "Gated (Mλ²)",
+        "Gate Red. (Mλ²)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.bench.clone(),
+            format!("{:.2}", r.result.buffered.total_area / 1e6),
+            format!("{:.2}", r.result.gated.total_area / 1e6),
+            format!("{:.2}", r.result.reduced.total_area / 1e6),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure-3 shape on r1: ungated-with-gates-everywhere is
+    /// *worse* than buffered (star routing overhead), and reduction brings
+    /// the gated tree below the buffered baseline.
+    #[test]
+    fn fig3_shape_holds_on_r1() {
+        let params = WorkloadParams {
+            stream_len: 5_000,
+            ..WorkloadParams::default()
+        };
+        let tech = Technology::default();
+        let rows = fig3(&[TsayBenchmark::R1], &params, &tech).unwrap();
+        let r = &rows[0].result;
+        assert!(
+            r.gated.total_switched_cap > r.buffered.total_switched_cap,
+            "full gating should lose to buffered: {} vs {}",
+            r.gated.total_switched_cap,
+            r.buffered.total_switched_cap
+        );
+        assert!(
+            r.reduced.total_switched_cap < r.buffered.total_switched_cap,
+            "gate reduction should beat buffered: {} vs {}",
+            r.reduced.total_switched_cap,
+            r.buffered.total_switched_cap
+        );
+        // Area overhead remains for the gated designs.
+        assert!(r.reduced.total_area > r.buffered.total_area);
+        let cap = render_switched_cap(&rows).to_string();
+        let area = render_area(&rows).to_string();
+        assert!(cap.contains("r1") && area.contains("r1"));
+    }
+}

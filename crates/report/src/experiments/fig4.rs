@@ -1,0 +1,100 @@
+use gcr_core::RouteError;
+use gcr_rctree::Technology;
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+use crate::experiments::pipeline::{run_pipeline, DEFAULT_STRENGTHS};
+use crate::TextTable;
+
+/// One point of Figure 4: average module activity vs switched capacitance
+/// for the buffered baseline and the gate-reduced tree.
+#[derive(Clone, Debug)]
+pub struct Fig4Row {
+    /// The usage-fraction knob requested.
+    pub requested_activity: f64,
+    /// The measured average module activity of the generated stream.
+    pub measured_activity: f64,
+    /// Buffered baseline total switched capacitance (pF) — flat in
+    /// activity.
+    pub buffered: f64,
+    /// Gate-reduced total switched capacitance (pF) — grows with activity.
+    pub gate_reduced: f64,
+}
+
+/// Regenerates Figure 4 ("Average module activity vs switched capacitance
+/// for benchmark r1"): sweeps the CPU model's usage fraction and reports
+/// both routing methods at each point.
+///
+/// # Errors
+///
+/// Returns [`RouteError`] when a workload cannot be generated or routed.
+pub fn fig4(
+    activities: &[f64],
+    bench: TsayBenchmark,
+    params: &WorkloadParams,
+    tech: &Technology,
+) -> Result<Vec<Fig4Row>, RouteError> {
+    activities
+        .iter()
+        .map(|&a| {
+            let w = Workload::generate(bench, &params.with_usage_fraction(a)).map_err(|e| {
+                RouteError::Cts(gcr_cts::CtsError::InvalidTopology {
+                    reason: format!("workload generation failed: {e}"),
+                })
+            })?;
+            let r = run_pipeline(&w, tech, DEFAULT_STRENGTHS)?;
+            Ok(Fig4Row {
+                requested_activity: a,
+                measured_activity: w.stats.avg_module_activity,
+                buffered: r.buffered.total_switched_cap,
+                gate_reduced: r.reduced.total_switched_cap,
+            })
+        })
+        .collect()
+}
+
+/// Renders the Figure-4 series.
+#[must_use]
+pub fn render(rows: &[Fig4Row]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "activity",
+        "measured",
+        "Buffered (pF)",
+        "Gate Red. (pF)",
+        "Red./Buf.",
+    ]);
+    for r in rows {
+        t.row(vec![
+            format!("{:.2}", r.requested_activity),
+            format!("{:.2}", r.measured_activity),
+            format!("{:.2}", r.buffered),
+            format!("{:.2}", r.gate_reduced),
+            format!("{:.2}", r.gate_reduced / r.buffered),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 4's shape: the gated advantage shrinks as average activity
+    /// rises — gated SC grows with activity while buffered stays flat.
+    #[test]
+    fn gated_advantage_shrinks_with_activity() {
+        let params = WorkloadParams {
+            stream_len: 4_000,
+            ..WorkloadParams::default()
+        };
+        let tech = Technology::default();
+        let rows = fig4(&[0.15, 0.75], TsayBenchmark::R1, &params, &tech).unwrap();
+        let gap_low = rows[0].buffered - rows[0].gate_reduced;
+        let gap_high = rows[1].buffered - rows[1].gate_reduced;
+        assert!(
+            gap_low > gap_high,
+            "low-activity gap {gap_low} must exceed high-activity gap {gap_high}"
+        );
+        assert!(rows[0].gate_reduced < rows[1].gate_reduced);
+        assert!(render(&rows).to_string().contains("0.15"));
+    }
+}

@@ -1,0 +1,170 @@
+use gcr_core::{
+    evaluate_with_mask, reduce_gates_untied, route_gated, ReductionParams, RouteError, RouterConfig,
+};
+use gcr_rctree::Technology;
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+use crate::TextTable;
+
+/// One point of Figure 5: gate reduction vs switched capacitance and area,
+/// split into the controller-tree and clock-tree components.
+#[derive(Clone, Debug)]
+pub struct Fig5Row {
+    /// The reduction strength knob (`f64::INFINITY` for the appended
+    /// fully-untied end point).
+    pub strength: f64,
+    /// Fraction of gates whose control was removed (the paper's x-axis).
+    pub reduction_fraction: f64,
+    /// Controlled gates kept.
+    pub gates: usize,
+    /// Clock-tree switched capacitance W(T) (pF).
+    pub clock_switched_cap: f64,
+    /// Controller-tree switched capacitance W(S) (pF).
+    pub control_switched_cap: f64,
+    /// Total W (pF).
+    pub total_switched_cap: f64,
+    /// Clock wiring + device area (λ²).
+    pub clock_area: f64,
+    /// Controller wiring area (λ²).
+    pub control_area: f64,
+    /// Total area (λ²).
+    pub total_area: f64,
+}
+
+/// Regenerates Figure 5 ("Gate reduction vs switched capacitance and area
+/// for benchmark r1"): routes once, then sweeps the §4.3 reduction
+/// strength in untie mode — reduced gates keep buffering the tree but
+/// lose their enable wires — re-evaluating at each point. A final
+/// fully-untied row (100 % reduction, no control tree at all) is appended
+/// so the right end of the paper's x-axis is covered.
+///
+/// # Errors
+///
+/// Returns [`RouteError`] when the workload cannot be generated or routed.
+pub fn fig5(
+    strengths: &[f64],
+    bench: TsayBenchmark,
+    params: &WorkloadParams,
+    tech: &Technology,
+) -> Result<Vec<Fig5Row>, RouteError> {
+    let w = Workload::generate(bench, params).map_err(|e| {
+        RouteError::Cts(gcr_cts::CtsError::InvalidTopology {
+            reason: format!("workload generation failed: {e}"),
+        })
+    })?;
+    let config = RouterConfig::new(tech.clone(), w.benchmark.die);
+    let routing = route_gated(&w.benchmark.sinks, &w.tables, &config)?;
+    let total_gates = routing.assignment.device_count();
+
+    let star_len = w.benchmark.die.half_perimeter() / 8.0;
+    let mut masks: Vec<(f64, Vec<bool>)> = strengths
+        .iter()
+        .map(|&s| {
+            (
+                s,
+                reduce_gates_untied(
+                    &routing,
+                    tech,
+                    &ReductionParams::from_strength_scaled(s, tech, star_len),
+                ),
+            )
+        })
+        .collect();
+    masks.push((f64::INFINITY, vec![false; routing.topology.len()]));
+
+    Ok(masks
+        .into_iter()
+        .map(|(s, mask)| {
+            let gates = mask.iter().filter(|&&k| k).count();
+            let report = evaluate_with_mask(
+                &routing.tree,
+                &routing.node_stats,
+                config.controller(),
+                tech,
+                &mask,
+            );
+            Fig5Row {
+                strength: s,
+                reduction_fraction: 1.0 - gates as f64 / total_gates as f64,
+                gates,
+                clock_switched_cap: report.clock_switched_cap,
+                control_switched_cap: report.control_switched_cap,
+                total_switched_cap: report.total_switched_cap,
+                clock_area: report.clock_wire_area + report.device_area,
+                control_area: report.control_wire_area,
+                total_area: report.total_area,
+            }
+        })
+        .collect())
+}
+
+/// Renders the Figure-5 series (both panels).
+#[must_use]
+pub fn render(rows: &[Fig5Row]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "reduction",
+        "ctl gates",
+        "W(T) pF",
+        "W(S) pF",
+        "W pF",
+        "clk area Mλ²",
+        "ctl area Mλ²",
+        "total Mλ²",
+    ]);
+    for r in rows {
+        t.row(vec![
+            format!("{:.0}%", 100.0 * r.reduction_fraction),
+            r.gates.to_string(),
+            format!("{:.2}", r.clock_switched_cap),
+            format!("{:.2}", r.control_switched_cap),
+            format!("{:.2}", r.total_switched_cap),
+            format!("{:.2}", r.clock_area / 1e6),
+            format!("{:.2}", r.control_area / 1e6),
+            format!("{:.2}", r.total_area / 1e6),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 5's shape: as gate controls are removed, W(S) falls and W(T)
+    /// rises, producing an interior optimum of the total.
+    #[test]
+    fn reduction_trades_control_for_clock_cap() {
+        let params = WorkloadParams {
+            stream_len: 4_000,
+            ..WorkloadParams::default()
+        };
+        let tech = Technology::default();
+        let rows = fig5(&[0.0, 0.5], TsayBenchmark::R1, &params, &tech).unwrap();
+        assert_eq!(rows.len(), 3); // two strengths + the fully-untied point
+        let (full, mid, none) = (&rows[0], &rows[1], &rows[2]);
+        assert_eq!(full.reduction_fraction, 0.0);
+        assert_eq!(none.reduction_fraction, 1.0);
+        assert_eq!(none.control_switched_cap, 0.0);
+        assert_eq!(none.control_area, 0.0);
+        // Monotone component trends…
+        assert!(mid.control_switched_cap < full.control_switched_cap);
+        assert!(mid.clock_switched_cap >= full.clock_switched_cap);
+        assert!(none.clock_switched_cap > mid.clock_switched_cap);
+        // …and the interior optimum: the mid point beats both ends.
+        assert!(
+            mid.total_switched_cap < full.total_switched_cap,
+            "mid {} vs full {}",
+            mid.total_switched_cap,
+            full.total_switched_cap
+        );
+        assert!(
+            mid.total_switched_cap < none.total_switched_cap,
+            "mid {} vs none {}",
+            mid.total_switched_cap,
+            none.total_switched_cap
+        );
+        // Control area shrinks with controlled-gate count.
+        assert!(mid.control_area < full.control_area);
+        assert!(render(&rows).to_string().contains("W(T)"));
+    }
+}

@@ -1,0 +1,7 @@
+pub mod ext;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod pipeline;
+pub mod table4;

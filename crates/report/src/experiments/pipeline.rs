@@ -1,0 +1,143 @@
+use gcr_core::{
+    evaluate, evaluate_buffered, evaluate_with_mask, reduce_gates_untied, route_gated, DeviceRole,
+    PowerReport, ReductionParams, RouteError, RouterConfig,
+};
+use gcr_cts::build_buffered_tree;
+use gcr_rctree::Technology;
+use gcr_workloads::Workload;
+
+/// The three design points compared throughout §5 for one workload:
+/// buffered baseline, fully gated tree, and gated tree after gate
+/// reduction (at the best strength found on a small sweep — the designer's
+/// pick from Fig. 5).
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// §5.1's "Buffered" column: nearest-neighbor topology, a buffer on
+    /// every edge, no control routing.
+    pub buffered: PowerReport,
+    /// "Gated": Equation-3 topology, a masking gate on every edge.
+    pub gated: PowerReport,
+    /// "Gate Red.": the same topology re-embedded after §4.3 reduction.
+    pub reduced: PowerReport,
+    /// The reduction strength the sweep selected.
+    pub reduction_strength: f64,
+    /// The fraction of gates removed at that strength.
+    pub reduction_fraction: f64,
+}
+
+/// Runs the full §5 comparison pipeline on one workload.
+///
+/// `strengths` is the grid of reduction strengths to try; the reduced
+/// design point is the one with minimum total switched capacitance
+/// (`&[0.6]` pins a fixed strength; an empty slice reports the fully gated
+/// tree as "reduced").
+///
+/// # Errors
+///
+/// Returns [`RouteError`] when routing fails (mismatched workload) —
+/// never for well-formed [`Workload`]s.
+pub fn run_pipeline(
+    workload: &Workload,
+    tech: &Technology,
+    strengths: &[f64],
+) -> Result<PipelineResult, RouteError> {
+    let bench = &workload.benchmark;
+    let config = RouterConfig::new(tech.clone(), bench.die);
+
+    let buffered_tree = build_buffered_tree(tech, &bench.sinks, config.source())?;
+    let buffered = evaluate_buffered(&buffered_tree, tech);
+
+    let routing = route_gated(&bench.sinks, &workload.tables, &config)?;
+    let gated = evaluate(
+        &routing.tree,
+        &routing.node_stats,
+        config.controller(),
+        tech,
+        DeviceRole::Gate,
+    );
+
+    let total_gates = routing.assignment.device_count();
+    // The unreduced tree is always a candidate: the sweep can only improve
+    // on it, mirroring a designer reading Fig. 5 and keeping every gate
+    // when no reduction point wins. Reduction runs in untie mode (§4.3):
+    // reduced gates keep buffering the tree but lose their enable wires,
+    // so the embedding and zero skew are untouched.
+    let mut best: Option<(f64, f64, PowerReport)> = Some((0.0, 0.0, gated.clone()));
+    let star_len = bench.die.half_perimeter() / 8.0;
+    for &s in strengths {
+        let mask = reduce_gates_untied(
+            &routing,
+            tech,
+            &ReductionParams::from_strength_scaled(s, tech, star_len),
+        );
+        let kept = mask.iter().filter(|&&k| k).count();
+        let report = evaluate_with_mask(
+            &routing.tree,
+            &routing.node_stats,
+            config.controller(),
+            tech,
+            &mask,
+        );
+        let fraction = 1.0 - kept as f64 / total_gates as f64;
+        let better = best
+            .as_ref()
+            .is_none_or(|(_, _, b)| report.total_switched_cap < b.total_switched_cap);
+        if better {
+            best = Some((s, fraction, report));
+        }
+    }
+    let (reduction_strength, reduction_fraction, reduced) =
+        best.unwrap_or((0.0, 0.0, gated.clone()));
+
+    Ok(PipelineResult {
+        buffered,
+        gated,
+        reduced,
+        reduction_strength,
+        reduction_fraction,
+    })
+}
+
+/// The default reduction-strength grid swept by the figure binaries.
+pub const DEFAULT_STRENGTHS: &[f64] = &[0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.7, 0.9];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_workloads::{Benchmark, Workload, WorkloadParams};
+
+    fn quick_workload(n: usize) -> Workload {
+        let params = WorkloadParams {
+            instructions: 12,
+            stream_len: 2_000,
+            ..WorkloadParams::default()
+        };
+        Workload::for_benchmark(Benchmark::uniform(n, 20_000.0, 5), &params).unwrap()
+    }
+
+    #[test]
+    fn pipeline_produces_three_design_points() {
+        let tech = Technology::default();
+        let w = quick_workload(24);
+        let r = run_pipeline(&w, &tech, &[0.3, 0.6]).unwrap();
+        assert!(r.buffered.total_switched_cap > 0.0);
+        assert!(r.gated.total_switched_cap > 0.0);
+        assert!(r.reduced.total_switched_cap <= r.gated.total_switched_cap);
+        assert!(r.reduction_fraction >= 0.0 && r.reduction_fraction <= 1.0);
+        assert!(r.buffered.control_wire_length == 0.0);
+        assert!(r.gated.control_wire_length > 0.0);
+        // All three trees are zero-skew.
+        for rep in [&r.buffered, &r.gated, &r.reduced] {
+            assert!(rep.skew <= 1e-9 * rep.delay.max(1.0), "skew {}", rep.skew);
+        }
+    }
+
+    #[test]
+    fn empty_strength_grid_reports_gated_twice() {
+        let tech = Technology::default();
+        let w = quick_workload(12);
+        let r = run_pipeline(&w, &tech, &[]).unwrap();
+        assert_eq!(r.reduced.total_switched_cap, r.gated.total_switched_cap);
+        assert_eq!(r.reduction_fraction, 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+use gcr_activity::ActivityError;
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+use crate::TextTable;
+
+/// One row of Table 4: benchmark characteristics for gated clock routing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table4Row {
+    /// Benchmark name (`r1` … `r5`).
+    pub bench: String,
+    /// Number of sinks (= modules).
+    pub num_sinks: usize,
+    /// Number of instructions in the synthetic ISA.
+    pub num_instructions: usize,
+    /// Instruction stream length.
+    pub stream_len: usize,
+    /// Average fraction of modules used per instruction (`Ave(M(I))`).
+    pub avg_usage: f64,
+}
+
+/// Regenerates Table 4 ("Benchmark characteristics for gated clock
+/// routing") for the given benchmarks.
+///
+/// # Errors
+///
+/// Returns [`ActivityError`] if `params` is out of range.
+pub fn table4(
+    benches: &[TsayBenchmark],
+    params: &WorkloadParams,
+) -> Result<Vec<Table4Row>, ActivityError> {
+    benches
+        .iter()
+        .map(|&b| {
+            let w = Workload::generate(b, params)?;
+            Ok(Table4Row {
+                bench: b.name().to_owned(),
+                num_sinks: w.benchmark.sinks.len(),
+                num_instructions: w.stats.num_instructions,
+                stream_len: w.stats.num_cycles,
+                avg_usage: w.stats.avg_module_activity,
+            })
+        })
+        .collect()
+}
+
+/// Renders Table-4 rows in the paper's column layout.
+#[must_use]
+pub fn render(rows: &[Table4Row]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Bench",
+        "No. of sinks",
+        "No. of instr",
+        "Stream len",
+        "Ave(M(I))",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.bench.clone(),
+            r.num_sinks.to_string(),
+            r.num_instructions.to_string(),
+            r.stream_len.to_string(),
+            format!("{:.1}%", 100.0 * r.avg_usage),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_reproduces_published_sink_counts() {
+        let params = WorkloadParams {
+            stream_len: 1_000,
+            ..WorkloadParams::default()
+        };
+        let rows = table4(&[TsayBenchmark::R1, TsayBenchmark::R2], &params).unwrap();
+        assert_eq!(rows[0].num_sinks, 267);
+        assert_eq!(rows[1].num_sinks, 598);
+        // The headline statistic: ~40% average module usage.
+        for r in &rows {
+            assert!(
+                (r.avg_usage - 0.4).abs() < 0.05,
+                "{}: {}",
+                r.bench,
+                r.avg_usage
+            );
+        }
+        let rendered = render(&rows).to_string();
+        assert!(rendered.contains("r1") && rendered.contains("267"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Plain-text import/export of sink sets, shared by the `gcr` CLI and any
+//! external placement flow.
+//!
+//! Format: one `x y cap_pf` triple per line; blank lines and `#` comments
+//! are ignored. Sink `i` is module `i` of the activity model.
+
+use std::fmt::Write as _;
+
+use gcr_cts::Sink;
+use gcr_geometry::Point;
+
+/// Error from parsing a sink file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSinksError {
+    /// 1-based line number of the offending line (0 for file-level errors).
+    pub line: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseSinksError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.reason)
+        } else {
+            write!(f, "line {}: {}", self.line, self.reason)
+        }
+    }
+}
+
+impl std::error::Error for ParseSinksError {}
+
+/// Parses a sink list from the text format above.
+///
+/// # Errors
+///
+/// Returns [`ParseSinksError`] for malformed lines, non-finite values,
+/// negative capacitances, or an empty file.
+pub fn parse_sinks(text: &str) -> Result<Vec<Sink>, ParseSinksError> {
+    let mut sinks = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut parts = line.split_whitespace();
+        let mut num = |name: &str| -> Result<f64, ParseSinksError> {
+            let tok = parts.next().ok_or_else(|| ParseSinksError {
+                line: lineno,
+                reason: format!("missing {name}"),
+            })?;
+            let v: f64 = tok.parse().map_err(|e| ParseSinksError {
+                line: lineno,
+                reason: format!("{name}: {e}"),
+            })?;
+            if !v.is_finite() {
+                return Err(ParseSinksError {
+                    line: lineno,
+                    reason: format!("{name} is not finite"),
+                });
+            }
+            Ok(v)
+        };
+        let (x, y, cap) = (num("x")?, num("y")?, num("cap")?);
+        if cap < 0.0 {
+            return Err(ParseSinksError {
+                line: lineno,
+                reason: format!("negative cap {cap}"),
+            });
+        }
+        if parts.next().is_some() {
+            return Err(ParseSinksError {
+                line: lineno,
+                reason: "trailing tokens after `x y cap`".into(),
+            });
+        }
+        sinks.push(Sink::new(Point::new(x, y), cap));
+    }
+    if sinks.is_empty() {
+        return Err(ParseSinksError {
+            line: 0,
+            reason: "no sinks in file".into(),
+        });
+    }
+    Ok(sinks)
+}
+
+/// Serializes sinks to the text format (round-trips through
+/// [`parse_sinks`]).
+#[must_use]
+pub fn format_sinks(sinks: &[Sink]) -> String {
+    let mut out = String::from("# x y cap_pf — sink i is module i\n");
+    for s in sinks {
+        let _ = writeln!(out, "{} {} {}", s.location().x, s.location().y, s.cap());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, TsayBenchmark};
+
+    #[test]
+    fn parse_and_format_round_trip() {
+        let bench = Benchmark::tsay(TsayBenchmark::R1, 7);
+        let text = format_sinks(&bench.sinks);
+        let back = parse_sinks(&text).unwrap();
+        assert_eq!(back.len(), bench.sinks.len());
+        for (a, b) in back.iter().zip(&bench.sinks) {
+            assert!((a.location().x - b.location().x).abs() < 1e-9);
+            assert!((a.location().y - b.location().y).abs() < 1e-9);
+            assert!((a.cap() - b.cap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks() {
+        let s = parse_sinks("# header\n\n 1 2 0.05 # trailing\n").unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].cap(), 0.05);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_sinks("1 2 0.05\n3 4\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+        let e = parse_sinks("1 2 -0.05\n").unwrap_err();
+        assert!(e.reason.contains("negative"));
+        let e = parse_sinks("1 2 0.05 99\n").unwrap_err();
+        assert!(e.reason.contains("trailing"));
+        let e = parse_sinks("x y z\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_sinks("# only comments\n").unwrap_err();
+        assert_eq!(e.line, 0);
+        let e = parse_sinks("1 2 inf\n").unwrap_err();
+        assert!(e.reason.contains("finite"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Benchmarks and CPU activity models for the gated-clock-routing
+//! experiments.
+//!
+//! The paper evaluates on the `r1`–`r5` sink sets of Tsay's zero-skew
+//! benchmark suite \[6\] and drives them with instruction streams "generated
+//! according to a probabilistic model of the CPU when it executes typical
+//! programs" (§5, Table 4). The original sink placement files are not
+//! publicly archived, so this crate *synthesizes* benchmarks with the
+//! published sink counts (r1 = 267 … r5 = 3101), uniform placement over a
+//! √N-scaled die, and seeded determinism — the geometric statistics the
+//! router's trade-offs depend on (nearest-neighbor distances, star-edge
+//! lengths ≈ D/4) are preserved. See `DESIGN.md` §2 for the substitution
+//! argument.
+//!
+//! # Example
+//!
+//! ```
+//! use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+//!
+//! let w = Workload::generate(TsayBenchmark::R1, &WorkloadParams::default())?;
+//! assert_eq!(w.benchmark.sinks.len(), 267);
+//! assert!((w.stats.avg_module_activity - 0.4).abs() < 0.12);
+//! # Ok::<(), gcr_activity::ActivityError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmark;
+pub mod io;
+mod workload;
+
+pub use benchmark::{Benchmark, TsayBenchmark};
+pub use workload::{Workload, WorkloadParams};

@@ -1,0 +1,245 @@
+use std::fmt;
+
+use gcr_activity::{ActivityError, ActivityTables, CpuModel, InstructionStream, StreamStats};
+
+use crate::{Benchmark, TsayBenchmark};
+
+/// Parameters of the synthetic CPU activity model driving a benchmark —
+/// the knobs of Table 4 and the sweep axes of Figures 4 and 5.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadParams {
+    /// Number of instructions in the synthetic ISA (Table 4's instruction
+    /// column; default 32).
+    pub instructions: usize,
+    /// Average fraction of modules each instruction uses (Table 4's
+    /// `Ave(M(I))` ≈ 40 %; the Fig. 4 sweep axis).
+    pub usage_fraction: f64,
+    /// Probability that the next cycle repeats the current instruction
+    /// (controls enable toggle rates and hence `W(S)`).
+    pub persistence: f64,
+    /// Instruction stream length ("the length of the instruction stream
+    /// was 20 thousands for all the benchmarks").
+    pub stream_len: usize,
+    /// Number of functional groups: modules within a group are co-active
+    /// and co-located (see [`gcr_activity::CpuModelBuilder::groups`] and
+    /// [`Benchmark::tsay_clustered`]); 0 disables both correlations.
+    pub groups: usize,
+    /// Seed for both the CPU model and the stream.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        Self {
+            instructions: 32,
+            usage_fraction: 0.4,
+            persistence: 0.75,
+            stream_len: 20_000,
+            groups: 16,
+            seed: 1998,
+        }
+    }
+}
+
+impl WorkloadParams {
+    /// The same parameters with a different average module activity — the
+    /// Fig. 4 sweep.
+    #[must_use]
+    pub fn with_usage_fraction(mut self, f: f64) -> Self {
+        self.usage_fraction = f;
+        self
+    }
+
+    /// The same parameters with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The same parameters with a different instruction count.
+    #[must_use]
+    pub fn with_instructions(mut self, k: usize) -> Self {
+        self.instructions = k;
+        self
+    }
+
+    /// The same parameters with a different Markov persistence.
+    #[must_use]
+    pub fn with_persistence(mut self, p: f64) -> Self {
+        self.persistence = p;
+        self
+    }
+
+    /// The same parameters with a different stream length.
+    #[must_use]
+    pub fn with_stream_len(mut self, len: usize) -> Self {
+        self.stream_len = len;
+        self
+    }
+
+    /// The same parameters with a different functional-group count.
+    #[must_use]
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups;
+        self
+    }
+}
+
+/// A complete experiment input: benchmark geometry plus the activity
+/// tables and stream statistics derived from a generated instruction
+/// stream.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Sink set and die.
+    pub benchmark: Benchmark,
+    /// IFT/ITMATT bundle for probability queries.
+    pub tables: ActivityTables,
+    /// Table-4 style stream statistics.
+    pub stats: StreamStats,
+    /// The parameters the workload was generated with.
+    pub params: WorkloadParams,
+}
+
+impl Workload {
+    /// Generates the workload for a Tsay benchmark: synthesized sinks plus
+    /// a CPU model with one module per sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError`] when the parameters are out of range
+    /// (e.g. `usage_fraction` not in (0, 1]).
+    pub fn generate(which: TsayBenchmark, params: &WorkloadParams) -> Result<Self, ActivityError> {
+        let benchmark = if params.groups > 0 {
+            Benchmark::tsay_clustered(which, params.seed, params.groups)
+        } else {
+            Benchmark::tsay(which, params.seed)
+        };
+        Self::for_benchmark(benchmark, params)
+    }
+
+    /// Generates the activity side of a workload for an arbitrary
+    /// benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError`] when the parameters are out of range.
+    pub fn for_benchmark(
+        benchmark: Benchmark,
+        params: &WorkloadParams,
+    ) -> Result<Self, ActivityError> {
+        let model = CpuModel::builder(benchmark.sinks.len())
+            .instructions(params.instructions)
+            .usage_fraction(params.usage_fraction)
+            .persistence(params.persistence)
+            .groups(params.groups)
+            .seed(params.seed)
+            .build()?;
+        let stream: InstructionStream = model.generate_stream(params.stream_len);
+        let tables = ActivityTables::scan(model.rtl(), &stream);
+        let stats = StreamStats::collect(model.rtl(), &stream);
+        Ok(Self {
+            benchmark,
+            tables,
+            stats,
+            params: *params,
+        })
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.benchmark, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_match_paper() {
+        let p = WorkloadParams::default();
+        assert_eq!(p.instructions, 32);
+        assert_eq!(p.stream_len, 20_000);
+        assert!((p.usage_fraction - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workload_ties_modules_to_sinks() {
+        let params = WorkloadParams {
+            stream_len: 2_000,
+            ..WorkloadParams::default()
+        };
+        let w = Workload::generate(TsayBenchmark::R1, &params).unwrap();
+        assert_eq!(w.benchmark.sinks.len(), 267);
+        assert_eq!(w.tables.rtl().num_modules(), 267);
+        assert_eq!(w.stats.num_cycles, 2_000);
+        // Table 4: "about 40% of the modules are active at any given time".
+        assert!(
+            (w.stats.avg_module_activity - 0.4).abs() < 0.12,
+            "avg activity {}",
+            w.stats.avg_module_activity
+        );
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let p = WorkloadParams::default()
+            .with_instructions(8)
+            .with_persistence(0.5)
+            .with_stream_len(1_234)
+            .with_groups(2)
+            .with_seed(9)
+            .with_usage_fraction(0.2);
+        assert_eq!(p.instructions, 8);
+        assert_eq!(p.persistence, 0.5);
+        assert_eq!(p.stream_len, 1_234);
+        assert_eq!(p.groups, 2);
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.usage_fraction, 0.2);
+    }
+
+    #[test]
+    fn usage_sweep_moves_average_activity() {
+        let base = WorkloadParams {
+            stream_len: 2_000,
+            ..WorkloadParams::default()
+        };
+        let lo = Workload::generate(TsayBenchmark::R1, &base.with_usage_fraction(0.1)).unwrap();
+        let hi = Workload::generate(TsayBenchmark::R1, &base.with_usage_fraction(0.8)).unwrap();
+        assert!(lo.stats.avg_module_activity < 0.2);
+        assert!(hi.stats.avg_module_activity > 0.6);
+    }
+
+    #[test]
+    fn invalid_params_bubble_up() {
+        let params = WorkloadParams::default().with_usage_fraction(0.0);
+        assert!(Workload::generate(TsayBenchmark::R1, &params).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = WorkloadParams {
+            stream_len: 1_000,
+            ..WorkloadParams::default()
+        };
+        let a = Workload::generate(TsayBenchmark::R1, &p).unwrap();
+        let b = Workload::generate(TsayBenchmark::R1, &p).unwrap();
+        assert_eq!(a.benchmark, b.benchmark);
+        assert_eq!(a.stats, b.stats);
+        let c = Workload::generate(TsayBenchmark::R1, &p.with_seed(7)).unwrap();
+        assert_ne!(a.benchmark, c.benchmark);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let p = WorkloadParams {
+            stream_len: 500,
+            ..WorkloadParams::default()
+        };
+        let w = Workload::generate(TsayBenchmark::R1, &p).unwrap();
+        let s = format!("{w}");
+        assert!(s.contains("r1") && s.contains('%'));
+    }
+}

@@ -1,0 +1,54 @@
+//! §6's distributed gate controllers: re-evaluate one gated routing under
+//! 1, 4 and 16 controllers and watch the enable star routing shrink by
+//! ≈ √k.
+//!
+//! Run with: `cargo run --release -p gcr-report --example distributed_controller`
+
+use gcr_core::{evaluate, route_gated, ControllerPlan, DeviceRole, RouterConfig};
+use gcr_rctree::Technology;
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::default();
+    let params = WorkloadParams {
+        stream_len: 10_000,
+        ..WorkloadParams::default()
+    };
+    let w = Workload::generate(TsayBenchmark::R1, &params)?;
+    let config = RouterConfig::new(tech.clone(), w.benchmark.die);
+    let routing = route_gated(&w.benchmark.sinks, &w.tables, &config)?;
+
+    println!(
+        "gated r1 with {} gates; die side {:.0} λ",
+        routing.tree.device_count(),
+        w.benchmark.die.width()
+    );
+    println!("\n    k   star wire (Mλ)   ctl area (Mλ²)   W(S) pF   total W pF");
+    let mut first = None;
+    for levels in [0u32, 1, 2] {
+        let plan = if levels == 0 {
+            ControllerPlan::centralized(&w.benchmark.die)
+        } else {
+            ControllerPlan::distributed(w.benchmark.die, levels)
+        };
+        let report = evaluate(
+            &routing.tree,
+            &routing.node_stats,
+            &plan,
+            &tech,
+            DeviceRole::Gate,
+        );
+        let k = plan.num_controllers();
+        let base = *first.get_or_insert(report.control_wire_length);
+        println!(
+            "  {k:3}        {:8.2}         {:8.2}   {:7.2}      {:7.2}   ({:.1}x less wire)",
+            report.control_wire_length / 1e6,
+            report.control_wire_area / 1e6,
+            report.control_switched_cap,
+            report.total_switched_cap,
+            base / report.control_wire_length,
+        );
+    }
+    println!("\nthe paper's estimate: k partitions cut the star area by √k.");
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! End-to-end integration: the full paper pipeline on a scaled-down r1,
+//! asserting the qualitative results of §5 across crate boundaries.
+
+use gcr_rctree::Technology;
+use gcr_report::{fig4, fig6, run_pipeline, DEFAULT_STRENGTHS};
+use gcr_workloads::{Benchmark, TsayBenchmark, Workload, WorkloadParams};
+
+fn quick_params() -> WorkloadParams {
+    WorkloadParams {
+        stream_len: 5_000,
+        ..WorkloadParams::default()
+    }
+}
+
+/// Figure 3's ordering on the real r1 benchmark: full gating loses to the
+/// buffered baseline (star routing overhead), gate reduction wins by a
+/// wide margin, and area overhead survives reduction.
+#[test]
+fn fig3_ordering_on_r1() {
+    let tech = Technology::default();
+    let w = Workload::generate(TsayBenchmark::R1, &quick_params()).unwrap();
+    let r = run_pipeline(&w, &tech, DEFAULT_STRENGTHS).unwrap();
+
+    assert!(
+        r.gated.total_switched_cap > r.buffered.total_switched_cap,
+        "fully gated {} must exceed buffered {}",
+        r.gated.total_switched_cap,
+        r.buffered.total_switched_cap
+    );
+    let ratio = r.reduced.total_switched_cap / r.buffered.total_switched_cap;
+    assert!(
+        ratio < 0.85,
+        "gate reduction should save >15% over buffered, got ratio {ratio}"
+    );
+    assert!(
+        ratio > 0.4,
+        "savings bounded by the ~40% average activity, got ratio {ratio}"
+    );
+    // Area ordering: buffered < reduced < fully gated.
+    assert!(r.buffered.total_area < r.reduced.total_area);
+    assert!(r.reduced.total_area < r.gated.total_area);
+    // A majority of gates lose their control at the optimum.
+    assert!(r.reduction_fraction > 0.4, "got {}", r.reduction_fraction);
+}
+
+/// Every tree the pipeline produces is zero-skew under the independent
+/// Elmore oracle.
+#[test]
+fn all_pipeline_trees_are_zero_skew() {
+    let tech = Technology::default();
+    let bench = Benchmark::uniform(64, 20_000.0, 3);
+    let w = Workload::for_benchmark(bench, &quick_params()).unwrap();
+    let r = run_pipeline(&w, &tech, &[0.2, 0.5]).unwrap();
+    for (name, report) in [
+        ("buffered", &r.buffered),
+        ("gated", &r.gated),
+        ("reduced", &r.reduced),
+    ] {
+        assert!(
+            report.skew <= 1e-9 * report.delay.max(1.0),
+            "{name}: skew {} vs delay {}",
+            report.skew,
+            report.delay
+        );
+    }
+}
+
+/// Figure 4's trend on real workloads: the gated advantage decays
+/// monotonically (within noise) as average module activity rises.
+#[test]
+fn fig4_trend_holds() {
+    let tech = Technology::default();
+    let rows = fig4(
+        &[0.15, 0.45, 0.8],
+        TsayBenchmark::R1,
+        &quick_params(),
+        &tech,
+    )
+    .unwrap();
+    let ratios: Vec<f64> = rows.iter().map(|r| r.gate_reduced / r.buffered).collect();
+    assert!(
+        ratios[0] < ratios[1] && ratios[1] < ratios[2],
+        "advantage must decay with activity: {ratios:?}"
+    );
+    // Near the paper's floor at low activity.
+    assert!(ratios[0] < 0.5, "low-activity ratio {}", ratios[0]);
+}
+
+/// §6 on a routed benchmark: distributing the controller monotonically
+/// shrinks star wiring, control area, and W(S), leaving W(T) untouched.
+#[test]
+fn fig6_distribution_monotone() {
+    let tech = Technology::default();
+    let rows = fig6(&[0, 1, 2], &[TsayBenchmark::R1], &quick_params(), &tech).unwrap();
+    for pair in rows.windows(2) {
+        assert!(pair[1].control_wire_length < pair[0].control_wire_length);
+        assert!(pair[1].control_area < pair[0].control_area);
+        assert!(pair[1].control_switched_cap <= pair[0].control_switched_cap + 1e-9);
+    }
+    // k=16 must at least halve the centralized star wiring.
+    assert!(rows[2].control_wire_length < rows[0].control_wire_length / 2.0);
+}
+
+/// The whole flow is deterministic: same seeds, same numbers.
+#[test]
+fn pipeline_is_deterministic() {
+    let tech = Technology::default();
+    let run = || {
+        let w = Workload::generate(TsayBenchmark::R1, &quick_params()).unwrap();
+        let r = run_pipeline(&w, &tech, &[0.2]).unwrap();
+        (
+            r.buffered.total_switched_cap,
+            r.gated.total_switched_cap,
+            r.reduced.total_switched_cap,
+        )
+    };
+    assert_eq!(run(), run());
+}

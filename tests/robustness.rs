@@ -1,0 +1,190 @@
+//! Degenerate and adversarial inputs: the flow must stay correct (or fail
+//! loudly) at the edges of its domain.
+
+use gcr_activity::{ActivityTables, CpuModel, InstructionStream, Rtl};
+use gcr_core::{
+    evaluate, evaluate_with_mask, reduce_gates_optimal, route_gated, DeviceRole, RouterConfig,
+};
+use gcr_cts::Sink;
+use gcr_geometry::{BBox, Point};
+use gcr_rctree::Technology;
+
+fn config_for(die_side: f64) -> RouterConfig {
+    RouterConfig::new(
+        Technology::default(),
+        BBox::new(Point::ORIGIN, Point::new(die_side, die_side)),
+    )
+}
+
+/// Every sink at the same location: distances are all zero, merge regions
+/// are points, and the result must still be a valid zero-skew tree.
+#[test]
+fn all_sinks_colocated() {
+    let n = 24;
+    let sinks = vec![Sink::new(Point::new(5_000.0, 5_000.0), 0.05); n];
+    let model = CpuModel::builder(n)
+        .instructions(6)
+        .seed(1)
+        .build()
+        .unwrap();
+    let tables = ActivityTables::scan(model.rtl(), &model.generate_stream(500));
+    let config = config_for(10_000.0);
+    let routing = route_gated(&sinks, &tables, &config).unwrap();
+    let tech = config.tech();
+    let delay = routing.tree.source_to_sink_delay(tech);
+    assert!(routing.tree.verify_skew(tech) <= 1e-9 * delay.max(1.0));
+    // No geometric wire is needed between co-located sinks; only the stub
+    // from the source side.
+    assert!(routing.tree.placed_wire_length() < 1e-6);
+}
+
+/// Zero-capacitance sinks: legal loads, the tree must still route.
+#[test]
+fn zero_cap_sinks() {
+    let sinks: Vec<Sink> = (0..8)
+        .map(|i| Sink::new(Point::new(i as f64 * 1_000.0, 0.0), 0.0))
+        .collect();
+    let model = CpuModel::builder(8)
+        .instructions(4)
+        .seed(2)
+        .build()
+        .unwrap();
+    let tables = ActivityTables::scan(model.rtl(), &model.generate_stream(200));
+    let config = config_for(8_000.0);
+    let routing = route_gated(&sinks, &tables, &config).unwrap();
+    let report = evaluate(
+        &routing.tree,
+        &routing.node_stats,
+        config.controller(),
+        config.tech(),
+        DeviceRole::Gate,
+    );
+    assert!(report.total_switched_cap > 0.0); // wires still switch
+}
+
+/// A single instruction that uses every module: every enable has P = 1 and
+/// P_tr = 0 — the optimal reduction must drop every control wire.
+#[test]
+fn single_always_on_instruction() {
+    let n = 12;
+    let rtl = Rtl::builder(n)
+        .instruction("ALL", 0..n)
+        .and_then(gcr_activity::RtlBuilder::build)
+        .unwrap();
+    let stream = InstructionStream::from_indices(&rtl, vec![0; 100]).unwrap();
+    let tables = ActivityTables::scan(&rtl, &stream);
+    let sinks: Vec<Sink> = (0..n)
+        .map(|i| {
+            Sink::new(
+                Point::new((i % 4) as f64 * 2_000.0, (i / 4) as f64 * 2_000.0),
+                0.04,
+            )
+        })
+        .collect();
+    let config = config_for(8_000.0);
+    let routing = route_gated(&sinks, &tables, &config).unwrap();
+    for s in &routing.node_stats {
+        assert!((s.signal - 1.0).abs() < 1e-12);
+        assert!(s.transition.abs() < 1e-12);
+    }
+    let mask = reduce_gates_optimal(&routing, config.tech(), config.controller());
+    assert!(
+        mask.iter().all(|&k| !k),
+        "gating an always-on chip is pure overhead"
+    );
+}
+
+/// Two sinks — the smallest non-trivial tree.
+#[test]
+fn two_sink_routing() {
+    let sinks = vec![
+        Sink::new(Point::new(0.0, 0.0), 0.05),
+        Sink::new(Point::new(9_000.0, 3_000.0), 0.08),
+    ];
+    let model = CpuModel::builder(2)
+        .instructions(3)
+        .seed(3)
+        .build()
+        .unwrap();
+    let tables = ActivityTables::scan(model.rtl(), &model.generate_stream(100));
+    let config = config_for(10_000.0);
+    let routing = route_gated(&sinks, &tables, &config).unwrap();
+    assert_eq!(routing.tree.len(), 3);
+    let tech = config.tech();
+    let delay = routing.tree.source_to_sink_delay(tech);
+    assert!(routing.tree.verify_skew(tech) <= 1e-9 * delay.max(1.0));
+}
+
+/// Extreme load imbalance (1000x) still balances exactly.
+#[test]
+fn extreme_load_imbalance() {
+    let sinks = vec![
+        Sink::new(Point::new(0.0, 0.0), 0.001),
+        Sink::new(Point::new(2_000.0, 0.0), 1.0),
+        Sink::new(Point::new(4_000.0, 0.0), 0.001),
+        Sink::new(Point::new(6_000.0, 0.0), 1.0),
+    ];
+    let model = CpuModel::builder(4)
+        .instructions(4)
+        .seed(4)
+        .build()
+        .unwrap();
+    let tables = ActivityTables::scan(model.rtl(), &model.generate_stream(200));
+    let config = config_for(6_000.0);
+    let routing = route_gated(&sinks, &tables, &config).unwrap();
+    let tech = config.tech();
+    let delay = routing.tree.source_to_sink_delay(tech);
+    assert!(routing.tree.verify_skew(tech) <= 1e-9 * delay.max(1.0));
+}
+
+/// Tiny die with a far-away clock source: the root just lands on the
+/// closest merging-region point; everything stays consistent.
+#[test]
+fn source_outside_the_die() {
+    let sinks: Vec<Sink> = (0..6)
+        .map(|i| Sink::new(Point::new(100.0 + i as f64 * 50.0, 100.0), 0.02))
+        .collect();
+    let model = CpuModel::builder(6)
+        .instructions(4)
+        .seed(5)
+        .build()
+        .unwrap();
+    let tables = ActivityTables::scan(model.rtl(), &model.generate_stream(200));
+    let config = config_for(500.0).with_source(Point::new(-10_000.0, -10_000.0));
+    let routing = route_gated(&sinks, &tables, &config).unwrap();
+    let tech = config.tech();
+    let delay = routing.tree.source_to_sink_delay(tech);
+    assert!(routing.tree.verify_skew(tech) <= 1e-9 * delay.max(1.0));
+}
+
+/// Evaluation with a mask over a plain (device-free) tree: every entry of
+/// the mask is ignored because there is nothing to control.
+#[test]
+fn mask_over_plain_tree_is_inert() {
+    let tech = Technology::default();
+    let sinks: Vec<Sink> = (0..5)
+        .map(|i| Sink::new(Point::new(i as f64 * 1_000.0, 0.0), 0.05))
+        .collect();
+    let topo = gcr_cts::nearest_neighbor_topology(&tech, &sinks, None).unwrap();
+    let tree = gcr_cts::embed(
+        &topo,
+        &sinks,
+        &tech,
+        &gcr_cts::DeviceAssignment::none(&topo),
+        Point::ORIGIN,
+    )
+    .unwrap();
+    let stats = vec![
+        gcr_activity::EnableStats {
+            signal: 0.5,
+            transition: 0.5
+        };
+        tree.len()
+    ];
+    let die = BBox::new(Point::ORIGIN, Point::new(4_000.0, 1_000.0));
+    let plan = gcr_core::ControllerPlan::centralized(&die);
+    let all_on = evaluate_with_mask(&tree, &stats, &plan, &tech, &vec![true; tree.len()]);
+    let all_off = evaluate_with_mask(&tree, &stats, &plan, &tech, &vec![false; tree.len()]);
+    assert_eq!(all_on.total_switched_cap, all_off.total_switched_cap);
+    assert_eq!(all_on.control_wire_length, 0.0);
+}
