@@ -11,10 +11,10 @@
 //!    [`CpuModel`] with controllable instruction mix and temporal
 //!    persistence.
 //! 3. One scan of the stream builds two tables:
-//!    * the **Instruction Frequency Table** ([`Ift`], Table 2) — P(I_k);
+//!    * the **Instruction Frequency Table** ([`Ift`], Table 2) — `P(I_k)`;
 //!    * the **Instruction-Transition Module-Activation Table**
 //!      ([`Itmatt`], Table 3) — probabilities of consecutive instruction
-//!      pairs, from which 2-bit activation tags AT(M_j) follow.
+//!      pairs, from which 2-bit activation tags `AT(M_j)` follow.
 //! 4. For any module set S (the sinks under a clock-tree node), the
 //!    **signal probability** `P(EN) = P(⋃ M_i active)` and the **transition
 //!    probability** `P_tr(EN)` are computed from the tables *without

@@ -124,6 +124,10 @@ impl CpuModel {
     ///
     /// Panics if `len < 2` (transition statistics need at least one pair).
     #[must_use]
+    #[expect(
+        clippy::expect_used,
+        reason = "from_ids only rejects streams shorter than 2, ruled out by the assert"
+    )]
     pub fn generate_stream(&self, len: usize) -> InstructionStream {
         assert!(len >= 2, "stream length must be >= 2, got {len}");
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5EED_57EA);
@@ -149,10 +153,7 @@ impl CpuModel {
     fn sample_base(&self, rng: &mut StdRng, phase: usize) -> InstructionId {
         loop {
             let x: f64 = rng.gen();
-            let idx = match self
-                .cumulative
-                .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
-            {
+            let idx = match self.cumulative.binary_search_by(|c| c.total_cmp(&x)) {
                 Ok(i) | Err(i) => i.min(self.base_probs.len() - 1),
             };
             if self.phases <= 1 || idx % self.phases == phase {
@@ -383,7 +384,9 @@ impl CpuModelBuilder {
             acc += p;
             cumulative.push(acc);
         }
-        *cumulative.last_mut().expect("non-empty") = 1.0;
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
 
         Ok(CpuModel {
             rtl,
@@ -446,7 +449,7 @@ mod tests {
             .build()
             .unwrap();
         let stream = m.generate_stream(200_000);
-        let mut counts = vec![0usize; 6];
+        let mut counts = [0usize; 6];
         for &i in stream.instructions() {
             counts[i.index()] += 1;
         }
@@ -545,8 +548,10 @@ mod tests {
     fn phases_slow_down_class_level_toggling() {
         // Instructions split into two phases; the set of modules touched
         // by phase-0 instructions should toggle far less often in a phased
-        // stream than in an unphased one.
-        let build = |phases: usize| {
+        // stream than in an unphased one. The effect is statistical — a
+        // single seed can land on an RTL where it is within noise — so the
+        // tendency is asserted on the mean over several seeds.
+        let build = |phases: usize, seed: u64| {
             CpuModel::builder(40)
                 .instructions(8)
                 .usage_fraction(0.3)
@@ -554,7 +559,7 @@ mod tests {
                 .groups(4)
                 .phases(phases)
                 .phase_length(400)
-                .seed(31)
+                .seed(seed)
                 .build()
                 .unwrap()
         };
@@ -568,11 +573,19 @@ mod tests {
                 .clone();
             tables.enable_stats(&set).transition
         };
-        let phased = toggling(&build(2));
-        let flat = toggling(&build(1));
+        let seeds = [31u64, 32, 33, 34, 35];
+        let mean = |phases: usize| {
+            seeds
+                .iter()
+                .map(|&s| toggling(&build(phases, s)))
+                .sum::<f64>()
+                / seeds.len() as f64
+        };
+        let phased = mean(2);
+        let flat = mean(1);
         assert!(
             phased < flat,
-            "phases must reduce class toggling: {phased} vs {flat}"
+            "phases must reduce class toggling on average: {phased} vs {flat}"
         );
     }
 
@@ -598,27 +611,39 @@ mod tests {
 
     #[test]
     fn grouped_usage_is_correlated_within_groups() {
-        let g = 8;
-        let m = CpuModel::builder(64)
-            .instructions(16)
-            .usage_fraction(0.4)
-            .groups(g)
-            .seed(2)
-            .build()
-            .unwrap();
-        let stream = m.generate_stream(20_000);
-        let tables = ActivityTables::scan(m.rtl(), &stream);
         // Modules 0 and 8 share group 0; module 1 is in group 1. The union
         // with a same-group sibling should barely raise P(EN); a
-        // cross-group union should raise it a lot.
-        let p = |mods: &[usize]| {
-            tables
-                .enable_stats(&crate::ModuleSet::with_modules(64, mods.iter().copied()))
-                .signal
-        };
-        let single = p(&[0]);
-        let same_group = p(&[0, 8]);
-        let cross_group = p(&[0, 1]);
+        // cross-group union should raise it a lot. Any one sampled RTL can
+        // blur the contrast, so the tendency is asserted on means over
+        // several seeds.
+        let g = 8;
+        let seeds = [2u64, 3, 4, 5, 6];
+        let mut single = 0.0;
+        let mut same_group = 0.0;
+        let mut cross_group = 0.0;
+        let mut usage = 0.0;
+        for &seed in &seeds {
+            let m = CpuModel::builder(64)
+                .instructions(16)
+                .usage_fraction(0.4)
+                .groups(g)
+                .seed(seed)
+                .build()
+                .unwrap();
+            let stream = m.generate_stream(20_000);
+            let tables = ActivityTables::scan(m.rtl(), &stream);
+            let p = |mods: &[usize]| {
+                tables
+                    .enable_stats(&crate::ModuleSet::with_modules(64, mods.iter().copied()))
+                    .signal
+            };
+            single += p(&[0]);
+            same_group += p(&[0, 8]);
+            cross_group += p(&[0, 1]);
+            usage += m.rtl().avg_usage_fraction();
+        }
+        let n = seeds.len() as f64;
+        let (single, same_group, cross_group) = (single / n, same_group / n, cross_group / n);
         assert!(
             same_group - single < 0.1,
             "same-group union jumped from {single} to {same_group}"
@@ -628,7 +653,7 @@ mod tests {
             "cross-group union {cross_group} should exceed same-group {same_group}"
         );
         // Average usage stays near the knob.
-        let f = m.rtl().avg_usage_fraction();
+        let f = usage / n;
         assert!((f - 0.4).abs() < 0.12, "avg usage {f}");
     }
 

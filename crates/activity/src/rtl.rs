@@ -195,6 +195,10 @@ impl RtlBuilder {
 /// assert_eq!(rtl.num_modules(), 6);
 /// ```
 #[must_use]
+#[expect(
+    clippy::expect_used,
+    reason = "the literal Table-1 module sets are statically in range"
+)]
 pub fn paper_example_rtl() -> Rtl {
     Rtl::builder(6)
         .instruction("I1", [0, 1, 2, 4])

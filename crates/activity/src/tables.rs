@@ -127,14 +127,13 @@ impl Itmatt {
         self.pair_probs
             .iter()
             .enumerate()
-            .filter_map(move |(i, &p)| {
-                (p > 0.0).then(|| {
-                    (
-                        InstructionId((i / self.k) as u32),
-                        InstructionId((i % self.k) as u32),
-                        p,
-                    )
-                })
+            .filter(|&(_i, &p)| p > 0.0)
+            .map(|(i, &p)| {
+                (
+                    InstructionId((i / self.k) as u32),
+                    InstructionId((i % self.k) as u32),
+                    p,
+                )
             })
     }
 
@@ -357,7 +356,7 @@ impl fmt::Display for ActivityTables {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::paper_example_rtl;
+    use crate::{paper_example_rtl, RtlBuilder};
 
     fn paper_stream(rtl: &Rtl) -> InstructionStream {
         InstructionStream::from_indices(
@@ -477,6 +476,74 @@ mod tests {
         assert!(Ift::from_probabilities(vec![0.5, 0.6]).is_err());
         assert!(Ift::from_probabilities(vec![-0.1, 1.1]).is_err());
         assert!(Ift::from_probabilities(vec![f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn from_probabilities_rejects_empty_table() {
+        // An empty IFT sums to 0, not 1 — there is no empty-but-valid table.
+        assert!(Ift::from_probabilities(vec![]).is_err());
+        let rtl = paper_example_rtl();
+        // Dimension mismatches (including fully empty inputs) are rejected
+        // before any probability is inspected.
+        assert!(ActivityTables::from_probabilities(&rtl, vec![], vec![]).is_err());
+        assert!(ActivityTables::from_probabilities(&rtl, vec![0.25; 4], vec![]).is_err());
+    }
+
+    #[test]
+    fn single_instruction_tables() {
+        // K = 1: the lone instruction always executes, so every owned
+        // module set is always enabled and nothing ever transitions.
+        let rtl = Rtl::builder(2)
+            .instruction("I1", [0])
+            .unwrap()
+            .build()
+            .unwrap();
+        let tables = ActivityTables::from_probabilities(&rtl, vec![1.0], vec![1.0]).unwrap();
+        let i1 = rtl.instruction(0).unwrap();
+        assert_eq!(tables.ift().len(), 1);
+        assert!((tables.ift().probability(i1) - 1.0).abs() < 1e-12);
+        assert!((tables.itmatt().pair_probability(i1, i1) - 1.0).abs() < 1e-12);
+        let used = ModuleSet::with_modules(2, [0]);
+        let unused = ModuleSet::with_modules(2, [1]);
+        let on = tables.enable_stats(&used);
+        let off = tables.enable_stats(&unused);
+        assert!((on.signal - 1.0).abs() < 1e-12 && on.transition.abs() < 1e-12);
+        assert!(off.signal.abs() < 1e-12 && off.transition.abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimal_two_cycle_stream_scan() {
+        // The shortest legal stream (B = 2) yields exactly one pair.
+        let rtl = paper_example_rtl();
+        let s = InstructionStream::from_indices(&rtl, [0, 1]).unwrap();
+        let tables = ActivityTables::scan(&rtl, &s);
+        let (i1, i2) = (rtl.instruction(0).unwrap(), rtl.instruction(1).unwrap());
+        assert!((tables.ift().probability(i1) - 0.5).abs() < 1e-12);
+        assert!((tables.itmatt().pair_probability(i1, i2) - 1.0).abs() < 1e-12);
+        assert_eq!(tables.itmatt().nonzero_pairs().count(), 1);
+    }
+
+    #[test]
+    fn itmatt_all_zero_rows_are_skipped() {
+        // Instruction I2 never starts a pair: its ITMATT row is all zero.
+        // The sparse view must skip it and transition sums must stay exact.
+        let rtl = Rtl::builder(2)
+            .instruction("I1", [0])
+            .and_then(|b| b.instruction("I2", [1]))
+            .and_then(RtlBuilder::build)
+            .unwrap();
+        let ift = vec![0.75, 0.25];
+        let pair_probs = vec![0.5, 0.5, 0.0, 0.0]; // row-major: rows (I1, _), (I2, _)
+        let tables = ActivityTables::from_probabilities(&rtl, ift, pair_probs).unwrap();
+        let (i1, i2) = (rtl.instruction(0).unwrap(), rtl.instruction(1).unwrap());
+        assert_eq!(tables.itmatt().pair_probability(i2, i1), 0.0);
+        assert_eq!(tables.itmatt().pair_probability(i2, i2), 0.0);
+        assert_eq!(tables.itmatt().nonzero_pairs().count(), 2);
+        // Only M1 toggles: the (I1, I2) pair flips its enable.
+        let m1 = ModuleSet::with_modules(2, [0]);
+        let stats = tables.enable_stats(&m1);
+        assert!((stats.signal - 0.75).abs() < 1e-12);
+        assert!((stats.transition - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! One bench per paper artifact: how long each table/figure takes to
 //! regenerate on its reference benchmark (r1 unless stated).
+// Benchmark drivers: fixtures are trusted, aborting on a malformed one
+// is the intended failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gcr_bench::bench_params;
@@ -10,7 +13,7 @@ use gcr_workloads::{TsayBenchmark, Workload};
 fn bench_table4(c: &mut Criterion) {
     let params = bench_params();
     c.bench_function("table4/r1-r2", |b| {
-        b.iter(|| table4(&[TsayBenchmark::R1, TsayBenchmark::R2], &params).unwrap())
+        b.iter(|| table4(&[TsayBenchmark::R1, TsayBenchmark::R2], &params).unwrap());
     });
 }
 
@@ -18,7 +21,7 @@ fn bench_fig3(c: &mut Criterion) {
     let params = bench_params();
     let tech = Technology::default();
     c.bench_function("fig3/r1", |b| {
-        b.iter(|| fig3(&[TsayBenchmark::R1], &params, &tech).unwrap())
+        b.iter(|| fig3(&[TsayBenchmark::R1], &params, &tech).unwrap());
     });
 }
 
@@ -26,7 +29,7 @@ fn bench_fig4(c: &mut Criterion) {
     let params = bench_params();
     let tech = Technology::default();
     c.bench_function("fig4/r1-two-points", |b| {
-        b.iter(|| fig4(&[0.2, 0.6], TsayBenchmark::R1, &params, &tech).unwrap())
+        b.iter(|| fig4(&[0.2, 0.6], TsayBenchmark::R1, &params, &tech).unwrap());
     });
 }
 
@@ -42,7 +45,7 @@ fn bench_fig5(c: &mut Criterion) {
                 &tech,
             )
             .unwrap()
-        })
+        });
     });
 }
 
@@ -50,7 +53,7 @@ fn bench_fig6(c: &mut Criterion) {
     let params = bench_params();
     let tech = Technology::default();
     c.bench_function("fig6/r1-three-levels", |b| {
-        b.iter(|| fig6(&[0, 1, 2], &[TsayBenchmark::R1], &params, &tech).unwrap())
+        b.iter(|| fig6(&[0, 1, 2], &[TsayBenchmark::R1], &params, &tech).unwrap());
     });
 }
 
@@ -59,7 +62,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let tech = Technology::default();
     let w = Workload::generate(TsayBenchmark::R1, &params).unwrap();
     c.bench_function("pipeline/r1-full", |b| {
-        b.iter(|| run_pipeline(&w, &tech, DEFAULT_STRENGTHS).unwrap())
+        b.iter(|| run_pipeline(&w, &tech, DEFAULT_STRENGTHS).unwrap());
     });
 }
 

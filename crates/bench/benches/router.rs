@@ -2,6 +2,9 @@
 //! the nearest-neighbor baseline, embedding, gate reduction, and
 //! evaluation — plus the objective ablation (min-SC vs nearest-neighbor
 //! under identical gating).
+// Benchmark drivers: fixtures are trusted, aborting on a malformed one
+// is the intended failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gcr_bench::uniform_fixture;
@@ -19,7 +22,7 @@ fn bench_route_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 route_gated(&f.workload.benchmark.sinks, &f.workload.tables, &config).unwrap()
-            })
+            });
         });
     }
     group.finish();
@@ -32,7 +35,7 @@ fn bench_buffered_baseline(c: &mut Criterion) {
         let f = uniform_fixture(n);
         let src = f.workload.benchmark.die.center();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| build_buffered_tree(&f.tech, &f.workload.benchmark.sinks, src).unwrap())
+            b.iter(|| build_buffered_tree(&f.tech, &f.workload.benchmark.sinks, src).unwrap());
         });
     }
     group.finish();
@@ -53,7 +56,7 @@ fn bench_embed(c: &mut Criterion) {
                 SizingLimits::default(),
             )
             .unwrap()
-        })
+        });
     });
 }
 
@@ -67,7 +70,7 @@ fn bench_reduction_and_evaluate(c: &mut Criterion) {
         f.workload.benchmark.die.half_perimeter() / 8.0,
     );
     c.bench_function("reduce_gates_untied/267", |b| {
-        b.iter(|| reduce_gates_untied(&routing, &f.tech, &params))
+        b.iter(|| reduce_gates_untied(&routing, &f.tech, &params));
     });
     let mask = reduce_gates_untied(&routing, &f.tech, &params);
     c.bench_function("evaluate_with_mask/267", |b| {
@@ -79,7 +82,7 @@ fn bench_reduction_and_evaluate(c: &mut Criterion) {
                 &f.tech,
                 &mask,
             )
-        })
+        });
     });
 }
 
@@ -92,7 +95,7 @@ fn bench_objective_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("objective");
     group.sample_size(10);
     group.bench_function("min_switched_cap", |b| {
-        b.iter(|| route_gated(&f.workload.benchmark.sinks, &f.workload.tables, &config).unwrap())
+        b.iter(|| route_gated(&f.workload.benchmark.sinks, &f.workload.tables, &config).unwrap());
     });
     group.bench_function("nearest_neighbor", |b| {
         b.iter(|| {
@@ -102,7 +105,7 @@ fn bench_objective_ablation(c: &mut Criterion) {
                 Some(f.tech.and_gate()),
             )
             .unwrap()
-        })
+        });
     });
     group.finish();
 }
@@ -112,7 +115,7 @@ fn bench_extensions(c: &mut Criterion) {
     let config = RouterConfig::new(f.tech.clone(), f.workload.benchmark.die);
     let routing = route_gated(&f.workload.benchmark.sinks, &f.workload.tables, &config).unwrap();
     c.bench_function("reduce_gates_optimal/267", |b| {
-        b.iter(|| gcr_core::reduce_gates_optimal(&routing, &f.tech, config.controller()))
+        b.iter(|| gcr_core::reduce_gates_optimal(&routing, &f.tech, config.controller()));
     });
     c.bench_function("embed_bounded_skew/267", |b| {
         b.iter(|| {
@@ -125,10 +128,10 @@ fn bench_extensions(c: &mut Criterion) {
                 25.0,
             )
             .unwrap()
-        })
+        });
     });
     c.bench_function("realize_routes/267", |b| {
-        b.iter(|| gcr_cts::realize_routes(&routing.tree))
+        b.iter(|| gcr_cts::realize_routes(&routing.tree));
     });
     let stream = {
         let w = &f.workload;
@@ -154,7 +157,7 @@ fn bench_extensions(c: &mut Criterion) {
                 config.controller(),
                 &f.tech,
             )
-        })
+        });
     });
 }
 

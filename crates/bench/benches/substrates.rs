@@ -1,5 +1,8 @@
 //! Micro-benches of the substrates: geometry kernel, zero-skew merge,
 //! activity tables, probability queries.
+// Benchmark drivers: fixtures are trusted, aborting on a malformed one
+// is the intended failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gcr_activity::{ActivityTables, CpuModel, ModuleSet, StreamStats};
@@ -16,7 +19,7 @@ fn bench_geometry(c: &mut Criterion) {
             let d = a.distance(&b);
             a.expanded(d * 0.4)
                 .intersection_with_slack(&b.expanded(d * 0.6), 1e-6)
-        })
+        });
     });
 }
 
@@ -35,7 +38,7 @@ fn bench_zero_skew_merge(c: &mut Criterion) {
         Some(tech.and_gate()),
     );
     c.bench_function("zero_skew_merge/gated_pair", |bch| {
-        bch.iter(|| zero_skew_merge(&tech, &a, &b))
+        bch.iter(|| zero_skew_merge(&tech, &a, &b));
     });
 }
 
@@ -49,17 +52,17 @@ fn bench_activity(c: &mut Criterion) {
     let stream = model.generate_stream(20_000);
 
     c.bench_function("activity/scan_20k_stream", |b| {
-        b.iter(|| ActivityTables::scan(model.rtl(), &stream))
+        b.iter(|| ActivityTables::scan(model.rtl(), &stream));
     });
 
     let tables = ActivityTables::scan(model.rtl(), &stream);
     let set = ModuleSet::with_modules(267, (0..267).step_by(3));
     c.bench_function("activity/enable_stats_K32", |b| {
-        b.iter(|| tables.enable_stats(&set))
+        b.iter(|| tables.enable_stats(&set));
     });
 
     c.bench_function("activity/stream_stats", |b| {
-        b.iter(|| StreamStats::collect(model.rtl(), &stream))
+        b.iter(|| StreamStats::collect(model.rtl(), &stream));
     });
 
     // The brute-force oracle the tables replace — the paper's complexity
@@ -70,7 +73,7 @@ fn bench_activity(c: &mut Criterion) {
                 stream.signal_probability(model.rtl(), &set),
                 stream.transition_probability(model.rtl(), &set),
             )
-        })
+        });
     });
 }
 

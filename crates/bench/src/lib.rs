@@ -28,6 +28,10 @@ pub fn bench_params() -> WorkloadParams {
 
 /// A uniform benchmark of `n` sinks with matching activity model.
 #[must_use]
+#[expect(
+    clippy::expect_used,
+    reason = "bench fixture: aborting on a malformed workload is intended"
+)]
 pub fn uniform_fixture(n: usize) -> Fixture {
     let side = 30_000.0 * (n as f64 / 267.0).sqrt();
     let workload =
@@ -40,6 +44,10 @@ pub fn uniform_fixture(n: usize) -> Fixture {
 
 /// The r1 fixture used by the per-figure benches.
 #[must_use]
+#[expect(
+    clippy::expect_used,
+    reason = "bench fixture: aborting on a malformed workload is intended"
+)]
 pub fn r1_fixture() -> Fixture {
     Fixture {
         workload: Workload::generate(TsayBenchmark::R1, &bench_params()).expect("valid"),

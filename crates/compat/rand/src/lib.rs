@@ -1,0 +1,173 @@
+//! Offline drop-in replacement for the subset of `rand` 0.8 this
+//! workspace uses: `StdRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range`
+//! and `Rng::gen_bool`.
+//!
+//! The build container has no crates.io access, so the workspace points
+//! its `rand` dependency at this crate. The generator is `SplitMix64` —
+//! deterministic, seedable and statistically fine for the synthetic
+//! workload generation and tests that use it, but **not** the same
+//! sequence as upstream `StdRng` and not cryptographically secure.
+// Vendored stand-in for a crates.io dependency: it mirrors the upstream
+// crate's public names and casts, so the workspace lint policy for our
+// own code does not apply.
+#![allow(missing_docs, clippy::cast_lossless, clippy::must_use_candidate)]
+
+use std::ops::Range;
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the full value domain by
+/// [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample_standard(word: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard(word: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard(word: u64) -> Self {
+        word & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard(word: u64) -> Self {
+        (word >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard(word: u64) -> Self {
+        word
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8, i64, i32);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample_standard(rng.next_u64());
+        self.start + (self.end - self.start) * u
+    }
+}
+
+/// Object-safe raw word source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// The user-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform sample over the value domain of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self.next_u64())
+    }
+
+    /// A uniform sample from a half-open range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Named RNGs, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic `SplitMix64` generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let f = rng.gen_range(-2.0..5.0f64);
+            assert!((-2.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

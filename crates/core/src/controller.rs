@@ -157,7 +157,9 @@ mod tests {
         // The sqrt(k) area claim of §6: average star length over a grid of
         // gates shrinks roughly by 2x per level.
         let gates: Vec<Point> = (0..32)
-            .flat_map(|i| (0..32).map(move |j| Point::new(i as f64 * 31.25, j as f64 * 31.25)))
+            .flat_map(|i| {
+                (0..32).map(move |j| Point::new(f64::from(i) * 31.25, f64::from(j) * 31.25))
+            })
             .collect();
         let avg = |levels: u32| {
             let plan = if levels == 0 {

@@ -86,10 +86,10 @@ mod tests {
             .map(|i| {
                 Sink::new(
                     Point::new(
-                        (i as f64 * 4321.0) % 20_000.0,
-                        (i as f64 * 8765.0) % 20_000.0,
+                        (f64::from(i) * 4321.0) % 20_000.0,
+                        (f64::from(i) * 8765.0) % 20_000.0,
                     ),
-                    0.02 + 0.01 * (i % 4) as f64,
+                    0.02 + 0.01 * f64::from(i % 4),
                 )
             })
             .collect()

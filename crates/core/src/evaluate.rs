@@ -152,7 +152,7 @@ pub fn evaluate_with_mask(
     }
 
     let mut clock_cap = 0.0;
-    for idx in 0..n {
+    for (idx, &dom) in domain.iter().enumerate() {
         let id = tree.id(idx);
         let node = tree.node(id);
         // Wire of this edge plus the sink load at its foot…
@@ -167,7 +167,7 @@ pub fn evaluate_with_mask(
                 cap_here += d.input_cap();
             }
         }
-        clock_cap += domain[idx] * cap_here;
+        clock_cap += dom * cap_here;
     }
     // The root's own device input pin is driven by the free-running source.
     if let Some(d) = tree.node(tree.root()).device() {

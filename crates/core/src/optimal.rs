@@ -37,12 +37,12 @@ pub fn reduce_gates_optimal(
     tech: &Technology,
     controller: &ControllerPlan,
 ) -> Vec<bool> {
+    /// Sentinel "ancestor" for the free-running clock source (domain 1.0).
+    const SOURCE: usize = usize::MAX;
     let tree = &routing.tree;
     let stats = &routing.node_stats;
     let n = tree.len();
     let c = tech.unit_cap();
-    /// Sentinel "ancestor" for the free-running clock source (domain 1.0).
-    const SOURCE: usize = usize::MAX;
 
     // Per-node clock capacitance in this node's domain: edge wire + sink
     // load + the input pins of the children's (always present) gates.

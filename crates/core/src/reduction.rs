@@ -19,7 +19,7 @@ use crate::GatedRouting;
 /// top-down, whenever the unmasked capacitance accumulated since the last
 /// surviving gate reaches `forced_cap_multiple · C_g`, the gate is put
 /// back — "a rule for enforcing a gate insertion … whenever the subtree
-/// capacitance of the node reaches, say γ·C_g".
+/// capacitance of the node reaches, say `γ·C_g`".
 ///
 /// ```
 /// use gcr_core::ReductionParams;

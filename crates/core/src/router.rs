@@ -223,6 +223,11 @@ impl GatedRouting {
     ///
     /// Returns [`RouteError::SinkModuleMismatch`] when `module` is not in
     /// the activity model or `old_sinks` does not match this routing.
+    #[expect(
+        clippy::expect_used,
+        reason = "the length check above guarantees a non-empty leaf set, and \
+                  leaf module sets are singletons by construction"
+    )]
     pub fn insert_sink(
         &self,
         old_sinks: &[Sink],
@@ -273,6 +278,10 @@ impl GatedRouting {
     /// Returns [`RouteError::SinkModuleMismatch`] when `old_sinks` does
     /// not match this routing and [`RouteError::Cts`] when the victim is
     /// invalid or the last remaining sink.
+    #[expect(
+        clippy::expect_used,
+        reason = "leaf module sets are singletons by construction"
+    )]
     pub fn remove_sink(
         &self,
         old_sinks: &[Sink],
@@ -590,8 +599,8 @@ mod tests {
                 let m = i / 4;
                 Sink::new(
                     Point::new(
-                        1_000.0 + m as f64 * 3_000.0 + (i % 4) as f64 * 150.0,
-                        4_000.0 + (i % 2) as f64 * 300.0,
+                        1_000.0 + f64::from(m) * 3_000.0 + f64::from(i % 4) * 150.0,
+                        4_000.0 + f64::from(i % 2) * 300.0,
                     ),
                     0.04,
                 )
@@ -608,15 +617,15 @@ mod tests {
         let config = RouterConfig::new(Technology::default(), die);
         let routing = route_gated_mapped(&sinks, &module_of, &tables, &config).unwrap();
         // Leaf stats equal their module's stats.
-        for i in 0..12 {
+        for (i, &m) in module_of.iter().enumerate() {
             let expect = tables
-                .enable_stats(&gcr_activity::ModuleSet::with_modules(3, [module_of[i]]))
+                .enable_stats(&gcr_activity::ModuleSet::with_modules(3, [m]))
                 .signal;
             assert!(
                 (routing.node_stats[i].signal - expect).abs() < 1e-12,
                 "sink {i}"
             );
-            assert!(routing.node_modules[i].contains(module_of[i]));
+            assert!(routing.node_modules[i].contains(m));
             assert_eq!(routing.node_modules[i].len(), 1);
         }
         // The root owns all three modules and stays zero-skew.
@@ -630,7 +639,7 @@ mod tests {
             Err(RouteError::SinkModuleMismatch { .. })
         ));
         assert!(matches!(
-            route_gated_mapped(&sinks, &vec![7; 12], &tables, &config),
+            route_gated_mapped(&sinks, &[7; 12], &tables, &config),
             Err(RouteError::SinkModuleMismatch { .. })
         ));
     }

@@ -122,7 +122,7 @@ pub fn simulate_stream(
             let id = tree.id(i);
             let node = tree.node(id);
             let gated_here = controlled[i] && node.device().is_some();
-            let upstream = node.parent().map_or(true, |p| live[p.index()]);
+            let upstream = node.parent().is_none_or(|p| live[p.index()]);
             live[i] = if gated_here {
                 // The gate only passes the clock when upstream delivers it
                 // AND its own enable is on. Upstream of the root gate the

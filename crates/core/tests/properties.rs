@@ -1,6 +1,9 @@
 //! Property-based tests of the gated clock router: zero skew always holds,
 //! gating never increases the clock tree's switched capacitance, and the
 //! §6 distributed-controller claim holds for every routed instance.
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_activity::{ActivityTables, CpuModel, EnableStats};
 use gcr_core::{

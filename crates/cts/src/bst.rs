@@ -203,6 +203,11 @@ pub fn bounded_skew_merge(tech: &Technology, a: &BstState, b: &BstState, bound: 
 /// # Panics
 ///
 /// Panics if `bound` is negative or non-finite.
+#[expect(
+    clippy::expect_used,
+    reason = "the two-pass DME sweep fills every state before it is read: \
+              children precede parents in bottom-up order and vice versa"
+)]
 pub fn embed_bounded_skew(
     topology: &Topology,
     sinks: &[Sink],
@@ -284,10 +289,10 @@ mod tests {
             .map(|i| {
                 Sink::new(
                     Point::new(
-                        (i as f64 * 3_137.0) % 20_000.0,
-                        (i as f64 * 7_411.0) % 20_000.0,
+                        (f64::from(i) * 3_137.0) % 20_000.0,
+                        (f64::from(i) * 7_411.0) % 20_000.0,
                     ),
-                    0.02 + 0.01 * (i % 6) as f64,
+                    0.02 + 0.01 * f64::from(i % 6),
                 )
             })
             .collect()

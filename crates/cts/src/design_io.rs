@@ -179,7 +179,7 @@ pub fn load_design(text: &str) -> Result<LoadedDesign, CtsError> {
         };
         let (cin, rout, d0, area) = (num("cin")?, num("rout")?, num("d0")?, num("area")?);
         if !(cin >= 0.0 && rout > 0.0 && d0 >= 0.0 && area >= 0.0)
-            || ![cin, rout, d0, area].iter().all(|v| v.is_finite())
+            || [cin, rout, d0, area].iter().any(|v| !v.is_finite())
         {
             return Err(bad(format!("invalid device parameters on node {i}")));
         }
@@ -206,10 +206,10 @@ mod tests {
             .map(|i| {
                 Sink::new(
                     Point::new(
-                        (i as f64 * 3_777.0) % 12_000.0,
-                        (i as f64 * 2_333.0) % 12_000.0,
+                        (f64::from(i) * 3_777.0) % 12_000.0,
+                        (f64::from(i) * 2_333.0) % 12_000.0,
                     ),
-                    0.02 + 0.01 * (i % 3) as f64,
+                    0.02 + 0.01 * f64::from(i % 3),
                 )
             })
             .collect();

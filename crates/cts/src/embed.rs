@@ -127,6 +127,11 @@ pub fn embed_sized(
     embed_impl(topology, sinks, tech, assignment, source, Some(limits))
 }
 
+#[expect(
+    clippy::expect_used,
+    reason = "the two-pass DME sweep fills every state before it is read: \
+              children precede parents in bottom-up order and vice versa"
+)]
 fn embed_impl(
     topology: &Topology,
     sinks: &[Sink],
@@ -393,7 +398,7 @@ mod tests {
         let sinks: Vec<Sink> = (0..8)
             .map(|i| {
                 Sink::new(
-                    Point::new((i % 4) as f64 * 30_000.0, (i / 4) as f64 * 30_000.0),
+                    Point::new(f64::from(i % 4) * 30_000.0, f64::from(i / 4) * 30_000.0),
                     0.3,
                 )
             })

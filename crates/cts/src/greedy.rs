@@ -65,6 +65,10 @@ const PARALLEL_THRESHOLD: usize = 4_096;
 /// Evaluates `cost` for every pair, fanning out across threads for large
 /// batches. Deterministic: per-pair results do not depend on evaluation
 /// order, and the heap tie-breaks on indices.
+#[expect(
+    clippy::expect_used,
+    reason = "a panicking cost worker must propagate, not be swallowed"
+)]
 fn evaluate_costs<O: MergeObjective>(objective: &O, pairs: &[(u32, u32)]) -> Vec<Candidate> {
     let eval = |&(a, b): &(u32, u32)| {
         let cost = objective.cost(a as usize, b as usize);
@@ -113,6 +117,10 @@ fn evaluate_costs<O: MergeObjective>(objective: &O, pairs: &[(u32, u32)]) -> Vec
 /// # Panics
 ///
 /// Panics if the objective returns a NaN cost.
+#[expect(
+    clippy::expect_used,
+    reason = "the heap holds a candidate for every live pair until one root remains"
+)]
 pub fn run_greedy<O: MergeObjective>(
     num_leaves: usize,
     objective: &mut O,
@@ -259,14 +267,14 @@ mod tests {
         assert_eq!(run(), run());
     }
 
-    /// The parallel batch path (> PARALLEL_THRESHOLD initial pairs) must
+    /// The parallel batch path (> `PARALLEL_THRESHOLD` initial pairs) must
     /// produce the same topology run to run — determinism is independent
     /// of threading.
     #[test]
     fn parallel_path_is_deterministic() {
         // 128 leaves -> 8128 initial pairs > PARALLEL_THRESHOLD.
         let points: Vec<Point> = (0..128)
-            .map(|i| Point::new((i * 37 % 997) as f64, (i * 71 % 983) as f64))
+            .map(|i| Point::new(f64::from(i * 37 % 997), f64::from(i * 71 % 983)))
             .collect();
         let run = || {
             let mut obj = PointObjective {

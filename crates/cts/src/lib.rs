@@ -75,4 +75,4 @@ pub use nearest::{build_buffered_tree, nearest_neighbor_topology, NearestNeighbo
 pub use route::{format_routes, realize_routes, RoutedEdge};
 pub use sink::Sink;
 pub use topology::{TopoNode, Topology};
-pub use tree::{ClockTree, TreeId, TreeNode};
+pub use tree::{ClockTree, RawTreeNode, TreeId, TreeNode};

@@ -110,7 +110,7 @@ mod tests {
         // 4 sinks on a horizontal line: the x-median must put {0,1} and
         // {2,3} in different halves.
         let sinks: Vec<Sink> = (0..4)
-            .map(|i| Sink::new(Point::new(i as f64 * 100.0, 0.0), 0.05))
+            .map(|i| Sink::new(Point::new(f64::from(i) * 100.0, 0.0), 0.05))
             .collect();
         let topo = mmm_topology(&sinks).unwrap();
         if let crate::TopoNode::Internal { left, right } = topo.node(topo.root()) {

@@ -134,7 +134,7 @@ mod tests {
         let sinks: Vec<Sink> = (0..16)
             .map(|i| {
                 Sink::new(
-                    Point::new((i % 4) as f64 * 20_000.0, (i / 4) as f64 * 20_000.0),
+                    Point::new(f64::from(i % 4) * 20_000.0, f64::from(i / 4) * 20_000.0),
                     0.2,
                 )
             })

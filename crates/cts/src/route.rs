@@ -83,6 +83,10 @@ pub fn realize_routes(tree: &ClockTree) -> Vec<RoutedEdge> {
 
 /// An axis-parallel polyline from `a` to `b` of total length `target`
 /// (≥ the Manhattan distance, within rounding).
+#[expect(
+    clippy::expect_used,
+    reason = "the base L-route always has at least one segment"
+)]
 fn route_edge(a: Point, b: Point, target: f64) -> Vec<Point> {
     let dist = a.manhattan(b);
     let extra = (target - dist).max(0.0);

@@ -224,6 +224,10 @@ impl Topology {
     ///
     /// Returns [`CtsError::InvalidTopology`] when `victim` is out of range
     /// or the topology has only one sink left.
+    #[expect(
+        clippy::expect_used,
+        reason = "a leaf in a multi-sink topology always has a parent"
+    )]
     pub fn remove_leaf(&self, victim: usize) -> Result<Topology, CtsError> {
         if victim >= self.num_leaves {
             return Err(CtsError::InvalidTopology {

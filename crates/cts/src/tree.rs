@@ -140,11 +140,89 @@ pub(crate) fn build_clock_tree(
     }
 }
 
+/// A [`TreeNode`] with its fields exposed: the exchange format of
+/// [`ClockTree::to_raw_parts`] / [`ClockTree::from_raw_parts`]. Indices are
+/// plain `usize` node positions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RawTreeNode {
+    /// Parent node index, `None` for the root.
+    pub parent: Option<usize>,
+    /// Child node indices (empty for sinks, two for internal nodes).
+    pub children: Vec<usize>,
+    /// Placed layout location.
+    pub location: Point,
+    /// Electrical length of the edge to the parent.
+    pub electrical_length: f64,
+    /// Device at the top of the parent edge.
+    pub device: Option<Device>,
+    /// Bound sink index, `None` for internal nodes.
+    pub sink: Option<usize>,
+}
+
 impl ClockTree {
     /// Total number of nodes (`2·N − 1`).
     #[must_use]
     pub fn len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Decomposes the tree into raw nodes and sink capacitances — the
+    /// inverse of [`ClockTree::from_raw_parts`].
+    #[must_use]
+    pub fn to_raw_parts(&self) -> (Vec<RawTreeNode>, Vec<f64>) {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| RawTreeNode {
+                parent: n.parent.map(TreeId::index),
+                children: n.children.iter().copied().map(TreeId::index).collect(),
+                location: n.location,
+                electrical_length: n.electrical_length,
+                device: n.device,
+                sink: n.sink,
+            })
+            .collect();
+        (nodes, self.sink_caps.clone())
+    }
+
+    /// Reassembles a tree from raw nodes and sink capacitances.
+    ///
+    /// **No structural validation is performed** — out-of-range indices
+    /// aside, any shape is accepted, including shapes that violate the
+    /// embedding invariants (multiple roots, cycles, negative snaking,
+    /// skewed delays). This is deliberate: external importers and tests
+    /// construct candidate trees here and run `gcr-verify` over them to
+    /// find out what is wrong.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parent, child or sink index is out of range.
+    #[must_use]
+    pub fn from_raw_parts(nodes: Vec<RawTreeNode>, sink_caps: Vec<f64>) -> Self {
+        let n = nodes.len();
+        let nodes = nodes
+            .into_iter()
+            .map(|r| {
+                assert!(r.parent.is_none_or(|p| p < n), "parent index out of range");
+                assert!(
+                    r.children.iter().all(|&c| c < n),
+                    "child index out of range"
+                );
+                assert!(
+                    r.sink.is_none_or(|s| s < sink_caps.len()),
+                    "sink index out of range"
+                );
+                TreeNode {
+                    parent: r.parent.map(TreeId),
+                    children: r.children.into_iter().map(TreeId).collect(),
+                    location: r.location,
+                    electrical_length: r.electrical_length,
+                    device: r.device,
+                    sink: r.sink,
+                }
+            })
+            .collect();
+        ClockTree { nodes, sink_caps }
     }
 
     /// Whether the tree has no nodes (never true for an embedded tree).
@@ -266,6 +344,11 @@ impl ClockTree {
     /// sink order). Edge devices become zero-length buffered stubs at the
     /// parent end of their edge.
     #[must_use]
+    #[expect(
+        clippy::expect_used,
+        reason = "parent-before-child traversal fills every RC id before it is read, \
+                  and every sink node is visited"
+    )]
     pub fn to_rc_tree(&self, tech: &Technology) -> (RcTree, Vec<NodeId>) {
         let mut rc = RcTree::new(tech.source());
         let mut rc_ids: Vec<Option<NodeId>> = vec![None; self.nodes.len()];

@@ -112,7 +112,7 @@ impl BBox {
     pub fn subdivide(&self, levels: u32) -> Vec<BBox> {
         let mut boxes = vec![*self];
         for _ in 0..levels {
-            boxes = boxes.iter().flat_map(|b| b.quadrants()).collect();
+            boxes = boxes.iter().flat_map(BBox::quadrants).collect();
         }
         boxes
     }

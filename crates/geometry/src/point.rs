@@ -44,7 +44,7 @@ impl Point {
     /// Only used for reporting; all routing decisions use [`Self::manhattan`].
     #[must_use]
     pub fn euclidean(self, other: Point) -> f64 {
-        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+        (self.x - other.x).hypot(self.y - other.y)
     }
 
     /// Midpoint of the straight segment between `self` and `other`.

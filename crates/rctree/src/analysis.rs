@@ -92,6 +92,10 @@ impl DelayAnalysis {
     ///
     /// Panics if `nodes` is empty.
     #[must_use]
+    #[expect(
+        clippy::expect_used,
+        reason = "emptiness is ruled out by the assert above"
+    )]
     pub fn critical_sink(&self, nodes: &[NodeId]) -> NodeId {
         assert!(!nodes.is_empty(), "critical_sink over an empty node set");
         *nodes

@@ -50,6 +50,10 @@ impl Technology {
     ///
     /// Never panics; the preset constants are valid.
     #[must_use]
+    #[expect(
+        clippy::expect_used,
+        reason = "the preset constants are statically valid"
+    )]
     pub fn half_micron() -> Self {
         Technology::builder()
             .unit_res(0.008)
@@ -77,6 +81,10 @@ impl Technology {
     ///
     /// Never panics; the preset constants are valid.
     #[must_use]
+    #[expect(
+        clippy::expect_used,
+        reason = "the preset constants are statically valid"
+    )]
     pub fn quarter_micron() -> Self {
         Technology::builder()
             .unit_res(0.03)
@@ -196,6 +204,10 @@ impl Technology {
 }
 
 impl Default for Technology {
+    #[expect(
+        clippy::expect_used,
+        reason = "the documented default parameters are statically valid"
+    )]
     fn default() -> Self {
         TechnologyBuilder::new()
             .build()

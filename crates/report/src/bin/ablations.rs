@@ -8,6 +8,9 @@
 //!    physically removing gates and re-balancing the tree.
 //!
 //! Usage: `cargo run --release -p gcr-report --bin ablations`
+// CLI entry point: aborting with the expect message is the intended
+// failure mode for bad inputs or a broken terminal.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_core::{
     evaluate, evaluate_with_mask, gated_routing_for_topology, reduce_gates, reduce_gates_optimal,

@@ -6,6 +6,9 @@
 //! (`--quick` trims each experiment to its smallest benchmarks; `--html`
 //! additionally writes a self-contained report with an embedded SVG
 //! floorplan of the gated r1 tree).
+// CLI entry point: aborting with the expect message is the intended
+// failure mode for bad inputs or a broken terminal.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_core::{reduce_gates_untied, route_gated, ReductionParams, RouterConfig};
 use gcr_rctree::Technology;

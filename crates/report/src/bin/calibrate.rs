@@ -2,6 +2,9 @@
 //! benchmark so the reduction sweep's shape can be inspected.
 //!
 //! Usage: `cargo run --release -p gcr-report --bin calibrate [bench]`
+// CLI entry point: aborting with the expect message is the intended
+// failure mode for bad inputs or a broken terminal.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_core::{
     evaluate_buffered, evaluate_with_mask, reduce_gates_untied, route_gated, ReductionParams,

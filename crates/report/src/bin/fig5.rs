@@ -2,6 +2,9 @@
 //! area (controller tree / clock tree split) on benchmark r1.
 //!
 //! Usage: `cargo run --release -p gcr-report --bin fig5`
+// CLI entry point: aborting with the expect message is the intended
+// failure mode for bad inputs or a broken terminal.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_rctree::Technology;
 use gcr_report::{fig5, render_fig5};

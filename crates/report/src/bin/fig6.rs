@@ -2,6 +2,9 @@
 //! controllers — star routing length shrinks by ≈ √k for k controllers.
 //!
 //! Usage: `cargo run --release -p gcr-report --bin fig6 [--quick]`
+// CLI entry point: aborting with the expect message is the intended
+// failure mode for bad inputs or a broken terminal.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_rctree::Technology;
 use gcr_report::{fig6, render_fig6};

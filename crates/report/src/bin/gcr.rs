@@ -12,6 +12,9 @@
 //! * sinks: one `x y cap_pf` triple per line (`#` comments allowed); sink
 //!   `i` is module `i` of the RTL;
 //! * rtl / trace: see [`gcr_activity::io`].
+// CLI entry point: aborting with the expect message is the intended
+// failure mode for bad inputs or a broken terminal.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::fs;
 use std::path::Path;

@@ -3,6 +3,9 @@
 //! benchmarks.
 //!
 //! Usage: `cargo run --release -p gcr-report --bin optimal_reduction [--quick]`
+// CLI entry point: aborting with the expect message is the intended
+// failure mode for bad inputs or a broken terminal.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_rctree::Technology;
 use gcr_report::{optimal_vs_heuristic, TextTable};

@@ -4,6 +4,9 @@
 //!
 //! Usage: `cargo run --release -p gcr-report --bin render_tree [bench] [out.svg]`
 //! (defaults: r1, `gated_tree.svg` in the current directory).
+// CLI entry point: aborting with the expect message is the intended
+// failure mode for bad inputs or a broken terminal.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_core::{reduce_gates_untied, route_gated, ReductionParams, RouterConfig};
 use gcr_rctree::Technology;

@@ -2,6 +2,9 @@
 //! how much wire (and switched capacitance) a skew budget buys back.
 //!
 //! Usage: `cargo run --release -p gcr-report --bin skew_tradeoff [bench]`
+// CLI entry point: aborting with the expect message is the intended
+// failure mode for bad inputs or a broken terminal.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_rctree::Technology;
 use gcr_report::{skew_tradeoff_study, TextTable};

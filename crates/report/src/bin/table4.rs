@@ -3,6 +3,9 @@
 //!
 //! Usage: `cargo run --release -p gcr-report --bin table4 [--quick]`
 //! (`--quick` limits the run to r1–r3).
+// CLI entry point: aborting with the expect message is the intended
+// failure mode for bad inputs or a broken terminal.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_report::{render_table4, table4};
 use gcr_workloads::{TsayBenchmark, WorkloadParams};

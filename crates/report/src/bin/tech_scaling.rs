@@ -2,6 +2,9 @@
 //! technology generations (0.5 µm → 0.35 µm → 0.25 µm presets).
 //!
 //! Usage: `cargo run --release -p gcr-report --bin tech_scaling`
+// CLI entry point: aborting with the expect message is the intended
+// failure mode for bad inputs or a broken terminal.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_rctree::Technology;
 use gcr_report::{tech_scaling_study, TextTable};

@@ -3,6 +3,9 @@
 //! instance; this shows the conclusions do not hinge on one draw.
 //!
 //! Usage: `cargo run --release -p gcr-report --bin variance [n_seeds]`
+// CLI entry point: aborting with the expect message is the intended
+// failure mode for bad inputs or a broken terminal.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_rctree::Technology;
 use gcr_report::{seeded_workload, variance_study, Stats1d, TextTable};

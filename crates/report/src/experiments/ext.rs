@@ -260,6 +260,10 @@ pub struct OptimalRow {
 /// # Errors
 ///
 /// Returns [`RouteError`] when routing fails.
+#[expect(
+    clippy::expect_used,
+    reason = "the strength grid scanned below is a non-empty literal"
+)]
 pub fn optimal_vs_heuristic(
     workload: &Workload,
     tech: &Technology,

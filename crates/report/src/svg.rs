@@ -135,7 +135,7 @@ pub fn render_svg(
     // Gates at edge tops.
     for (id, _) in tree.devices() {
         let g = tree.gate_location(id);
-        let controlled = options.controlled.as_ref().map_or(true, |c| c[id.index()]);
+        let controlled = options.controlled.as_ref().is_none_or(|c| c[id.index()]);
         let fill = match (&options.node_stats, controlled) {
             (_, false) => "none".to_owned(),
             (Some(stats), true) => {
@@ -184,8 +184,8 @@ mod tests {
             .map(|i| {
                 Sink::new(
                     Point::new(
-                        500.0 + (i % 4) as f64 * 2_000.0,
-                        500.0 + (i / 4) as f64 * 4_000.0,
+                        500.0 + f64::from(i % 4) * 2_000.0,
+                        500.0 + f64::from(i / 4) * 4_000.0,
                     ),
                     0.04,
                 )

@@ -1,0 +1,157 @@
+//! `gcr-verify`: static verification of a saved gated-clock-tree design.
+//!
+//! Loads a `gcr-design v1` file (see `gcr-cts::design_io`), re-embeds it
+//! under the default technology, runs the full lint deck, and prints the
+//! findings. Exits `0` when the design is clean, `1` when any
+//! error-severity diagnostic fires, `2` on usage or load failure.
+
+use std::process::ExitCode;
+
+use gcr_core::{ControllerPlan, DeviceRole};
+use gcr_cts::{embed, load_design};
+use gcr_geometry::{BBox, Point};
+use gcr_rctree::Technology;
+use gcr_verify::{Verifier, VerifyInput};
+
+const USAGE: &str = "\
+usage: gcr-verify [options] <design-file>
+
+Statically verifies a gcr-design v1 file: tree structure, geometry,
+zero skew, gating consistency, and switched-capacitance accounting.
+
+options:
+  --json                 emit the report as JSON instead of text
+  --die X0 Y0 X1 Y1      die outline; default: bounding box of the design
+  --skew-tol PS          allowed sink-to-sink skew in ps (default 1e-6)
+  --role gate|buffer     how edge devices are accounted (default gate)
+  --list-lints           print the registered passes and exit
+  -h, --help             print this help
+";
+
+struct Options {
+    path: Option<String>,
+    json: bool,
+    die: Option<BBox>,
+    skew_tol: Option<f64>,
+    role: DeviceRole,
+    list_lints: bool,
+}
+
+fn take_f64(args: &mut std::env::Args, flag: &str) -> Result<f64, String> {
+    args.next()
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse::<f64>()
+        .map_err(|e| format!("{flag}: {e}"))
+}
+
+fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
+    let _argv0 = args.next();
+    let mut opts = Options {
+        path: None,
+        json: false,
+        die: None,
+        skew_tol: None,
+        role: DeviceRole::Gate,
+        list_lints: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--list-lints" => opts.list_lints = true,
+            "--skew-tol" => opts.skew_tol = Some(take_f64(&mut args, "--skew-tol")?),
+            "--die" => {
+                let x0 = take_f64(&mut args, "--die")?;
+                let y0 = take_f64(&mut args, "--die")?;
+                let x1 = take_f64(&mut args, "--die")?;
+                let y1 = take_f64(&mut args, "--die")?;
+                opts.die = Some(BBox::new(Point::new(x0, y0), Point::new(x1, y1)));
+            }
+            "--role" => {
+                let value = args.next().ok_or("--role needs gate|buffer")?;
+                opts.role = match value.as_str() {
+                    "gate" => DeviceRole::Gate,
+                    "buffer" => DeviceRole::Buffer,
+                    other => return Err(format!("--role must be gate or buffer, got {other}")),
+                };
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            _ if opts.path.is_none() => opts.path = Some(arg),
+            _ => return Err("more than one design file given".into()),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args(std::env::args())?;
+    let verifier = Verifier::with_default_lints();
+    if opts.list_lints {
+        for lint in verifier.lints() {
+            println!("{:<16} {}", lint.id(), lint.description());
+        }
+        return Ok(true);
+    }
+    let Some(path) = opts.path else {
+        return Err("no design file given".into());
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let design = load_design(&text).map_err(|e| format!("{path}: {e}"))?;
+    let tech = Technology::default();
+    let tree = embed(
+        &design.topology,
+        &design.sinks,
+        &tech,
+        &design.assignment,
+        design.source,
+    )
+    .map_err(|e| format!("{path}: embedding failed: {e}"))?;
+
+    // Die outline: explicit, or the extent of everything placed.
+    let die = opts.die.or_else(|| {
+        BBox::of_points(
+            tree.ids()
+                .map(|id| tree.node(id).location())
+                .chain(std::iter::once(design.source)),
+        )
+    });
+    // The paper's centralized controller sits at the center of the chip.
+    let controller = ControllerPlan::Centralized {
+        location: die.map_or(design.source, |d| d.center()),
+    };
+
+    let mut input = VerifyInput::new(&tree, &tech)
+        .with_role(opts.role)
+        .with_controller(&controller);
+    if let Some(die) = die {
+        input = input.with_die(die);
+    }
+    if let Some(tol) = opts.skew_tol {
+        input = input.with_skew_tolerance_ps(tol);
+    }
+
+    let report = verifier.run(&input);
+    if opts.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(!report.has_errors())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("gcr-verify: {msg}");
+                eprint!("{USAGE}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The diagnostics data model: severities, locations, diagnostics and the
+//! report they are collected into, renderable as human text or
+//! machine-readable JSON.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth surfacing, not a defect.
+    Info,
+    /// Suspicious but not provably wrong (e.g. a statistical bound that
+    /// finite sampling can graze).
+    Warn,
+    /// A violated invariant: the design is not what it claims to be.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Where in the design a diagnostic points.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Location {
+    /// A whole-design property with no sharper anchor.
+    Design,
+    /// Tree node `v_i` (its dense topology index).
+    Node(usize),
+    /// The edge between node `child` and its parent.
+    Edge {
+        /// The node at the bottom of the edge.
+        child: usize,
+    },
+    /// Sink `i` (the paper's `s_i`).
+    Sink(usize),
+    /// A whole activity table.
+    Table(&'static str),
+    /// One cell of an activity table.
+    TableCell {
+        /// Which table (`"IFT"`, `"ITMATT"`).
+        table: &'static str,
+        /// Row index.
+        row: usize,
+        /// Column index.
+        col: usize,
+    },
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Design => f.write_str("design"),
+            Location::Node(i) => write!(f, "v{i}"),
+            Location::Edge { child } => write!(f, "edge(v{child})"),
+            Location::Sink(i) => write!(f, "s{i}"),
+            Location::Table(t) => f.write_str(t),
+            Location::TableCell { table, row, col } => write!(f, "{table}[{row}][{col}]"),
+        }
+    }
+}
+
+/// One finding of one lint pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// The id of the lint that produced this (e.g. `"zero-skew"`).
+    pub lint_id: &'static str,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Where it points.
+    pub location: Location,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Shorthand constructor.
+    #[must_use]
+    pub fn new(
+        lint_id: &'static str,
+        severity: Severity,
+        location: Location,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            lint_id,
+            severity,
+            location,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {}: {}",
+            self.severity, self.lint_id, self.location, self.message
+        )
+    }
+}
+
+/// Every diagnostic produced by one verifier run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VerifyReport {
+    diagnostics: Vec<Diagnostic>,
+    passes_run: Vec<&'static str>,
+}
+
+impl VerifyReport {
+    pub(crate) fn new(diagnostics: Vec<Diagnostic>, passes_run: Vec<&'static str>) -> Self {
+        VerifyReport {
+            diagnostics,
+            passes_run,
+        }
+    }
+
+    /// All diagnostics, in pass-registration order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// The ids of the passes that ran (including clean ones).
+    #[must_use]
+    pub fn passes_run(&self) -> &[&'static str] {
+        &self.passes_run
+    }
+
+    /// Number of diagnostics at `severity`.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Whether any Error-severity diagnostic exists.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Diagnostics produced by the lint with `id`.
+    pub fn by_lint<'a>(&'a self, id: &'a str) -> impl Iterator<Item = &'a Diagnostic> + 'a {
+        self.diagnostics.iter().filter(move |d| d.lint_id == id)
+    }
+
+    /// Human-readable multi-line rendering.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = writeln!(
+            out,
+            "{} passes, {} errors, {} warnings, {} notes",
+            self.passes_run.len(),
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+        );
+        out
+    }
+
+    /// Machine-readable JSON rendering (no external dependencies, hence
+    /// hand-built; the shape is stable: `{"passes": [...], "diagnostics":
+    /// [{"lint", "severity", "location", "message"}], "errors": N}`).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"passes\":[");
+        for (i, p) in self.passes_run.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(p);
+            out.push('"');
+        }
+        out.push_str("],\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"lint\":\"");
+            out.push_str(d.lint_id);
+            out.push_str("\",\"severity\":\"");
+            out.push_str(&d.severity.to_string());
+            out.push_str("\",\"location\":\"");
+            push_json_escaped(&mut out, &d.location.to_string());
+            out.push_str("\",\"message\":\"");
+            push_json_escaped(&mut out, &d.message);
+            out.push_str("\"}");
+        }
+        out.push_str("],\"errors\":");
+        out.push_str(&self.count(Severity::Error).to_string());
+        out.push('}');
+        out
+    }
+}
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_displays() {
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn report_counts_and_filters() {
+        let report = VerifyReport::new(
+            vec![
+                Diagnostic::new("a", Severity::Error, Location::Node(3), "bad"),
+                Diagnostic::new("b", Severity::Warn, Location::Design, "meh"),
+                Diagnostic::new("a", Severity::Info, Location::Sink(0), "fyi"),
+            ],
+            vec!["a", "b"],
+        );
+        assert!(report.has_errors());
+        assert_eq!(report.count(Severity::Error), 1);
+        assert_eq!(report.by_lint("a").count(), 2);
+        let text = report.render_text();
+        assert!(text.contains("error: [a] v3: bad"));
+        assert!(text.contains("2 passes, 1 errors, 1 warnings, 1 notes"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_structured() {
+        let report = VerifyReport::new(
+            vec![Diagnostic::new(
+                "x",
+                Severity::Error,
+                Location::TableCell {
+                    table: "IFT",
+                    row: 1,
+                    col: 2,
+                },
+                "say \"no\"\n",
+            )],
+            vec!["x"],
+        );
+        let json = report.render_json();
+        assert!(json.contains("\"lint\":\"x\""));
+        assert!(json.contains("IFT[1][2]"));
+        assert!(json.contains("say \\\"no\\\"\\n"));
+        assert!(json.ends_with("\"errors\":1}"));
+    }
+}

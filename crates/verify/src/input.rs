@@ -1,0 +1,131 @@
+//! The design-under-verification: an embedded clock tree plus whatever
+//! optional context (die, activity statistics, controller plan, a power
+//! report to cross-check) the caller has. Passes check what the provided
+//! context allows and stay silent about the rest.
+
+use gcr_activity::{ActivityTables, EnableStats};
+use gcr_core::{ControllerPlan, DeviceRole, PowerReport};
+use gcr_cts::ClockTree;
+use gcr_geometry::BBox;
+use gcr_rctree::Technology;
+
+/// Everything a lint pass may look at. Build with [`VerifyInput::new`] and
+/// the `with_*` methods.
+pub struct VerifyInput<'a> {
+    /// The embedded tree under verification.
+    pub tree: &'a ClockTree,
+    /// Technology parameters for electrical recomputation.
+    pub tech: &'a Technology,
+    /// How the tree's devices behave for power accounting.
+    pub role: DeviceRole,
+    /// The die outline, if known. Enables the geometry containment check.
+    pub die: Option<BBox>,
+    /// The activity tables, if known. Enables the stochastic table checks.
+    pub tables: Option<&'a ActivityTables>,
+    /// Per-node enable statistics, if known (`node_stats[i]` for topology
+    /// node `i`). Enables the probability-bound and switched-cap checks.
+    pub node_stats: Option<&'a [EnableStats]>,
+    /// The enable-star controller plan, if known.
+    pub controller: Option<&'a ControllerPlan>,
+    /// Which devices are *controlled* masking gates (vs always-on
+    /// buffers). `None` means the [`DeviceRole`] default: all devices
+    /// controlled under `Gate`, none under `Buffer`.
+    pub controlled: Option<&'a [bool]>,
+    /// A previously computed power report to cross-check.
+    pub power_report: Option<&'a PowerReport>,
+    /// Allowed source-to-sink delay spread (ps) before the zero-skew pass
+    /// reports an Error. The exact-zero-skew DME embedding stays below
+    /// 1e-6 ps of float noise; bounded-skew trees need the bound they
+    /// were built with.
+    pub skew_tolerance_ps: f64,
+}
+
+impl<'a> VerifyInput<'a> {
+    /// A minimal input: tree + technology, gate-role accounting, default
+    /// zero-skew tolerance.
+    #[must_use]
+    pub fn new(tree: &'a ClockTree, tech: &'a Technology) -> Self {
+        VerifyInput {
+            tree,
+            tech,
+            role: DeviceRole::Gate,
+            die: None,
+            tables: None,
+            node_stats: None,
+            controller: None,
+            controlled: None,
+            power_report: None,
+            skew_tolerance_ps: 1e-6,
+        }
+    }
+
+    /// Sets the die outline.
+    #[must_use]
+    pub fn with_die(mut self, die: BBox) -> Self {
+        self.die = Some(die);
+        self
+    }
+
+    /// Sets the device accounting role.
+    #[must_use]
+    pub fn with_role(mut self, role: DeviceRole) -> Self {
+        self.role = role;
+        self
+    }
+
+    /// Sets the activity tables.
+    #[must_use]
+    pub fn with_tables(mut self, tables: &'a ActivityTables) -> Self {
+        self.tables = Some(tables);
+        self
+    }
+
+    /// Sets the per-node enable statistics.
+    #[must_use]
+    pub fn with_node_stats(mut self, stats: &'a [EnableStats]) -> Self {
+        self.node_stats = Some(stats);
+        self
+    }
+
+    /// Sets the controller plan.
+    #[must_use]
+    pub fn with_controller(mut self, controller: &'a ControllerPlan) -> Self {
+        self.controller = Some(controller);
+        self
+    }
+
+    /// Sets the controlled-gate mask (from gate reduction in untie mode).
+    #[must_use]
+    pub fn with_controlled(mut self, controlled: &'a [bool]) -> Self {
+        self.controlled = Some(controlled);
+        self
+    }
+
+    /// Sets a power report to cross-check against first principles.
+    #[must_use]
+    pub fn with_power_report(mut self, report: &'a PowerReport) -> Self {
+        self.power_report = Some(report);
+        self
+    }
+
+    /// Sets the allowed delay spread for the zero-skew pass (e.g. the
+    /// bound of a bounded-skew tree).
+    #[must_use]
+    pub fn with_skew_tolerance_ps(mut self, tol: f64) -> Self {
+        self.skew_tolerance_ps = tol;
+        self
+    }
+
+    /// The effective controlled mask: the explicit one, or the
+    /// [`DeviceRole`] default.
+    #[must_use]
+    pub fn effective_controlled(&self) -> Vec<bool> {
+        match self.controlled {
+            Some(mask) => mask.to_vec(),
+            None => match self.role {
+                DeviceRole::Gate => vec![true; self.tree.len()],
+                DeviceRole::Buffer => vec![false; self.tree.len()],
+            },
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Static verification for gated clock trees — a "DRC deck" for the
+//! routing and power machinery in this workspace.
+//!
+//! The router (`gcr-cts`), the activity model (`gcr-activity`), and the
+//! power evaluator (`gcr-core`) each maintain invariants the others rely
+//! on: the tree is a well-formed binary merge structure, the embedding is
+//! zero-skew under the Elmore model, the enable probabilities are actual
+//! probabilities, every controlled gate has an enable net, and the
+//! switched-capacitance totals follow Equation (3) of the paper. This
+//! crate re-checks all of that *from the outside*: every pass recomputes
+//! its invariant from first principles against the public data model,
+//! sharing no code with the subsystem it audits, so a bug upstream shows
+//! up as a diagnostic here instead of being verified against itself.
+//!
+//! # Architecture
+//!
+//! - [`Lint`] is the pass interface: an `id`, a `description`, and a
+//!   `run` that appends [`Diagnostic`]s.
+//! - [`Verifier`] is the registry; [`Verifier::with_default_lints`]
+//!   installs the six standard passes in dependency order and
+//!   [`Verifier::run`] produces a [`VerifyReport`].
+//! - [`VerifyInput`] bundles the design under audit: the tree and
+//!   technology always, plus optional die outline, activity tables,
+//!   per-node enable statistics, controller plan, controlled-gate mask,
+//!   and a stored power report to cross-check.
+//! - [`VerifyReport`] renders as human-readable text
+//!   ([`VerifyReport::render_text`]) or machine-readable JSON
+//!   ([`VerifyReport::render_json`]), and answers
+//!   [`VerifyReport::has_errors`] for gating CI.
+//!
+//! The standard passes, in run order:
+//!
+//! | id | checks |
+//! |----|--------|
+//! | `tree-structure` | parent/child mutual consistency, single root, acyclicity, binary merges, sink bijection |
+//! | `geometry` | finite in-die placements, electrical length ≥ Manhattan distance |
+//! | `zero-skew` | independent Elmore recomputation, equal arrival at every sink |
+//! | `activity-tables` | IFT/ITMATT are consistent distributions, enable probability bounds |
+//! | `gating` | controlled edges carry gates, enable nets exist in the star plan |
+//! | `switched-cap` | Equation (3) re-derived from first principles matches `gcr-core::evaluate` |
+//!
+//! The delay- and capacitance-dependent passes (`zero-skew`,
+//! `switched-cap`) are skipped when `tree-structure` reports an error:
+//! their recursions assume a well-formed tree.
+//!
+//! # Example
+//!
+//! ```
+//! use gcr_core::DeviceRole;
+//! use gcr_cts::{build_buffered_tree, Sink};
+//! use gcr_geometry::Point;
+//! use gcr_rctree::Technology;
+//! use gcr_verify::{Verifier, VerifyInput};
+//!
+//! let tech = Technology::default();
+//! let sinks = vec![
+//!     Sink::new(Point::new(0.0, 0.0), 0.05),
+//!     Sink::new(Point::new(200.0, 0.0), 0.05),
+//!     Sink::new(Point::new(0.0, 200.0), 0.05),
+//!     Sink::new(Point::new(200.0, 200.0), 0.05),
+//! ];
+//! let tree = build_buffered_tree(&tech, &sinks, Point::new(100.0, 100.0)).unwrap();
+//! let input = VerifyInput::new(&tree, &tech).with_role(DeviceRole::Buffer);
+//! let report = Verifier::with_default_lints().run(&input);
+//! assert!(!report.has_errors(), "{}", report.render_text());
+//! ```
+
+mod diag;
+mod input;
+mod lint;
+pub mod passes;
+
+pub use diag::{Diagnostic, Location, Severity, VerifyReport};
+pub use input::VerifyInput;
+pub use lint::{Lint, Verifier};
+pub use passes::{
+    ActivityTablesLint, GatingLint, GeometryLint, SwitchedCapLint, TreeStructureLint, ZeroSkewLint,
+};

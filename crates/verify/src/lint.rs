@@ -1,0 +1,92 @@
+//! The `Lint` trait and the pass registry that runs lints over a design.
+
+use crate::diag::{Diagnostic, VerifyReport};
+use crate::input::VerifyInput;
+use crate::passes;
+
+/// One static-analysis pass over a design.
+///
+/// A lint inspects the [`VerifyInput`] and appends [`Diagnostic`]s; it
+/// must not mutate anything and must tolerate missing optional context by
+/// checking less (not by erroring).
+pub trait Lint {
+    /// Stable machine-readable id, also used as the diagnostic `lint_id`
+    /// (e.g. `"zero-skew"`).
+    fn id(&self) -> &'static str;
+
+    /// One-line human description of what the pass checks.
+    fn description(&self) -> &'static str;
+
+    /// Runs the pass, appending findings to `out`.
+    fn run(&self, input: &VerifyInput<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered registry of lints — the verifier itself.
+#[derive(Default)]
+pub struct Verifier {
+    lints: Vec<Box<dyn Lint>>,
+}
+
+impl Verifier {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Verifier::default()
+    }
+
+    /// The registry with every built-in pass, in dependency-friendly
+    /// order (structure first — later passes assume a sane tree shape).
+    #[must_use]
+    pub fn with_default_lints() -> Self {
+        let mut v = Verifier::new();
+        v.register(Box::new(passes::TreeStructureLint));
+        v.register(Box::new(passes::GeometryLint));
+        v.register(Box::new(passes::ZeroSkewLint));
+        v.register(Box::new(passes::ActivityTablesLint));
+        v.register(Box::new(passes::GatingLint));
+        v.register(Box::new(passes::SwitchedCapLint));
+        v
+    }
+
+    /// Appends a lint to the run order.
+    pub fn register(&mut self, lint: Box<dyn Lint>) {
+        self.lints.push(lint);
+    }
+
+    /// The registered lints, in run order.
+    #[must_use]
+    pub fn lints(&self) -> &[Box<dyn Lint>] {
+        &self.lints
+    }
+
+    /// Runs every pass over `input`.
+    ///
+    /// Structural damage makes electrical recomputation meaningless (and
+    /// possibly non-terminating), so when the tree-structure pass reports
+    /// an Error, passes that traverse parent/child links (zero-skew,
+    /// switched-cap) are skipped; their ids still appear in
+    /// [`VerifyReport::passes_run`] only if they actually ran.
+    #[must_use]
+    pub fn run(&self, input: &VerifyInput<'_>) -> VerifyReport {
+        let mut diagnostics = Vec::new();
+        let mut passes_run = Vec::new();
+        let mut structure_broken = false;
+        for lint in &self.lints {
+            let traverses = matches!(lint.id(), "zero-skew" | "switched-cap");
+            if structure_broken && traverses {
+                continue;
+            }
+            let before = diagnostics.len();
+            lint.run(input, &mut diagnostics);
+            passes_run.push(lint.id());
+            if lint.id() == "tree-structure"
+                && diagnostics[before..]
+                    .iter()
+                    .any(|d| d.severity == crate::Severity::Error)
+            {
+                structure_broken = true;
+            }
+        }
+        VerifyReport::new(diagnostics, passes_run)
+    }
+}

@@ -1,0 +1,253 @@
+//! `activity-tables`: stochastic consistency of the paper's probability
+//! machinery — the IFT is a distribution over instructions (§3.2,
+//! Table 2), the ITMATT is a joint distribution over consecutive
+//! instruction pairs (§3.2, Table 3) whose marginals agree with the IFT,
+//! and every node's enable statistics respect the probability bounds that
+//! Equation (2)'s switched-capacitance weighting assumes.
+
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::input::VerifyInput;
+use crate::lint::Lint;
+
+/// See the module docs.
+pub struct ActivityTablesLint;
+
+const ID: &str = "activity-tables";
+
+/// Distribution sums are checked to this absolute tolerance. The tables
+/// are built from exact rational counts (`c / B`), so only accumulated
+/// f64 rounding should remain.
+const SUM_TOL: f64 = 1e-6;
+
+/// Finite-stream slack on the transition bounds: the IFT is estimated
+/// over B cycles, the ITMATT over B−1 pairs, so marginals drift apart by
+/// O(1/B). Streams in this workspace are ≥ 1000 cycles.
+const STREAM_TOL: f64 = 1e-2;
+
+/// Slack on the `[0, 1]` range itself: probabilities assembled by
+/// inclusion-exclusion (the OR over a node's module set) accumulate a few
+/// ulps past 1 without being wrong.
+const PROB_TOL: f64 = 1e-9;
+
+fn is_probability(p: f64) -> bool {
+    p.is_finite() && (-PROB_TOL..=1.0 + PROB_TOL).contains(&p)
+}
+
+impl Lint for ActivityTablesLint {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "IFT/ITMATT are consistent distributions; enable probabilities obey their bounds"
+    }
+
+    fn run(&self, input: &VerifyInput<'_>, out: &mut Vec<Diagnostic>) {
+        if let Some(tables) = input.tables {
+            check_tables(tables, out);
+        }
+        if let Some(stats) = input.node_stats {
+            check_node_stats(input, stats, out);
+        }
+    }
+}
+
+fn check_tables(tables: &gcr_activity::ActivityTables, out: &mut Vec<Diagnostic>) {
+    let rtl = tables.rtl();
+    let ift = tables.ift();
+    let itmatt = tables.itmatt();
+    let k = rtl.num_instructions();
+
+    if ift.len() != k {
+        out.push(Diagnostic::new(
+            ID,
+            Severity::Error,
+            Location::Table("IFT"),
+            format!("IFT covers {} instructions, RTL has {k}", ift.len()),
+        ));
+        return;
+    }
+    if itmatt.num_instructions() != k {
+        out.push(Diagnostic::new(
+            ID,
+            Severity::Error,
+            Location::Table("ITMATT"),
+            format!(
+                "ITMATT covers {} instructions, RTL has {k}",
+                itmatt.num_instructions()
+            ),
+        ));
+        return;
+    }
+
+    // IFT: a distribution over instructions.
+    let mut ift_sum = 0.0;
+    for (row, i) in rtl.instruction_ids().enumerate() {
+        let p = ift.probability(i);
+        if !is_probability(p) {
+            out.push(Diagnostic::new(
+                ID,
+                Severity::Error,
+                Location::TableCell {
+                    table: "IFT",
+                    row,
+                    col: 0,
+                },
+                format!("P(I{row}) = {p} is not a probability"),
+            ));
+        }
+        ift_sum += p;
+    }
+    if (ift_sum - 1.0).abs() > SUM_TOL {
+        out.push(Diagnostic::new(
+            ID,
+            Severity::Error,
+            Location::Table("IFT"),
+            format!("IFT sums to {ift_sum}, not 1"),
+        ));
+    }
+
+    // ITMATT: a joint distribution over consecutive pairs whose row
+    // marginals match the IFT up to finite-stream end effects.
+    let mut pair_sum = 0.0;
+    for (row, a) in rtl.instruction_ids().enumerate() {
+        let mut row_sum = 0.0;
+        for (col, b) in rtl.instruction_ids().enumerate() {
+            let p = itmatt.pair_probability(a, b);
+            if !is_probability(p) {
+                out.push(Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::TableCell {
+                        table: "ITMATT",
+                        row,
+                        col,
+                    },
+                    format!("P(I{row} -> I{col}) = {p} is not a probability"),
+                ));
+            }
+            row_sum += p;
+        }
+        pair_sum += row_sum;
+        let marginal = ift.probability(a);
+        if (row_sum - marginal).abs() > STREAM_TOL {
+            out.push(Diagnostic::new(
+                ID,
+                Severity::Warn,
+                Location::TableCell {
+                    table: "ITMATT",
+                    row,
+                    col: 0,
+                },
+                format!(
+                    "row {row} marginal {row_sum} differs from IFT {marginal} by more than \
+                     finite-stream end effects explain"
+                ),
+            ));
+        }
+    }
+    if (pair_sum - 1.0).abs() > SUM_TOL {
+        out.push(Diagnostic::new(
+            ID,
+            Severity::Error,
+            Location::Table("ITMATT"),
+            format!("ITMATT pair probabilities sum to {pair_sum}, not 1"),
+        ));
+    }
+}
+
+fn check_node_stats(
+    input: &VerifyInput<'_>,
+    stats: &[gcr_activity::EnableStats],
+    out: &mut Vec<Diagnostic>,
+) {
+    let tree = input.tree;
+    if stats.len() != tree.len() {
+        out.push(Diagnostic::new(
+            ID,
+            Severity::Error,
+            Location::Design,
+            format!(
+                "node statistics cover {} nodes, tree has {}",
+                stats.len(),
+                tree.len()
+            ),
+        ));
+        return;
+    }
+    for (i, st) in stats.iter().enumerate() {
+        let (p, tr) = (st.signal, st.transition);
+        if !is_probability(p) {
+            out.push(Diagnostic::new(
+                ID,
+                Severity::Error,
+                Location::Node(i),
+                format!("P(EN) = {p} is not a probability"),
+            ));
+            continue;
+        }
+        if !is_probability(tr) {
+            out.push(Diagnostic::new(
+                ID,
+                Severity::Error,
+                Location::Node(i),
+                format!("P_tr(EN) = {tr} is not a probability"),
+            ));
+            continue;
+        }
+        // Stationarity theorem: P(0->1) = P(1->0) and each is bounded by
+        // both marginals, so P_tr <= 2*min(P, 1-P). Violations beyond
+        // end-effect slack mean the signal and transition probabilities
+        // were not measured on the same stream.
+        let hard = 2.0 * p.min(1.0 - p);
+        if tr > hard + STREAM_TOL {
+            out.push(Diagnostic::new(
+                ID,
+                Severity::Error,
+                Location::Node(i),
+                format!(
+                    "P_tr(EN) = {tr} exceeds the stationary bound 2*min(P, 1-P) = {hard} \
+                     for P(EN) = {p}"
+                ),
+            ));
+            continue;
+        }
+        // Independence bound (§2.2): an uncorrelated enable toggles with
+        // 2*P*(1-P); gating pays off because real enables are persistent
+        // and toggle *less*. More toggling than a coin flip means the
+        // stream is anti-persistent and the SC accounting premise is off.
+        let soft = 2.0 * p * (1.0 - p);
+        if tr > soft + STREAM_TOL {
+            out.push(Diagnostic::new(
+                ID,
+                Severity::Warn,
+                Location::Node(i),
+                format!(
+                    "P_tr(EN) = {tr} exceeds the independence bound 2*P*(1-P) = {soft}: \
+                     the enable is anti-persistent"
+                ),
+            ));
+        }
+    }
+    // EN_parent is the OR of its children's enables (§3.3), so P(EN) can
+    // only grow toward the root. Check along tree edges where both ends
+    // have stats.
+    for id in tree.ids() {
+        if let Some(p) = tree.node(id).parent() {
+            if p.index() < stats.len() {
+                let (child_p, parent_p) = (stats[id.index()].signal, stats[p.index()].signal);
+                if child_p > parent_p + 1e-9 {
+                    out.push(Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::Node(id.index()),
+                        format!(
+                            "P(EN) = {child_p} exceeds its parent's {parent_p}; an OR of \
+                             enables cannot be less probable than any input"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

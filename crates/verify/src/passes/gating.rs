@@ -1,0 +1,142 @@
+//! `gating`: consistency of the gate placement with the control plan —
+//! every *controlled* edge actually carries a gate device, every
+//! controlled gate has a finite enable net reaching a controller inside
+//! the die (the §2.2 star routing), and the controlled mask agrees with
+//! the tree's device role.
+
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::input::VerifyInput;
+use crate::lint::Lint;
+use gcr_core::DeviceRole;
+
+/// See the module docs.
+pub struct GatingLint;
+
+const ID: &str = "gating";
+
+impl Lint for GatingLint {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "controlled edges carry gates; every controlled gate has an enable net in the star plan"
+    }
+
+    fn run(&self, input: &VerifyInput<'_>, out: &mut Vec<Diagnostic>) {
+        let tree = input.tree;
+        if let Some(mask) = input.controlled {
+            if mask.len() != tree.len() {
+                out.push(Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Design,
+                    format!(
+                        "controlled mask covers {} edges, tree has {}",
+                        mask.len(),
+                        tree.len()
+                    ),
+                ));
+                return;
+            }
+        }
+        let controlled = input.effective_controlled();
+
+        // A buffered baseline has no control network at all; a mask that
+        // claims otherwise contradicts the accounting role.
+        if input.role == DeviceRole::Buffer {
+            if let Some(i) =
+                (0..tree.len()).find(|&i| controlled[i] && tree.node(tree.id(i)).device().is_some())
+            {
+                out.push(Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Edge { child: i },
+                    "buffer-role tree has a controlled gate; buffers take no enable wiring",
+                ));
+            }
+        }
+
+        let mut controlled_gates = Vec::new();
+        for (i, &is_controlled) in controlled.iter().enumerate() {
+            let has_device = tree.node(tree.id(i)).device().is_some();
+            if is_controlled && !has_device {
+                // The reduction pass unties or removes a gate by clearing
+                // its mask/device together; a controlled edge without a
+                // device means the mask refers to a gate that is gone.
+                out.push(Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Edge { child: i },
+                    "edge is marked as a controlled gate but carries no device",
+                ));
+            }
+            if is_controlled && has_device {
+                controlled_gates.push(i);
+            }
+        }
+
+        if controlled_gates.is_empty() {
+            if input.role == DeviceRole::Gate && tree.device_count() == 0 {
+                out.push(Diagnostic::new(
+                    ID,
+                    Severity::Info,
+                    Location::Design,
+                    "gate-role tree carries no devices; nothing is masked",
+                ));
+            }
+            return;
+        }
+
+        let Some(controller) = input.controller else {
+            out.push(Diagnostic::new(
+                ID,
+                Severity::Error,
+                Location::Design,
+                format!(
+                    "{} controlled gates but no controller star plan to drive their enables",
+                    controlled_gates.len()
+                ),
+            ));
+            return;
+        };
+
+        for &i in &controlled_gates {
+            let id = tree.id(i);
+            let gate_loc = tree.gate_location(id);
+            let serving = controller.controller_for(gate_loc);
+            let len = controller.enable_wire_length(gate_loc);
+            if !len.is_finite() || len < 0.0 {
+                out.push(Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Edge { child: i },
+                    format!("enable net length {len} is not a finite non-negative number"),
+                ));
+            }
+            if let Some(die) = input.die {
+                if !die.contains(serving) {
+                    out.push(Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::Edge { child: i },
+                        format!(
+                            "enable net terminates at controller ({}, {}), outside the die",
+                            serving.x, serving.y
+                        ),
+                    ));
+                }
+            }
+            if let Some(stats) = input.node_stats {
+                if i < stats.len() && stats[i].signal >= 1.0 && stats[i].transition <= 0.0 {
+                    out.push(Diagnostic::new(
+                        ID,
+                        Severity::Info,
+                        Location::Edge { child: i },
+                        "controlled gate is always enabled; its enable wire is pure overhead",
+                    ));
+                }
+            }
+        }
+    }
+}

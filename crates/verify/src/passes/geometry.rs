@@ -1,0 +1,81 @@
+//! `geometry`: placement sanity — finite coordinates, nodes inside the
+//! die outline (when one is provided), and the snaking invariant of the
+//! DME embedding: an edge's electrical length is at least the Manhattan
+//! distance between its placed endpoints (wire can be snaked to lengthen
+//! a path, never shortened below geometry; §4.1 of the paper).
+
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::input::VerifyInput;
+use crate::lint::Lint;
+
+/// See the module docs.
+pub struct GeometryLint;
+
+const ID: &str = "geometry";
+
+impl Lint for GeometryLint {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "finite in-die placements; electrical length >= Manhattan distance (non-negative snaking)"
+    }
+
+    fn run(&self, input: &VerifyInput<'_>, out: &mut Vec<Diagnostic>) {
+        let tree = input.tree;
+        for id in tree.ids() {
+            let node = tree.node(id);
+            let loc = node.location();
+            if !loc.x.is_finite() || !loc.y.is_finite() {
+                out.push(Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Node(id.index()),
+                    format!("non-finite location ({}, {})", loc.x, loc.y),
+                ));
+                continue;
+            }
+            if let Some(die) = input.die {
+                if !die.contains(loc) {
+                    out.push(Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::Node(id.index()),
+                        format!("placed at ({}, {}), outside the die {die:?}", loc.x, loc.y),
+                    ));
+                }
+            }
+            let el = node.electrical_length();
+            if !el.is_finite() || el < 0.0 {
+                out.push(Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Edge { child: id.index() },
+                    format!("electrical length {el} is not a finite non-negative number"),
+                ));
+                continue;
+            }
+            if let Some(p) = node.parent() {
+                if p.index() < tree.len() {
+                    let dist = loc.manhattan(tree.node(p).location());
+                    // Float slack: the DME embedding computes both
+                    // quantities from the same coordinates, so anything
+                    // beyond rounding noise is a genuinely short wire.
+                    let tol = 1e-9 * dist.max(1.0);
+                    if el + tol < dist {
+                        out.push(Diagnostic::new(
+                            ID,
+                            Severity::Error,
+                            Location::Edge { child: id.index() },
+                            format!(
+                                "electrical length {el} shorter than the {dist} Manhattan \
+                                 distance to the parent (negative snaking)"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! The built-in lint passes.
+
+mod activity_tables;
+mod gating;
+mod geometry;
+mod switched_cap;
+mod tree_structure;
+mod zero_skew;
+
+pub use activity_tables::ActivityTablesLint;
+pub use gating::GatingLint;
+pub use geometry::GeometryLint;
+pub use switched_cap::SwitchedCapLint;
+pub use tree_structure::TreeStructureLint;
+pub use zero_skew::ZeroSkewLint;

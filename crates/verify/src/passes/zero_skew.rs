@@ -1,0 +1,124 @@
+//! `zero-skew`: an independent Elmore recomputation of every
+//! source-to-sink delay, confirming the Tsay-style DME embedding's
+//! central promise — equal arrival at every sink (§4.1, Equation (1)).
+//!
+//! The recomputation is written against the [`ClockTree`] directly, with
+//! its own downstream-capacitance and arrival recursions. It shares no
+//! code with the router's merge-time delay bookkeeping
+//! (`gcr-cts::merge`) nor with [`ClockTree::to_rc_tree`], so a bug in
+//! either shows up as a disagreement here instead of being verified
+//! against itself.
+//!
+//! [`ClockTree`]: gcr_cts::ClockTree
+//! [`ClockTree::to_rc_tree`]: gcr_cts::ClockTree::to_rc_tree
+
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::input::VerifyInput;
+use crate::lint::Lint;
+
+/// See the module docs.
+pub struct ZeroSkewLint;
+
+const ID: &str = "zero-skew";
+
+impl Lint for ZeroSkewLint {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "independent Elmore recomputation: every sink hears the clock at the same time"
+    }
+
+    fn run(&self, input: &VerifyInput<'_>, out: &mut Vec<Diagnostic>) {
+        let tree = input.tree;
+        let tech = input.tech;
+        let n = tree.len();
+        if n == 0 || tree.num_sinks() == 0 {
+            return;
+        }
+
+        // Downstream capacitance at each node's output. The device on a
+        // child edge sits at the top of that edge and hides everything
+        // below it behind its input pin.
+        let mut down = vec![0.0f64; n];
+        for i in 0..n {
+            let node = tree.node(tree.id(i));
+            let mut c = node.sink().map_or(0.0, |k| tree.sink_cap(k));
+            for &ch in node.children() {
+                let child = tree.node(ch);
+                c += match child.device() {
+                    Some(d) => d.input_cap(),
+                    None => tech.wire_cap(child.electrical_length()) + down[ch.index()],
+                };
+            }
+            down[i] = c;
+        }
+
+        // Arrival at each node, top-down. `drive[i]` is the Elmore time at
+        // node i's location, i.e. the potential driving its child edges.
+        let mut drive = vec![0.0f64; n];
+        let mut arrivals: Vec<(usize, f64)> = Vec::with_capacity(tree.num_sinks());
+        for i in (0..n).rev() {
+            let node = tree.node(tree.id(i));
+            let len = node.electrical_length();
+            let (r, c_wire) = (tech.wire_res(len), tech.wire_cap(len));
+            let base = match node.parent() {
+                Some(p) => drive[p.index()],
+                None => {
+                    // The free-running source drives the root; it sees
+                    // either the root gate's pin or the bare tree.
+                    let burden = match node.device() {
+                        Some(d) => d.input_cap(),
+                        None => c_wire + down[i],
+                    };
+                    tech.source().stage_delay(burden)
+                }
+            };
+            let after_gate = base
+                + node
+                    .device()
+                    .map_or(0.0, |d| d.stage_delay(c_wire + down[i]));
+            let arr = after_gate + r * (c_wire / 2.0 + down[i]);
+            drive[i] = arr;
+            if let Some(k) = node.sink() {
+                arrivals.push((k, arr));
+            }
+        }
+
+        let Some(&(_, first)) = arrivals.first() else {
+            return;
+        };
+        let (mut min_k, mut min_t) = (arrivals[0].0, first);
+        let (mut max_k, mut max_t) = (arrivals[0].0, first);
+        for &(k, t) in &arrivals {
+            if t < min_t {
+                (min_k, min_t) = (k, t);
+            }
+            if t > max_t {
+                (max_k, max_t) = (k, t);
+            }
+        }
+        let skew = max_t - min_t;
+        let tol = input.skew_tolerance_ps.max(1e-12 * max_t.abs());
+        if skew > tol {
+            out.push(Diagnostic::new(
+                ID,
+                Severity::Error,
+                Location::Sink(max_k),
+                format!(
+                    "skew {skew:.6} ps exceeds tolerance {tol:.6} ps: s{max_k} hears the clock \
+                     at {max_t:.6} ps, s{min_k} at {min_t:.6} ps"
+                ),
+            ));
+        }
+        if !max_t.is_finite() {
+            out.push(Diagnostic::new(
+                ID,
+                Severity::Error,
+                Location::Design,
+                "non-finite Elmore delay; electrical parameters are corrupt",
+            ));
+        }
+    }
+}

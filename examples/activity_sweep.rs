@@ -3,6 +3,9 @@
 //! busy.
 //!
 //! Run with: `cargo run --release -p gcr-report --example activity_sweep`
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_rctree::Technology;
 use gcr_report::{run_pipeline, DEFAULT_STRENGTHS};

@@ -3,6 +3,9 @@
 //! ≈ √k.
 //!
 //! Run with: `cargo run --release -p gcr-report --example distributed_controller`
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_core::{evaluate, route_gated, ControllerPlan, DeviceRole, RouterConfig};
 use gcr_rctree::Technology;

@@ -3,6 +3,9 @@
 //! throughout.
 //!
 //! Run with: `cargo run --release -p gcr-report --example eco`
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_activity::{ActivityTables, CpuModel};
 use gcr_core::{route_gated, RouterConfig};
@@ -16,8 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|i| {
             Sink::new(
                 Point::new(
-                    600.0 + (i % 5) as f64 * 2_700.0,
-                    600.0 + (i / 5) as f64 * 2_700.0,
+                    600.0 + f64::from(i % 5) * 2_700.0,
+                    600.0 + f64::from(i / 5) * 2_700.0,
                 ),
                 0.04,
             )

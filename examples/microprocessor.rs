@@ -3,6 +3,9 @@
 //! and the full buffered / gated / gate-reduced comparison.
 //!
 //! Run with: `cargo run --release -p gcr-report --example microprocessor`
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_activity::{ActivityTables, InstructionStream, ModuleSet, Rtl};
 use gcr_core::{

@@ -1,6 +1,9 @@
 //! Quickstart: route a small gated clock tree and read the power report.
 //!
 //! Run with: `cargo run --release -p gcr-report --example quickstart`
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_activity::{ActivityTables, CpuModel};
 use gcr_core::{
@@ -16,8 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let die = BBox::new(Point::new(0.0, 0.0), Point::new(12_000.0, 12_000.0));
     let sinks: Vec<Sink> = (0..16)
         .map(|i| {
-            let x = 1_500.0 + (i % 4) as f64 * 3_000.0;
-            let y = 1_500.0 + (i / 4) as f64 * 3_000.0;
+            let x = 1_500.0 + f64::from(i % 4) * 3_000.0;
+            let y = 1_500.0 + f64::from(i / 4) * 3_000.0;
             Sink::new(Point::new(x, y), 0.04)
         })
         .collect();

@@ -5,6 +5,9 @@
 //!
 //! Run with: `cargo run --release -p gcr-report --example soc`
 //! (writes `soc_tree.svg` and `soc_tree.sp` into the current directory).
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_activity::{ActivityTables, CpuModel};
 use gcr_core::{

@@ -3,6 +3,9 @@
 //! with the cycle-accurate simulator.
 //!
 //! Run with: `cargo run --release -p gcr-report --example trace_import`
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_activity::{io, ActivityTables};
 use gcr_core::{

@@ -1,5 +1,8 @@
 //! Cross-crate consistency: the router's incremental bookkeeping must
 //! agree with the from-scratch oracles in `gcr-rctree` and `gcr-activity`.
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_activity::ModuleSet;
 use gcr_core::{evaluate, route_gated, DeviceRole, RouterConfig};
@@ -47,12 +50,8 @@ fn router_stats_match_tables_and_stream() {
 fn router_module_sets_match_topology() {
     let (_, routing, _) = routed();
     let sizes = routing.topology.subtree_sizes();
-    for i in 0..routing.topology.len() {
-        assert_eq!(
-            routing.node_modules[i].len(),
-            sizes[i],
-            "node {i} module count"
-        );
+    for (i, &size) in sizes.iter().enumerate() {
+        assert_eq!(routing.node_modules[i].len(), size, "node {i} module count");
     }
     // Leaves own exactly their sink's module.
     for leaf in 0..routing.topology.num_leaves() {

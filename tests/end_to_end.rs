@@ -1,5 +1,8 @@
 //! End-to-end integration: the full paper pipeline on a scaled-down r1,
 //! asserting the qualitative results of §5 across crate boundaries.
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_rctree::Technology;
 use gcr_report::{fig4, fig6, run_pipeline, DEFAULT_STRENGTHS};
@@ -115,4 +118,38 @@ fn pipeline_is_deterministic() {
         )
     };
     assert_eq!(run(), run());
+}
+
+/// The static verifier (gcr-verify) accepts every design point of the
+/// flow: the routed gated tree with its full activity context and the
+/// buffered baseline. Zero error-severity diagnostics across all passes.
+#[test]
+fn verifier_oracle_accepts_all_flow_designs() {
+    use gcr_core::{route_gated, DeviceRole, RouterConfig};
+    use gcr_cts::build_buffered_tree;
+    use gcr_verify::{Verifier, VerifyInput};
+
+    let tech = Technology::default();
+    let bench = Benchmark::uniform(48, 20_000.0, 9);
+    let w = Workload::for_benchmark(bench, &quick_params()).unwrap();
+    let config = RouterConfig::new(tech.clone(), w.benchmark.die);
+    let verifier = Verifier::with_default_lints();
+
+    let routing = route_gated(&w.benchmark.sinks, &w.tables, &config).unwrap();
+    let report = verifier.run(
+        &VerifyInput::new(&routing.tree, &tech)
+            .with_die(w.benchmark.die)
+            .with_tables(&w.tables)
+            .with_node_stats(&routing.node_stats)
+            .with_controller(config.controller()),
+    );
+    assert!(!report.has_errors(), "gated:\n{}", report.render_text());
+
+    let buffered = build_buffered_tree(&tech, &w.benchmark.sinks, config.source()).unwrap();
+    let report = verifier.run(
+        &VerifyInput::new(&buffered, &tech)
+            .with_die(w.benchmark.die)
+            .with_role(DeviceRole::Buffer),
+    );
+    assert!(!report.has_errors(), "buffered:\n{}", report.render_text());
 }

@@ -5,6 +5,9 @@
 //! The paper's greedy is a heuristic — it need not be optimal — but on
 //! toy instances it must land close to the best topology and never below
 //! it (which would indicate an evaluation inconsistency).
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_activity::{ActivityTables, CpuModel, EnableStats, ModuleSet};
 use gcr_core::{evaluate, route_gated, DeviceRole, RouterConfig};

@@ -1,6 +1,9 @@
 //! The paper's §3 worked example (Tables 1–3), exercised end-to-end
 //! through the public API: RTL → stream → tables → probabilities, and the
 //! same probabilities driving a tiny gated routing.
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_activity::{paper_example_rtl, ActivityTables, InstructionStream, ModuleSet};
 use gcr_core::{route_gated, RouterConfig};
@@ -55,8 +58,8 @@ fn section3_example_drives_a_routing() {
         .map(|i| {
             Sink::new(
                 Point::new(
-                    1_000.0 + 1_800.0 * (i % 3) as f64,
-                    1_500.0 + 3_000.0 * (i / 3) as f64,
+                    1_000.0 + 1_800.0 * f64::from(i % 3),
+                    1_500.0 + 3_000.0 * f64::from(i / 3),
                 ),
                 0.05,
             )

@@ -1,5 +1,8 @@
 //! Degenerate and adversarial inputs: the flow must stay correct (or fail
 //! loudly) at the edges of its domain.
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_activity::{ActivityTables, CpuModel, InstructionStream, Rtl};
 use gcr_core::{
@@ -42,7 +45,7 @@ fn all_sinks_colocated() {
 #[test]
 fn zero_cap_sinks() {
     let sinks: Vec<Sink> = (0..8)
-        .map(|i| Sink::new(Point::new(i as f64 * 1_000.0, 0.0), 0.0))
+        .map(|i| Sink::new(Point::new(f64::from(i) * 1_000.0, 0.0), 0.0))
         .collect();
     let model = CpuModel::builder(8)
         .instructions(4)
@@ -63,7 +66,7 @@ fn zero_cap_sinks() {
 }
 
 /// A single instruction that uses every module: every enable has P = 1 and
-/// P_tr = 0 — the optimal reduction must drop every control wire.
+/// `P_tr` = 0 — the optimal reduction must drop every control wire.
 #[test]
 fn single_always_on_instruction() {
     let n = 12;
@@ -142,7 +145,7 @@ fn extreme_load_imbalance() {
 #[test]
 fn source_outside_the_die() {
     let sinks: Vec<Sink> = (0..6)
-        .map(|i| Sink::new(Point::new(100.0 + i as f64 * 50.0, 100.0), 0.02))
+        .map(|i| Sink::new(Point::new(100.0 + f64::from(i) * 50.0, 100.0), 0.02))
         .collect();
     let model = CpuModel::builder(6)
         .instructions(4)
@@ -163,7 +166,7 @@ fn source_outside_the_die() {
 fn mask_over_plain_tree_is_inert() {
     let tech = Technology::default();
     let sinks: Vec<Sink> = (0..5)
-        .map(|i| Sink::new(Point::new(i as f64 * 1_000.0, 0.0), 0.05))
+        .map(|i| Sink::new(Point::new(f64::from(i) * 1_000.0, 0.0), 0.05))
         .collect();
     let topo = gcr_cts::nearest_neighbor_topology(&tech, &sinks, None).unwrap();
     let tree = gcr_cts::embed(
@@ -187,4 +190,47 @@ fn mask_over_plain_tree_is_inert() {
     let all_off = evaluate_with_mask(&tree, &stats, &plan, &tech, &vec![false; tree.len()]);
     assert_eq!(all_on.total_switched_cap, all_off.total_switched_cap);
     assert_eq!(all_on.control_wire_length, 0.0);
+}
+
+/// Property: the static verifier accepts every gated routing the flow
+/// produces over random sink placements and workloads — six passes, zero
+/// errors. This is the DRC oracle: any embedding, probability, or
+/// accounting bug upstream turns one of these cases red.
+mod verifier_oracle {
+    use super::*;
+    use gcr_verify::{Verifier, VerifyInput};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn accepts_random_gated_routings(
+            raw in prop::collection::vec(
+                (0.0..20_000.0f64, 0.0..20_000.0f64, 0.01..0.2f64),
+                2..16,
+            ),
+            seed in 0u64..1_000,
+        ) {
+            let sinks: Vec<Sink> = raw
+                .into_iter()
+                .map(|(x, y, c)| Sink::new(Point::new(x, y), c))
+                .collect();
+            let model = CpuModel::builder(sinks.len())
+                .instructions(4)
+                .seed(seed)
+                .build()
+                .unwrap();
+            let tables = ActivityTables::scan(model.rtl(), &model.generate_stream(400));
+            let config = config_for(20_000.0);
+            let routing = route_gated(&sinks, &tables, &config).unwrap();
+            let input = VerifyInput::new(&routing.tree, config.tech())
+                .with_die(config.die())
+                .with_tables(&tables)
+                .with_node_stats(&routing.node_stats)
+                .with_controller(config.controller());
+            let report = Verifier::with_default_lints().run(&input);
+            prop_assert!(!report.has_errors(), "{}", report.render_text());
+        }
+    }
 }

@@ -2,6 +2,9 @@
 //! reproduce the analytic switched capacitance *exactly*, for arbitrary
 //! control masks — the end-to-end proof that the paper's probability
 //! tables measure what the hardware would burn.
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gcr_core::{
     evaluate_with_mask, reduce_gates_optimal, reduce_gates_untied, route_gated, simulate_stream,
