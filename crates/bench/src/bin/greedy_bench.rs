@@ -1,0 +1,231 @@
+//! Pruned-vs-exhaustive greedy engine comparison on the Tsay suite.
+//!
+//! For each requested benchmark (default: r1–r5) and for both merge
+//! objectives — plain nearest-neighbor distance and the paper's Equation-3
+//! switched capacitance — this runs the lower-bound pruned engine
+//! ([`gcr_cts::run_greedy_instrumented`]) and the exhaustive reference
+//! ([`gcr_cts::run_greedy_exhaustive_instrumented`]) on identical inputs,
+//! then reports exact-cost evaluation counts, wall times, and whether the
+//! two engines produced bit-identical topologies.
+//!
+//! Usage: `greedy_bench [r1 r2 ...] [--out BENCH_greedy.json]`
+//!
+//! The JSON output backs the acceptance gate of the pruning work: the
+//! pruned engine must stay bit-identical everywhere and perform ≤ 20 % of
+//! the exhaustive engine's exact-cost evaluations on r4/r5.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use gcr_core::{GatedObjective, RouterConfig};
+use gcr_cts::{
+    run_greedy_exhaustive_instrumented, run_greedy_instrumented, GreedyStats, MergeObjective,
+    NearestNeighborObjective,
+};
+use gcr_rctree::Technology;
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+/// One engine's measurements on one (benchmark, objective) input.
+struct EngineRun {
+    stats: GreedyStats,
+    wall_ms: f64,
+}
+
+/// A pruned/exhaustive pair on one (benchmark, objective) input.
+struct Comparison {
+    benchmark: &'static str,
+    objective: &'static str,
+    sinks: usize,
+    pruned: EngineRun,
+    exhaustive: EngineRun,
+    identical_topology: bool,
+}
+
+impl Comparison {
+    /// Pruned exact evaluations as a fraction of exhaustive ones.
+    fn exact_eval_ratio(&self) -> f64 {
+        let denom = self.exhaustive.stats.exact_cost_evals;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.pruned.stats.exact_cost_evals as f64 / denom as f64
+    }
+}
+
+#[expect(
+    clippy::expect_used,
+    reason = "bench harness: aborting on an unroutable generated workload is intended"
+)]
+fn compare<O: MergeObjective + Clone>(
+    benchmark: &'static str,
+    objective_name: &'static str,
+    n: usize,
+    objective: &O,
+) -> Comparison {
+    let mut exhaustive_obj = objective.clone();
+    let t0 = Instant::now();
+    let (reference, exhaustive_stats) = run_greedy_exhaustive_instrumented(n, &mut exhaustive_obj)
+        .expect("exhaustive greedy failed on a generated workload");
+    let exhaustive_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut pruned_obj = objective.clone();
+    let t1 = Instant::now();
+    let (pruned_topology, pruned_stats) = run_greedy_instrumented(n, &mut pruned_obj)
+        .expect("pruned greedy failed on a generated workload");
+    let pruned_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    Comparison {
+        benchmark,
+        objective: objective_name,
+        sinks: n,
+        pruned: EngineRun {
+            stats: pruned_stats,
+            wall_ms: pruned_ms,
+        },
+        exhaustive: EngineRun {
+            stats: exhaustive_stats,
+            wall_ms: exhaustive_ms,
+        },
+        identical_topology: pruned_topology == reference,
+    }
+}
+
+#[expect(
+    clippy::expect_used,
+    reason = "bench harness: aborting on an unroutable generated workload is intended"
+)]
+fn run_benchmark(which: TsayBenchmark, params: &WorkloadParams) -> Vec<Comparison> {
+    let workload = Workload::generate(which, params).expect("workload generation failed");
+    let sinks = &workload.benchmark.sinks;
+    let n = sinks.len();
+    let tech = Technology::default();
+    let config = RouterConfig::new(tech.clone(), workload.benchmark.die);
+    let module_of: Vec<usize> = (0..n).collect();
+
+    let nn = NearestNeighborObjective::new(&tech, sinks, None);
+    let gated = GatedObjective::new(
+        config.tech(),
+        config.controller(),
+        &workload.tables,
+        sinks,
+        &module_of,
+    );
+    vec![
+        compare(which.name(), "nearest-neighbor", n, &nn),
+        compare(which.name(), "equation-3", n, &gated),
+    ]
+}
+
+fn stats_json(out: &mut String, label: &str, run: &EngineRun) {
+    let s = run.stats;
+    let _ = write!(
+        out,
+        "      \"{label}\": {{\"exact_cost_evals\": {}, \"bound_evals\": {}, \
+         \"ring_expansions\": {}, \"heap_pops\": {}, \"wall_ms\": {:.3}}}",
+        s.exact_cost_evals, s.bound_evals, s.ring_expansions, s.heap_pops, run.wall_ms
+    );
+}
+
+fn render_json(params: &WorkloadParams, runs: &[Comparison]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"params\": {{\"stream_len\": {}, \"seed\": {}, \"groups\": {}}},",
+        params.stream_len, params.seed, params.groups
+    );
+    out.push_str("  \"runs\": [\n");
+    for (i, c) in runs.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(
+            out,
+            "      \"benchmark\": \"{}\", \"objective\": \"{}\", \"sinks\": {},",
+            c.benchmark, c.objective, c.sinks
+        );
+        stats_json(&mut out, "pruned", &c.pruned);
+        out.push_str(",\n");
+        stats_json(&mut out, "exhaustive", &c.exhaustive);
+        out.push_str(",\n");
+        let _ = writeln!(
+            out,
+            "      \"exact_eval_ratio\": {:.6}, \"identical_topology\": {}",
+            c.exact_eval_ratio(),
+            c.identical_topology
+        );
+        out.push_str(if i + 1 == runs.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn parse_benchmark(name: &str) -> Option<TsayBenchmark> {
+    TsayBenchmark::ALL.into_iter().find(|b| b.name() == name)
+}
+
+fn main() -> ExitCode {
+    let mut benchmarks: Vec<TsayBenchmark> = Vec::new();
+    let mut out_path = String::from("BENCH_greedy.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if let Some(b) = parse_benchmark(&arg) {
+            benchmarks.push(b);
+        } else {
+            eprintln!("unknown argument `{arg}`; usage: greedy_bench [r1..r5] [--out PATH]");
+            return ExitCode::from(2);
+        }
+    }
+    if benchmarks.is_empty() {
+        benchmarks.extend(TsayBenchmark::ALL);
+    }
+
+    let params = WorkloadParams::smoke();
+    let mut runs = Vec::new();
+    for which in benchmarks {
+        eprintln!("{which}: routing {} sinks...", which.num_sinks());
+        runs.extend(run_benchmark(which, &params));
+    }
+
+    let mut all_identical = true;
+    for c in &runs {
+        println!(
+            "{:>3} {:<16} sinks {:>5}  exact {:>9} / {:>9} ({:>5.1} %)  wall {:>8.1} ms / {:>8.1} ms  identical {}",
+            c.benchmark,
+            c.objective,
+            c.sinks,
+            c.pruned.stats.exact_cost_evals,
+            c.exhaustive.stats.exact_cost_evals,
+            100.0 * c.exact_eval_ratio(),
+            c.pruned.wall_ms,
+            c.exhaustive.wall_ms,
+            c.identical_topology,
+        );
+        all_identical &= c.identical_topology;
+    }
+
+    let json = render_json(&params, &runs);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    if all_identical {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: pruned engine diverged from the exhaustive reference");
+        ExitCode::FAILURE
+    }
+}

@@ -86,7 +86,7 @@ pub use optimal::reduce_gates_optimal;
 pub use reduction::{reduce_gates, reduce_gates_untied, ReductionParams};
 pub use router::{
     gated_routing_for_topology, gated_routing_for_topology_mapped, route_gated, route_gated_mapped,
-    GatedRouting, RouterConfig,
+    GatedObjective, GatedRouting, RouterConfig,
 };
 pub use simulate::{simulate_stream, SimulationReport, WINDOW};
 pub use tellez::{route_activity_driven, ActivityDrivenObjective};

@@ -1,7 +1,7 @@
 use gcr_activity::{ActivityTables, EnableStats, ModuleSet};
 use gcr_cts::{
-    embed_sized, run_greedy, zero_skew_merge, ClockTree, DeviceAssignment, MergeObjective, Sink,
-    SizingLimits, SubtreeState, Topology,
+    embed_sized, run_greedy, zero_skew_merge, ClockTree, CtsError, DeviceAssignment,
+    MergeObjective, Sink, SizingLimits, SubtreeState, Topology,
 };
 use gcr_geometry::{BBox, Point};
 use gcr_rctree::{Device, Technology};
@@ -83,6 +83,7 @@ impl RouterConfig {
 }
 
 /// Per-node bookkeeping of the gated merge objective.
+#[derive(Clone)]
 struct NodeCtx {
     state: SubtreeState,
     /// Which instructions activate this node (OR over the module set).
@@ -100,16 +101,36 @@ struct NodeCtx {
 /// The Equation-3 merge objective: among all live subtree pairs, merge the
 /// one whose new edges and enable wires add the least switched
 /// capacitance.
-struct GatedObjective<'a> {
+///
+/// Public so benchmarks and cross-validation can drive it through any of
+/// the greedy engines (`run_greedy`, `run_greedy_exhaustive`,
+/// `run_greedy_checked`); [`route_gated`] remains the intended high-level
+/// entry point.
+#[derive(Clone)]
+pub struct GatedObjective<'a> {
     tech: &'a Technology,
     gate: Device,
     controller: &'a ControllerPlan,
     tables: &'a ActivityTables,
+    /// Smallest leaf enable probability — partners in an unexplored grid
+    /// ring can't switch less often than this.
+    min_leaf_signal: f64,
+    /// Smallest leaf static term (see [`Self::static_term`]).
+    min_leaf_static: f64,
     nodes: Vec<NodeCtx>,
 }
 
 impl<'a> GatedObjective<'a> {
-    fn new(
+    /// Builds the objective over `sinks`, where `module_of[i]` names the
+    /// activity-model module gating sink `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `module_of` is shorter than `sinks` or references a
+    /// module outside the activity model (the routing entry points
+    /// validate this and return [`RouteError::SinkModuleMismatch`]).
+    #[must_use]
+    pub fn new(
         tech: &'a Technology,
         controller: &'a ControllerPlan,
         tables: &'a ActivityTables,
@@ -118,7 +139,7 @@ impl<'a> GatedObjective<'a> {
     ) -> Self {
         let gate = tech.and_gate();
         let num_modules = tables.rtl().num_modules();
-        let nodes = sinks
+        let nodes: Vec<NodeCtx> = sinks
             .iter()
             .enumerate()
             .map(|(i, s)| {
@@ -137,20 +158,45 @@ impl<'a> GatedObjective<'a> {
                 }
             })
             .collect();
-        Self {
+        let mut this = Self {
             tech,
             gate,
             controller,
             tables,
+            min_leaf_signal: 0.0,
+            min_leaf_static: 0.0,
             nodes,
-        }
+        };
+        this.min_leaf_signal = this
+            .nodes
+            .iter()
+            .map(|n| n.stats.signal)
+            .fold(f64::INFINITY, f64::min);
+        this.min_leaf_static = (0..this.nodes.len())
+            .map(|i| this.static_term(i))
+            .fold(f64::INFINITY, f64::min);
+        this
+    }
+
+    /// The merge-independent part of node `i`'s Equation-3 contribution:
+    /// `C_i · P(EN_i) + (c_ctl · cp_i + C_g) · P_tr(EN_i)`. Only the wire
+    /// term `c · e_i · P(EN_i)` depends on the merge partner.
+    fn static_term(&self, i: usize) -> f64 {
+        let n = &self.nodes[i];
+        n.node_cap * n.stats.signal
+            + (self.tech.control_unit_cap() * n.cp_dist + self.gate.input_cap())
+                * n.stats.transition
     }
 }
 
 impl MergeObjective for GatedObjective<'_> {
+    /// Exact Equation-3 cost; an impossible merge (non-finite state) is
+    /// priced at `+∞` so the greedy never selects it.
     fn cost(&self, a: usize, b: usize) -> f64 {
         let (na, nb) = (&self.nodes[a], &self.nodes[b]);
-        let outcome = zero_skew_merge(self.tech, &na.state, &nb.state);
+        let Ok(outcome) = zero_skew_merge(self.tech, &na.state, &nb.state) else {
+            return f64::INFINITY;
+        };
         merge_switched_cap(
             self.tech,
             outcome.ea,
@@ -164,11 +210,38 @@ impl MergeObjective for GatedObjective<'_> {
         )
     }
 
-    fn merge(&mut self, a: usize, b: usize, k: usize) {
+    // Admissible because the zero-skew tap lengths always cover the region
+    // distance (`e_a + e_b >= d`; snaking only adds wire), every term of
+    // Equation 3 is non-negative, and probabilities are in [0, 1]:
+    //
+    //   c·e_a·P_a + c·e_b·P_b >= c·(e_a + e_b)·min(P_a, P_b)
+    //                         >= c·d·min(P_a, P_b).
+    fn cost_lower_bound(&self, a: usize, b: usize) -> f64 {
+        let (na, nb) = (&self.nodes[a], &self.nodes[b]);
+        let d = na.state.distance(&nb.state);
+        self.static_term(a)
+            + self.static_term(b)
+            + self.tech.unit_cap() * d * na.stats.signal.min(nb.stats.signal)
+    }
+
+    // For leaf partners at distance >= dist: the partner's static term is
+    // at least the smallest leaf static term, and neither enable switches
+    // less often than the least-active leaf.
+    fn cost_lower_bound_at_distance(&self, node: usize, dist: f64) -> f64 {
+        self.static_term(node)
+            + self.min_leaf_static
+            + self.tech.unit_cap() * dist * self.nodes[node].stats.signal.min(self.min_leaf_signal)
+    }
+
+    fn location(&self, node: usize) -> Point {
+        self.nodes[node].state.ms.center()
+    }
+
+    fn merge(&mut self, a: usize, b: usize, k: usize) -> Result<(), CtsError> {
         debug_assert_eq!(k, self.nodes.len());
         let outcome = {
             let (na, nb) = (&self.nodes[a], &self.nodes[b]);
-            zero_skew_merge(self.tech, &na.state, &nb.state)
+            zero_skew_merge(self.tech, &na.state, &nb.state)?
         };
         let modules = self.nodes[a].modules.union(&self.nodes[b].modules);
         let active: Vec<bool> = self.nodes[a]
@@ -190,6 +263,7 @@ impl MergeObjective for GatedObjective<'_> {
             node_cap,
             cp_dist,
         });
+        Ok(())
     }
 }
 

@@ -1,8 +1,9 @@
 use gcr_activity::{ActivityTables, EnableStats, ModuleSet};
 use gcr_cts::{
-    embed_sized, run_greedy, zero_skew_merge, DeviceAssignment, MergeObjective, Sink, SizingLimits,
-    SubtreeState,
+    embed_sized, run_greedy, zero_skew_merge, CtsError, DeviceAssignment, MergeObjective, Sink,
+    SizingLimits, SubtreeState,
 };
+use gcr_geometry::Point;
 use gcr_rctree::{Device, Technology};
 
 use crate::{GatedRouting, RouteError, RouterConfig};
@@ -18,6 +19,7 @@ use crate::{GatedRouting, RouteError, RouterConfig};
 /// (`gcr-report --bin ablations`). It ignores wire lengths and controller
 /// distances during ordering — exactly the information the paper's
 /// Equation-3 objective adds.
+#[derive(Clone)]
 pub struct ActivityDrivenObjective<'a> {
     tech: &'a Technology,
     gate: Device,
@@ -27,6 +29,7 @@ pub struct ActivityDrivenObjective<'a> {
     nodes: Vec<ActivityNode>,
 }
 
+#[derive(Clone)]
 struct ActivityNode {
     state: SubtreeState,
     active: Vec<bool>,
@@ -90,9 +93,26 @@ impl MergeObjective for ActivityDrivenObjective<'_> {
         activity + 1e-3 * dist / self.dist_scale
     }
 
-    fn merge(&mut self, a: usize, b: usize, k: usize) {
+    // Admissible: the union of two active sets covers each one, so the
+    // union signal is at least the larger individual signal, and the
+    // tie-break term is monotone in the true distance.
+    fn cost_lower_bound(&self, a: usize, b: usize) -> f64 {
+        let activity = self.nodes[a].stats.signal.max(self.nodes[b].stats.signal);
+        let dist = self.nodes[a].state.distance(&self.nodes[b].state);
+        activity + 1e-3 * dist / self.dist_scale
+    }
+
+    fn cost_lower_bound_at_distance(&self, node: usize, dist: f64) -> f64 {
+        self.nodes[node].stats.signal + 1e-3 * dist / self.dist_scale
+    }
+
+    fn location(&self, node: usize) -> Point {
+        self.nodes[node].state.ms.center()
+    }
+
+    fn merge(&mut self, a: usize, b: usize, k: usize) -> Result<(), CtsError> {
         debug_assert_eq!(k, self.nodes.len());
-        let outcome = zero_skew_merge(self.tech, &self.nodes[a].state, &self.nodes[b].state);
+        let outcome = zero_skew_merge(self.tech, &self.nodes[a].state, &self.nodes[b].state)?;
         let modules = self.nodes[a].modules.union(&self.nodes[b].modules);
         let active: Vec<bool> = self.nodes[a]
             .active
@@ -107,6 +127,7 @@ impl MergeObjective for ActivityDrivenObjective<'_> {
             stats,
             modules,
         });
+        Ok(())
     }
 }
 

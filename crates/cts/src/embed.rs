@@ -90,8 +90,10 @@ impl DeviceAssignment {
 /// # Errors
 ///
 /// Returns [`CtsError::InvalidTopology`] when `sinks` does not match the
-/// topology's leaf count and [`CtsError::AssignmentMismatch`] when the
-/// assignment covers a different node count.
+/// topology's leaf count, [`CtsError::AssignmentMismatch`] when the
+/// assignment covers a different node count, and
+/// [`CtsError::MergeRegionDisjoint`] when non-finite sink data makes a
+/// zero-skew merge impossible.
 pub fn embed(
     topology: &Topology,
     sinks: &[Sink],
@@ -178,7 +180,7 @@ fn embed_impl(
                         devices[right] = b.edge_device;
                     }
                 }
-                let outcome = zero_skew_merge(tech, &a, &b);
+                let outcome = zero_skew_merge(tech, &a, &b)?;
                 tap_lengths[i] = (outcome.ea, outcome.eb);
                 outcome.gated_state(assignment.get(i))
             }

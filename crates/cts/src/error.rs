@@ -18,6 +18,13 @@ pub enum CtsError {
         /// Nodes in the topology.
         expected: usize,
     },
+    /// A zero-skew merge could not intersect the children's merging
+    /// regions, even after snaking — the subtree states carry non-finite
+    /// delays, capacitances, or coordinates.
+    MergeRegionDisjoint {
+        /// Human-readable description of the failing merge.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CtsError {
@@ -29,6 +36,9 @@ impl fmt::Display for CtsError {
                 f,
                 "device assignment covers {assigned} nodes but topology has {expected}"
             ),
+            CtsError::MergeRegionDisjoint { detail } => {
+                write!(f, "zero-skew merge regions are disjoint: {detail}")
+            }
         }
     }
 }
@@ -47,6 +57,15 @@ mod tests {
             expected: 5,
         };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn merge_region_disjoint_displays_detail() {
+        let e = CtsError::MergeRegionDisjoint {
+            detail: "d=NaN".to_string(),
+        };
+        assert!(e.to_string().contains("disjoint"));
+        assert!(e.to_string().contains("d=NaN"));
     }
 
     #[test]

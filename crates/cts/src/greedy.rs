@@ -1,6 +1,9 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use gcr_geometry::Point;
+
+use crate::nearest::BucketGrid;
 use crate::{CtsError, Topology};
 
 /// The pluggable cost model of the bottom-up greedy merger.
@@ -16,44 +19,118 @@ use crate::{CtsError, Topology};
 /// * the Equation-3 switched-capacitance objective in `gcr-core` (the
 ///   paper's contribution).
 ///
-/// `cost` takes `&self` (and the trait requires [`Sync`]) so the engine can
-/// evaluate candidate batches on multiple threads; all mutation happens in
-/// `merge`.
+/// `cost` and the bound methods take `&self` (and the trait requires
+/// [`Sync`]) so the engine can evaluate candidate batches on multiple
+/// threads; all mutation happens in `merge`.
+///
+/// # Exactness contract
+///
+/// The pruned engine ([`run_greedy`]) commits exactly the merges the
+/// exhaustive engine ([`run_greedy_exhaustive`]) would, *provided* the
+/// bound methods are **admissible**:
+///
+/// * `cost_lower_bound(a, b) <= cost(a, b)` for every live pair, and
+/// * `cost_lower_bound_at_distance(x, dist) <= cost(x, y)` for every sink
+///   leaf `y` whose location is at Manhattan distance `>= dist` from
+///   `location(x)`.
+///
+/// An inadmissible bound does not corrupt the tree — every committed merge
+/// still uses the exact `cost` — but the merge *order* can then diverge
+/// from the exhaustive engine. [`run_greedy_checked`] asserts the
+/// equivalence at runtime.
 pub trait MergeObjective: Sync {
     /// Cost of merging the live subtrees rooted at topology nodes `a` and
     /// `b`. Must depend only on the states of `a` and `b` (both immutable
     /// once created) so that heap entries never go stale.
     fn cost(&self, a: usize, b: usize) -> f64;
 
+    /// Cheap admissible lower bound on [`cost`](Self::cost) for the pair
+    /// `(a, b)`: must never exceed the exact cost, and must be computable
+    /// without a zero-skew merge (for Equation 3 this is the
+    /// distance-driven wire-capacitance term plus the merge-independent
+    /// static terms).
+    fn cost_lower_bound(&self, a: usize, b: usize) -> f64;
+
+    /// Admissible lower bound on `cost(node, y)` over every **sink leaf**
+    /// `y` located at Manhattan distance at least `dist` from
+    /// `location(node)`. Used to price the not-yet-generated bucket-grid
+    /// rings of a leaf, so `node` is always a leaf when the engine calls
+    /// this.
+    fn cost_lower_bound_at_distance(&self, node: usize, dist: f64) -> f64;
+
+    /// Representative location of `node` (the center of its merging
+    /// region; for a leaf, the sink location). Leaf locations seed the
+    /// candidate-generation bucket grid.
+    fn location(&self, node: usize) -> Point;
+
     /// Commit the merge of `a` and `b` into the new topology node `k`
     /// (`k` is always the next unused index). The objective must create
     /// and cache whatever state node `k` needs for future cost queries.
-    fn merge(&mut self, a: usize, b: usize, k: usize);
+    ///
+    /// # Errors
+    ///
+    /// Implementations that run a zero-skew merge propagate its
+    /// [`CtsError::MergeRegionDisjoint`] instead of panicking.
+    fn merge(&mut self, a: usize, b: usize, k: usize) -> Result<(), CtsError>;
 }
 
-/// A candidate pair in the lazy-deletion min-heap.
+/// Instrumentation counters of one greedy run, exposed so benchmarks (and
+/// the acceptance gate on pruning effectiveness) can compare engines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GreedyStats {
+    /// Exact [`MergeObjective::cost`] evaluations (each runs a full
+    /// zero-skew merge under the Equation-3 objective) — the number the
+    /// pruned engine exists to minimize.
+    pub exact_cost_evals: u64,
+    /// Cheap [`MergeObjective::cost_lower_bound`] evaluations.
+    pub bound_evals: u64,
+    /// Bucket-grid expansion rings generated (0 for the exhaustive
+    /// engine).
+    pub ring_expansions: u64,
+    /// Heap entries popped, including lazily-deleted dead ones.
+    pub heap_pops: u64,
+}
+
+/// Heap-entry kinds, in tie-break order. At equal keys, ring expansions
+/// and bound entries must resolve **before** any exact entry commits, so
+/// that every pair whose true cost ties the minimum is present as an exact
+/// entry when the winner is chosen — this is what makes the pruned
+/// engine's tie-breaking identical to the exhaustive engine's.
+const KIND_EXPAND: u8 = 0;
+const KIND_BOUND: u8 = 1;
+const KIND_EXACT: u8 = 2;
+
+/// A prioritized work item in the lazy best-first heap.
+///
+/// * `KIND_EXPAND`: generate ring `b` of leaf `a`'s bucket-grid
+///   neighborhood; `key` bounds the cost of every not-yet-generated pair
+///   of `a`.
+/// * `KIND_BOUND`: pair `(a, b)` with `key = cost_lower_bound(a, b)`.
+/// * `KIND_EXACT`: pair `(a, b)` with `key = cost(a, b)`.
 #[derive(Debug, PartialEq)]
-struct Candidate {
-    cost: f64,
+struct Entry {
+    key: f64,
+    kind: u8,
     a: u32,
     b: u32,
 }
 
-impl Eq for Candidate {}
+impl Eq for Entry {}
 
-impl Ord for Candidate {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want the cheapest pair on
-        // top. Tie-break on indices for determinism.
+        // Reverse: BinaryHeap is a max-heap, we want the smallest key on
+        // top. Kind then indices break ties (see `KIND_EXPAND`).
         other
-            .cost
-            .total_cmp(&self.cost)
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.kind.cmp(&self.kind))
             .then_with(|| other.a.cmp(&self.a))
             .then_with(|| other.b.cmp(&self.b))
     }
 }
 
-impl PartialOrd for Candidate {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
@@ -62,18 +139,27 @@ impl PartialOrd for Candidate {
 /// Candidate batches below this size are evaluated on the calling thread.
 const PARALLEL_THRESHOLD: usize = 4_096;
 
-/// Evaluates `cost` for every pair, fanning out across threads for large
-/// batches. Deterministic: per-pair results do not depend on evaluation
-/// order, and the heap tie-breaks on indices.
+/// Grid rings generated per leaf before the first expansion entry takes
+/// over (ring 0 is the leaf's own cell).
+const INITIAL_RINGS: usize = 1;
+
+/// Evaluates every pair — `cost` for `KIND_EXACT` entries,
+/// `cost_lower_bound` for `KIND_BOUND` — fanning out across threads for
+/// large batches. Deterministic: per-pair results do not depend on
+/// evaluation order, and the heap tie-breaks on indices.
 #[expect(
     clippy::expect_used,
     reason = "a panicking cost worker must propagate, not be swallowed"
 )]
-fn evaluate_costs<O: MergeObjective>(objective: &O, pairs: &[(u32, u32)]) -> Vec<Candidate> {
-    let eval = |&(a, b): &(u32, u32)| {
-        let cost = objective.cost(a as usize, b as usize);
-        assert!(!cost.is_nan(), "merge cost of ({a}, {b}) is NaN");
-        Candidate { cost, a, b }
+fn evaluate_pairs<O: MergeObjective>(objective: &O, pairs: &[(u32, u32)], kind: u8) -> Vec<Entry> {
+    let eval = move |&(a, b): &(u32, u32)| {
+        let key = if kind == KIND_EXACT {
+            objective.cost(a as usize, b as usize)
+        } else {
+            objective.cost_lower_bound(a as usize, b as usize)
+        };
+        assert!(!key.is_nan(), "merge cost of ({a}, {b}) is NaN");
+        Entry { key, kind, a, b }
     };
     if pairs.len() < PARALLEL_THRESHOLD {
         return pairs.iter().map(eval).collect();
@@ -98,38 +184,231 @@ fn evaluate_costs<O: MergeObjective>(objective: &O, pairs: &[(u32, u32)]) -> Vec
     })
 }
 
+/// Heap key of leaf `x`'s next expansion entry, which stands in for every
+/// pair of `x` not yet generated: those partners live in grid rings
+/// `>= ring`, hence at Manhattan distance `> (ring - 1) * cell` — an
+/// admissible bound by the `cost_lower_bound_at_distance` contract.
+/// `None` once every cell has been swept.
+fn expansion_key<O: MergeObjective>(
+    objective: &O,
+    grid: &BucketGrid,
+    x: usize,
+    location: Point,
+    ring: usize,
+) -> Option<f64> {
+    if ring > grid.max_ring(location) {
+        return None;
+    }
+    let dist = grid.cell_size() * (ring - 1) as f64;
+    let key = objective.cost_lower_bound_at_distance(x, dist);
+    assert!(!key.is_nan(), "expansion bound of leaf {x} is NaN");
+    Some(key)
+}
+
 /// Runs the paper's greedy bottom-up merge loop: repeatedly merge the live
 /// pair of minimum cost until a single root remains, returning the
 /// resulting [`Topology`].
 ///
-/// Candidate pairs live in a lazy-deletion binary heap; because a pair's
-/// cost depends only on its two endpoint states (immutable once created),
-/// popped entries are either exact or reference dead nodes — never stale.
-/// Total work is `O(N² log N)` heap traffic plus one `cost` evaluation per
-/// candidate, matching the complexity budget of §4.2; large candidate
-/// batches (the initial N²/2 pairs and each merge's survivor sweep) are
-/// evaluated on all available cores.
+/// This is the **pruned** engine: candidates start as cheap admissible
+/// lower bounds generated from a bucket grid over the sink locations
+/// (Edahiro \[3\]) in on-demand expansion rings, and the exact cost is
+/// computed only when a bound surfaces at the top of the heap — i.e. only
+/// when it is competitive with the best known exact cost. Best-first
+/// search with admissible bounds commits exactly the merges of
+/// [`run_greedy_exhaustive`], bit-identically (see
+/// [`MergeObjective`]'s exactness contract), while evaluating a small
+/// fraction of the exact costs.
 ///
 /// # Errors
 ///
-/// Returns [`CtsError::NoSinks`] when `num_leaves == 0`.
+/// Returns [`CtsError::NoSinks`] when `num_leaves == 0` and propagates
+/// [`CtsError::MergeRegionDisjoint`] from the objective's `merge`.
 ///
 /// # Panics
 ///
-/// Panics if the objective returns a NaN cost.
-#[expect(
-    clippy::expect_used,
-    reason = "the heap holds a candidate for every live pair until one root remains"
-)]
+/// Panics if the objective returns a NaN cost or bound.
 pub fn run_greedy<O: MergeObjective>(
     num_leaves: usize,
     objective: &mut O,
 ) -> Result<Topology, CtsError> {
+    run_greedy_instrumented(num_leaves, objective).map(|(topology, _)| topology)
+}
+
+/// [`run_greedy`] with its [`GreedyStats`] instrumentation.
+///
+/// # Errors
+///
+/// As [`run_greedy`].
+#[expect(
+    clippy::expect_used,
+    reason = "every live pair is covered by a bound, exact, or expansion \
+              entry until one root remains (see the coverage argument in \
+              docs/algorithms.md §Candidate pruning)"
+)]
+pub fn run_greedy_instrumented<O: MergeObjective>(
+    num_leaves: usize,
+    objective: &mut O,
+) -> Result<(Topology, GreedyStats), CtsError> {
+    let mut stats = GreedyStats::default();
     if num_leaves == 0 {
         return Err(CtsError::NoSinks);
     }
     if num_leaves == 1 {
-        return Topology::single_sink();
+        return Ok((Topology::single_sink()?, stats));
+    }
+
+    let total = 2 * num_leaves - 1;
+    let mut alive = vec![false; total];
+    let mut live: Vec<usize> = (0..num_leaves).collect();
+    for &i in &live {
+        alive[i] = true;
+    }
+
+    let locations: Vec<Point> = (0..num_leaves).map(|i| objective.location(i)).collect();
+    let grid = BucketGrid::build(&locations);
+
+    // Seed: every leaf's nearby rings as bound entries (each pair once,
+    // from its lower-index endpoint), plus one expansion entry per leaf
+    // standing in for all farther partners.
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut seed_pairs: Vec<(u32, u32)> = Vec::new();
+    let mut members: Vec<u32> = Vec::new();
+    for (x, &loc) in locations.iter().enumerate() {
+        for ring in 0..=INITIAL_RINGS {
+            grid.ring_members(loc, ring, &mut members);
+            for &y in &members {
+                if (y as usize) > x {
+                    seed_pairs.push((x as u32, y));
+                }
+            }
+        }
+        if let Some(key) = expansion_key(&*objective, &grid, x, loc, INITIAL_RINGS + 1) {
+            entries.push(Entry {
+                key,
+                kind: KIND_EXPAND,
+                a: x as u32,
+                b: (INITIAL_RINGS + 1) as u32,
+            });
+        }
+    }
+    stats.bound_evals += seed_pairs.len() as u64;
+    entries.extend(evaluate_pairs(&*objective, &seed_pairs, KIND_BOUND));
+    drop(seed_pairs);
+    let mut heap = BinaryHeap::from(entries);
+
+    let mut merges = Vec::with_capacity(num_leaves - 1);
+    let mut next = num_leaves;
+    let mut batch: Vec<(u32, u32)> = Vec::with_capacity(num_leaves);
+    while next < total {
+        let Entry { kind, a, b, .. } = heap.pop().expect("heap exhausted before root was formed");
+        stats.heap_pops += 1;
+        match kind {
+            KIND_EXPAND => {
+                let x = a as usize;
+                if !alive[x] {
+                    continue;
+                }
+                let ring = b as usize;
+                stats.ring_expansions += 1;
+                grid.ring_members(locations[x], ring, &mut members);
+                for &y in &members {
+                    let yi = y as usize;
+                    if yi > x && alive[yi] {
+                        let key = objective.cost_lower_bound(x, yi);
+                        stats.bound_evals += 1;
+                        assert!(!key.is_nan(), "merge bound of ({x}, {yi}) is NaN");
+                        heap.push(Entry {
+                            key,
+                            kind: KIND_BOUND,
+                            a,
+                            b: y,
+                        });
+                    }
+                }
+                if let Some(key) = expansion_key(&*objective, &grid, x, locations[x], ring + 1) {
+                    heap.push(Entry {
+                        key,
+                        kind: KIND_EXPAND,
+                        a,
+                        b: (ring + 1) as u32,
+                    });
+                }
+            }
+            KIND_BOUND => {
+                let (x, y) = (a as usize, b as usize);
+                if !alive[x] || !alive[y] {
+                    continue; // lazy deletion
+                }
+                let key = objective.cost(x, y);
+                stats.exact_cost_evals += 1;
+                assert!(!key.is_nan(), "merge cost of ({x}, {y}) is NaN");
+                heap.push(Entry {
+                    key,
+                    kind: KIND_EXACT,
+                    a,
+                    b,
+                });
+            }
+            _ => {
+                let (x, y) = (a as usize, b as usize);
+                if !alive[x] || !alive[y] {
+                    continue; // lazy deletion
+                }
+                alive[x] = false;
+                alive[y] = false;
+                objective.merge(x, y, next)?;
+                merges.push((x, y));
+                live.retain(|&n| alive[n]);
+                batch.clear();
+                batch.extend(live.iter().map(|&n| (n as u32, next as u32)));
+                stats.bound_evals += batch.len() as u64;
+                for entry in evaluate_pairs(&*objective, &batch, KIND_BOUND) {
+                    heap.push(entry);
+                }
+                alive[next] = true;
+                live.push(next);
+                next += 1;
+            }
+        }
+    }
+
+    Ok((Topology::from_merges(num_leaves, &merges)?, stats))
+}
+
+/// The pre-pruning engine: evaluates the exact cost of **every** live pair
+/// (~N²/2 initial candidates plus a full live-set sweep per merge). Kept
+/// as the reference implementation for [`run_greedy_checked`], the
+/// property tests, and the `BENCH_greedy` baselines.
+///
+/// # Errors
+///
+/// As [`run_greedy`].
+pub fn run_greedy_exhaustive<O: MergeObjective>(
+    num_leaves: usize,
+    objective: &mut O,
+) -> Result<Topology, CtsError> {
+    run_greedy_exhaustive_instrumented(num_leaves, objective).map(|(topology, _)| topology)
+}
+
+/// [`run_greedy_exhaustive`] with its [`GreedyStats`] instrumentation.
+///
+/// # Errors
+///
+/// As [`run_greedy`].
+#[expect(
+    clippy::expect_used,
+    reason = "the heap holds a candidate for every live pair until one root remains"
+)]
+pub fn run_greedy_exhaustive_instrumented<O: MergeObjective>(
+    num_leaves: usize,
+    objective: &mut O,
+) -> Result<(Topology, GreedyStats), CtsError> {
+    let mut stats = GreedyStats::default();
+    if num_leaves == 0 {
+        return Err(CtsError::NoSinks);
+    }
+    if num_leaves == 1 {
+        return Ok((Topology::single_sink()?, stats));
     }
 
     let total = 2 * num_leaves - 1;
@@ -147,43 +426,73 @@ pub fn run_greedy<O: MergeObjective>(
             pairs.push((live[i] as u32, live[j] as u32));
         }
     }
-    let mut heap = BinaryHeap::from(evaluate_costs(&*objective, &pairs));
+    stats.exact_cost_evals += pairs.len() as u64;
+    let mut heap = BinaryHeap::from(evaluate_pairs(&*objective, &pairs, KIND_EXACT));
     drop(pairs);
 
     let mut merges = Vec::with_capacity(num_leaves - 1);
     let mut next = num_leaves;
     let mut batch: Vec<(u32, u32)> = Vec::with_capacity(num_leaves);
     while next < total {
-        let Candidate { a, b, .. } = heap.pop().expect("heap exhausted before root was formed");
+        let Entry { a, b, .. } = heap.pop().expect("heap exhausted before root was formed");
+        stats.heap_pops += 1;
         let (a, b) = (a as usize, b as usize);
         if !alive[a] || !alive[b] {
             continue; // lazy deletion
         }
         alive[a] = false;
         alive[b] = false;
-        objective.merge(a, b, next);
+        objective.merge(a, b, next)?;
         merges.push((a, b));
         live.retain(|&n| alive[n]);
         batch.clear();
         batch.extend(live.iter().map(|&n| (n as u32, next as u32)));
-        for cand in evaluate_costs(&*objective, &batch) {
-            heap.push(cand);
+        stats.exact_cost_evals += batch.len() as u64;
+        for entry in evaluate_pairs(&*objective, &batch, KIND_EXACT) {
+            heap.push(entry);
         }
         alive[next] = true;
         live.push(next);
         next += 1;
     }
 
-    Topology::from_merges(num_leaves, &merges)
+    Ok((Topology::from_merges(num_leaves, &merges)?, stats))
+}
+
+/// `ExhaustiveCheck` debug mode: runs **both** engines on clones of the
+/// same objective and asserts the topologies are bit-identical before
+/// returning the pruned result. Meant for tests and debugging sessions —
+/// it deliberately pays the exhaustive engine's full cost.
+///
+/// # Errors
+///
+/// As [`run_greedy`].
+///
+/// # Panics
+///
+/// Panics when the pruned topology differs from the exhaustive one, i.e.
+/// when an objective violates the admissibility contract.
+pub fn run_greedy_checked<O: MergeObjective + Clone>(
+    num_leaves: usize,
+    objective: &mut O,
+) -> Result<Topology, CtsError> {
+    let mut reference = objective.clone();
+    let expected = run_greedy_exhaustive(num_leaves, &mut reference)?;
+    let (topology, _) = run_greedy_instrumented(num_leaves, objective)?;
+    assert_eq!(
+        topology, expected,
+        "pruned greedy diverged from the exhaustive engine: inadmissible bound?"
+    );
+    Ok(topology)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcr_geometry::Point;
 
     /// Objective over plain points: cost = Manhattan distance; a merge
-    /// creates the midpoint.
+    /// creates the midpoint. The distance *is* its own admissible bound.
+    #[derive(Clone)]
     struct PointObjective {
         points: Vec<Point>,
     }
@@ -192,10 +501,20 @@ mod tests {
         fn cost(&self, a: usize, b: usize) -> f64 {
             self.points[a].manhattan(self.points[b])
         }
-        fn merge(&mut self, a: usize, b: usize, k: usize) {
+        fn cost_lower_bound(&self, a: usize, b: usize) -> f64 {
+            self.cost(a, b)
+        }
+        fn cost_lower_bound_at_distance(&self, _node: usize, dist: f64) -> f64 {
+            dist
+        }
+        fn location(&self, node: usize) -> Point {
+            self.points[node]
+        }
+        fn merge(&mut self, a: usize, b: usize, k: usize) -> Result<(), CtsError> {
             assert_eq!(k, self.points.len());
             let mid = self.points[a].midpoint(self.points[b]);
             self.points.push(mid);
+            Ok(())
         }
     }
 
@@ -246,6 +565,11 @@ mod tests {
     fn zero_sinks_is_an_error() {
         let mut obj = PointObjective { points: vec![] };
         assert_eq!(run_greedy(0, &mut obj).unwrap_err(), CtsError::NoSinks);
+        let mut obj = PointObjective { points: vec![] };
+        assert_eq!(
+            run_greedy_exhaustive(0, &mut obj).unwrap_err(),
+            CtsError::NoSinks
+        );
     }
 
     #[test]
@@ -280,31 +604,146 @@ mod tests {
             let mut obj = PointObjective {
                 points: points.clone(),
             };
-            run_greedy(128, &mut obj).unwrap()
+            run_greedy_exhaustive(128, &mut obj).unwrap()
         };
         assert_eq!(run(), run());
     }
 
+    /// The pruned engine must commit the exact same merges as the
+    /// exhaustive engine — including on highly degenerate (tied, collinear,
+    /// coincident) inputs.
     #[test]
-    fn candidate_ordering_is_min_first() {
+    fn pruned_matches_exhaustive_on_assorted_layouts() {
+        let layouts: Vec<Vec<Point>> = vec![
+            // Pseudo-random scatter.
+            (0..97)
+                .map(|i| Point::new(f64::from(i * 131 % 1009), f64::from(i * 197 % 977)))
+                .collect(),
+            // Degenerate: everything on one horizontal line.
+            (0..40)
+                .map(|i| Point::new(f64::from(i * i % 211), 0.0))
+                .collect(),
+            // Degenerate: many coincident points.
+            (0..24).map(|i| Point::new(f64::from(i % 3), 0.0)).collect(),
+            // Tiny instances.
+            vec![Point::new(3.0, 4.0), Point::new(5.0, 6.0)],
+            vec![Point::ORIGIN; 2],
+        ];
+        for points in layouts {
+            let n = points.len();
+            let mut pruned_obj = PointObjective {
+                points: points.clone(),
+            };
+            let mut exhaustive_obj = PointObjective { points };
+            let (pruned, stats) = run_greedy_instrumented(n, &mut pruned_obj).unwrap();
+            let (exhaustive, ref_stats) =
+                run_greedy_exhaustive_instrumented(n, &mut exhaustive_obj).unwrap();
+            assert_eq!(pruned, exhaustive, "n = {n}");
+            assert!(
+                stats.exact_cost_evals <= ref_stats.exact_cost_evals,
+                "pruning must not evaluate more exact costs: {stats:?} vs {ref_stats:?}"
+            );
+        }
+    }
+
+    /// On a large scattered instance the pruned engine must do far fewer
+    /// exact evaluations — here at least 5x fewer.
+    #[test]
+    fn pruning_cuts_exact_evaluations() {
+        let points: Vec<Point> = (0..300)
+            .map(|i| Point::new(f64::from(i * 131 % 10_007), f64::from(i * 197 % 9_973)))
+            .collect();
+        let mut pruned_obj = PointObjective {
+            points: points.clone(),
+        };
+        let mut exhaustive_obj = PointObjective { points };
+        let (pruned, stats) = run_greedy_instrumented(300, &mut pruned_obj).unwrap();
+        let (exhaustive, ref_stats) =
+            run_greedy_exhaustive_instrumented(300, &mut exhaustive_obj).unwrap();
+        assert_eq!(pruned, exhaustive);
+        assert!(
+            stats.exact_cost_evals * 5 <= ref_stats.exact_cost_evals,
+            "expected >=5x fewer exact evals, got {} vs {}",
+            stats.exact_cost_evals,
+            ref_stats.exact_cost_evals
+        );
+        assert!(stats.ring_expansions > 0);
+    }
+
+    #[test]
+    fn checked_mode_validates_equivalence() {
+        let mut obj = PointObjective {
+            points: (0..50)
+                .map(|i| Point::new(f64::from(i * 37 % 199), f64::from(i * 53 % 211)))
+                .collect(),
+        };
+        let topo = run_greedy_checked(50, &mut obj).unwrap();
+        assert_eq!(topo.num_leaves(), 50);
+    }
+
+    /// An inadmissible bound must be caught by the checked mode.
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn checked_mode_catches_inadmissible_bounds() {
+        #[derive(Clone)]
+        struct Lying(PointObjective);
+        impl MergeObjective for Lying {
+            fn cost(&self, a: usize, b: usize) -> f64 {
+                self.0.cost(a, b)
+            }
+            fn cost_lower_bound(&self, a: usize, b: usize) -> f64 {
+                // Inverts the ordering: near pairs get huge "bounds".
+                1e9 - self.0.cost(a, b)
+            }
+            fn cost_lower_bound_at_distance(&self, _node: usize, _dist: f64) -> f64 {
+                1e9
+            }
+            fn location(&self, node: usize) -> Point {
+                self.0.location(node)
+            }
+            fn merge(&mut self, a: usize, b: usize, k: usize) -> Result<(), CtsError> {
+                self.0.merge(a, b, k)
+            }
+        }
+        let mut obj = Lying(PointObjective {
+            points: (0..12)
+                .map(|i| Point::new(f64::from(i * 31 % 89), f64::from(i * 17 % 97)))
+                .collect(),
+        });
+        let _ = run_greedy_checked(12, &mut obj);
+    }
+
+    #[test]
+    fn entry_ordering_is_min_first_with_kind_tiebreak() {
         let mut h = BinaryHeap::new();
-        h.push(Candidate {
-            cost: 5.0,
+        h.push(Entry {
+            key: 5.0,
+            kind: KIND_EXACT,
             a: 0,
             b: 1,
         });
-        h.push(Candidate {
-            cost: 1.0,
+        h.push(Entry {
+            key: 1.0,
+            kind: KIND_EXACT,
             a: 2,
             b: 3,
         });
-        h.push(Candidate {
-            cost: 3.0,
+        h.push(Entry {
+            key: 1.0,
+            kind: KIND_BOUND,
             a: 4,
             b: 5,
         });
-        assert_eq!(h.pop().unwrap().cost, 1.0);
-        assert_eq!(h.pop().unwrap().cost, 3.0);
-        assert_eq!(h.pop().unwrap().cost, 5.0);
+        h.push(Entry {
+            key: 1.0,
+            kind: KIND_EXPAND,
+            a: 6,
+            b: 2,
+        });
+        // Equal keys: expansion, then bound, then exact.
+        assert_eq!(h.pop().unwrap().kind, KIND_EXPAND);
+        assert_eq!(h.pop().unwrap().kind, KIND_BOUND);
+        assert_eq!(h.pop().unwrap().kind, KIND_EXACT);
+        assert_eq!(h.pop().unwrap().key, 5.0);
     }
 }

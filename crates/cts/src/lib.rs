@@ -11,7 +11,10 @@
 //!    [`MergeObjective`]; [`nearest_neighbor_topology`] is the classic
 //!    geometric objective (and the paper's baseline), while the gated
 //!    router in `gcr-core` plugs in the switched-capacitance objective of
-//!    Equation (3).
+//!    Equation (3). The engine prunes with admissible lower bounds over a
+//!    [`BucketGrid`] of the sink locations, committing bit-identical
+//!    merges to the exhaustive reference ([`run_greedy_exhaustive`]) at a
+//!    fraction of the exact cost evaluations.
 //! 2. **Zero-skew merging** — [`zero_skew_merge`] computes, for two
 //!    subtrees, the exact tap-point split `e_a`/`e_b` (with wire snaking
 //!    when one side must be elongated) and the resulting merging region,
@@ -68,10 +71,15 @@ pub use bst::{bounded_skew_merge, embed_bounded_skew, BstOutcome, BstState};
 pub use design_io::{load_design, save_design, LoadedDesign};
 pub use embed::{embed, embed_sized, DeviceAssignment};
 pub use error::CtsError;
-pub use greedy::{run_greedy, MergeObjective};
+pub use greedy::{
+    run_greedy, run_greedy_checked, run_greedy_exhaustive, run_greedy_exhaustive_instrumented,
+    run_greedy_instrumented, GreedyStats, MergeObjective,
+};
 pub use merge::{balance_devices, zero_skew_merge, MergeOutcome, SizingLimits, SubtreeState};
 pub use mmm::mmm_topology;
-pub use nearest::{build_buffered_tree, nearest_neighbor_topology, NearestNeighborObjective};
+pub use nearest::{
+    build_buffered_tree, nearest_neighbor_topology, BucketGrid, NearestNeighborObjective,
+};
 pub use route::{format_routes, realize_routes, RoutedEdge};
 pub use sink::Sink;
 pub use topology::{TopoNode, Topology};

@@ -1,7 +1,7 @@
 use gcr_geometry::{Point, Trr, GEOM_EPS};
 use gcr_rctree::{Device, Technology};
 
-use crate::Sink;
+use crate::{CtsError, Sink};
 
 /// The electrical summary of a subtree during bottom-up construction.
 ///
@@ -152,12 +152,18 @@ impl MergeOutcome {
 /// other wire is elongated (snaked) to the positive root of its delay
 /// polynomial.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the merging regions cannot be intersected even after snaking —
-/// which indicates non-finite inputs.
-#[must_use]
-pub fn zero_skew_merge(tech: &Technology, a: &SubtreeState, b: &SubtreeState) -> MergeOutcome {
+/// Returns [`CtsError::MergeRegionDisjoint`] when the merging regions
+/// cannot be intersected even after snaking — which happens exactly when
+/// the subtree states carry non-finite delays, capacitances, or
+/// coordinates. Finite inputs always succeed: the tap radii sum to at
+/// least the region distance by construction.
+pub fn zero_skew_merge(
+    tech: &Technology,
+    a: &SubtreeState,
+    b: &SubtreeState,
+) -> Result<MergeOutcome, CtsError> {
     let d = a.ms.distance(&b.ms);
     let (ta, alpha_a, beta) = a.delay_coefficients(tech);
     let (tb, alpha_b, _) = b.delay_coefficients(tech);
@@ -180,7 +186,17 @@ pub fn zero_skew_merge(tech: &Technology, a: &SubtreeState, b: &SubtreeState) ->
 
     // Merge region: points reachable with exactly ea / eb of wire. The
     // radii sum to >= d in exact arithmetic; absorb f64 rounding with a
-    // magnitude-scaled slack.
+    // magnitude-scaled slack. Non-finite radii would trip `Trr::expanded`'s
+    // assertion, so they are rejected up front.
+    if !(d.is_finite() && ea.is_finite() && eb.is_finite() && ea >= 0.0 && eb >= 0.0) {
+        return Err(CtsError::MergeRegionDisjoint {
+            detail: format!(
+                "non-finite tap geometry: d={d}, ea={ea}, eb={eb} (a at {}, b at {})",
+                a.ms.center(),
+                b.ms.center()
+            ),
+        });
+    }
     let scale = 1.0
         + d
         + ea
@@ -192,14 +208,13 @@ pub fn zero_skew_merge(tech: &Technology, a: &SubtreeState, b: &SubtreeState) ->
     let ms = ta_r
         .intersection_with_slack(&tb_r, GEOM_EPS * scale)
         .or_else(|| ta_r.intersection_with_slack(&tb_r, 1e-3 * scale))
-        .unwrap_or_else(|| {
-            panic!(
-                "zero-skew merge regions failed to intersect: d={d}, ea={ea}, eb={eb} \
-                 (a at {}, b at {})",
+        .ok_or_else(|| CtsError::MergeRegionDisjoint {
+            detail: format!(
+                "d={d}, ea={ea}, eb={eb} (a at {}, b at {})",
                 a.ms.center(),
                 b.ms.center()
-            )
-        });
+            ),
+        })?;
 
     // Delay measured down either side is identical in exact arithmetic;
     // average the two evaluations to symmetrize rounding.
@@ -208,20 +223,31 @@ pub fn zero_skew_merge(tech: &Technology, a: &SubtreeState, b: &SubtreeState) ->
     let delay = 0.5 * (da + db);
     let cap = a.presented_cap(tech, ea) + b.presented_cap(tech, eb);
 
-    MergeOutcome {
+    Ok(MergeOutcome {
         ea,
         eb,
         ms,
         delay,
         cap,
-    }
+    })
 }
 
 /// Positive root of `β·e² + α·e = dt` — the snaked wire length that adds
 /// `dt` of Elmore delay through an edge with delay coefficients `(α, β)`.
+///
+/// Degenerate technologies collapse the polynomial: with zero unit
+/// resistance or capacitance `β = 0` and the root is the linear `dt/α`;
+/// with `α = 0` as well, no wire length changes the delay and the snake
+/// stays at 0 rather than poisoning the geometry with NaN.
 fn elongation(alpha: f64, beta: f64, dt: f64) -> f64 {
     if dt <= 0.0 {
         return 0.0;
+    }
+    if beta <= 0.0 {
+        if alpha <= 0.0 {
+            return 0.0;
+        }
+        return dt / alpha;
     }
     ((alpha * alpha + 4.0 * beta * dt).sqrt() - alpha) / (2.0 * beta)
 }
@@ -319,10 +345,10 @@ fn fix_slow_side(
     limits: &SizingLimits,
 ) -> bool {
     let mut changed = false;
-    let fast_at_d = fast.delay_through_edge(tech, d);
 
     if let Some(dev) = slow.edge_device {
         // Want t_slow + intrinsic + R/f·C == fast_at_d  =>  f = R·C / Δ.
+        let fast_at_d = fast.delay_through_edge(tech, d);
         let delta = fast_at_d - slow.delay - dev.intrinsic_delay();
         if delta > 0.0 {
             let needed = dev.output_res() * slow.cap / delta;
@@ -334,8 +360,10 @@ fn fix_slow_side(
         }
     }
 
-    // Recheck: if the slow side still cannot be caught, slow the fast side
-    // down by shrinking its gate.
+    // Recheck from the *current* states — the upsizing above changed
+    // `slow`'s delay polynomial, so neither side's delay may be carried
+    // over from before it. If the slow side still cannot be caught, slow
+    // the fast side down by shrinking its gate.
     let slow_at_0 = slow.delay_through_edge(tech, 0.0);
     if slow_at_0 > fast.delay_through_edge(tech, d) {
         if let Some(dev) = fast.edge_device {
@@ -376,7 +404,7 @@ mod tests {
         let t = tech();
         let a = leaf(0.0, 0.0, 0.05);
         let b = leaf(1000.0, 0.0, 0.05);
-        let m = zero_skew_merge(&t, &a, &b);
+        let m = zero_skew_merge(&t, &a, &b).unwrap();
         assert!((m.ea - 500.0).abs() < 1e-9, "ea = {}", m.ea);
         assert!((m.eb - 500.0).abs() < 1e-9);
         assert!((m.ea + m.eb - 1000.0).abs() < 1e-9);
@@ -390,7 +418,7 @@ mod tests {
         let t = tech();
         let light = leaf(0.0, 0.0, 0.01);
         let heavy = leaf(1000.0, 0.0, 0.50);
-        let m = zero_skew_merge(&t, &light, &heavy);
+        let m = zero_skew_merge(&t, &light, &heavy).unwrap();
         // ea is the wire toward `light`; balancing pushes the tap point
         // toward the heavy side.
         assert!(m.ea > m.eb, "ea {} <= eb {}", m.ea, m.eb);
@@ -403,7 +431,7 @@ mod tests {
         let gate = t.and_gate();
         let a = SubtreeState::leaf_with_device(&Sink::new(Point::new(0.0, 0.0), 0.4), Some(gate));
         let b = SubtreeState::leaf_with_device(&Sink::new(Point::new(800.0, 0.0), 0.4), Some(gate));
-        let m = zero_skew_merge(&t, &a, &b);
+        let m = zero_skew_merge(&t, &a, &b).unwrap();
         // Each child presents only the gate input capacitance.
         assert!((m.cap - 2.0 * gate.input_cap()).abs() < 1e-12);
         // Gate stage delay is included.
@@ -417,7 +445,7 @@ mod tests {
         let mut a = leaf(0.0, 0.0, 0.05);
         a.delay = 1.0e4;
         let b = leaf(100.0, 0.0, 0.05);
-        let m = zero_skew_merge(&t, &a, &b);
+        let m = zero_skew_merge(&t, &a, &b).unwrap();
         assert_eq!(m.ea, 0.0);
         assert!(m.eb > 100.0, "wire to b must be snaked, got {}", m.eb);
         // Delay balance holds.
@@ -432,7 +460,7 @@ mod tests {
             let dev = gated.then(|| t.and_gate());
             let a = SubtreeState::leaf_with_device(&Sink::new(Point::new(0.0, 0.0), 0.02), dev);
             let b = SubtreeState::leaf_with_device(&Sink::new(Point::new(750.0, 330.0), 0.11), dev);
-            let m = zero_skew_merge(&t, &a, &b);
+            let m = zero_skew_merge(&t, &a, &b).unwrap();
             let da = a.delay_through_edge(&t, m.ea);
             let db = b.delay_through_edge(&t, m.eb);
             assert!(
@@ -448,7 +476,7 @@ mod tests {
         let t = tech();
         let a = leaf(0.0, 0.0, 0.02);
         let b = leaf(400.0, 0.0, 0.03);
-        let m = zero_skew_merge(&t, &a, &b);
+        let m = zero_skew_merge(&t, &a, &b).unwrap();
         let expect = t.unit_cap() * (m.ea + m.eb) + 0.05;
         assert!((m.cap - expect).abs() < 1e-12);
     }
@@ -458,7 +486,7 @@ mod tests {
         let t = tech();
         let a = leaf(0.0, 0.0, 0.05);
         let b = leaf(600.0, 0.0, 0.05);
-        let m = zero_skew_merge(&t, &a, &b);
+        let m = zero_skew_merge(&t, &a, &b).unwrap();
         let gate = t.and_gate();
         let s = m.gated_state(Some(gate));
         assert_eq!(s.edge_device, Some(gate));
@@ -489,7 +517,7 @@ mod tests {
         let t = tech();
         let a = leaf(5.0, 5.0, 0.05);
         let b = leaf(5.0, 5.0, 0.05);
-        let m = zero_skew_merge(&t, &a, &b);
+        let m = zero_skew_merge(&t, &a, &b).unwrap();
         assert_eq!(m.ea, 0.0);
         assert_eq!(m.eb, 0.0);
         assert!(m.ms.is_point());
@@ -501,7 +529,7 @@ mod tests {
         let mut a = leaf(5.0, 5.0, 0.05);
         a.delay = 100.0;
         let b = leaf(5.0, 5.0, 0.05);
-        let m = zero_skew_merge(&t, &a, &b);
+        let m = zero_skew_merge(&t, &a, &b).unwrap();
         assert_eq!(m.ea, 0.0);
         assert!(m.eb > 0.0, "must snake to equalize, got {}", m.eb);
         let db = b.delay_through_edge(&t, m.eb);
@@ -521,5 +549,81 @@ mod tests {
         let e = elongation(alpha, beta, dt);
         let check = beta * e * e + alpha * e;
         assert!((check - dt).abs() < 1e-9 * dt);
+    }
+
+    /// Regression: β = 0 (zero unit R or C) used to divide by zero and
+    /// return NaN; the fallback is the linear root `dt/α`, and 0 when the
+    /// polynomial is entirely flat (α = 0 too).
+    #[test]
+    fn elongation_degenerate_coefficients_are_finite() {
+        let e = elongation(0.0045, 0.0, 90.0);
+        assert!((e - 90.0 / 0.0045).abs() < 1e-9, "linear fallback, got {e}");
+        assert_eq!(elongation(0.0, 0.0, 90.0), 0.0);
+        assert_eq!(elongation(0.0045, 0.0, -1.0), 0.0);
+        // And the quadratic path still dominates when β > 0.
+        assert!(elongation(0.0045, 1e-7, 90.0).is_finite());
+    }
+
+    /// Regression: non-finite subtree state used to panic inside
+    /// `Trr::expanded`; it must surface as `MergeRegionDisjoint`.
+    #[test]
+    fn non_finite_inputs_yield_disjoint_error() {
+        let t = tech();
+        let mut a = leaf(0.0, 0.0, 0.05);
+        a.delay = f64::NAN;
+        let b = leaf(1000.0, 0.0, 0.05);
+        let err = zero_skew_merge(&t, &a, &b).unwrap_err();
+        assert!(matches!(err, CtsError::MergeRegionDisjoint { .. }), "{err}");
+
+        // An infinite delay demands an infinite snake on the other wire.
+        let mut c = leaf(0.0, 0.0, 0.05);
+        c.delay = f64::INFINITY;
+        let err = zero_skew_merge(&t, &c, &b).unwrap_err();
+        assert!(matches!(err, CtsError::MergeRegionDisjoint { .. }), "{err}");
+    }
+
+    /// Regression for `fix_slow_side`: with devices on **both** sides the
+    /// fast gate's downsizing must be judged against the slow side's
+    /// *post-upsizing* delay, never a stale capture.
+    #[test]
+    fn balance_devices_with_devices_on_both_sides() {
+        let t = tech();
+        let gate = t.and_gate();
+        let d = 2_000.0;
+        let mut a =
+            SubtreeState::leaf_with_device(&Sink::new(Point::new(0.0, 0.0), 0.9), Some(gate));
+        a.delay = 150.0;
+        let mut b =
+            SubtreeState::leaf_with_device(&Sink::new(Point::new(d, 0.0), 0.02), Some(gate));
+        let limits = SizingLimits::default();
+        let snake_before = {
+            let m = zero_skew_merge(&t, &a, &b).unwrap();
+            m.ea + m.eb - d
+        };
+        assert!(snake_before > 0.0, "test premise: unsized merge must snake");
+
+        let changed = balance_devices(&t, &mut a, &mut b, &limits);
+        assert!(changed, "sizing must engage when one side lags");
+        let fa = a.edge_device.unwrap().input_cap() / gate.input_cap();
+        let fb = b.edge_device.unwrap().input_cap() / gate.input_cap();
+        assert!(
+            fa > 1.0 && fa <= limits.max + 1e-9,
+            "slow side must be upsized within limits, got {fa}"
+        );
+        assert!(
+            (limits.min - 1e-9..=1.0 + 1e-9).contains(&fb),
+            "fast side may only shrink within limits, got {fb}"
+        );
+
+        let m = zero_skew_merge(&t, &a, &b).unwrap();
+        let snake_after = m.ea + m.eb - d;
+        assert!(
+            snake_after < snake_before - 1e-9,
+            "sizing must reduce snaking: before {snake_before}, after {snake_after}"
+        );
+        // The merge stays exactly delay-balanced after sizing.
+        let da = a.delay_through_edge(&t, m.ea);
+        let db = b.delay_through_edge(&t, m.eb);
+        assert!((da - db).abs() < 1e-9 * da.max(1.0));
     }
 }

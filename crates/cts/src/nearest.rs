@@ -6,13 +6,146 @@ use crate::{
     Sink, SubtreeState, Topology,
 };
 
+/// A uniform bucket grid over a fixed point set, in the spirit of
+/// Edahiro's nearest-neighbor decomposition \[3\]: cells of side
+/// [`cell_size`](Self::cell_size) hold point indices and are queried in
+/// concentric Chebyshev *rings* of cells around a query point.
+///
+/// The geometric guarantee the pruned greedy engine builds on: once rings
+/// `0..=r` of a query point have been visited, every unvisited point sits
+/// in a cell whose Chebyshev cell-distance is at least `r + 1`, so some
+/// coordinate differs by more than `r` whole cells — its Manhattan
+/// distance from the query point exceeds `r * cell_size()`.
+#[derive(Clone, Debug)]
+pub struct BucketGrid {
+    origin: Point,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl BucketGrid {
+    /// Builds a grid over `points`, sized at roughly one point per cell
+    /// (`cell ≈ extent / √n`). Degenerate inputs (coincident points,
+    /// non-finite coordinates) collapse to a single bucket, which keeps
+    /// every query correct — just unpruned.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points` is empty.
+    #[must_use]
+    pub fn build(points: &[Point]) -> Self {
+        assert!(!points.is_empty(), "bucket grid needs at least one point");
+        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min = Point::new(min.x.min(p.x), min.y.min(p.y));
+            max = Point::new(max.x.max(p.x), max.y.max(p.y));
+        }
+        let (w, h) = (max.x - min.x, max.y - min.y);
+        let extent = w.max(h);
+        let cell = if extent.is_finite() && extent > 0.0 {
+            extent / (points.len() as f64).sqrt()
+        } else {
+            1.0
+        };
+        let nx = Self::dimension(w, cell);
+        let ny = Self::dimension(h, cell);
+        let origin = if min.x.is_finite() && min.y.is_finite() {
+            min
+        } else {
+            Point::ORIGIN
+        };
+        let mut grid = Self {
+            origin,
+            cell,
+            nx,
+            ny,
+            buckets: vec![Vec::new(); nx * ny],
+        };
+        for (i, &p) in points.iter().enumerate() {
+            let (cx, cy) = grid.cell_of(p);
+            grid.buckets[cy * nx + cx].push(i as u32);
+        }
+        grid
+    }
+
+    /// Number of cells along one axis of extent `extent`.
+    fn dimension(extent: f64, cell: f64) -> usize {
+        if extent.is_finite() && extent > 0.0 {
+            (extent / cell).floor() as usize + 1
+        } else {
+            1
+        }
+    }
+
+    /// The side length of one cell (layout units).
+    #[must_use]
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// The cell containing `p`, clamped into the grid.
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let clamp = |v: f64, n: usize| -> usize {
+            if v.is_finite() && v > 0.0 {
+                (v as usize).min(n - 1)
+            } else {
+                0
+            }
+        };
+        (
+            clamp((p.x - self.origin.x) / self.cell, self.nx),
+            clamp((p.y - self.origin.y) / self.cell, self.ny),
+        )
+    }
+
+    /// Collects into `out` the indices of every point whose cell is at
+    /// Chebyshev cell-distance exactly `ring` from `p`'s cell (`ring` 0 is
+    /// `p`'s own cell). `out` is cleared first; indices come out in
+    /// ascending order within each cell, cells scanned deterministically.
+    pub fn ring_members(&self, p: Point, ring: usize, out: &mut Vec<u32>) {
+        out.clear();
+        let (cx, cy) = self.cell_of(p);
+        let (cx, cy) = (cx as i64, cy as i64);
+        let r = ring as i64;
+        let mut visit = |ix: i64, iy: i64| {
+            if ix >= 0 && iy >= 0 && (ix as usize) < self.nx && (iy as usize) < self.ny {
+                out.extend_from_slice(&self.buckets[iy as usize * self.nx + ix as usize]);
+            }
+        };
+        if r == 0 {
+            visit(cx, cy);
+            return;
+        }
+        // Top and bottom rows of the ring square, then the side columns.
+        for ix in (cx - r)..=(cx + r) {
+            visit(ix, cy - r);
+            visit(ix, cy + r);
+        }
+        for iy in (cy - r + 1)..=(cy + r - 1) {
+            visit(cx - r, iy);
+            visit(cx + r, iy);
+        }
+    }
+
+    /// The largest ring around `p`'s cell that still overlaps the grid;
+    /// rings beyond it are empty forever.
+    #[must_use]
+    pub fn max_ring(&self, p: Point) -> usize {
+        let (cx, cy) = self.cell_of(p);
+        (cx.max(self.nx - 1 - cx)).max(cy.max(self.ny - 1 - cy))
+    }
+}
+
 /// The nearest-neighbor merge objective (Edahiro \[3\]): merge the two live
 /// subtrees whose merging regions are geometrically closest.
 ///
 /// This is the topology generator of the paper's buffered baseline (§5.1)
 /// and the reference point for the switched-capacitance objective's
 /// ablation.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct NearestNeighborObjective<'a> {
     tech: &'a Technology,
     /// Device assumed at the top of every edge as the tree is built
@@ -43,10 +176,26 @@ impl MergeObjective for NearestNeighborObjective<'_> {
         self.states[a].distance(&self.states[b])
     }
 
-    fn merge(&mut self, a: usize, b: usize, k: usize) {
+    // The cost *is* the region distance, so it is its own tightest
+    // admissible bound; for a leaf (a point region), any partner at
+    // Manhattan distance >= dist costs at least dist.
+    fn cost_lower_bound(&self, a: usize, b: usize) -> f64 {
+        self.cost(a, b)
+    }
+
+    fn cost_lower_bound_at_distance(&self, _node: usize, dist: f64) -> f64 {
+        dist
+    }
+
+    fn location(&self, node: usize) -> Point {
+        self.states[node].ms.center()
+    }
+
+    fn merge(&mut self, a: usize, b: usize, k: usize) -> Result<(), CtsError> {
         debug_assert_eq!(k, self.states.len());
-        let outcome = zero_skew_merge(self.tech, &self.states[a], &self.states[b]);
+        let outcome = zero_skew_merge(self.tech, &self.states[a], &self.states[b])?;
         self.states.push(outcome.gated_state(self.edge_device));
+        Ok(())
     }
 }
 
@@ -159,6 +308,76 @@ mod tests {
             CtsError::NoSinks
         );
         assert!(build_buffered_tree(&tech, &[], Point::ORIGIN).is_err());
+    }
+
+    #[test]
+    fn bucket_grid_rings_partition_all_points() {
+        let points: Vec<Point> = (0..200)
+            .map(|i| Point::new(f64::from(i * 131 % 1009), f64::from(i * 197 % 977)))
+            .collect();
+        let grid = BucketGrid::build(&points);
+        let mut members = Vec::new();
+        for &query in &points[..10] {
+            let mut seen = vec![false; points.len()];
+            for ring in 0..=grid.max_ring(query) {
+                grid.ring_members(query, ring, &mut members);
+                for &m in &members {
+                    assert!(!seen[m as usize], "point {m} appeared in two rings");
+                    seen[m as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "rings must cover every point");
+        }
+    }
+
+    #[test]
+    fn bucket_grid_distance_guarantee() {
+        // Any point in ring r >= 1 of `query` must be farther than
+        // (r - 1) * cell in Manhattan distance — the admissibility basis
+        // of the pruned engine's expansion entries.
+        let points: Vec<Point> = (0..150)
+            .map(|i| Point::new(f64::from(i * 37 % 499), f64::from(i * 61 % 503)))
+            .collect();
+        let grid = BucketGrid::build(&points);
+        let mut members = Vec::new();
+        for &query in &points[..8] {
+            for ring in 1..=grid.max_ring(query) {
+                grid.ring_members(query, ring, &mut members);
+                let floor = (ring - 1) as f64 * grid.cell_size();
+                for &m in &members {
+                    let d = query.manhattan(points[m as usize]);
+                    assert!(
+                        d >= floor,
+                        "ring {ring}: point {m} at distance {d} < floor {floor}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_grid_handles_degenerate_point_sets() {
+        // Coincident points: one bucket, ring 0 holds everything.
+        let coincident = vec![Point::new(5.0, 5.0); 7];
+        let grid = BucketGrid::build(&coincident);
+        assert_eq!(grid.max_ring(coincident[0]), 0);
+        let mut members = Vec::new();
+        grid.ring_members(coincident[0], 0, &mut members);
+        assert_eq!(members.len(), 7);
+        // Collinear points still partition.
+        let line: Vec<Point> = (0..30)
+            .map(|i| Point::new(f64::from(i) * 10.0, 0.0))
+            .collect();
+        let grid = BucketGrid::build(&line);
+        let mut count = 0;
+        for ring in 0..=grid.max_ring(line[0]) {
+            grid.ring_members(line[0], ring, &mut members);
+            count += members.len();
+        }
+        assert_eq!(count, 30);
+        // A single point.
+        let one = BucketGrid::build(&[Point::ORIGIN]);
+        assert_eq!(one.max_ring(Point::ORIGIN), 0);
     }
 
     #[test]

@@ -42,6 +42,19 @@ impl Default for WorkloadParams {
 }
 
 impl WorkloadParams {
+    /// A fast preset for benchmark harnesses and CI smoke runs: the
+    /// paper's activity model with a much shorter instruction stream.
+    /// Probabilities are noisier than the 20k-cycle default but every
+    /// derived quantity stays well-defined, which is all a perf baseline
+    /// needs.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            stream_len: 2_000,
+            ..Self::default()
+        }
+    }
+
     /// The same parameters with a different average module activity — the
     /// Fig. 4 sweep.
     #[must_use]
@@ -181,6 +194,22 @@ mod tests {
             "avg activity {}",
             w.stats.avg_module_activity
         );
+    }
+
+    #[test]
+    fn smoke_preset_only_shortens_the_stream() {
+        let smoke = WorkloadParams::smoke();
+        let full = WorkloadParams::default();
+        assert!(smoke.stream_len < full.stream_len);
+        assert_eq!(
+            WorkloadParams {
+                stream_len: full.stream_len,
+                ..smoke
+            },
+            full
+        );
+        let w = Workload::generate(TsayBenchmark::R1, &smoke).unwrap();
+        assert_eq!(w.stats.num_cycles, smoke.stream_len);
     }
 
     #[test]

@@ -109,6 +109,29 @@ fn evaluator_counts_every_farad_once() {
     );
 }
 
+/// The production router (`route_gated`, which runs the lower-bound
+/// pruned greedy engine) picks exactly the topology the exhaustive
+/// reference engine picks on the same Equation-3 objective — the pruning
+/// is an optimization, never a heuristic.
+#[test]
+fn route_gated_matches_exhaustive_reference() {
+    let (w, routing, config) = routed();
+    let sinks = &w.benchmark.sinks;
+    let module_of: Vec<usize> = (0..sinks.len()).collect();
+    let mut objective = gcr_core::GatedObjective::new(
+        config.tech(),
+        config.controller(),
+        &w.tables,
+        sinks,
+        &module_of,
+    );
+    let reference = gcr_cts::run_greedy_exhaustive(sinks.len(), &mut objective).unwrap();
+    assert_eq!(
+        routing.topology, reference,
+        "pruned router topology diverged from the exhaustive reference"
+    );
+}
+
 /// Gate sizing during embedding preserves total input-pin inventory within
 /// the sizing limits, and every resized device stays in range.
 #[test]

@@ -1,0 +1,141 @@
+//! Property tests for the lower-bound pruned greedy engine: on random
+//! sink sets it must produce **bit-identical** topologies to the
+//! exhaustive reference under both the nearest-neighbor and the paper's
+//! Equation-3 objectives, and every routed output must pass the
+//! `gcr-verify` oracle. See `docs/algorithms.md` §Candidate pruning for
+//! why identity (not mere equivalence) is the contract.
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gcr_activity::{ActivityTables, CpuModel};
+use gcr_core::{gated_routing_for_topology, GatedObjective, RouterConfig};
+use gcr_cts::{
+    run_greedy_exhaustive, run_greedy_instrumented, NearestNeighborObjective, Sink, Topology,
+};
+use gcr_geometry::{BBox, Point};
+use gcr_rctree::Technology;
+use gcr_verify::{Verifier, VerifyInput};
+use proptest::prelude::*;
+
+const SIDE: f64 = 40_000.0;
+
+fn sinks_strategy(max: usize) -> impl Strategy<Value = Vec<Sink>> {
+    prop::collection::vec((0.0..SIDE, 0.0..SIDE, 0.005..0.3f64), 2..max).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y, c)| Sink::new(Point::new(x, y), c))
+            .collect()
+    })
+}
+
+/// A small activity model with one module per sink, deterministic per
+/// seed, so the Equation-3 objective has real probabilities to chew on.
+fn tables_for(num_sinks: usize, seed: u64) -> ActivityTables {
+    let model = CpuModel::builder(num_sinks)
+        .instructions(8)
+        .seed(seed)
+        .build()
+        .unwrap();
+    let stream = model.generate_stream(600);
+    ActivityTables::scan(model.rtl(), &stream)
+}
+
+/// Runs both engines over clones of `objective` and returns the pruned
+/// topology after asserting bit-identity with the exhaustive reference.
+fn pruned_equals_exhaustive<O>(n: usize, objective: &O) -> Topology
+where
+    O: gcr_cts::MergeObjective + Clone,
+{
+    let mut reference_obj = objective.clone();
+    let reference = run_greedy_exhaustive(n, &mut reference_obj).unwrap();
+    let mut pruned_obj = objective.clone();
+    let (pruned, stats) = run_greedy_instrumented(n, &mut pruned_obj).unwrap();
+    assert_eq!(
+        pruned, reference,
+        "pruned engine diverged from exhaustive on {n} sinks \
+         ({} exact evals pruned)",
+        stats.exact_cost_evals
+    );
+    pruned
+}
+
+/// Routes `topology` with the full gated pipeline and runs the verifier
+/// oracle over the result with complete activity context.
+fn verify_routed(topology: Topology, sinks: &[Sink], tables: &ActivityTables) {
+    let tech = Technology::default();
+    let die = BBox::new(Point::ORIGIN, Point::new(SIDE, SIDE));
+    let config = RouterConfig::new(tech.clone(), die);
+    let routing = gated_routing_for_topology(topology, sinks, tables, &config).unwrap();
+    let report = Verifier::with_default_lints().run(
+        &VerifyInput::new(&routing.tree, &tech)
+            .with_die(die)
+            .with_tables(tables)
+            .with_node_stats(&routing.node_stats)
+            .with_controller(config.controller()),
+    );
+    assert!(!report.has_errors(), "{}", report.render_text());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Nearest-neighbor objective: the pruned engine's topology is
+    /// bit-identical to the exhaustive engine's, and the routed result
+    /// passes the verifier.
+    #[test]
+    fn nearest_neighbor_pruning_is_exact(sinks in sinks_strategy(64)) {
+        let tech = Technology::default();
+        let objective = NearestNeighborObjective::new(&tech, &sinks, Some(tech.and_gate()));
+        let topology = pruned_equals_exhaustive(sinks.len(), &objective);
+        let tables = tables_for(sinks.len(), 7);
+        verify_routed(topology, &sinks, &tables);
+    }
+
+    /// Equation-3 objective: same identity contract on the objective the
+    /// pruning was built for, across random geometry *and* random
+    /// activity models.
+    #[test]
+    fn equation3_pruning_is_exact(sinks in sinks_strategy(64), seed in 1u64..1_000) {
+        let tech = Technology::default();
+        let die = BBox::new(Point::ORIGIN, Point::new(SIDE, SIDE));
+        let config = RouterConfig::new(tech, die);
+        let tables = tables_for(sinks.len(), seed);
+        let module_of: Vec<usize> = (0..sinks.len()).collect();
+        let objective = GatedObjective::new(
+            config.tech(),
+            config.controller(),
+            &tables,
+            &sinks,
+            &module_of,
+        );
+        let topology = pruned_equals_exhaustive(sinks.len(), &objective);
+        verify_routed(topology, &sinks, &tables);
+    }
+
+    /// Degenerate geometry — clusters of coincident sinks — must neither
+    /// panic nor break the identity contract (the bucket grid collapses
+    /// to few occupied cells; zero-length merges exercise the β/α
+    /// fallbacks in `zero_skew_merge`).
+    #[test]
+    fn coincident_clusters_do_not_panic(
+        num_clusters in 1usize..6,
+        per_cluster in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        let mut sinks = Vec::new();
+        for c in 0..num_clusters {
+            // Deterministic cluster centers spread over the die.
+            let x = (seed as f64 * 977.0 + c as f64 * 7_919.0) % SIDE;
+            let y = (seed as f64 * 1_433.0 + c as f64 * 4_871.0) % SIDE;
+            for _ in 0..per_cluster {
+                sinks.push(Sink::new(Point::new(x, y), 0.05));
+            }
+        }
+        prop_assume!(sinks.len() >= 2);
+        let tech = Technology::default();
+        let objective = NearestNeighborObjective::new(&tech, &sinks, Some(tech.and_gate()));
+        let topology = pruned_equals_exhaustive(sinks.len(), &objective);
+        let tables = tables_for(sinks.len(), seed + 1);
+        verify_routed(topology, &sinks, &tables);
+    }
+}
