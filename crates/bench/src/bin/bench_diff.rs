@@ -1,0 +1,186 @@
+//! Perf-regression gate: compares two `BENCH_greedy.json` files.
+//!
+//! Usage: `bench_diff BASELINE.json NEW.json [--threshold PCT]`
+//!
+//! For every `(benchmark, objective)` run present in both files this
+//! compares the **pruned engine's** wall time and reports the relative
+//! change. The tool exits non-zero when
+//!
+//! * any run in the new file lost bit-identity with the exhaustive
+//!   reference (`identical_topology: false`), or
+//! * any common run's pruned wall time regressed by more than the
+//!   threshold (default 25 %).
+//!
+//! Runs present in only one file are reported but never fail the gate, so
+//! the CI smoke job can measure a benchmark subset against the full
+//! checked-in baseline. Speed-ups and small noise-level regressions are
+//! informational.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use gcr_bench::json::{parse, Json};
+
+/// The fields `bench_diff` needs from one `runs[]` entry.
+struct Run {
+    pruned_wall_ms: f64,
+    exact_cost_evals: f64,
+    identical_topology: bool,
+}
+
+fn load_runs(path: &str) -> Result<BTreeMap<(String, String), Run>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: missing \"runs\" array"))?;
+    let mut out = BTreeMap::new();
+    for (i, run) in runs.iter().enumerate() {
+        let field = |key: &str| {
+            run.get(key)
+                .ok_or_else(|| format!("{path}: runs[{i}] missing \"{key}\""))
+        };
+        let benchmark = field("benchmark")?
+            .as_str()
+            .ok_or_else(|| format!("{path}: runs[{i}].benchmark is not a string"))?
+            .to_owned();
+        let objective = field("objective")?
+            .as_str()
+            .ok_or_else(|| format!("{path}: runs[{i}].objective is not a string"))?
+            .to_owned();
+        let pruned = field("pruned")?;
+        let pruned_wall_ms = pruned
+            .get("wall_ms")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: runs[{i}].pruned.wall_ms is not a number"))?;
+        let exact_cost_evals = pruned
+            .get("exact_cost_evals")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        let identical_topology = field("identical_topology")?
+            .as_bool()
+            .ok_or_else(|| format!("{path}: runs[{i}].identical_topology is not a boolean"))?;
+        out.insert(
+            (benchmark, objective),
+            Run {
+                pruned_wall_ms,
+                exact_cost_evals,
+                identical_topology,
+            },
+        );
+    }
+    Ok(out)
+}
+
+fn run(baseline_path: &str, new_path: &str, threshold_pct: f64) -> Result<bool, String> {
+    let baseline = load_runs(baseline_path)?;
+    let fresh = load_runs(new_path)?;
+
+    let mut ok = true;
+    println!(
+        "{:<4} {:<18} {:>12} {:>12} {:>9}  verdict",
+        "run", "objective", "base ms", "new ms", "delta"
+    );
+    for ((benchmark, objective), new_run) in &fresh {
+        if !new_run.identical_topology {
+            println!(
+                "{benchmark:<4} {objective:<18} {:>12} {:>12.3} {:>9}  FAIL (topology diverged)",
+                "-", new_run.pruned_wall_ms, "-"
+            );
+            ok = false;
+            continue;
+        }
+        match baseline.get(&(benchmark.clone(), objective.clone())) {
+            Some(base) if base.pruned_wall_ms > 0.0 => {
+                let delta_pct =
+                    100.0 * (new_run.pruned_wall_ms - base.pruned_wall_ms) / base.pruned_wall_ms;
+                let verdict = if delta_pct > threshold_pct {
+                    ok = false;
+                    "FAIL (regression)"
+                } else if delta_pct < -threshold_pct {
+                    "ok (speed-up)"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{benchmark:<4} {objective:<18} {:>12.3} {:>12.3} {:>+8.1}%  {verdict}",
+                    base.pruned_wall_ms, new_run.pruned_wall_ms, delta_pct
+                );
+                // Evaluation counts are deterministic; call out drift even
+                // when wall time stays within the threshold.
+                if new_run.exact_cost_evals.is_finite()
+                    && base.exact_cost_evals.is_finite()
+                    && new_run.exact_cost_evals > base.exact_cost_evals
+                {
+                    println!(
+                        "     note: exact cost evals grew {} -> {}",
+                        base.exact_cost_evals, new_run.exact_cost_evals
+                    );
+                }
+            }
+            Some(_) => {
+                println!(
+                    "{benchmark:<4} {objective:<18} {:>12} {:>12.3} {:>9}  skipped (zero baseline)",
+                    "0", new_run.pruned_wall_ms, "-"
+                );
+            }
+            None => {
+                println!(
+                    "{benchmark:<4} {objective:<18} {:>12} {:>12.3} {:>9}  new (no baseline)",
+                    "-", new_run.pruned_wall_ms, "-"
+                );
+            }
+        }
+    }
+    for key in baseline.keys() {
+        if !fresh.contains_key(key) {
+            println!(
+                "{:<4} {:<18} baseline-only (not measured in {new_path})",
+                key.0, key.1
+            );
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let mut positional: Vec<String> = Vec::new();
+    let mut threshold_pct = 25.0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threshold" {
+            match args.next().as_deref().map(str::parse::<f64>) {
+                Some(Ok(t)) if t >= 0.0 => threshold_pct = t,
+                _ => {
+                    eprintln!("--threshold requires a non-negative percentage");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if arg == "--help" || arg == "-h" {
+            eprintln!("usage: bench_diff BASELINE.json NEW.json [--threshold PCT]");
+            return ExitCode::SUCCESS;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let [baseline_path, new_path] = positional.as_slice() else {
+        eprintln!("usage: bench_diff BASELINE.json NEW.json [--threshold PCT]");
+        return ExitCode::from(2);
+    };
+
+    match run(baseline_path, new_path, threshold_pct) {
+        Ok(true) => {
+            println!("bench_diff: OK (threshold {threshold_pct}%)");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("bench_diff: FAIL (threshold {threshold_pct}%)");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("bench_diff: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

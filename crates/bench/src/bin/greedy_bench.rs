@@ -3,32 +3,72 @@
 //! For each requested benchmark (default: r1–r5) and for both merge
 //! objectives — plain nearest-neighbor distance and the paper's Equation-3
 //! switched capacitance — this runs the lower-bound pruned engine
-//! ([`gcr_cts::run_greedy_instrumented`]) and the exhaustive reference
-//! ([`gcr_cts::run_greedy_exhaustive_instrumented`]) on identical inputs,
-//! then reports exact-cost evaluation counts, wall times, and whether the
-//! two engines produced bit-identical topologies.
+//! ([`gcr_cts::run_greedy_with_scratch`]) and the exhaustive reference
+//! ([`gcr_cts::run_greedy_exhaustive_with_scratch`]) on identical inputs,
+//! then reports exact-cost evaluation counts, per-phase wall times,
+//! allocation counts, and whether the two engines produced bit-identical
+//! topologies.
+//!
+//! The pruned engine is measured **warm**: a first (cold) run grows the
+//! reusable [`GreedyScratch`] buffers, then the timed run reuses them — the
+//! steady-state regime of the arena engine, whose merge loop performs zero
+//! heap allocations (`loop_allocs`). A counting global allocator feeds the
+//! engine's allocation profile via [`gcr_cts::set_alloc_probe`].
 //!
 //! Usage: `greedy_bench [r1 r2 ...] [--out BENCH_greedy.json]`
 //!
-//! The JSON output backs the acceptance gate of the pruning work: the
-//! pruned engine must stay bit-identical everywhere and perform ≤ 20 % of
-//! the exhaustive engine's exact-cost evaluations on r4/r5.
+//! The JSON output backs two acceptance gates: the pruned engine must stay
+//! bit-identical everywhere, and `bench_diff` compares `pruned.wall_ms`
+//! against the checked-in baseline to catch performance regressions.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use gcr_core::{GatedObjective, RouterConfig};
 use gcr_cts::{
-    run_greedy_exhaustive_instrumented, run_greedy_instrumented, GreedyStats, MergeObjective,
-    NearestNeighborObjective,
+    run_greedy_exhaustive_with_scratch, run_greedy_with_scratch, GreedyParams, GreedyProfile,
+    GreedyScratch, GreedyStats, MergeObjective, NearestNeighborObjective,
 };
 use gcr_rctree::Technology;
 use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
 
+/// Pass-through allocator that counts allocation events (alloc + realloc),
+/// so the greedy engine can report how many its phases perform.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_probe() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
 /// One engine's measurements on one (benchmark, objective) input.
 struct EngineRun {
     stats: GreedyStats,
+    profile: GreedyProfile,
     wall_ms: f64,
 }
 
@@ -63,16 +103,31 @@ fn compare<O: MergeObjective + Clone>(
     n: usize,
     objective: &O,
 ) -> Comparison {
+    let params = GreedyParams::default();
+
+    let mut exhaustive_scratch = GreedyScratch::new();
     let mut exhaustive_obj = objective.clone();
     let t0 = Instant::now();
-    let (reference, exhaustive_stats) = run_greedy_exhaustive_instrumented(n, &mut exhaustive_obj)
-        .expect("exhaustive greedy failed on a generated workload");
+    let (reference, exhaustive_stats, exhaustive_profile) = run_greedy_exhaustive_with_scratch(
+        n,
+        &mut exhaustive_obj,
+        &params,
+        &mut exhaustive_scratch,
+    )
+    .expect("exhaustive greedy failed on a generated workload");
     let exhaustive_ms = t0.elapsed().as_secs_f64() * 1e3;
 
+    // Cold run grows the scratch buffers; the timed run reuses them, which
+    // is the engine's steady-state (zero-allocation) regime.
+    let mut scratch = GreedyScratch::new();
+    let mut cold_obj = objective.clone();
+    run_greedy_with_scratch(n, &mut cold_obj, &params, &mut scratch)
+        .expect("pruned greedy failed on a generated workload");
     let mut pruned_obj = objective.clone();
     let t1 = Instant::now();
-    let (pruned_topology, pruned_stats) = run_greedy_instrumented(n, &mut pruned_obj)
-        .expect("pruned greedy failed on a generated workload");
+    let (pruned_topology, pruned_stats, pruned_profile) =
+        run_greedy_with_scratch(n, &mut pruned_obj, &params, &mut scratch)
+            .expect("pruned greedy failed on a generated workload");
     let pruned_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     Comparison {
@@ -81,10 +136,12 @@ fn compare<O: MergeObjective + Clone>(
         sinks: n,
         pruned: EngineRun {
             stats: pruned_stats,
+            profile: pruned_profile,
             wall_ms: pruned_ms,
         },
         exhaustive: EngineRun {
             stats: exhaustive_stats,
+            profile: exhaustive_profile,
             wall_ms: exhaustive_ms,
         },
         identical_topology: pruned_topology == reference,
@@ -119,11 +176,22 @@ fn run_benchmark(which: TsayBenchmark, params: &WorkloadParams) -> Vec<Compariso
 
 fn stats_json(out: &mut String, label: &str, run: &EngineRun) {
     let s = run.stats;
+    let p = run.profile;
     let _ = write!(
         out,
         "      \"{label}\": {{\"exact_cost_evals\": {}, \"bound_evals\": {}, \
-         \"ring_expansions\": {}, \"heap_pops\": {}, \"wall_ms\": {:.3}}}",
-        s.exact_cost_evals, s.bound_evals, s.ring_expansions, s.heap_pops, run.wall_ms
+         \"ring_expansions\": {}, \"heap_pops\": {}, \"wall_ms\": {:.3}, \
+         \"seed_ms\": {:.3}, \"loop_ms\": {:.3}, \
+         \"seed_allocs\": {}, \"loop_allocs\": {}}}",
+        s.exact_cost_evals,
+        s.bound_evals,
+        s.ring_expansions,
+        s.heap_pops,
+        run.wall_ms,
+        p.seed_ms,
+        p.loop_ms,
+        p.seed_allocs,
+        p.loop_allocs
     );
 }
 
@@ -168,6 +236,7 @@ fn parse_benchmark(name: &str) -> Option<TsayBenchmark> {
 }
 
 fn main() -> ExitCode {
+    gcr_cts::set_alloc_probe(alloc_probe);
     let mut benchmarks: Vec<TsayBenchmark> = Vec::new();
     let mut out_path = String::from("BENCH_greedy.json");
     let mut args = std::env::args().skip(1);
@@ -201,7 +270,7 @@ fn main() -> ExitCode {
     let mut all_identical = true;
     for c in &runs {
         println!(
-            "{:>3} {:<16} sinks {:>5}  exact {:>9} / {:>9} ({:>5.1} %)  wall {:>8.1} ms / {:>8.1} ms  identical {}",
+            "{:>3} {:<16} sinks {:>5}  exact {:>9} / {:>9} ({:>5.1} %)  wall {:>8.1} ms / {:>8.1} ms  loop allocs {:>6}  identical {}",
             c.benchmark,
             c.objective,
             c.sinks,
@@ -210,6 +279,7 @@ fn main() -> ExitCode {
             100.0 * c.exact_eval_ratio(),
             c.pruned.wall_ms,
             c.exhaustive.wall_ms,
+            c.pruned.profile.loop_allocs,
             c.identical_topology,
         );
         all_identical &= c.identical_topology;

@@ -5,6 +5,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use gcr_rctree::Technology;
 use gcr_workloads::{Benchmark, TsayBenchmark, Workload, WorkloadParams};
 

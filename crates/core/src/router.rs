@@ -1,7 +1,7 @@
 use gcr_activity::{ActivityTables, EnableStats, ModuleSet};
 use gcr_cts::{
-    embed_sized, run_greedy, zero_skew_merge, ClockTree, CtsError, DeviceAssignment,
-    MergeObjective, Sink, SizingLimits, SubtreeState, Topology,
+    clone_preserving_capacity, embed_sized, run_greedy, ClockTree, CtsError, DeviceAssignment,
+    MergeArena, MergeObjective, Sink, SizingLimits, Topology,
 };
 use gcr_geometry::{BBox, Point};
 use gcr_rctree::{Device, Technology};
@@ -82,42 +82,99 @@ impl RouterConfig {
     }
 }
 
-/// Per-node bookkeeping of the gated merge objective.
-#[derive(Clone)]
-struct NodeCtx {
-    state: SubtreeState,
-    /// Which instructions activate this node (OR over the module set).
-    active: Vec<bool>,
-    stats: EnableStats,
-    modules: ModuleSet,
-    /// The node capacitance `C_i`: sink load for leaves, children's gate
-    /// input capacitances for internal nodes.
-    node_cap: f64,
-    /// Estimated star-wire distance from the serving controller to the
-    /// gate on this node's parent edge (gate location ≈ mid of ms).
-    cp_dist: f64,
+/// Yields the module indices stored in one flat bitset row (ascending).
+pub(crate) fn row_modules(row: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    row.iter().enumerate().flat_map(|(wi, &word)| {
+        let mut bits = word;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + tz)
+            }
+        })
+    })
 }
 
 /// The Equation-3 merge objective: among all live subtree pairs, merge the
 /// one whose new edges and enable wires add the least switched
 /// capacitance.
 ///
+/// Node state lives in struct-of-arrays form: geometry and Elmore
+/// coefficients in a [`MergeArena`], Equation-3 aggregates (`P(EN)`,
+/// `P_tr(EN)`, the merge-independent static term, node capacitance,
+/// controller distance) in flat per-node vectors, and the activation /
+/// module bitsets as fixed-width rows of flat matrices. Every buffer is
+/// reserved for the full `2n − 1` node count up front, so the greedy loop
+/// appends without reallocating.
+///
 /// Public so benchmarks and cross-validation can drive it through any of
 /// the greedy engines (`run_greedy`, `run_greedy_exhaustive`,
 /// `run_greedy_checked`); [`route_gated`] remains the intended high-level
 /// entry point.
-#[derive(Clone)]
 pub struct GatedObjective<'a> {
     tech: &'a Technology,
     gate: Device,
     controller: &'a ControllerPlan,
     tables: &'a ActivityTables,
+    unit_cap: f64,
     /// Smallest leaf enable probability — partners in an unexplored grid
     /// ring can't switch less often than this.
     min_leaf_signal: f64,
     /// Smallest leaf static term (see [`Self::static_term`]).
     min_leaf_static: f64,
-    nodes: Vec<NodeCtx>,
+    num_modules: usize,
+    /// Width (in `u64` words) of one row of `modules`.
+    module_words: usize,
+    /// Width (in instructions) of one row of `active`.
+    instr: usize,
+    /// Merging segments and Elmore coefficients, indexed by node.
+    arena: MergeArena,
+    /// `P(EN_i)` per node.
+    signal: Vec<f64>,
+    /// `P_tr(EN_i)` per node.
+    transition: Vec<f64>,
+    /// Cached merge-independent Equation-3 term per node.
+    static_term: Vec<f64>,
+    /// `C_i`: sink load for leaves, children's gate input caps otherwise.
+    node_cap: Vec<f64>,
+    /// Star-wire distance from the serving controller to the gate on this
+    /// node's parent edge (gate location ≈ mid of ms).
+    cp_dist: Vec<f64>,
+    /// Row-major `len × instr` matrix: which instructions activate node i.
+    active: Vec<bool>,
+    /// Row-major `len × module_words` bitset matrix: modules under node i.
+    modules: Vec<u64>,
+}
+
+impl Clone for GatedObjective<'_> {
+    // Manual so the pre-reserved columns keep their spare capacity; a
+    // derived clone would shrink them to `len` and the first merges after
+    // the clone would reallocate every column.
+    fn clone(&self) -> Self {
+        Self {
+            tech: self.tech,
+            gate: self.gate,
+            controller: self.controller,
+            tables: self.tables,
+            unit_cap: self.unit_cap,
+            min_leaf_signal: self.min_leaf_signal,
+            min_leaf_static: self.min_leaf_static,
+            num_modules: self.num_modules,
+            module_words: self.module_words,
+            instr: self.instr,
+            arena: self.arena.clone(),
+            signal: clone_preserving_capacity(&self.signal),
+            transition: clone_preserving_capacity(&self.transition),
+            static_term: clone_preserving_capacity(&self.static_term),
+            node_cap: clone_preserving_capacity(&self.node_cap),
+            cp_dist: clone_preserving_capacity(&self.cp_dist),
+            active: clone_preserving_capacity(&self.active),
+            modules: clone_preserving_capacity(&self.modules),
+        }
+    }
 }
 
 impl<'a> GatedObjective<'a> {
@@ -139,53 +196,87 @@ impl<'a> GatedObjective<'a> {
     ) -> Self {
         let gate = tech.and_gate();
         let num_modules = tables.rtl().num_modules();
-        let nodes: Vec<NodeCtx> = sinks
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let modules = ModuleSet::with_modules(num_modules, [module_of[i]]);
-                let active = tables.active_vector(&modules);
-                let stats = tables.enable_stats_for_active(&active);
-                let state = SubtreeState::leaf_with_device(s, Some(gate));
-                let cp_dist = controller.enable_wire_length(s.location());
-                NodeCtx {
-                    state,
-                    active,
-                    stats,
-                    modules,
-                    node_cap: s.cap(),
-                    cp_dist,
-                }
-            })
-            .collect();
+        let module_words = num_modules.div_ceil(64);
+        let instr = tables.rtl().num_instructions();
+        let capacity = sinks.len().saturating_mul(2).saturating_sub(1);
         let mut this = Self {
             tech,
             gate,
             controller,
             tables,
+            unit_cap: tech.unit_cap(),
             min_leaf_signal: 0.0,
             min_leaf_static: 0.0,
-            nodes,
+            num_modules,
+            module_words,
+            instr,
+            arena: MergeArena::new(tech, capacity),
+            signal: Vec::with_capacity(capacity),
+            transition: Vec::with_capacity(capacity),
+            static_term: Vec::with_capacity(capacity),
+            node_cap: Vec::with_capacity(capacity),
+            cp_dist: Vec::with_capacity(capacity),
+            active: Vec::with_capacity(capacity * instr),
+            modules: Vec::with_capacity(capacity * module_words),
         };
-        this.min_leaf_signal = this
-            .nodes
+        for (i, s) in sinks.iter().enumerate() {
+            let mset = ModuleSet::with_modules(num_modules, [module_of[i]]);
+            let act = tables.active_vector(&mset);
+            let stats = tables.enable_stats_for_active(&act);
+            this.arena.push_leaf(s, Some(gate));
+            this.active.extend_from_slice(&act);
+            let row = this.modules.len();
+            this.modules.resize(row + module_words, 0);
+            for m in mset.iter() {
+                this.modules[row + m / 64] |= 1u64 << (m % 64);
+            }
+            this.push_stats(stats, s.cap(), controller.enable_wire_length(s.location()));
+        }
+        this.min_leaf_signal = this.signal.iter().copied().fold(f64::INFINITY, f64::min);
+        this.min_leaf_static = this
+            .static_term
             .iter()
-            .map(|n| n.stats.signal)
-            .fold(f64::INFINITY, f64::min);
-        this.min_leaf_static = (0..this.nodes.len())
-            .map(|i| this.static_term(i))
+            .copied()
             .fold(f64::INFINITY, f64::min);
         this
     }
 
-    /// The merge-independent part of node `i`'s Equation-3 contribution:
+    /// Appends the scalar aggregates for a new node, caching its
+    /// merge-independent Equation-3 term:
     /// `C_i · P(EN_i) + (c_ctl · cp_i + C_g) · P_tr(EN_i)`. Only the wire
     /// term `c · e_i · P(EN_i)` depends on the merge partner.
-    fn static_term(&self, i: usize) -> f64 {
-        let n = &self.nodes[i];
-        n.node_cap * n.stats.signal
-            + (self.tech.control_unit_cap() * n.cp_dist + self.gate.input_cap())
-                * n.stats.transition
+    fn push_stats(&mut self, stats: EnableStats, node_cap: f64, cp_dist: f64) {
+        self.signal.push(stats.signal);
+        self.transition.push(stats.transition);
+        self.node_cap.push(node_cap);
+        self.cp_dist.push(cp_dist);
+        self.static_term.push(
+            node_cap * stats.signal
+                + (self.tech.control_unit_cap() * cp_dist + self.gate.input_cap())
+                    * stats.transition,
+        );
+    }
+
+    /// Signal/transition probability of `EN_i` for every node, in node
+    /// order (leaves first, then merges as committed).
+    #[must_use]
+    pub fn node_stats(&self) -> Vec<EnableStats> {
+        self.signal
+            .iter()
+            .zip(&self.transition)
+            .map(|(&signal, &transition)| EnableStats { signal, transition })
+            .collect()
+    }
+
+    /// Module set under every node, in node order.
+    #[must_use]
+    pub fn node_modules(&self) -> Vec<ModuleSet> {
+        (0..self.signal.len())
+            .map(|i| {
+                let row = &self.modules[i * self.module_words..(i + 1) * self.module_words];
+                ModuleSet::with_modules(self.num_modules, row_modules(row))
+            })
+            .collect()
     }
 }
 
@@ -193,20 +284,25 @@ impl MergeObjective for GatedObjective<'_> {
     /// Exact Equation-3 cost; an impossible merge (non-finite state) is
     /// priced at `+∞` so the greedy never selects it.
     fn cost(&self, a: usize, b: usize) -> f64 {
-        let (na, nb) = (&self.nodes[a], &self.nodes[b]);
-        let Ok(outcome) = zero_skew_merge(self.tech, &na.state, &nb.state) else {
+        let Ok(outcome) = self.arena.try_merge(a, b) else {
             return f64::INFINITY;
         };
         merge_switched_cap(
             self.tech,
             outcome.ea,
             outcome.eb,
-            na.node_cap,
-            nb.node_cap,
-            na.stats,
-            nb.stats,
-            na.cp_dist,
-            nb.cp_dist,
+            self.node_cap[a],
+            self.node_cap[b],
+            EnableStats {
+                signal: self.signal[a],
+                transition: self.transition[a],
+            },
+            EnableStats {
+                signal: self.signal[b],
+                transition: self.transition[b],
+            },
+            self.cp_dist[a],
+            self.cp_dist[b],
         )
     }
 
@@ -217,52 +313,47 @@ impl MergeObjective for GatedObjective<'_> {
     //   c·e_a·P_a + c·e_b·P_b >= c·(e_a + e_b)·min(P_a, P_b)
     //                         >= c·d·min(P_a, P_b).
     fn cost_lower_bound(&self, a: usize, b: usize) -> f64 {
-        let (na, nb) = (&self.nodes[a], &self.nodes[b]);
-        let d = na.state.distance(&nb.state);
-        self.static_term(a)
-            + self.static_term(b)
-            + self.tech.unit_cap() * d * na.stats.signal.min(nb.stats.signal)
+        let d = self.arena.distance(a, b);
+        self.static_term[a]
+            + self.static_term[b]
+            + self.unit_cap * d * self.signal[a].min(self.signal[b])
     }
 
     // For leaf partners at distance >= dist: the partner's static term is
     // at least the smallest leaf static term, and neither enable switches
     // less often than the least-active leaf.
     fn cost_lower_bound_at_distance(&self, node: usize, dist: f64) -> f64 {
-        self.static_term(node)
+        self.static_term[node]
             + self.min_leaf_static
-            + self.tech.unit_cap() * dist * self.nodes[node].stats.signal.min(self.min_leaf_signal)
+            + self.unit_cap * dist * self.signal[node].min(self.min_leaf_signal)
     }
 
     fn location(&self, node: usize) -> Point {
-        self.nodes[node].state.ms.center()
+        self.arena.center(node)
     }
 
     fn merge(&mut self, a: usize, b: usize, k: usize) -> Result<(), CtsError> {
-        debug_assert_eq!(k, self.nodes.len());
-        let outcome = {
-            let (na, nb) = (&self.nodes[a], &self.nodes[b]);
-            zero_skew_merge(self.tech, &na.state, &nb.state)?
-        };
-        let modules = self.nodes[a].modules.union(&self.nodes[b].modules);
-        let active: Vec<bool> = self.nodes[a]
-            .active
-            .iter()
-            .zip(&self.nodes[b].active)
-            .map(|(&x, &y)| x || y)
-            .collect();
-        let stats = self.tables.enable_stats_for_active(&active);
+        debug_assert_eq!(k, self.arena.len());
+        let outcome = self.arena.merge_push(a, b, Some(self.gate))?;
+        let (ra, rb) = (a * self.instr, b * self.instr);
+        let start = self.active.len();
+        for j in 0..self.instr {
+            let v = self.active[ra + j] || self.active[rb + j];
+            self.active.push(v);
+        }
+        let stats = self
+            .tables
+            .enable_stats_for_active(&self.active[start..start + self.instr]);
+        let (ma, mb) = (a * self.module_words, b * self.module_words);
+        for w in 0..self.module_words {
+            let v = self.modules[ma + w] | self.modules[mb + w];
+            self.modules.push(v);
+        }
         // Both child edges are gated during construction, so the new node
         // feeds exactly two gate input capacitances.
         let node_cap = 2.0 * self.gate.input_cap();
         let cp_dist = self.controller.enable_wire_length(outcome.ms.center());
-        self.nodes.push(NodeCtx {
-            state: outcome.gated_state(Some(self.gate)),
-            active,
-            stats,
-            modules,
-            node_cap,
-            cp_dist,
-        });
+        self.push_stats(stats, node_cap, cp_dist);
         Ok(())
     }
 }
@@ -561,8 +652,8 @@ pub fn route_gated_mapped(
         config.source(),
         SizingLimits::default(),
     )?;
-    let node_stats = objective.nodes.iter().map(|n| n.stats).collect();
-    let node_modules = objective.nodes.iter().map(|n| n.modules.clone()).collect();
+    let node_stats = objective.node_stats();
+    let node_modules = objective.node_modules();
     Ok(GatedRouting {
         topology,
         assignment,

@@ -1,11 +1,12 @@
 use gcr_activity::{ActivityTables, EnableStats, ModuleSet};
 use gcr_cts::{
-    embed_sized, run_greedy, zero_skew_merge, CtsError, DeviceAssignment, MergeObjective, Sink,
-    SizingLimits, SubtreeState,
+    clone_preserving_capacity, embed_sized, run_greedy, CtsError, DeviceAssignment, MergeArena,
+    MergeObjective, Sink, SizingLimits,
 };
 use gcr_geometry::Point;
 use gcr_rctree::{Device, Technology};
 
+use crate::router::row_modules;
 use crate::{GatedRouting, RouteError, RouterConfig};
 
 /// The activity-driven merge objective in the spirit of Téllez, Farrahi &
@@ -19,22 +20,51 @@ use crate::{GatedRouting, RouteError, RouterConfig};
 /// (`gcr-report --bin ablations`). It ignores wire lengths and controller
 /// distances during ordering — exactly the information the paper's
 /// Equation-3 objective adds.
-#[derive(Clone)]
+///
+/// Storage mirrors [`GatedObjective`](crate::GatedObjective): geometry in
+/// a [`MergeArena`], enable statistics and activation/module bitsets as
+/// flat per-node rows, all reserved for the full `2n − 1` node count so
+/// the greedy loop appends without reallocating.
 pub struct ActivityDrivenObjective<'a> {
-    tech: &'a Technology,
     gate: Device,
     tables: &'a ActivityTables,
     /// Normalization for the geometric tie-break (die half-perimeter).
     dist_scale: f64,
-    nodes: Vec<ActivityNode>,
+    num_modules: usize,
+    /// Width (in `u64` words) of one row of `modules`.
+    module_words: usize,
+    /// Width (in instructions) of one row of `active`.
+    instr: usize,
+    arena: MergeArena,
+    /// `P(EN_i)` per node.
+    signal: Vec<f64>,
+    /// `P_tr(EN_i)` per node.
+    transition: Vec<f64>,
+    /// Row-major `len × instr` matrix: which instructions activate node i.
+    active: Vec<bool>,
+    /// Row-major `len × module_words` bitset matrix: modules under node i.
+    modules: Vec<u64>,
 }
 
-#[derive(Clone)]
-struct ActivityNode {
-    state: SubtreeState,
-    active: Vec<bool>,
-    stats: EnableStats,
-    modules: ModuleSet,
+impl Clone for ActivityDrivenObjective<'_> {
+    // Manual so the pre-reserved columns keep their spare capacity; a
+    // derived clone would shrink them to `len` and the first merges after
+    // the clone would reallocate every column.
+    fn clone(&self) -> Self {
+        Self {
+            gate: self.gate,
+            tables: self.tables,
+            dist_scale: self.dist_scale,
+            num_modules: self.num_modules,
+            module_words: self.module_words,
+            instr: self.instr,
+            arena: self.arena.clone(),
+            signal: clone_preserving_capacity(&self.signal),
+            transition: clone_preserving_capacity(&self.transition),
+            active: clone_preserving_capacity(&self.active),
+            modules: clone_preserving_capacity(&self.modules),
+        }
+    }
 }
 
 impl<'a> ActivityDrivenObjective<'a> {
@@ -48,39 +78,70 @@ impl<'a> ActivityDrivenObjective<'a> {
     ) -> Self {
         let gate = tech.and_gate();
         let num_modules = tables.rtl().num_modules();
-        let nodes = sinks
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let modules = ModuleSet::with_modules(num_modules, [i]);
-                let active = tables.active_vector(&modules);
-                let stats = tables.enable_stats_for_active(&active);
-                ActivityNode {
-                    state: SubtreeState::leaf_with_device(s, Some(gate)),
-                    active,
-                    stats,
-                    modules,
-                }
-            })
-            .collect();
-        Self {
-            tech,
+        let module_words = num_modules.div_ceil(64);
+        let instr = tables.rtl().num_instructions();
+        let capacity = sinks.len().saturating_mul(2).saturating_sub(1);
+        let mut this = Self {
             gate,
             tables,
             dist_scale: dist_scale.max(1.0),
-            nodes,
+            num_modules,
+            module_words,
+            instr,
+            arena: MergeArena::new(tech, capacity),
+            signal: Vec::with_capacity(capacity),
+            transition: Vec::with_capacity(capacity),
+            active: Vec::with_capacity(capacity * instr),
+            modules: Vec::with_capacity(capacity * module_words),
+        };
+        for (i, s) in sinks.iter().enumerate() {
+            let mset = ModuleSet::with_modules(num_modules, [i]);
+            let act = tables.active_vector(&mset);
+            let stats = tables.enable_stats_for_active(&act);
+            this.arena.push_leaf(s, Some(gate));
+            this.active.extend_from_slice(&act);
+            let row = this.modules.len();
+            this.modules.resize(row + module_words, 0);
+            for m in mset.iter() {
+                this.modules[row + m / 64] |= 1u64 << (m % 64);
+            }
+            this.signal.push(stats.signal);
+            this.transition.push(stats.transition);
         }
+        this
     }
 
     fn union_signal(&self, a: usize, b: usize) -> f64 {
-        let (na, nb) = (&self.nodes[a], &self.nodes[b]);
         let ift = self.tables.ift();
+        let (ra, rb) = (a * self.instr, b * self.instr);
         self.tables
             .rtl()
             .instruction_ids()
-            .filter(|i| na.active[i.index()] || nb.active[i.index()])
+            .filter(|i| self.active[ra + i.index()] || self.active[rb + i.index()])
             .map(|i| ift.probability(i))
             .sum()
+    }
+
+    /// Signal/transition probability of `EN_i` for every node, in node
+    /// order (leaves first, then merges as committed).
+    #[must_use]
+    pub fn node_stats(&self) -> Vec<EnableStats> {
+        self.signal
+            .iter()
+            .zip(&self.transition)
+            .map(|(&signal, &transition)| EnableStats { signal, transition })
+            .collect()
+    }
+
+    /// Module set under every node, in node order.
+    #[must_use]
+    pub fn node_modules(&self) -> Vec<ModuleSet> {
+        (0..self.signal.len())
+            .map(|i| {
+                let row = &self.modules[i * self.module_words..(i + 1) * self.module_words];
+                ModuleSet::with_modules(self.num_modules, row_modules(row))
+            })
+            .collect()
     }
 }
 
@@ -89,7 +150,7 @@ impl MergeObjective for ActivityDrivenObjective<'_> {
         // Primary key: the merged node's activity; secondary: distance,
         // scaled well below one activity quantum so it only breaks ties.
         let activity = self.union_signal(a, b);
-        let dist = self.nodes[a].state.distance(&self.nodes[b].state);
+        let dist = self.arena.distance(a, b);
         activity + 1e-3 * dist / self.dist_scale
     }
 
@@ -97,36 +158,38 @@ impl MergeObjective for ActivityDrivenObjective<'_> {
     // union signal is at least the larger individual signal, and the
     // tie-break term is monotone in the true distance.
     fn cost_lower_bound(&self, a: usize, b: usize) -> f64 {
-        let activity = self.nodes[a].stats.signal.max(self.nodes[b].stats.signal);
-        let dist = self.nodes[a].state.distance(&self.nodes[b].state);
+        let activity = self.signal[a].max(self.signal[b]);
+        let dist = self.arena.distance(a, b);
         activity + 1e-3 * dist / self.dist_scale
     }
 
     fn cost_lower_bound_at_distance(&self, node: usize, dist: f64) -> f64 {
-        self.nodes[node].stats.signal + 1e-3 * dist / self.dist_scale
+        self.signal[node] + 1e-3 * dist / self.dist_scale
     }
 
     fn location(&self, node: usize) -> Point {
-        self.nodes[node].state.ms.center()
+        self.arena.center(node)
     }
 
     fn merge(&mut self, a: usize, b: usize, k: usize) -> Result<(), CtsError> {
-        debug_assert_eq!(k, self.nodes.len());
-        let outcome = zero_skew_merge(self.tech, &self.nodes[a].state, &self.nodes[b].state)?;
-        let modules = self.nodes[a].modules.union(&self.nodes[b].modules);
-        let active: Vec<bool> = self.nodes[a]
-            .active
-            .iter()
-            .zip(&self.nodes[b].active)
-            .map(|(&x, &y)| x || y)
-            .collect();
-        let stats = self.tables.enable_stats_for_active(&active);
-        self.nodes.push(ActivityNode {
-            state: outcome.gated_state(Some(self.gate)),
-            active,
-            stats,
-            modules,
-        });
+        debug_assert_eq!(k, self.arena.len());
+        self.arena.merge_push(a, b, Some(self.gate))?;
+        let (ra, rb) = (a * self.instr, b * self.instr);
+        let start = self.active.len();
+        for j in 0..self.instr {
+            let v = self.active[ra + j] || self.active[rb + j];
+            self.active.push(v);
+        }
+        let stats = self
+            .tables
+            .enable_stats_for_active(&self.active[start..start + self.instr]);
+        let (ma, mb) = (a * self.module_words, b * self.module_words);
+        for w in 0..self.module_words {
+            let v = self.modules[ma + w] | self.modules[mb + w];
+            self.modules.push(v);
+        }
+        self.signal.push(stats.signal);
+        self.transition.push(stats.transition);
         Ok(())
     }
 }
@@ -164,8 +227,8 @@ pub fn route_activity_driven(
         config.source(),
         SizingLimits::default(),
     )?;
-    let node_stats = objective.nodes.iter().map(|n| n.stats).collect();
-    let node_modules = objective.nodes.iter().map(|n| n.modules.clone()).collect();
+    let node_stats = objective.node_stats();
+    let node_modules = objective.node_modules();
     Ok(GatedRouting {
         topology,
         assignment,

@@ -129,11 +129,6 @@ pub fn embed_sized(
     embed_impl(topology, sinks, tech, assignment, source, Some(limits))
 }
 
-#[expect(
-    clippy::expect_used,
-    reason = "the two-pass DME sweep fills every state before it is read: \
-              children precede parents in bottom-up order and vice versa"
-)]
 fn embed_impl(
     topology: &Topology,
     sinks: &[Sink],
@@ -159,7 +154,9 @@ fn embed_impl(
     }
 
     let n = topology.len();
-    let mut states: Vec<Option<SubtreeState>> = vec![None; n];
+    // Bottom-up order is plain index order (children precede parents), so
+    // states can be pushed sequentially — no Option wrapper, no clones.
+    let mut states: Vec<SubtreeState> = Vec::with_capacity(n);
     let mut tap_lengths: Vec<(f64, f64)> = vec![(0.0, 0.0); n];
     // Final device of each edge; sizing may scale entries away from the
     // nominal assignment.
@@ -167,13 +164,14 @@ fn embed_impl(
 
     // Bottom-up: merging regions, tap lengths, electrical state.
     for (i, node) in topology.bottom_up() {
+        debug_assert_eq!(i, states.len());
         let state = match node {
             TopoNode::Leaf { sink } => {
                 SubtreeState::leaf_with_device(&sinks[sink], assignment.get(i))
             }
             TopoNode::Internal { left, right } => {
-                let mut a = states[left].clone().expect("bottom-up order");
-                let mut b = states[right].clone().expect("bottom-up order");
+                let mut a = states[left];
+                let mut b = states[right];
                 if let Some(limits) = sizing {
                     if crate::balance_devices(tech, &mut a, &mut b, &limits) {
                         devices[left] = a.edge_device;
@@ -185,24 +183,20 @@ fn embed_impl(
                 outcome.gated_state(assignment.get(i))
             }
         };
-        states[i] = Some(state);
+        states.push(state);
     }
 
     // Top-down: concrete locations.
     let mut locations: Vec<Point> = vec![Point::ORIGIN; n];
     let root = topology.root();
-    locations[root] = states[root]
-        .as_ref()
-        .expect("root state")
-        .ms
-        .closest_point(source);
+    locations[root] = states[root].ms.closest_point(source);
     // Children have smaller indices than parents, so a reverse index scan
     // visits parents first.
     for i in (0..n).rev() {
         if let TopoNode::Internal { left, right } = topology.node(i) {
             let p = locations[i];
-            locations[left] = states[left].as_ref().expect("state").ms.closest_point(p);
-            locations[right] = states[right].as_ref().expect("state").ms.closest_point(p);
+            locations[left] = states[left].ms.closest_point(p);
+            locations[right] = states[right].ms.closest_point(p);
         }
     }
 

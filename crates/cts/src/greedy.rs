@@ -1,5 +1,5 @@
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use gcr_geometry::Point;
 
@@ -91,6 +91,61 @@ pub struct GreedyStats {
     pub heap_pops: u64,
 }
 
+/// Tuning knobs of a greedy run. All fields default to "decide at
+/// runtime", so `GreedyParams::default()` reproduces the historical
+/// behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GreedyParams {
+    /// Worker threads for large candidate batches. Resolution order:
+    /// this field, then the `GCR_THREADS` environment variable, then
+    /// `std::thread::available_parallelism()`; the result is clamped to
+    /// `1..=16`. Pin it (or set `GCR_THREADS=1`) for reproducible timings
+    /// on shared CI runners — the committed merges are identical at any
+    /// thread count, only wall time varies.
+    pub threads: Option<usize>,
+}
+
+/// Per-phase wall times and allocation counts of one greedy run.
+///
+/// Allocation counts are read from the probe installed with
+/// [`set_alloc_probe`] (benchmarks install a counting global allocator);
+/// without a probe they stay 0. The engine's steady-state invariant is
+/// `loop_allocs == 0` on a **warm** run — one that reuses a
+/// [`GreedyScratch`] and an objective whose buffers were pre-reserved —
+/// since every loop-phase buffer then already has capacity.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GreedyProfile {
+    /// Wall time (ms) of the seed phase: location gathering, bucket-grid
+    /// construction, initial bound batch, heapify.
+    pub seed_ms: f64,
+    /// Wall time (ms) of the merge loop (topology assembly excluded).
+    pub loop_ms: f64,
+    /// Heap allocations performed during the seed phase.
+    pub seed_allocs: u64,
+    /// Heap allocations performed during the merge loop.
+    pub loop_allocs: u64,
+}
+
+/// Global allocation-count probe used by [`GreedyProfile`].
+///
+/// The cts crate forbids `unsafe`, so it cannot host a counting
+/// `#[global_allocator]` itself; binaries that have one (the bench
+/// harness, the zero-alloc test) register a reader here.
+static ALLOC_PROBE: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Installs the allocation-count reader consulted by the greedy engines'
+/// [`GreedyProfile`]. The probe must be monotone (a running total of
+/// allocations in the process). First installation wins; later calls are
+/// ignored.
+pub fn set_alloc_probe(probe: fn() -> u64) {
+    let _ = ALLOC_PROBE.set(probe);
+}
+
+/// Current allocation count, or 0 when no probe is installed.
+fn alloc_count() -> u64 {
+    ALLOC_PROBE.get().map_or(0, |probe| probe())
+}
+
 /// Heap-entry kinds, in tie-break order. At equal keys, ring expansions
 /// and bound entries must resolve **before** any exact entry commits, so
 /// that every pair whose true cost ties the minimum is present as an exact
@@ -100,39 +155,165 @@ const KIND_EXPAND: u8 = 0;
 const KIND_BOUND: u8 = 1;
 const KIND_EXACT: u8 = 2;
 
-/// A prioritized work item in the lazy best-first heap.
+/// Indices must fit in 31 bits so `(kind, a, b)` packs into one `u64` tag.
+const INDEX_BITS: u32 = 31;
+const INDEX_MASK: u64 = (1 << INDEX_BITS) - 1;
+
+/// A prioritized work item in the lazy best-first heap, packed to 16
+/// bytes: the f64 key plus a `u64` tag holding `(kind << 62) | (a << 31)
+/// | b`. Because `a` and `b` are below `2^31`, ascending tag order is
+/// exactly ascending `(kind, a, b)` lexicographic order, so one integer
+/// compare replaces the old three-field tie-break while preserving the
+/// strict total order that makes the pop sequence — and therefore the
+/// committed merges — implementation-independent.
 ///
 /// * `KIND_EXPAND`: generate ring `b` of leaf `a`'s bucket-grid
 ///   neighborhood; `key` bounds the cost of every not-yet-generated pair
 ///   of `a`.
 /// * `KIND_BOUND`: pair `(a, b)` with `key = cost_lower_bound(a, b)`.
 /// * `KIND_EXACT`: pair `(a, b)` with `key = cost(a, b)`.
-#[derive(Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 struct Entry {
     key: f64,
-    kind: u8,
-    a: u32,
-    b: u32,
+    tag: u64,
 }
 
-impl Eq for Entry {}
+impl Entry {
+    fn new(key: f64, kind: u8, a: u32, b: u32) -> Self {
+        debug_assert!(u64::from(a) <= INDEX_MASK && u64::from(b) <= INDEX_MASK);
+        Self {
+            key,
+            tag: (u64::from(kind) << (2 * INDEX_BITS))
+                | (u64::from(a) << INDEX_BITS)
+                | u64::from(b),
+        }
+    }
 
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want the smallest key on
-        // top. Kind then indices break ties (see `KIND_EXPAND`).
-        other
-            .key
-            .total_cmp(&self.key)
-            .then_with(|| other.kind.cmp(&self.kind))
-            .then_with(|| other.a.cmp(&self.a))
-            .then_with(|| other.b.cmp(&self.b))
+    fn kind(self) -> u8 {
+        (self.tag >> (2 * INDEX_BITS)) as u8
+    }
+
+    fn a(self) -> u32 {
+        ((self.tag >> INDEX_BITS) & INDEX_MASK) as u32
+    }
+
+    fn b(self) -> u32 {
+        (self.tag & INDEX_MASK) as u32
+    }
+
+    /// Min-first order: key, then the packed `(kind, a, b)` tag.
+    fn precedes(self, other: Self) -> bool {
+        match self.key.total_cmp(&other.key) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.tag < other.tag,
+        }
+    }
+
+    /// Whether this entry can still do useful work. Expansion entries need
+    /// only their leaf; pair entries need both endpoints.
+    fn is_live(self, alive: &[bool]) -> bool {
+        if self.kind() == KIND_EXPAND {
+            alive[self.a() as usize]
+        } else {
+            alive[self.a() as usize] && alive[self.b() as usize]
+        }
     }
 }
 
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+/// Children per heap node. A 4-ary layout keeps the tree half as deep as
+/// a binary heap — pops on the multi-hundred-thousand-entry heaps of
+/// r4/r5 are sift-down bound — while one node's children still share a
+/// cache line (4 × 16 B entries).
+const ARITY: usize = 4;
+
+/// Min-first d-ary heap of [`Entry`] values with hole-based sifting (the
+/// moving entry is held in a register and written once, instead of
+/// swapping at every level) and in-place compaction of lazily-deleted
+/// entries.
+#[derive(Clone, Debug, Default)]
+struct MinHeap {
+    data: Vec<Entry>,
+}
+
+impl MinHeap {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn push(&mut self, entry: Entry) {
+        self.data.push(entry);
+        let mut i = self.data.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if entry.precedes(self.data[parent]) {
+                self.data[i] = self.data[parent];
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.data[i] = entry;
+    }
+
+    fn pop(&mut self) -> Option<Entry> {
+        let top = *self.data.first()?;
+        let last = self.data.pop();
+        if let Some(last) = last {
+            if !self.data.is_empty() {
+                self.data[0] = last;
+                self.sift_down(0);
+            }
+        }
+        Some(top)
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.data.len();
+        let entry = self.data[i];
+        loop {
+            let first = i * ARITY + 1;
+            if first >= n {
+                break;
+            }
+            let mut best = first;
+            for child in (first + 1)..(first + ARITY).min(n) {
+                if self.data[child].precedes(self.data[best]) {
+                    best = child;
+                }
+            }
+            if self.data[best].precedes(entry) {
+                self.data[i] = self.data[best];
+                i = best;
+            } else {
+                break;
+            }
+        }
+        self.data[i] = entry;
+    }
+
+    /// Restores the heap property over arbitrary `data` in O(n).
+    fn rebuild(&mut self) {
+        let n = self.data.len();
+        if n < 2 {
+            return;
+        }
+        let mut i = (n - 2) / ARITY;
+        loop {
+            self.sift_down(i);
+            if i == 0 {
+                break;
+            }
+            i -= 1;
+        }
+    }
+
+    /// Drops every lazily-deleted entry and re-heapifies in place. Safe at
+    /// any time because removing elements never violates the order of the
+    /// survivors' eventual pops — the heap is rebuilt from scratch.
+    fn retain_live(&mut self, alive: &[bool]) {
+        self.data.retain(|e| e.is_live(alive));
+        self.rebuild();
     }
 }
 
@@ -143,15 +324,88 @@ const PARALLEL_THRESHOLD: usize = 4_096;
 /// over (ring 0 is the leaf's own cell).
 const INITIAL_RINGS: usize = 1;
 
+/// Hard cap on worker threads (diminishing returns past the memory
+/// bandwidth of one socket).
+const MAX_THREADS: usize = 16;
+
+/// Worker-thread count for this run: explicit [`GreedyParams::threads`],
+/// else the `GCR_THREADS` environment variable, else
+/// `available_parallelism()`; clamped to `1..=MAX_THREADS`. Called once
+/// per run (reading the environment allocates).
+fn resolve_threads(params: &GreedyParams) -> usize {
+    params
+        .threads
+        .or_else(|| {
+            std::env::var("GCR_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+        .clamp(1, MAX_THREADS)
+}
+
+/// Reusable buffers of the greedy engines. Constructing one per run
+/// reproduces the historical allocation profile; **reusing** one across
+/// runs (plus an objective with pre-reserved storage) makes the merge
+/// loop allocation-free, since every buffer here retains its high-water
+/// capacity.
+#[derive(Clone, Debug, Default)]
+pub struct GreedyScratch {
+    heap: MinHeap,
+    alive: Vec<bool>,
+    live: Vec<u32>,
+    members: Vec<u32>,
+    batch: Vec<(u32, u32)>,
+    entries: Vec<Entry>,
+    locations: Vec<Point>,
+    merges: Vec<(usize, usize)>,
+}
+
+impl GreedyScratch {
+    /// Creates an empty scratch. Buffers grow on first use and are then
+    /// reused.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears every buffer and sizes the liveness state for a run over
+    /// `total = 2 * num_leaves - 1` nodes with leaves `0..num_leaves`
+    /// initially alive.
+    fn reset(&mut self, total: usize, num_leaves: usize) {
+        self.heap.data.clear();
+        self.alive.clear();
+        self.alive.resize(total, false);
+        self.alive[..num_leaves].fill(true);
+        self.live.clear();
+        self.live.extend(0..num_leaves as u32);
+        self.members.clear();
+        self.batch.clear();
+        self.entries.clear();
+        self.locations.clear();
+        self.merges.clear();
+    }
+}
+
 /// Evaluates every pair — `cost` for `KIND_EXACT` entries,
-/// `cost_lower_bound` for `KIND_BOUND` — fanning out across threads for
-/// large batches. Deterministic: per-pair results do not depend on
-/// evaluation order, and the heap tie-breaks on indices.
+/// `cost_lower_bound` for `KIND_BOUND` — appending the entries to `out`.
+/// Batches of at least [`PARALLEL_THRESHOLD`] fan out across `threads`
+/// workers. Deterministic: per-pair results do not depend on evaluation
+/// order, and the heap's strict total order makes the pop sequence
+/// independent of insertion order.
 #[expect(
     clippy::expect_used,
     reason = "a panicking cost worker must propagate, not be swallowed"
 )]
-fn evaluate_pairs<O: MergeObjective>(objective: &O, pairs: &[(u32, u32)], kind: u8) -> Vec<Entry> {
+fn evaluate_pairs_into<O: MergeObjective>(
+    objective: &O,
+    pairs: &[(u32, u32)],
+    kind: u8,
+    threads: usize,
+    out: &mut Vec<Entry>,
+) {
     let eval = move |&(a, b): &(u32, u32)| {
         let key = if kind == KIND_EXACT {
             objective.cost(a as usize, b as usize)
@@ -159,17 +413,11 @@ fn evaluate_pairs<O: MergeObjective>(objective: &O, pairs: &[(u32, u32)], kind: 
             objective.cost_lower_bound(a as usize, b as usize)
         };
         assert!(!key.is_nan(), "merge cost of ({a}, {b}) is NaN");
-        Entry { key, kind, a, b }
+        Entry::new(key, kind, a, b)
     };
-    if pairs.len() < PARALLEL_THRESHOLD {
-        return pairs.iter().map(eval).collect();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(16);
-    if threads == 1 {
-        return pairs.iter().map(eval).collect();
+    if pairs.len() < PARALLEL_THRESHOLD || threads == 1 {
+        out.extend(pairs.iter().map(eval));
+        return;
     }
     let chunk = pairs.len().div_ceil(threads);
     std::thread::scope(|scope| {
@@ -177,11 +425,10 @@ fn evaluate_pairs<O: MergeObjective>(objective: &O, pairs: &[(u32, u32)], kind: 
             .chunks(chunk)
             .map(|slice| scope.spawn(move || slice.iter().map(eval).collect::<Vec<_>>()))
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("cost worker panicked"))
-            .collect()
-    })
+        for handle in handles {
+            out.extend(handle.join().expect("cost worker panicked"));
+        }
+    });
 }
 
 /// Heap key of leaf `x`'s next expansion entry, which stands in for every
@@ -239,70 +486,119 @@ pub fn run_greedy<O: MergeObjective>(
 /// # Errors
 ///
 /// As [`run_greedy`].
+pub fn run_greedy_instrumented<O: MergeObjective>(
+    num_leaves: usize,
+    objective: &mut O,
+) -> Result<(Topology, GreedyStats), CtsError> {
+    let mut scratch = GreedyScratch::new();
+    run_greedy_with_scratch(
+        num_leaves,
+        objective,
+        &GreedyParams::default(),
+        &mut scratch,
+    )
+    .map(|(topology, stats, _)| (topology, stats))
+}
+
+/// The pruned engine with explicit [`GreedyParams`] and a caller-owned
+/// [`GreedyScratch`], returning the per-phase [`GreedyProfile`] alongside
+/// the stats. This is the allocation-free entry point: on a warm scratch
+/// (second run of the same size) the merge loop performs no heap
+/// allocations.
+///
+/// # Errors
+///
+/// As [`run_greedy`].
+///
+/// # Panics
+///
+/// Panics if the objective returns a NaN cost or bound, or if
+/// `2 * num_leaves - 1` overflows the 31-bit node-index budget of the
+/// packed heap entries.
 #[expect(
     clippy::expect_used,
     reason = "every live pair is covered by a bound, exact, or expansion \
               entry until one root remains (see the coverage argument in \
               docs/algorithms.md §Candidate pruning)"
 )]
-pub fn run_greedy_instrumented<O: MergeObjective>(
+pub fn run_greedy_with_scratch<O: MergeObjective>(
     num_leaves: usize,
     objective: &mut O,
-) -> Result<(Topology, GreedyStats), CtsError> {
+    params: &GreedyParams,
+    scratch: &mut GreedyScratch,
+) -> Result<(Topology, GreedyStats, GreedyProfile), CtsError> {
     let mut stats = GreedyStats::default();
+    let mut profile = GreedyProfile::default();
     if num_leaves == 0 {
         return Err(CtsError::NoSinks);
     }
     if num_leaves == 1 {
-        return Ok((Topology::single_sink()?, stats));
+        return Ok((Topology::single_sink()?, stats, profile));
     }
 
+    let seed_start = Instant::now();
+    let seed_allocs0 = alloc_count();
+    let threads = resolve_threads(params);
     let total = 2 * num_leaves - 1;
-    let mut alive = vec![false; total];
-    let mut live: Vec<usize> = (0..num_leaves).collect();
-    for &i in &live {
-        alive[i] = true;
-    }
+    assert!(
+        u64::try_from(total).is_ok_and(|t| t <= INDEX_MASK),
+        "{num_leaves} leaves exceed the packed heap entry's 31-bit node-index budget"
+    );
+    scratch.reset(total, num_leaves);
+    let GreedyScratch {
+        heap,
+        alive,
+        live,
+        members,
+        batch,
+        entries,
+        locations,
+        merges,
+    } = scratch;
 
-    let locations: Vec<Point> = (0..num_leaves).map(|i| objective.location(i)).collect();
-    let grid = BucketGrid::build(&locations);
+    locations.extend((0..num_leaves).map(|i| objective.location(i)));
+    let grid = BucketGrid::build(locations);
 
     // Seed: every leaf's nearby rings as bound entries (each pair once,
     // from its lower-index endpoint), plus one expansion entry per leaf
-    // standing in for all farther partners.
-    let mut entries: Vec<Entry> = Vec::new();
-    let mut seed_pairs: Vec<(u32, u32)> = Vec::new();
-    let mut members: Vec<u32> = Vec::new();
+    // standing in for all farther partners. Entries are built directly in
+    // the heap's storage, then heapified in one O(n) pass.
     for (x, &loc) in locations.iter().enumerate() {
         for ring in 0..=INITIAL_RINGS {
-            grid.ring_members(loc, ring, &mut members);
-            for &y in &members {
+            grid.ring_members(loc, ring, members);
+            for &y in &*members {
                 if (y as usize) > x {
-                    seed_pairs.push((x as u32, y));
+                    batch.push((x as u32, y));
                 }
             }
         }
         if let Some(key) = expansion_key(&*objective, &grid, x, loc, INITIAL_RINGS + 1) {
-            entries.push(Entry {
+            heap.data.push(Entry::new(
                 key,
-                kind: KIND_EXPAND,
-                a: x as u32,
-                b: (INITIAL_RINGS + 1) as u32,
-            });
+                KIND_EXPAND,
+                x as u32,
+                (INITIAL_RINGS + 1) as u32,
+            ));
         }
     }
-    stats.bound_evals += seed_pairs.len() as u64;
-    entries.extend(evaluate_pairs(&*objective, &seed_pairs, KIND_BOUND));
-    drop(seed_pairs);
-    let mut heap = BinaryHeap::from(entries);
+    stats.bound_evals += batch.len() as u64;
+    evaluate_pairs_into(&*objective, batch, KIND_BOUND, threads, &mut heap.data);
+    heap.rebuild();
+    profile.seed_ms = seed_start.elapsed().as_secs_f64() * 1e3;
+    profile.seed_allocs = alloc_count() - seed_allocs0;
 
-    let mut merges = Vec::with_capacity(num_leaves - 1);
+    let loop_start = Instant::now();
+    let loop_allocs0 = alloc_count();
     let mut next = num_leaves;
-    let mut batch: Vec<(u32, u32)> = Vec::with_capacity(num_leaves);
+    // Compact the heap (drop lazily-deleted entries) whenever it doubles
+    // past the last compacted size — amortized O(total work) while keeping
+    // the heap within a constant factor of its live contents.
+    let mut watermark = heap.len() * 2 + 1024;
     while next < total {
-        let Entry { kind, a, b, .. } = heap.pop().expect("heap exhausted before root was formed");
+        let entry = heap.pop().expect("heap exhausted before root was formed");
         stats.heap_pops += 1;
-        match kind {
+        let (a, b) = (entry.a(), entry.b());
+        match entry.kind() {
             KIND_EXPAND => {
                 let x = a as usize;
                 if !alive[x] {
@@ -310,28 +606,18 @@ pub fn run_greedy_instrumented<O: MergeObjective>(
                 }
                 let ring = b as usize;
                 stats.ring_expansions += 1;
-                grid.ring_members(locations[x], ring, &mut members);
-                for &y in &members {
+                grid.ring_members(locations[x], ring, members);
+                for &y in &*members {
                     let yi = y as usize;
                     if yi > x && alive[yi] {
                         let key = objective.cost_lower_bound(x, yi);
                         stats.bound_evals += 1;
                         assert!(!key.is_nan(), "merge bound of ({x}, {yi}) is NaN");
-                        heap.push(Entry {
-                            key,
-                            kind: KIND_BOUND,
-                            a,
-                            b: y,
-                        });
+                        heap.push(Entry::new(key, KIND_BOUND, a, y));
                     }
                 }
                 if let Some(key) = expansion_key(&*objective, &grid, x, locations[x], ring + 1) {
-                    heap.push(Entry {
-                        key,
-                        kind: KIND_EXPAND,
-                        a,
-                        b: (ring + 1) as u32,
-                    });
+                    heap.push(Entry::new(key, KIND_EXPAND, a, (ring + 1) as u32));
                 }
             }
             KIND_BOUND => {
@@ -342,12 +628,7 @@ pub fn run_greedy_instrumented<O: MergeObjective>(
                 let key = objective.cost(x, y);
                 stats.exact_cost_evals += 1;
                 assert!(!key.is_nan(), "merge cost of ({x}, {y}) is NaN");
-                heap.push(Entry {
-                    key,
-                    kind: KIND_EXACT,
-                    a,
-                    b,
-                });
+                heap.push(Entry::new(key, KIND_EXACT, a, b));
             }
             _ => {
                 let (x, y) = (a as usize, b as usize);
@@ -358,21 +639,29 @@ pub fn run_greedy_instrumented<O: MergeObjective>(
                 alive[y] = false;
                 objective.merge(x, y, next)?;
                 merges.push((x, y));
-                live.retain(|&n| alive[n]);
+                live.retain(|&n| alive[n as usize]);
                 batch.clear();
-                batch.extend(live.iter().map(|&n| (n as u32, next as u32)));
+                batch.extend(live.iter().map(|&n| (n, next as u32)));
                 stats.bound_evals += batch.len() as u64;
-                for entry in evaluate_pairs(&*objective, &batch, KIND_BOUND) {
-                    heap.push(entry);
+                entries.clear();
+                evaluate_pairs_into(&*objective, batch, KIND_BOUND, threads, entries);
+                for &e in &*entries {
+                    heap.push(e);
                 }
                 alive[next] = true;
-                live.push(next);
+                live.push(next as u32);
                 next += 1;
+                if heap.len() > watermark {
+                    heap.retain_live(alive);
+                    watermark = heap.len() * 2 + 1024;
+                }
             }
         }
     }
+    profile.loop_ms = loop_start.elapsed().as_secs_f64() * 1e3;
+    profile.loop_allocs = alloc_count() - loop_allocs0;
 
-    Ok((Topology::from_merges(num_leaves, &merges)?, stats))
+    Ok((Topology::from_merges(num_leaves, merges)?, stats, profile))
 }
 
 /// The pre-pruning engine: evaluates the exact cost of **every** live pair
@@ -395,48 +684,88 @@ pub fn run_greedy_exhaustive<O: MergeObjective>(
 /// # Errors
 ///
 /// As [`run_greedy`].
-#[expect(
-    clippy::expect_used,
-    reason = "the heap holds a candidate for every live pair until one root remains"
-)]
 pub fn run_greedy_exhaustive_instrumented<O: MergeObjective>(
     num_leaves: usize,
     objective: &mut O,
 ) -> Result<(Topology, GreedyStats), CtsError> {
+    let mut scratch = GreedyScratch::new();
+    run_greedy_exhaustive_with_scratch(
+        num_leaves,
+        objective,
+        &GreedyParams::default(),
+        &mut scratch,
+    )
+    .map(|(topology, stats, _)| (topology, stats))
+}
+
+/// The exhaustive engine with explicit [`GreedyParams`] and a caller-owned
+/// [`GreedyScratch`], returning the per-phase [`GreedyProfile`].
+///
+/// # Errors
+///
+/// As [`run_greedy`].
+///
+/// # Panics
+///
+/// As [`run_greedy_with_scratch`].
+#[expect(
+    clippy::expect_used,
+    reason = "the heap holds a candidate for every live pair until one root remains"
+)]
+pub fn run_greedy_exhaustive_with_scratch<O: MergeObjective>(
+    num_leaves: usize,
+    objective: &mut O,
+    params: &GreedyParams,
+    scratch: &mut GreedyScratch,
+) -> Result<(Topology, GreedyStats, GreedyProfile), CtsError> {
     let mut stats = GreedyStats::default();
+    let mut profile = GreedyProfile::default();
     if num_leaves == 0 {
         return Err(CtsError::NoSinks);
     }
     if num_leaves == 1 {
-        return Ok((Topology::single_sink()?, stats));
+        return Ok((Topology::single_sink()?, stats, profile));
     }
 
+    let seed_start = Instant::now();
+    let seed_allocs0 = alloc_count();
+    let threads = resolve_threads(params);
     let total = 2 * num_leaves - 1;
-    let mut alive = vec![false; total];
-    let mut live: Vec<usize> = (0..num_leaves).collect();
-    for &i in &live {
-        alive[i] = true;
-    }
+    assert!(
+        u64::try_from(total).is_ok_and(|t| t <= INDEX_MASK),
+        "{num_leaves} leaves exceed the packed heap entry's 31-bit node-index budget"
+    );
+    scratch.reset(total, num_leaves);
+    let GreedyScratch {
+        heap,
+        alive,
+        live,
+        batch,
+        entries,
+        merges,
+        ..
+    } = scratch;
 
     // Initial candidate set: all leaf pairs, evaluated in parallel, then
     // heapified in one shot.
-    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(num_leaves * (num_leaves - 1) / 2);
-    for i in 0..live.len() {
-        for j in (i + 1)..live.len() {
-            pairs.push((live[i] as u32, live[j] as u32));
+    for i in 0..num_leaves {
+        for j in (i + 1)..num_leaves {
+            batch.push((i as u32, j as u32));
         }
     }
-    stats.exact_cost_evals += pairs.len() as u64;
-    let mut heap = BinaryHeap::from(evaluate_pairs(&*objective, &pairs, KIND_EXACT));
-    drop(pairs);
+    stats.exact_cost_evals += batch.len() as u64;
+    evaluate_pairs_into(&*objective, batch, KIND_EXACT, threads, &mut heap.data);
+    heap.rebuild();
+    profile.seed_ms = seed_start.elapsed().as_secs_f64() * 1e3;
+    profile.seed_allocs = alloc_count() - seed_allocs0;
 
-    let mut merges = Vec::with_capacity(num_leaves - 1);
+    let loop_start = Instant::now();
+    let loop_allocs0 = alloc_count();
     let mut next = num_leaves;
-    let mut batch: Vec<(u32, u32)> = Vec::with_capacity(num_leaves);
     while next < total {
-        let Entry { a, b, .. } = heap.pop().expect("heap exhausted before root was formed");
+        let entry = heap.pop().expect("heap exhausted before root was formed");
         stats.heap_pops += 1;
-        let (a, b) = (a as usize, b as usize);
+        let (a, b) = (entry.a() as usize, entry.b() as usize);
         if !alive[a] || !alive[b] {
             continue; // lazy deletion
         }
@@ -444,19 +773,23 @@ pub fn run_greedy_exhaustive_instrumented<O: MergeObjective>(
         alive[b] = false;
         objective.merge(a, b, next)?;
         merges.push((a, b));
-        live.retain(|&n| alive[n]);
+        live.retain(|&n| alive[n as usize]);
         batch.clear();
-        batch.extend(live.iter().map(|&n| (n as u32, next as u32)));
+        batch.extend(live.iter().map(|&n| (n, next as u32)));
         stats.exact_cost_evals += batch.len() as u64;
-        for entry in evaluate_pairs(&*objective, &batch, KIND_EXACT) {
-            heap.push(entry);
+        entries.clear();
+        evaluate_pairs_into(&*objective, batch, KIND_EXACT, threads, entries);
+        for &e in &*entries {
+            heap.push(e);
         }
         alive[next] = true;
-        live.push(next);
+        live.push(next as u32);
         next += 1;
     }
+    profile.loop_ms = loop_start.elapsed().as_secs_f64() * 1e3;
+    profile.loop_allocs = alloc_count() - loop_allocs0;
 
-    Ok((Topology::from_merges(num_leaves, &merges)?, stats))
+    Ok((Topology::from_merges(num_leaves, merges)?, stats, profile))
 }
 
 /// `ExhaustiveCheck` debug mode: runs **both** engines on clones of the
@@ -600,13 +933,20 @@ mod tests {
         let points: Vec<Point> = (0..128)
             .map(|i| Point::new(f64::from(i * 37 % 997), f64::from(i * 71 % 983)))
             .collect();
-        let run = || {
+        let run = |threads: Option<usize>| {
             let mut obj = PointObjective {
                 points: points.clone(),
             };
-            run_greedy_exhaustive(128, &mut obj).unwrap()
+            let mut scratch = GreedyScratch::new();
+            let params = GreedyParams { threads };
+            run_greedy_exhaustive_with_scratch(128, &mut obj, &params, &mut scratch)
+                .unwrap()
+                .0
         };
-        assert_eq!(run(), run());
+        assert_eq!(run(None), run(None));
+        // Any explicit thread count commits the same merges.
+        assert_eq!(run(None), run(Some(1)));
+        assert_eq!(run(Some(1)), run(Some(7)));
     }
 
     /// The pruned engine must commit the exact same merges as the
@@ -713,37 +1053,157 @@ mod tests {
         let _ = run_greedy_checked(12, &mut obj);
     }
 
+    /// The packed tag must order exactly like the `(kind, a, b)` triple.
+    #[test]
+    fn packed_tag_roundtrips_and_orders_lexicographically() {
+        let samples = [
+            (KIND_EXPAND, 0u32, 0u32),
+            (KIND_EXPAND, 0, 1),
+            (KIND_EXPAND, 7, 2),
+            (KIND_BOUND, 0, 0),
+            (KIND_BOUND, 0, (1 << 31) - 1),
+            (KIND_BOUND, 1, 0),
+            (KIND_EXACT, 0, 5),
+            (KIND_EXACT, (1 << 31) - 1, (1 << 31) - 1),
+        ];
+        for &(kind, a, b) in &samples {
+            let e = Entry::new(1.5, kind, a, b);
+            assert_eq!((e.kind(), e.a(), e.b()), (kind, a, b));
+        }
+        // The sample list above is in (kind, a, b) lexicographic order.
+        for pair in samples.windows(2) {
+            let lo = Entry::new(0.0, pair[0].0, pair[0].1, pair[0].2);
+            let hi = Entry::new(0.0, pair[1].0, pair[1].1, pair[1].2);
+            assert!(lo.tag < hi.tag, "{pair:?}");
+            assert!(lo.precedes(hi) && !hi.precedes(lo));
+        }
+    }
+
     #[test]
     fn entry_ordering_is_min_first_with_kind_tiebreak() {
-        let mut h = BinaryHeap::new();
-        h.push(Entry {
-            key: 5.0,
-            kind: KIND_EXACT,
-            a: 0,
-            b: 1,
-        });
-        h.push(Entry {
-            key: 1.0,
-            kind: KIND_EXACT,
-            a: 2,
-            b: 3,
-        });
-        h.push(Entry {
-            key: 1.0,
-            kind: KIND_BOUND,
-            a: 4,
-            b: 5,
-        });
-        h.push(Entry {
-            key: 1.0,
-            kind: KIND_EXPAND,
-            a: 6,
-            b: 2,
-        });
+        let mut h = MinHeap::default();
+        h.push(Entry::new(5.0, KIND_EXACT, 0, 1));
+        h.push(Entry::new(1.0, KIND_EXACT, 2, 3));
+        h.push(Entry::new(1.0, KIND_BOUND, 4, 5));
+        h.push(Entry::new(1.0, KIND_EXPAND, 6, 2));
         // Equal keys: expansion, then bound, then exact.
-        assert_eq!(h.pop().unwrap().kind, KIND_EXPAND);
-        assert_eq!(h.pop().unwrap().kind, KIND_BOUND);
-        assert_eq!(h.pop().unwrap().kind, KIND_EXACT);
+        assert_eq!(h.pop().unwrap().kind(), KIND_EXPAND);
+        assert_eq!(h.pop().unwrap().kind(), KIND_BOUND);
+        assert_eq!(h.pop().unwrap().kind(), KIND_EXACT);
         assert_eq!(h.pop().unwrap().key, 5.0);
+        assert_eq!(h.pop(), None);
+    }
+
+    /// Pushing in scrambled order must pop in the strict total order, and
+    /// `rebuild` must agree with incremental pushes.
+    #[test]
+    fn minheap_pops_in_total_order() {
+        let keys = [
+            3.25, -1.0, 0.0, -0.0, 7.5, 3.25, 2.0, 100.0, -55.5, 0.5, 3.25, 2.0,
+        ];
+        let mut pushed = MinHeap::default();
+        let mut bulk = MinHeap::default();
+        for (i, &k) in keys.iter().enumerate() {
+            let e = Entry::new(k, KIND_BOUND, i as u32, (i * 2 + 1) as u32);
+            pushed.push(e);
+            bulk.data.push(e);
+        }
+        bulk.rebuild();
+        let mut prev: Option<Entry> = None;
+        for _ in 0..keys.len() {
+            let a = pushed.pop().unwrap();
+            let b = bulk.pop().unwrap();
+            assert_eq!(a, b);
+            if let Some(p) = prev {
+                assert!(p.precedes(a), "{p:?} must precede {a:?}");
+            }
+            prev = Some(a);
+        }
+        assert_eq!(pushed.pop(), None);
+        assert_eq!(bulk.pop(), None);
+    }
+
+    /// Compaction must drop exactly the dead entries and preserve the pop
+    /// order of the survivors.
+    #[test]
+    fn retain_live_preserves_survivor_order() {
+        let mut alive = vec![true; 10];
+        alive[3] = false;
+        alive[7] = false;
+        let mut full = MinHeap::default();
+        for a in 0..10u32 {
+            for b in (a + 1)..10u32 {
+                full.push(Entry::new(
+                    f64::from((a * 7 + b * 13) % 11),
+                    KIND_BOUND,
+                    a,
+                    b,
+                ));
+            }
+            full.push(Entry::new(f64::from(a % 3), KIND_EXPAND, a, 2));
+        }
+        let mut compacted = full.clone();
+        compacted.retain_live(&alive);
+        assert!(compacted.len() < full.len());
+        // Popping the full heap and skipping dead entries must equal
+        // popping the compacted heap.
+        loop {
+            let want = loop {
+                match full.pop() {
+                    Some(e) if e.is_live(&alive) => break Some(e),
+                    Some(_) => {}
+                    None => break None,
+                }
+            };
+            let got = compacted.pop();
+            assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// A scratch reused across runs (including runs of different sizes)
+    /// must not change results.
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        let mut scratch = GreedyScratch::new();
+        let params = GreedyParams::default();
+        let mut last = None;
+        for n in [33usize, 8, 33] {
+            let mut obj = PointObjective {
+                points: (0..n)
+                    .map(|i| Point::new((i * 13 % 97) as f64, (i * 29 % 83) as f64))
+                    .collect(),
+            };
+            let (topo, _, _) = run_greedy_with_scratch(n, &mut obj, &params, &mut scratch).unwrap();
+            assert_eq!(topo.num_leaves(), n);
+            let mut fresh_obj = PointObjective {
+                points: (0..n)
+                    .map(|i| Point::new((i * 13 % 97) as f64, (i * 29 % 83) as f64))
+                    .collect(),
+            };
+            let fresh = run_greedy(n, &mut fresh_obj).unwrap();
+            assert_eq!(topo, fresh, "n = {n}");
+            if n == 33 {
+                if let Some(prev) = last.take() {
+                    assert_eq!(topo, prev);
+                }
+                last = Some(topo);
+            }
+        }
+    }
+
+    /// Explicit thread counts resolve as given (clamped); the default
+    /// resolves to at least one worker.
+    #[test]
+    fn thread_resolution_clamps() {
+        assert_eq!(resolve_threads(&GreedyParams { threads: Some(7) }), 7);
+        assert_eq!(resolve_threads(&GreedyParams { threads: Some(0) }), 1);
+        assert_eq!(
+            resolve_threads(&GreedyParams { threads: Some(999) }),
+            MAX_THREADS
+        );
+        assert!(resolve_threads(&GreedyParams::default()) >= 1);
     }
 }

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod bst;
 mod design_io;
 mod embed;
@@ -67,13 +68,15 @@ mod sink;
 mod topology;
 mod tree;
 
+pub use arena::{clone_preserving_capacity, MergeArena};
 pub use bst::{bounded_skew_merge, embed_bounded_skew, BstOutcome, BstState};
 pub use design_io::{load_design, save_design, LoadedDesign};
 pub use embed::{embed, embed_sized, DeviceAssignment};
 pub use error::CtsError;
 pub use greedy::{
     run_greedy, run_greedy_checked, run_greedy_exhaustive, run_greedy_exhaustive_instrumented,
-    run_greedy_instrumented, GreedyStats, MergeObjective,
+    run_greedy_exhaustive_with_scratch, run_greedy_instrumented, run_greedy_with_scratch,
+    set_alloc_probe, GreedyParams, GreedyProfile, GreedyScratch, GreedyStats, MergeObjective,
 };
 pub use merge::{balance_devices, zero_skew_merge, MergeOutcome, SizingLimits, SubtreeState};
 pub use mmm::mmm_topology;

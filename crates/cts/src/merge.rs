@@ -12,7 +12,7 @@ use crate::{CtsError, Sink};
 /// edge + subtree from the parent: the parent sees only the gate input
 /// capacitance, which is exactly how "inserting gates reduces the subtree
 /// capacitance in the Elmore delay computation" (§4.1).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SubtreeState {
     /// Merging region: every point at which the subtree root can be placed.
     pub ms: Trr,
@@ -96,7 +96,7 @@ impl SubtreeState {
 /// The result of one zero-skew merge: the tap wire lengths to each child,
 /// the merging region of the new node, and the electrical state at the
 /// merge point.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MergeOutcome {
     /// Electrical wire length (layout units) from the merge point to the
     /// first child. May exceed the geometric distance (wire snaking).
@@ -168,53 +168,8 @@ pub fn zero_skew_merge(
     let (ta, alpha_a, beta) = a.delay_coefficients(tech);
     let (tb, alpha_b, _) = b.delay_coefficients(tech);
 
-    let denom = alpha_a + alpha_b + 2.0 * beta * d;
-    let x = if denom > 0.0 {
-        (tb - ta + alpha_b * d + beta * d * d) / denom
-    } else {
-        0.0
-    };
-
-    let (ea, eb) = if x < 0.0 {
-        // Subtree a is already slower: tap it directly, snake the wire to b.
-        (0.0, elongation(alpha_b, beta, ta - tb).max(d))
-    } else if x > d {
-        (elongation(alpha_a, beta, tb - ta).max(d), 0.0)
-    } else {
-        (x, d - x)
-    };
-
-    // Merge region: points reachable with exactly ea / eb of wire. The
-    // radii sum to >= d in exact arithmetic; absorb f64 rounding with a
-    // magnitude-scaled slack. Non-finite radii would trip `Trr::expanded`'s
-    // assertion, so they are rejected up front.
-    if !(d.is_finite() && ea.is_finite() && eb.is_finite() && ea >= 0.0 && eb >= 0.0) {
-        return Err(CtsError::MergeRegionDisjoint {
-            detail: format!(
-                "non-finite tap geometry: d={d}, ea={ea}, eb={eb} (a at {}, b at {})",
-                a.ms.center(),
-                b.ms.center()
-            ),
-        });
-    }
-    let scale = 1.0
-        + d
-        + ea
-        + eb
-        + a.ms.center().manhattan(Point::ORIGIN)
-        + b.ms.center().manhattan(Point::ORIGIN);
-    let ta_r = a.ms.expanded(ea);
-    let tb_r = b.ms.expanded(eb);
-    let ms = ta_r
-        .intersection_with_slack(&tb_r, GEOM_EPS * scale)
-        .or_else(|| ta_r.intersection_with_slack(&tb_r, 1e-3 * scale))
-        .ok_or_else(|| CtsError::MergeRegionDisjoint {
-            detail: format!(
-                "d={d}, ea={ea}, eb={eb} (a at {}, b at {})",
-                a.ms.center(),
-                b.ms.center()
-            ),
-        })?;
+    let (ea, eb) = balanced_tap_split(d, ta, alpha_a, tb, alpha_b, beta);
+    let ms = merge_region(&a.ms, &b.ms, d, ea, eb)?;
 
     // Delay measured down either side is identical in exact arithmetic;
     // average the two evaluations to symmetrize rounding.
@@ -230,6 +185,77 @@ pub fn zero_skew_merge(
         delay,
         cap,
     })
+}
+
+/// The zero-skew tap split `(e_a, e_b)` from the per-child delay
+/// polynomials: solves `D_a(x) = D_b(d − x)` and snakes the faster side
+/// when the balance point falls outside `[0, d]`. Shared — with identical
+/// operation order — by [`zero_skew_merge`] and the coefficient-caching
+/// [`MergeArena`](crate::MergeArena) hot path, so both produce
+/// bit-identical geometry.
+pub(crate) fn balanced_tap_split(
+    d: f64,
+    ta: f64,
+    alpha_a: f64,
+    tb: f64,
+    alpha_b: f64,
+    beta: f64,
+) -> (f64, f64) {
+    let denom = alpha_a + alpha_b + 2.0 * beta * d;
+    let x = if denom > 0.0 {
+        (tb - ta + alpha_b * d + beta * d * d) / denom
+    } else {
+        0.0
+    };
+
+    if x < 0.0 {
+        // Subtree a is already slower: tap it directly, snake the wire to b.
+        (0.0, elongation(alpha_b, beta, ta - tb).max(d))
+    } else if x > d {
+        (elongation(alpha_a, beta, tb - ta).max(d), 0.0)
+    } else {
+        (x, d - x)
+    }
+}
+
+/// Merge region of two subtrees tapped with wires of electrical length
+/// `ea` / `eb`: the points reachable with exactly that much wire from each
+/// child region. The radii sum to `>= d` in exact arithmetic; f64 rounding
+/// is absorbed with a magnitude-scaled slack. Non-finite radii would trip
+/// `Trr::expanded`'s assertion, so they are rejected up front.
+pub(crate) fn merge_region(
+    a_ms: &Trr,
+    b_ms: &Trr,
+    d: f64,
+    ea: f64,
+    eb: f64,
+) -> Result<Trr, CtsError> {
+    if !(d.is_finite() && ea.is_finite() && eb.is_finite() && ea >= 0.0 && eb >= 0.0) {
+        return Err(CtsError::MergeRegionDisjoint {
+            detail: format!(
+                "non-finite tap geometry: d={d}, ea={ea}, eb={eb} (a at {}, b at {})",
+                a_ms.center(),
+                b_ms.center()
+            ),
+        });
+    }
+    let scale = 1.0
+        + d
+        + ea
+        + eb
+        + a_ms.center().manhattan(Point::ORIGIN)
+        + b_ms.center().manhattan(Point::ORIGIN);
+    let ta_r = a_ms.expanded(ea);
+    let tb_r = b_ms.expanded(eb);
+    ta_r.intersection_with_slack(&tb_r, GEOM_EPS * scale)
+        .or_else(|| ta_r.intersection_with_slack(&tb_r, 1e-3 * scale))
+        .ok_or_else(|| CtsError::MergeRegionDisjoint {
+            detail: format!(
+                "d={d}, ea={ea}, eb={eb} (a at {}, b at {})",
+                a_ms.center(),
+                b_ms.center()
+            ),
+        })
 }
 
 /// Positive root of `β·e² + α·e = dt` — the snaked wire length that adds

@@ -2,8 +2,8 @@ use gcr_geometry::Point;
 use gcr_rctree::{Device, Technology};
 
 use crate::{
-    embed, run_greedy, zero_skew_merge, ClockTree, CtsError, DeviceAssignment, MergeObjective,
-    Sink, SubtreeState, Topology,
+    embed, run_greedy, ClockTree, CtsError, DeviceAssignment, MergeArena, MergeObjective, Sink,
+    Topology,
 };
 
 /// A uniform bucket grid over a fixed point set, in the spirit of
@@ -16,13 +16,20 @@ use crate::{
 /// in a cell whose Chebyshev cell-distance is at least `r + 1`, so some
 /// coordinate differs by more than `r` whole cells — its Manhattan
 /// distance from the query point exceeds `r * cell_size()`.
+/// Cell membership is stored in CSR form — one flat `items` array of
+/// point indices plus per-cell `starts` offsets — so a ring sweep is a
+/// series of contiguous `memcpy`-style slice reads instead of a walk over
+/// per-cell heap vectors.
 #[derive(Clone, Debug)]
 pub struct BucketGrid {
     origin: Point,
     cell: f64,
     nx: usize,
     ny: usize,
-    buckets: Vec<Vec<u32>>,
+    /// `starts[c]..starts[c + 1]` indexes `items` for cell `c = cy*nx+cx`.
+    starts: Vec<u32>,
+    /// Point indices, grouped by cell, ascending within each cell.
+    items: Vec<u32>,
 }
 
 impl BucketGrid {
@@ -62,11 +69,26 @@ impl BucketGrid {
             cell,
             nx,
             ny,
-            buckets: vec![Vec::new(); nx * ny],
+            starts: vec![0; nx * ny + 1],
+            items: vec![0; points.len()],
         };
+        // Counting sort into CSR: per-cell counts, prefix sums, then a
+        // second pass placing each point. Scanning `points` in order both
+        // times keeps indices ascending within every cell — the iteration
+        // order the deterministic ring sweeps rely on.
+        for &p in points {
+            let (cx, cy) = grid.cell_of(p);
+            grid.starts[cy * nx + cx + 1] += 1;
+        }
+        for c in 0..nx * ny {
+            grid.starts[c + 1] += grid.starts[c];
+        }
+        let mut cursor: Vec<u32> = grid.starts[..nx * ny].to_vec();
         for (i, &p) in points.iter().enumerate() {
             let (cx, cy) = grid.cell_of(p);
-            grid.buckets[cy * nx + cx].push(i as u32);
+            let slot = &mut cursor[cy * nx + cx];
+            grid.items[*slot as usize] = i as u32;
+            *slot += 1;
         }
         grid
     }
@@ -112,7 +134,10 @@ impl BucketGrid {
         let r = ring as i64;
         let mut visit = |ix: i64, iy: i64| {
             if ix >= 0 && iy >= 0 && (ix as usize) < self.nx && (iy as usize) < self.ny {
-                out.extend_from_slice(&self.buckets[iy as usize * self.nx + ix as usize]);
+                let c = iy as usize * self.nx + ix as usize;
+                out.extend_from_slice(
+                    &self.items[self.starts[c] as usize..self.starts[c + 1] as usize],
+                );
             }
         };
         if r == 0 {
@@ -146,34 +171,33 @@ impl BucketGrid {
 /// and the reference point for the switched-capacitance objective's
 /// ablation.
 #[derive(Clone, Debug)]
-pub struct NearestNeighborObjective<'a> {
-    tech: &'a Technology,
+pub struct NearestNeighborObjective {
     /// Device assumed at the top of every edge as the tree is built
     /// (affects the electrical state seen by later merges), or `None` for
     /// a plain wire tree.
     edge_device: Option<Device>,
-    states: Vec<SubtreeState>,
+    /// Subtree states in struct-of-arrays form, pre-reserved for the full
+    /// `2n - 1` nodes so merges never reallocate.
+    arena: MergeArena,
 }
 
-impl<'a> NearestNeighborObjective<'a> {
+impl NearestNeighborObjective {
     /// Creates the objective over `sinks`, assuming `edge_device` on every
     /// edge during construction.
     #[must_use]
-    pub fn new(tech: &'a Technology, sinks: &[Sink], edge_device: Option<Device>) -> Self {
-        Self {
-            tech,
-            edge_device,
-            states: sinks
-                .iter()
-                .map(|s| SubtreeState::leaf_with_device(s, edge_device))
-                .collect(),
+    pub fn new(tech: &Technology, sinks: &[Sink], edge_device: Option<Device>) -> Self {
+        let capacity = sinks.len().saturating_mul(2).saturating_sub(1);
+        let mut arena = MergeArena::new(tech, capacity);
+        for s in sinks {
+            arena.push_leaf(s, edge_device);
         }
+        Self { edge_device, arena }
     }
 }
 
-impl MergeObjective for NearestNeighborObjective<'_> {
+impl MergeObjective for NearestNeighborObjective {
     fn cost(&self, a: usize, b: usize) -> f64 {
-        self.states[a].distance(&self.states[b])
+        self.arena.distance(a, b)
     }
 
     // The cost *is* the region distance, so it is its own tightest
@@ -188,13 +212,12 @@ impl MergeObjective for NearestNeighborObjective<'_> {
     }
 
     fn location(&self, node: usize) -> Point {
-        self.states[node].ms.center()
+        self.arena.center(node)
     }
 
     fn merge(&mut self, a: usize, b: usize, k: usize) -> Result<(), CtsError> {
-        debug_assert_eq!(k, self.states.len());
-        let outcome = zero_skew_merge(self.tech, &self.states[a], &self.states[b])?;
-        self.states.push(outcome.gated_state(self.edge_device));
+        debug_assert_eq!(k, self.arena.len());
+        self.arena.merge_push(a, b, self.edge_device)?;
         Ok(())
     }
 }

@@ -25,13 +25,58 @@ impl fmt::Display for TreeId {
     }
 }
 
+/// Inline child storage of a binary clock-tree node: at most two ids and
+/// a length, so a [`TreeNode`] is one flat `Copy` value with no per-node
+/// heap vector behind it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Children {
+    ids: [TreeId; 2],
+    len: u8,
+}
+
+impl Children {
+    const NONE: Self = Self {
+        ids: [TreeId(0), TreeId(0)],
+        len: 0,
+    };
+
+    fn pair(left: TreeId, right: TreeId) -> Self {
+        Self {
+            ids: [left, right],
+            len: 2,
+        }
+    }
+
+    /// # Panics
+    ///
+    /// Panics when `children` holds more than two entries — clock-tree
+    /// nodes are at most binary.
+    fn from_slice(children: &[usize]) -> Self {
+        assert!(
+            children.len() <= 2,
+            "clock-tree nodes are at most binary, got {} children",
+            children.len()
+        );
+        let mut out = Self::NONE;
+        for (slot, &c) in out.ids.iter_mut().zip(children) {
+            *slot = TreeId(c);
+        }
+        out.len = children.len() as u8;
+        out
+    }
+
+    fn as_slice(&self) -> &[TreeId] {
+        &self.ids[..self.len as usize]
+    }
+}
+
 /// One embedded clock-tree node: a placed location, the wire to its
 /// parent, and the optional masking gate or buffer at the top of that
 /// wire.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TreeNode {
     parent: Option<TreeId>,
-    children: Vec<TreeId>,
+    children: Children,
     location: Point,
     electrical_length: f64,
     device: Option<Device>,
@@ -48,7 +93,7 @@ impl TreeNode {
     /// The children (empty for sinks, two for internal nodes).
     #[must_use]
     pub fn children(&self) -> &[TreeId] {
-        &self.children
+        self.children.as_slice()
     }
 
     /// The placed layout location.
@@ -110,8 +155,10 @@ pub(crate) fn build_clock_tree(
     let mut nodes = Vec::with_capacity(n);
     for i in 0..n {
         let (children, sink) = match topology.node(i) {
-            TopoNode::Leaf { sink } => (Vec::new(), Some(sink)),
-            TopoNode::Internal { left, right } => (vec![TreeId(left), TreeId(right)], None),
+            TopoNode::Leaf { sink } => (Children::NONE, Some(sink)),
+            TopoNode::Internal { left, right } => {
+                (Children::pair(TreeId(left), TreeId(right)), None)
+            }
         };
         // The edge length to the parent is recorded on the parent's tap
         // lengths: (ea, eb) for (left, right).
@@ -175,7 +222,13 @@ impl ClockTree {
             .iter()
             .map(|n| RawTreeNode {
                 parent: n.parent.map(TreeId::index),
-                children: n.children.iter().copied().map(TreeId::index).collect(),
+                children: n
+                    .children
+                    .as_slice()
+                    .iter()
+                    .copied()
+                    .map(TreeId::index)
+                    .collect(),
                 location: n.location,
                 electrical_length: n.electrical_length,
                 device: n.device,
@@ -196,7 +249,9 @@ impl ClockTree {
     ///
     /// # Panics
     ///
-    /// Panics if a parent, child or sink index is out of range.
+    /// Panics if a parent, child or sink index is out of range, or if a
+    /// node lists more than two children (clock-tree nodes are at most
+    /// binary).
     #[must_use]
     pub fn from_raw_parts(nodes: Vec<RawTreeNode>, sink_caps: Vec<f64>) -> Self {
         let n = nodes.len();
@@ -214,7 +269,7 @@ impl ClockTree {
                 );
                 TreeNode {
                     parent: r.parent.map(TreeId),
-                    children: r.children.into_iter().map(TreeId).collect(),
+                    children: Children::from_slice(&r.children),
                     location: r.location,
                     electrical_length: r.electrical_length,
                     device: r.device,

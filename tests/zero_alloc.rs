@@ -1,0 +1,113 @@
+//! Steady-state allocation discipline of the arena-backed greedy engine:
+//! with warmed scratch buffers and pre-reserved objective columns, the
+//! merge loop must perform **zero** heap allocations. A counting global
+//! allocator feeds the engine's phase profile via
+//! [`gcr_cts::set_alloc_probe`]; the assertion is on the warm run's
+//! `loop_allocs`.
+//!
+//! Single `#[test]` on purpose: the allocation counter is process-global,
+//! and a concurrently running test would inflate the deltas.
+#![allow(unsafe_code)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gcr_activity::{ActivityTables, CpuModel};
+use gcr_core::{GatedObjective, RouterConfig};
+use gcr_cts::{
+    run_greedy_with_scratch, GreedyParams, GreedyScratch, MergeObjective, NearestNeighborObjective,
+    Sink,
+};
+use gcr_geometry::{BBox, Point};
+use gcr_rctree::Technology;
+
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_probe() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+const SIDE: f64 = 30_000.0;
+
+fn spread_sinks(n: usize) -> Vec<Sink> {
+    (0..n)
+        .map(|i| {
+            let x = (i as f64 * 2_654.435) % SIDE;
+            let y = (i as f64 * 1_618.034) % SIDE;
+            Sink::new(Point::new(x, y), 0.03 + 0.01 * (i % 5) as f64)
+        })
+        .collect()
+}
+
+/// Cold run to grow the scratch, then a warm run whose loop phase must
+/// not allocate.
+fn warm_loop_allocs<O: MergeObjective + Clone>(n: usize, objective: &O) -> u64 {
+    let params = GreedyParams::default();
+    let mut scratch = GreedyScratch::new();
+    let mut cold = objective.clone();
+    run_greedy_with_scratch(n, &mut cold, &params, &mut scratch).unwrap();
+    let mut warm = objective.clone();
+    let (_, _, profile) = run_greedy_with_scratch(n, &mut warm, &params, &mut scratch).unwrap();
+    profile.loop_allocs
+}
+
+#[test]
+fn warm_greedy_loop_performs_zero_allocations() {
+    gcr_cts::set_alloc_probe(alloc_probe);
+    let n = 300;
+    let sinks = spread_sinks(n);
+    let tech = Technology::default();
+
+    // Nearest-neighbor objective (arena-only state).
+    let nn = NearestNeighborObjective::new(&tech, &sinks, Some(tech.and_gate()));
+    let nn_allocs = warm_loop_allocs(n, &nn);
+    assert_eq!(
+        nn_allocs, 0,
+        "nearest-neighbor warm loop allocated {nn_allocs} times"
+    );
+
+    // Equation-3 objective (arena + activity aggregates).
+    let model = CpuModel::builder(n)
+        .instructions(8)
+        .seed(11)
+        .build()
+        .unwrap();
+    let tables = ActivityTables::scan(model.rtl(), &model.generate_stream(800));
+    let die = BBox::new(Point::ORIGIN, Point::new(SIDE, SIDE));
+    let config = RouterConfig::new(tech, die);
+    let module_of: Vec<usize> = (0..n).collect();
+    let gated = GatedObjective::new(
+        config.tech(),
+        config.controller(),
+        &tables,
+        &sinks,
+        &module_of,
+    );
+    let gated_allocs = warm_loop_allocs(n, &gated);
+    assert_eq!(
+        gated_allocs, 0,
+        "equation-3 warm loop allocated {gated_allocs} times"
+    );
+}
