@@ -9,7 +9,11 @@
 //! * any run in the new file lost bit-identity with the exhaustive
 //!   reference (`identical_topology: false`), or
 //! * any common run's pruned wall time regressed by more than the
-//!   threshold (default 25 %).
+//!   threshold (default 25 %), or
+//! * any common run's pruned `bound_evals` or `heap_pops` grew by more
+//!   than the threshold. Wall time is noisy on shared CI hardware;
+//!   these counters are deterministic, so a pruning-quality regression
+//!   is caught even when the clock happens to look fine.
 //!
 //! Runs present in only one file are reported but never fail the gate, so
 //! the CI smoke job can measure a benchmark subset against the full
@@ -25,6 +29,8 @@ use gcr_bench::json::{parse, Json};
 struct Run {
     pruned_wall_ms: f64,
     exact_cost_evals: f64,
+    bound_evals: f64,
+    heap_pops: f64,
     identical_topology: bool,
 }
 
@@ -58,6 +64,14 @@ fn load_runs(path: &str) -> Result<BTreeMap<(String, String), Run>, String> {
             .get("exact_cost_evals")
             .and_then(Json::as_f64)
             .unwrap_or(f64::NAN);
+        let bound_evals = pruned
+            .get("bound_evals")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        let heap_pops = pruned
+            .get("heap_pops")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
         let identical_topology = field("identical_topology")?
             .as_bool()
             .ok_or_else(|| format!("{path}: runs[{i}].identical_topology is not a boolean"))?;
@@ -66,6 +80,8 @@ fn load_runs(path: &str) -> Result<BTreeMap<(String, String), Run>, String> {
             Run {
                 pruned_wall_ms,
                 exact_cost_evals,
+                bound_evals,
+                heap_pops,
                 identical_topology,
             },
         );
@@ -117,6 +133,20 @@ fn run(baseline_path: &str, new_path: &str, threshold_pct: f64) -> Result<bool, 
                         "     note: exact cost evals grew {} -> {}",
                         base.exact_cost_evals, new_run.exact_cost_evals
                     );
+                }
+                for (name, base_count, new_count) in [
+                    ("bound_evals", base.bound_evals, new_run.bound_evals),
+                    ("heap_pops", base.heap_pops, new_run.heap_pops),
+                ] {
+                    if base_count.is_finite() && new_count.is_finite() && base_count > 0.0 {
+                        let count_delta_pct = 100.0 * (new_count - base_count) / base_count;
+                        if count_delta_pct > threshold_pct {
+                            ok = false;
+                            println!(
+                                "     FAIL: {name} grew {base_count} -> {new_count} ({count_delta_pct:+.1}%)"
+                            );
+                        }
+                    }
                 }
             }
             Some(_) => {

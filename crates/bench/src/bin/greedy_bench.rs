@@ -180,11 +180,14 @@ fn stats_json(out: &mut String, label: &str, run: &EngineRun) {
     let _ = write!(
         out,
         "      \"{label}\": {{\"exact_cost_evals\": {}, \"bound_evals\": {}, \
+         \"bound_batches\": {}, \"bounds_filtered\": {}, \
          \"ring_expansions\": {}, \"heap_pops\": {}, \"wall_ms\": {:.3}, \
          \"seed_ms\": {:.3}, \"loop_ms\": {:.3}, \
          \"seed_allocs\": {}, \"loop_allocs\": {}}}",
         s.exact_cost_evals,
         s.bound_evals,
+        s.bound_batches,
+        s.bounds_filtered,
         s.ring_expansions,
         s.heap_pops,
         run.wall_ms,
@@ -270,13 +273,15 @@ fn main() -> ExitCode {
     let mut all_identical = true;
     for c in &runs {
         println!(
-            "{:>3} {:<16} sinks {:>5}  exact {:>9} / {:>9} ({:>5.1} %)  wall {:>8.1} ms / {:>8.1} ms  loop allocs {:>6}  identical {}",
+            "{:>3} {:<16} sinks {:>5}  exact {:>9} / {:>9} ({:>5.1} %)  batches {:>6}  parked {:>8}  wall {:>8.1} ms / {:>8.1} ms  loop allocs {:>6}  identical {}",
             c.benchmark,
             c.objective,
             c.sinks,
             c.pruned.stats.exact_cost_evals,
             c.exhaustive.stats.exact_cost_evals,
             100.0 * c.exact_eval_ratio(),
+            c.pruned.stats.bound_batches,
+            c.pruned.stats.bounds_filtered,
             c.pruned.wall_ms,
             c.exhaustive.wall_ms,
             c.pruned.profile.loop_allocs,

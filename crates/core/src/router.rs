@@ -1,7 +1,7 @@
 use gcr_activity::{ActivityTables, EnableStats, ModuleSet};
 use gcr_cts::{
     clone_preserving_capacity, embed_sized, run_greedy, ClockTree, CtsError, DeviceAssignment,
-    MergeArena, MergeObjective, Sink, SizingLimits, Topology,
+    MergeArena, MergeObjective, Sink, SizingLimits, Topology, BOUND_LANES,
 };
 use gcr_geometry::{BBox, Point};
 use gcr_rctree::{Device, Technology};
@@ -317,6 +317,31 @@ impl MergeObjective for GatedObjective<'_> {
         self.static_term[a]
             + self.static_term[b]
             + self.unit_cap * d * self.signal[a].min(self.signal[b])
+    }
+
+    // Two columnar sweeps: the arena's batched region-distance kernel
+    // writes `d` into `out`, then a fused chunk loop combines it with the
+    // cached static terms and enable probabilities — the same expressions
+    // in the same order as `cost_lower_bound`, so the keys are
+    // bit-identical.
+    fn bound_batch(&self, center: usize, candidates: &[u32], out: &mut [f64]) {
+        self.arena.distance_batch(center, candidates, out);
+        let static_c = self.static_term[center];
+        let signal_c = self.signal[center];
+        let unit_cap = self.unit_cap;
+        let combine = |y: usize, d: f64| {
+            static_c + self.static_term[y] + unit_cap * d * signal_c.min(self.signal[y])
+        };
+        let mut cands = candidates.chunks_exact(BOUND_LANES);
+        let mut outs = out.chunks_exact_mut(BOUND_LANES);
+        for (cs, os) in (&mut cands).zip(&mut outs) {
+            for lane in 0..BOUND_LANES {
+                os[lane] = combine(cs[lane] as usize, os[lane]);
+            }
+        }
+        for (&y, o) in cands.remainder().iter().zip(outs.into_remainder()) {
+            *o = combine(y as usize, *o);
+        }
     }
 
     // For leaf partners at distance >= dist: the partner's static term is

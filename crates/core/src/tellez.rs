@@ -1,7 +1,7 @@
 use gcr_activity::{ActivityTables, EnableStats, ModuleSet};
 use gcr_cts::{
     clone_preserving_capacity, embed_sized, run_greedy, CtsError, DeviceAssignment, MergeArena,
-    MergeObjective, Sink, SizingLimits,
+    MergeObjective, Sink, SizingLimits, BOUND_LANES,
 };
 use gcr_geometry::Point;
 use gcr_rctree::{Device, Technology};
@@ -161,6 +161,26 @@ impl MergeObjective for ActivityDrivenObjective<'_> {
         let activity = self.signal[a].max(self.signal[b]);
         let dist = self.arena.distance(a, b);
         activity + 1e-3 * dist / self.dist_scale
+    }
+
+    // Batched distance sweep plus a fused chunk loop over the signal
+    // column — the same expressions in the same order as
+    // `cost_lower_bound`, so the keys are bit-identical.
+    fn bound_batch(&self, center: usize, candidates: &[u32], out: &mut [f64]) {
+        self.arena.distance_batch(center, candidates, out);
+        let signal_c = self.signal[center];
+        let dist_scale = self.dist_scale;
+        let combine = |y: usize, d: f64| signal_c.max(self.signal[y]) + 1e-3 * d / dist_scale;
+        let mut cands = candidates.chunks_exact(BOUND_LANES);
+        let mut outs = out.chunks_exact_mut(BOUND_LANES);
+        for (cs, os) in (&mut cands).zip(&mut outs) {
+            for lane in 0..BOUND_LANES {
+                os[lane] = combine(cs[lane] as usize, os[lane]);
+            }
+        }
+        for (&y, o) in cands.remainder().iter().zip(outs.into_remainder()) {
+            *o = combine(y as usize, *o);
+        }
     }
 
     fn cost_lower_bound_at_distance(&self, node: usize, dist: f64) -> f64 {

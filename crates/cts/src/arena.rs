@@ -48,7 +48,21 @@ pub struct MergeArena {
     pc0: Vec<f64>,
     pc1: Vec<f64>,
     device: Vec<Option<Device>>,
+    /// Flat copies of each region's rotated-interval endpoints
+    /// (`ms[i].u().lo()` etc.), kept alongside `ms` so
+    /// [`distance_batch`](Self::distance_batch) streams four plain `f64`
+    /// columns instead of gathering 32-byte `Trr` structs.
+    u_lo: Vec<f64>,
+    u_hi: Vec<f64>,
+    v_lo: Vec<f64>,
+    v_hi: Vec<f64>,
 }
+
+/// Candidates per step of the batched kernels ([`MergeArena::distance_batch`]
+/// and the objectives' `bound_batch` impls). Eight `f64` lanes fill an
+/// AVX-512 register and two AVX2 registers; the fixed-width inner loops are
+/// branch-free so LLVM unrolls or vectorizes them without `unsafe`.
+pub const BOUND_LANES: usize = 8;
 
 /// Copies a vector without shedding its spare capacity, so a cloned
 /// objective keeps the zero-reallocation guarantee of its original.
@@ -75,6 +89,10 @@ impl Clone for MergeArena {
             pc0: clone_preserving_capacity(&self.pc0),
             pc1: clone_preserving_capacity(&self.pc1),
             device: clone_preserving_capacity(&self.device),
+            u_lo: clone_preserving_capacity(&self.u_lo),
+            u_hi: clone_preserving_capacity(&self.u_hi),
+            v_lo: clone_preserving_capacity(&self.v_lo),
+            v_hi: clone_preserving_capacity(&self.v_hi),
         }
     }
 }
@@ -98,6 +116,10 @@ impl MergeArena {
             pc0: Vec::with_capacity(capacity),
             pc1: Vec::with_capacity(capacity),
             device: Vec::with_capacity(capacity),
+            u_lo: Vec::with_capacity(capacity),
+            u_hi: Vec::with_capacity(capacity),
+            v_lo: Vec::with_capacity(capacity),
+            v_hi: Vec::with_capacity(capacity),
         }
     }
 
@@ -118,6 +140,10 @@ impl MergeArena {
     pub fn push_state(&mut self, state: &SubtreeState) -> usize {
         let i = self.ms.len();
         self.ms.push(state.ms);
+        self.u_lo.push(state.ms.u().lo());
+        self.u_hi.push(state.ms.u().hi());
+        self.v_lo.push(state.ms.v().lo());
+        self.v_hi.push(state.ms.v().hi());
         self.delay.push(state.delay);
         self.cap.push(state.cap);
         match state.edge_device {
@@ -161,6 +187,39 @@ impl MergeArena {
     #[must_use]
     pub fn distance(&self, a: usize, b: usize) -> f64 {
         self.ms[a].distance(&self.ms[b])
+    }
+
+    /// Batched [`distance`](Self::distance): writes
+    /// `distance(center, candidates[i])` into `out[i]` for every candidate.
+    ///
+    /// Reads the flat endpoint columns in [`BOUND_LANES`]-wide branch-free
+    /// steps (a pure max-chain per candidate), bit-identical to the
+    /// per-pair path with `center` as the first argument — the same
+    /// subtractions in the same order, so objectives can build their
+    /// `bound_batch` kernels on top without perturbing heap keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `candidates` and `out` differ in length.
+    pub fn distance_batch(&self, center: usize, candidates: &[u32], out: &mut [f64]) {
+        assert_eq!(candidates.len(), out.len());
+        let (c_ulo, c_uhi) = (self.u_lo[center], self.u_hi[center]);
+        let (c_vlo, c_vhi) = (self.v_lo[center], self.v_hi[center]);
+        let dist = |y: usize| {
+            let du = (c_ulo - self.u_hi[y]).max(self.u_lo[y] - c_uhi).max(0.0);
+            let dv = (c_vlo - self.v_hi[y]).max(self.v_lo[y] - c_vhi).max(0.0);
+            du.max(dv)
+        };
+        let mut cands = candidates.chunks_exact(BOUND_LANES);
+        let mut outs = out.chunks_exact_mut(BOUND_LANES);
+        for (cs, os) in (&mut cands).zip(&mut outs) {
+            for lane in 0..BOUND_LANES {
+                os[lane] = dist(cs[lane] as usize);
+            }
+        }
+        for (&y, o) in cands.remainder().iter().zip(outs.into_remainder()) {
+            *o = dist(y as usize);
+        }
     }
 
     /// The Elmore delay (ps) below node `i`.
@@ -288,6 +347,50 @@ mod tests {
                 assert_eq!(arena.state(k), states[k]);
                 assert_eq!(arena.distance(a, b), states[a].distance(&states[b]));
                 assert_eq!(arena.center(k), states[k].ms.center());
+            }
+        }
+    }
+
+    /// The batched distance kernel must agree bitwise with the per-pair
+    /// path on every (center, candidate) combination, including lane
+    /// remainders and region-vs-region (non-point) distances.
+    #[test]
+    fn distance_batch_matches_per_pair_distance_bitwise() {
+        let tech = Technology::default();
+        let sinks: Vec<Sink> = (0..23)
+            .map(|i| {
+                Sink::new(
+                    Point::new(f64::from(i * 131 % 1009), f64::from(i * 197 % 977)),
+                    0.02 + 0.01 * f64::from(i % 4),
+                )
+            })
+            .collect();
+        let mut arena = MergeArena::new(&tech, 2 * sinks.len() - 1);
+        for s in &sinks {
+            arena.push_leaf(s, None);
+        }
+        // A few merges so some nodes carry segment (non-point) regions.
+        for (a, b) in [(0usize, 1usize), (2, 3), (23, 24), (4, 25)] {
+            arena.merge_push(a, b, None).unwrap();
+        }
+        let n = arena.len();
+        let mut out = vec![0.0; n];
+        for center in 0..n {
+            let candidates: Vec<u32> = (0..n as u32).collect();
+            arena.distance_batch(center, &candidates, &mut out[..n]);
+            for (y, &got) in candidates.iter().zip(&out[..n]) {
+                let want = arena.distance(center, *y as usize);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "distance({center}, {y}): {got} vs {want}"
+                );
+            }
+            // Exercise the remainder path with a short, unaligned slice.
+            let short: Vec<u32> = (0..5).collect();
+            arena.distance_batch(center, &short, &mut out[..5]);
+            for (y, &got) in short.iter().zip(&out[..5]) {
+                assert_eq!(got.to_bits(), arena.distance(center, *y as usize).to_bits());
             }
         }
     }

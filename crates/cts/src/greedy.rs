@@ -51,6 +51,31 @@ pub trait MergeObjective: Sync {
     /// static terms).
     fn cost_lower_bound(&self, a: usize, b: usize) -> f64;
 
+    /// Batched [`cost_lower_bound`](Self::cost_lower_bound): writes the
+    /// bound of `(center, candidates[i])` into `out[i]` for every
+    /// candidate. The engine prices whole candidate sets (seed rings,
+    /// expansion rings, post-merge floods) through this method, so
+    /// implementations should stream their per-node columns in
+    /// [`BOUND_LANES`](crate::BOUND_LANES)-wide branch-free chunks that
+    /// LLVM can unroll or vectorize.
+    ///
+    /// **Contract:** each `out[i]` must be bit-identical to
+    /// `cost_lower_bound(center, candidates[i] as usize)` — the engine
+    /// mixes batched and per-pair bounds for the same node, and a single
+    /// differing bit in a heap key could reorder pops. The default
+    /// implementation simply delegates per pair.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may assume (and the default asserts) that
+    /// `candidates` and `out` have equal lengths.
+    fn bound_batch(&self, center: usize, candidates: &[u32], out: &mut [f64]) {
+        assert_eq!(candidates.len(), out.len());
+        for (o, &y) in out.iter_mut().zip(candidates) {
+            *o = self.cost_lower_bound(center, y as usize);
+        }
+    }
+
     /// Admissible lower bound on `cost(node, y)` over every **sink leaf**
     /// `y` located at Manhattan distance at least `dist` from
     /// `location(node)`. Used to price the not-yet-generated bucket-grid
@@ -89,6 +114,13 @@ pub struct GreedyStats {
     pub ring_expansions: u64,
     /// Heap entries popped, including lazily-deleted dead ones.
     pub heap_pops: u64,
+    /// [`MergeObjective::bound_batch`] invocations (seed sweeps, ring
+    /// expansions, and post-merge floods each count once).
+    pub bound_batches: u64,
+    /// Candidates whose bound lost to the center node's best known exact
+    /// cost and were parked in the deferred-candidate slab instead of
+    /// becoming heap entries.
+    pub bounds_filtered: u64,
 }
 
 /// Tuning knobs of a greedy run. All fields default to "decide at
@@ -146,14 +178,16 @@ fn alloc_count() -> u64 {
     ALLOC_PROBE.get().map_or(0, |probe| probe())
 }
 
-/// Heap-entry kinds, in tie-break order. At equal keys, ring expansions
-/// and bound entries must resolve **before** any exact entry commits, so
-/// that every pair whose true cost ties the minimum is present as an exact
-/// entry when the winner is chosen — this is what makes the pruned
-/// engine's tie-breaking identical to the exhaustive engine's.
+/// Heap-entry kinds, in tie-break order. At equal keys, every non-exact
+/// kind (expansion, deferred-slab, bound) must resolve **before** any
+/// exact entry commits, so that every pair whose true cost ties the
+/// minimum is present as an exact entry when the winner is chosen — this
+/// is what makes the pruned engine's tie-breaking identical to the
+/// exhaustive engine's.
 const KIND_EXPAND: u8 = 0;
-const KIND_BOUND: u8 = 1;
-const KIND_EXACT: u8 = 2;
+const KIND_DEFER: u8 = 1;
+const KIND_BOUND: u8 = 2;
+const KIND_EXACT: u8 = 3;
 
 /// Indices must fit in 31 bits so `(kind, a, b)` packs into one `u64` tag.
 const INDEX_BITS: u32 = 31;
@@ -170,6 +204,10 @@ const INDEX_MASK: u64 = (1 << INDEX_BITS) - 1;
 /// * `KIND_EXPAND`: generate ring `b` of leaf `a`'s bucket-grid
 ///   neighborhood; `key` bounds the cost of every not-yet-generated pair
 ///   of `a`.
+/// * `KIND_DEFER`: slab row `b` of filtered candidates of center node `a`
+///   (`b` is a row index, **not** a node); `key` is the minimum bound of
+///   the row's still-deferred candidates, so the row as a whole stays an
+///   admissible stand-in for every pair it covers.
 /// * `KIND_BOUND`: pair `(a, b)` with `key = cost_lower_bound(a, b)`.
 /// * `KIND_EXACT`: pair `(a, b)` with `key = cost(a, b)`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -210,10 +248,11 @@ impl Entry {
         }
     }
 
-    /// Whether this entry can still do useful work. Expansion entries need
-    /// only their leaf; pair entries need both endpoints.
+    /// Whether this entry can still do useful work. Expansion and deferred
+    /// entries need only their center node (`b` is a ring or slab-row
+    /// index); pair entries need both endpoints.
     fn is_live(self, alive: &[bool]) -> bool {
-        if self.kind() == KIND_EXPAND {
+        if self.kind() < KIND_BOUND {
             alive[self.a() as usize]
         } else {
             alive[self.a() as usize] && alive[self.b() as usize]
@@ -254,6 +293,11 @@ impl MinHeap {
             }
         }
         self.data[i] = entry;
+    }
+
+    /// The minimum entry, without removing it.
+    fn peek(&self) -> Option<Entry> {
+        self.data.first().copied()
     }
 
     fn pop(&mut self) -> Option<Entry> {
@@ -321,8 +365,12 @@ impl MinHeap {
 const PARALLEL_THRESHOLD: usize = 4_096;
 
 /// Grid rings generated per leaf before the first expansion entry takes
-/// over (ring 0 is the leaf's own cell).
-const INITIAL_RINGS: usize = 1;
+/// over (ring 0 is the leaf's own cell). Seed rings are priced by the
+/// parallel kernel sweep outside the merge loop, so a generous radius
+/// trades cheap up-front pricing for in-loop expansion pops — under the
+/// switched-capacitance objective, whose slow-growing bounds otherwise
+/// keep expansion entries surfacing for most of the run.
+const INITIAL_RINGS: usize = 6;
 
 /// Hard cap on worker threads (diminishing returns past the memory
 /// bandwidth of one socket).
@@ -332,18 +380,132 @@ const MAX_THREADS: usize = 16;
 /// else the `GCR_THREADS` environment variable, else
 /// `available_parallelism()`; clamped to `1..=MAX_THREADS`. Called once
 /// per run (reading the environment allocates).
+///
+/// An unparsable `GCR_THREADS` is **rejected**, not silently ignored: it
+/// warns once and resolves to 1, so a typo in a CI timing run pins the
+/// engine instead of picking up ambient parallelism.
 fn resolve_threads(params: &GreedyParams) -> usize {
     params
         .threads
-        .or_else(|| {
-            std::env::var("GCR_THREADS")
-                .ok()
-                .and_then(|s| s.trim().parse().ok())
+        .or_else(|| match std::env::var("GCR_THREADS") {
+            Ok(s) => match s.trim().parse() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    eprintln!(
+                        "gcr-cts: unparsable GCR_THREADS value {s:?}; running single-threaded"
+                    );
+                    Some(1)
+                }
+            },
+            Err(_) => None,
         })
         .unwrap_or_else(|| {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         })
         .clamp(1, MAX_THREADS)
+}
+
+/// One row of the deferred-candidate slab: `(bound, partner)` candidates
+/// of `center` (the `a` of the owning `KIND_DEFER` entry) in the slab
+/// range `start..start + len`. Rows are written unordered (floods are
+/// the hot path and most rows are never reopened) and turned into a
+/// binary min-heap lazily on the first deferred pop; reopens then
+/// extract candidates in bound order at `O(log len)` apiece, shrinking
+/// `len` in place.
+///
+/// A `truncated` row holds only the [`ROW_KEEP`] cheapest candidates of
+/// its flood batch; `thresh`/`tpartner` record the `(bound, partner)`
+/// cutoff of what it kept. Draining one re-prices its center against the
+/// current live set, keeping only candidates strictly above the cutoff —
+/// the cutoff rises with every re-flood, so the row converges instead of
+/// re-materializing pairs it already surfaced.
+#[derive(Clone, Copy, Debug)]
+struct SlabRow {
+    start: u32,
+    len: u32,
+    thresh: f64,
+    tpartner: u32,
+    heaped: bool,
+    truncated: bool,
+}
+
+/// Append-only storage for candidates whose bounds lost to their center
+/// node's best known exact cost. Row ranges never move once pushed (only
+/// their `cursor` advances), and the backing vectors retain their
+/// high-water capacity across runs, preserving the zero-allocation warm
+/// loop.
+#[derive(Clone, Debug, Default)]
+struct CandidateSlab {
+    /// `(bound, partner)` pairs, grouped by row.
+    items: Vec<(f64, u32)>,
+    rows: Vec<SlabRow>,
+}
+
+impl CandidateSlab {
+    fn clear(&mut self) {
+        self.items.clear();
+        self.rows.clear();
+    }
+}
+
+/// Minimum number of slab candidates a deferred pop materializes (when
+/// that many remain). Reopening a row costs a heap pop and a re-push, so
+/// draining strictly by need — often a single candidate per pop — would
+/// thrash the heap; batching keeps reopen traffic negligible while still
+/// materializing only a sliver of each row.
+const DEFER_BATCH: usize = 16;
+
+/// Maximum number of candidates one reopen materializes. The reopen
+/// window extends to the center's best known exact cost, and under the
+/// switched-capacitance objective (whose lower bounds sit far below the
+/// exact costs) that window can span most of a row; the cap keeps a
+/// single pop from flooding the heap with entries whose endpoints will
+/// be dead by the time they surface.
+const DEFER_CAP: usize = 64;
+
+/// Number of candidates a truncated flood row retains. Flood batches
+/// span the whole live set, but only the cheapest few bounds ever become
+/// competitive before the center itself merges; keeping a fixed-size
+/// prefix keeps the slab inside the cache instead of growing
+/// quadratically with the instance.
+const ROW_KEEP: usize = 64;
+
+/// Maximum rings one `KIND_EXPAND` pop consumes. Batching rings whose
+/// keys fall inside the run-ahead window trades a bounded amount of
+/// eager pricing for a proportional drop in heap pop/push cycles; the
+/// cap keeps a pathologically wide window from dragging a whole quadrant
+/// into one batch.
+const RING_GATHER: usize = 16;
+
+/// `(bound, partner)` ordering of the per-row min-heaps — the same
+/// `(key, index)` tie-break the main heap uses, keeping extraction order
+/// fully deterministic.
+fn row_lt(p: (f64, u32), q: (f64, u32)) -> bool {
+    p.0.total_cmp(&q.0).then(p.1.cmp(&q.1)).is_lt()
+}
+
+/// Restores the min-heap invariant of `items` downward from slot `i`.
+fn row_sift_down(items: &mut [(f64, u32)], mut i: usize) {
+    loop {
+        let mut m = i;
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < items.len() && row_lt(items[c], items[m]) {
+                m = c;
+            }
+        }
+        if m == i {
+            return;
+        }
+        items.swap(i, m);
+        i = m;
+    }
+}
+
+/// Floyd heap construction: `O(len)`, run once per row on first reopen.
+fn row_heapify(items: &mut [(f64, u32)]) {
+    for i in (0..items.len() / 2).rev() {
+        row_sift_down(items, i);
+    }
 }
 
 /// Reusable buffers of the greedy engines. Constructing one per run
@@ -361,6 +523,19 @@ pub struct GreedyScratch {
     entries: Vec<Entry>,
     locations: Vec<Point>,
     merges: Vec<(usize, usize)>,
+    /// Candidate node indices of the batch currently being priced.
+    cand: Vec<u32>,
+    /// Per-leaf offsets into `cand` during the seed sweep (CSR layout).
+    cand_starts: Vec<u32>,
+    /// `bound_batch` output column, parallel to `cand`.
+    bounds: Vec<f64>,
+    /// Best known exact cost touching each node (+∞ until its first
+    /// exact evaluation) — the filtering threshold of the pruned engine.
+    best_seen: Vec<f64>,
+    /// `(bound, candidate)` staging buffer for the truncation quickselect
+    /// in [`defer_row`].
+    selbuf: Vec<(f64, u32)>,
+    slab: CandidateSlab,
 }
 
 impl GreedyScratch {
@@ -386,34 +561,36 @@ impl GreedyScratch {
         self.entries.clear();
         self.locations.clear();
         self.merges.clear();
+        self.cand.clear();
+        self.cand_starts.clear();
+        self.bounds.clear();
+        self.best_seen.clear();
+        self.best_seen.resize(total, f64::INFINITY);
+        self.selbuf.clear();
+        self.slab.clear();
     }
 }
 
-/// Evaluates every pair — `cost` for `KIND_EXACT` entries,
-/// `cost_lower_bound` for `KIND_BOUND` — appending the entries to `out`.
-/// Batches of at least [`PARALLEL_THRESHOLD`] fan out across `threads`
-/// workers. Deterministic: per-pair results do not depend on evaluation
-/// order, and the heap's strict total order makes the pop sequence
-/// independent of insertion order.
+/// Evaluates the exact cost of every pair, appending `KIND_EXACT` entries
+/// to `out` (the exhaustive engine's batch path). Batches of at least
+/// [`PARALLEL_THRESHOLD`] fan out across `threads` workers.
+/// Deterministic: per-pair results do not depend on evaluation order, and
+/// the heap's strict total order makes the pop sequence independent of
+/// insertion order.
 #[expect(
     clippy::expect_used,
     reason = "a panicking cost worker must propagate, not be swallowed"
 )]
-fn evaluate_pairs_into<O: MergeObjective>(
+fn evaluate_exact_pairs_into<O: MergeObjective>(
     objective: &O,
     pairs: &[(u32, u32)],
-    kind: u8,
     threads: usize,
     out: &mut Vec<Entry>,
 ) {
     let eval = move |&(a, b): &(u32, u32)| {
-        let key = if kind == KIND_EXACT {
-            objective.cost(a as usize, b as usize)
-        } else {
-            objective.cost_lower_bound(a as usize, b as usize)
-        };
+        let key = objective.cost(a as usize, b as usize);
         assert!(!key.is_nan(), "merge cost of ({a}, {b}) is NaN");
-        Entry::new(key, kind, a, b)
+        Entry::new(key, KIND_EXACT, a, b)
     };
     if pairs.len() < PARALLEL_THRESHOLD || threads == 1 {
         out.extend(pairs.iter().map(eval));
@@ -429,6 +606,246 @@ fn evaluate_pairs_into<O: MergeObjective>(
             out.extend(handle.join().expect("cost worker panicked"));
         }
     });
+}
+
+/// Prices one center node against a candidate batch via
+/// [`MergeObjective::bound_batch`], sharding the batch across `threads`
+/// workers when it is at least [`PARALLEL_THRESHOLD`] long. Each worker
+/// writes a disjoint `bounds` sub-slice, so the output is independent of
+/// the sharding (and of `threads`).
+fn bound_batch_sharded<O: MergeObjective>(
+    objective: &O,
+    center: usize,
+    candidates: &[u32],
+    bounds: &mut [f64],
+    threads: usize,
+) {
+    if candidates.len() < PARALLEL_THRESHOLD || threads == 1 {
+        objective.bound_batch(center, candidates, bounds);
+        return;
+    }
+    let chunk = candidates.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (cs, bs) in candidates.chunks(chunk).zip(bounds.chunks_mut(chunk)) {
+            scope.spawn(move || objective.bound_batch(center, cs, bs));
+        }
+    });
+}
+
+/// Prices the seed phase's per-leaf candidate lists (CSR layout:
+/// `starts[x]..starts[x + 1]` indexes `cand` for leaf `x`) with one
+/// [`MergeObjective::bound_batch`] call per leaf, fanning contiguous leaf
+/// ranges across `threads` workers when the flood is large. Results are
+/// independent of the leaf partitioning.
+fn seed_bound_batches<O: MergeObjective>(
+    objective: &O,
+    cand: &[u32],
+    starts: &[u32],
+    bounds: &mut [f64],
+    threads: usize,
+) {
+    let num_centers = starts.len() - 1;
+    let price_range = |range: std::ops::Range<usize>, out: &mut [f64]| {
+        let base = starts[range.start] as usize;
+        for x in range {
+            let (s, e) = (starts[x] as usize, starts[x + 1] as usize);
+            if e > s {
+                objective.bound_batch(x, &cand[s..e], &mut out[s - base..e - base]);
+            }
+        }
+    };
+    if cand.len() < PARALLEL_THRESHOLD || threads == 1 {
+        price_range(0..num_centers, bounds);
+        return;
+    }
+    let price_range = &price_range;
+    std::thread::scope(|scope| {
+        let mut rest = bounds;
+        let mut begin = 0;
+        for t in 0..threads {
+            let end = ((t + 1) * num_centers) / threads;
+            if end <= begin {
+                continue;
+            }
+            let len = (starts[end] - starts[begin]) as usize;
+            let (mine, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let range = begin..end;
+            scope.spawn(move || price_range(range, mine));
+            begin = end;
+        }
+    });
+}
+
+/// Routes one priced candidate batch of `center`: the minimum bound goes
+/// straight to the heap (it is the candidate a greedy commit will want,
+/// so parking it would only force a row reopen later), and the rest are
+/// parked in a fresh slab row covered by a single `KIND_DEFER` entry
+/// keyed at the remainder's minimum bound — an admissible stand-in for
+/// every parked pair, so deferral never changes the committed merges. No
+/// parked candidate touches the heap until the row's key actually
+/// surfaces; rows whose center merges first cost one lazy-deleted pop in
+/// total.
+///
+/// With `truncate` set (flood batches), only the [`ROW_KEEP`] cheapest
+/// candidates are stored; the rest stay representable by the row's
+/// cutoff and are re-priced on demand. `floor` (from a draining
+/// truncated row) drops every candidate at or below the previous cutoff,
+/// keeping re-floods disjoint from what earlier rows already surfaced.
+#[allow(clippy::too_many_arguments)]
+fn defer_row(
+    heap: &mut MinHeap,
+    slab: &mut CandidateSlab,
+    selbuf: &mut Vec<(f64, u32)>,
+    stats: &mut GreedyStats,
+    center: u32,
+    cand: &[u32],
+    bounds: &[f64],
+    truncate: bool,
+    floor: Option<(f64, u32)>,
+) {
+    // Sentinel form of the floor cutoff: with no floor, every finite key
+    // beats `-inf` in one predictable comparison, so the filter costs
+    // nothing on the (dominant) un-floored flood path.
+    let (fkey, fy) = floor.unwrap_or((f64::NEG_INFINITY, 0));
+    let below_floor = |key: f64, y: u32| key <= fkey && !row_lt((fkey, fy), (key, y));
+    if !truncate {
+        // Small batch (seed ring / expansion ring): store verbatim.
+        let mut lead = (f64::INFINITY, u32::MAX);
+        let mut k = 0_usize;
+        for (&y, &key) in cand.iter().zip(bounds) {
+            assert!(!key.is_nan(), "merge bound of ({y}, {center}) is NaN");
+            if below_floor(key, y) {
+                continue;
+            }
+            k += 1;
+            if row_lt((key, y), lead) {
+                lead = (key, y);
+            }
+        }
+        if k == 0 {
+            return;
+        }
+        push_bound(heap, center, lead.1, lead.0);
+        let row_start = slab.items.len();
+        let mut deferred_min = (f64::INFINITY, u32::MAX);
+        let mut skipped_lead = false;
+        for (&y, &key) in cand.iter().zip(bounds) {
+            if below_floor(key, y) {
+                continue;
+            }
+            if !skipped_lead && (key, y) == lead {
+                skipped_lead = true;
+                continue;
+            }
+            slab.items.push((key, y));
+            if row_lt((key, y), deferred_min) {
+                deferred_min = (key, y);
+            }
+        }
+        finish_row(
+            heap,
+            slab,
+            stats,
+            center,
+            row_start,
+            deferred_min.0,
+            false,
+            (0.0, 0),
+        );
+        return;
+    }
+    // Truncation path: stage the batch, then one quickselect puts the
+    // ROW_KEEP + 1 cheapest candidates (under `row_lt`) in front — O(n)
+    // with no per-item heap churn, and the pivot element itself is the
+    // cutoff every discarded candidate strictly exceeds, which is what
+    // lets a future re-flood reconstruct exactly the tail this row never
+    // held.
+    selbuf.clear();
+    for (&y, &key) in cand.iter().zip(bounds) {
+        assert!(!key.is_nan(), "merge bound of ({y}, {center}) is NaN");
+        if below_floor(key, y) {
+            continue;
+        }
+        selbuf.push((key, y));
+    }
+    if selbuf.is_empty() {
+        return;
+    }
+    let truncated = selbuf.len() > ROW_KEEP + 1;
+    let mut cutoff = (0.0, 0);
+    if truncated {
+        selbuf.select_nth_unstable_by(ROW_KEEP, |p, q| p.0.total_cmp(&q.0).then(p.1.cmp(&q.1)));
+        cutoff = selbuf[ROW_KEEP];
+        selbuf.truncate(ROW_KEEP + 1);
+    }
+    let mut best_i = 0;
+    for i in 1..selbuf.len() {
+        if row_lt(selbuf[i], selbuf[best_i]) {
+            best_i = i;
+        }
+    }
+    let (lead_key, lead) = selbuf[best_i];
+    push_bound(heap, center, lead, lead_key);
+    let row_start = slab.items.len();
+    let mut deferred_min = (f64::INFINITY, u32::MAX);
+    for (i, &item) in selbuf.iter().enumerate() {
+        if i == best_i {
+            continue;
+        }
+        slab.items.push(item);
+        if row_lt(item, deferred_min) {
+            deferred_min = item;
+        }
+    }
+    finish_row(
+        heap,
+        slab,
+        stats,
+        center,
+        row_start,
+        deferred_min.0,
+        truncated,
+        cutoff,
+    );
+}
+
+/// Pushes the `KIND_BOUND` entry of `(center, y)` in canonical `(lo, hi)`
+/// orientation.
+fn push_bound(heap: &mut MinHeap, center: u32, y: u32, key: f64) {
+    let (lo, hi) = if y < center { (y, center) } else { (center, y) };
+    heap.push(Entry::new(key, KIND_BOUND, lo, hi));
+}
+
+/// Seals a slab row started at `row_start` and pushes its covering
+/// `KIND_DEFER` entry (a no-op for an empty, non-truncated row).
+#[allow(clippy::too_many_arguments)]
+fn finish_row(
+    heap: &mut MinHeap,
+    slab: &mut CandidateSlab,
+    stats: &mut GreedyStats,
+    center: u32,
+    row_start: usize,
+    deferred_min: f64,
+    truncated: bool,
+    cutoff: (f64, u32),
+) {
+    let len = slab.items.len() - row_start;
+    if len == 0 && !truncated {
+        return;
+    }
+    let row_id = slab.rows.len() as u32;
+    debug_assert!(u64::from(row_id) <= INDEX_MASK);
+    slab.rows.push(SlabRow {
+        start: row_start as u32,
+        len: len as u32,
+        thresh: cutoff.0,
+        tpartner: cutoff.1,
+        heaped: false,
+        truncated,
+    });
+    stats.bounds_filtered += len as u64;
+    heap.push(Entry::new(deferred_min, KIND_DEFER, center, row_id));
 }
 
 /// Heap key of leaf `x`'s next expansion entry, which stands in for every
@@ -460,7 +877,14 @@ fn expansion_key<O: MergeObjective>(
 /// lower bounds generated from a bucket grid over the sink locations
 /// (Edahiro \[3\]) in on-demand expansion rings, and the exact cost is
 /// computed only when a bound surfaces at the top of the heap — i.e. only
-/// when it is competitive with the best known exact cost. Best-first
+/// when it is competitive with the best known exact cost. Candidate
+/// batches (seed rings, ring expansions, post-merge floods) are priced by
+/// the objective's vectorized [`bound_batch`](MergeObjective::bound_batch)
+/// kernel, and only each batch's cheapest candidate becomes a heap entry;
+/// the rest wait in a slab row covered by a single deferred entry keyed
+/// at their minimum bound, released in small batches only when that
+/// minimum becomes competitive with the center's best known cost (see
+/// docs/performance.md §Bound kernels and candidate filtering). Best-first
 /// search with admissible bounds commits exactly the merges of
 /// [`run_greedy_exhaustive`], bit-identically (see
 /// [`MergeObjective`]'s exactness contract), while evaluating a small
@@ -517,9 +941,9 @@ pub fn run_greedy_instrumented<O: MergeObjective>(
 /// packed heap entries.
 #[expect(
     clippy::expect_used,
-    reason = "every live pair is covered by a bound, exact, or expansion \
-              entry until one root remains (see the coverage argument in \
-              docs/algorithms.md §Candidate pruning)"
+    reason = "every live pair is covered by a bound, exact, expansion, or \
+              deferred entry until one root remains (see the coverage \
+              argument in docs/algorithms.md §Candidate pruning)"
 )]
 pub fn run_greedy_with_scratch<O: MergeObjective>(
     num_leaves: usize,
@@ -550,30 +974,37 @@ pub fn run_greedy_with_scratch<O: MergeObjective>(
         alive,
         live,
         members,
-        batch,
-        entries,
         locations,
         merges,
+        cand,
+        cand_starts,
+        bounds,
+        best_seen,
+        selbuf,
+        slab,
+        ..
     } = scratch;
 
     locations.extend((0..num_leaves).map(|i| objective.location(i)));
-    let grid = BucketGrid::build(locations);
+    let mut grid = BucketGrid::build(locations);
 
-    // Seed: every leaf's nearby rings as bound entries (each pair once,
+    // Seed: every leaf's nearby rings as one slab row (each pair once,
     // from its lower-index endpoint), plus one expansion entry per leaf
-    // standing in for all farther partners. Entries are built directly in
-    // the heap's storage, then heapified in one O(n) pass.
+    // standing in for all farther partners. Candidate lists are gathered
+    // into one flat CSR batch, priced by the vectorized bound kernels
+    // (fanned across the worker pool on large instances), then parked in
+    // the slab — the heap starts with two entries per leaf and only ever
+    // sees candidates whose bounds actually become competitive.
+    cand_starts.push(0);
     for (x, &loc) in locations.iter().enumerate() {
         for ring in 0..=INITIAL_RINGS {
+            stats.ring_expansions += 1;
             grid.ring_members(loc, ring, members);
-            for &y in &*members {
-                if (y as usize) > x {
-                    batch.push((x as u32, y));
-                }
-            }
+            cand.extend(members.iter().copied().filter(|&y| (y as usize) > x));
         }
+        cand_starts.push(cand.len() as u32);
         if let Some(key) = expansion_key(&*objective, &grid, x, loc, INITIAL_RINGS + 1) {
-            heap.data.push(Entry::new(
+            heap.push(Entry::new(
                 key,
                 KIND_EXPAND,
                 x as u32,
@@ -581,15 +1012,33 @@ pub fn run_greedy_with_scratch<O: MergeObjective>(
             ));
         }
     }
-    stats.bound_evals += batch.len() as u64;
-    evaluate_pairs_into(&*objective, batch, KIND_BOUND, threads, &mut heap.data);
-    heap.rebuild();
+    stats.bound_evals += cand.len() as u64;
+    stats.bound_batches += cand_starts.windows(2).filter(|w| w[1] > w[0]).count() as u64;
+    bounds.resize(cand.len(), 0.0);
+    seed_bound_batches(&*objective, cand, cand_starts, bounds, threads);
+    for x in 0..num_leaves {
+        let (s, e) = (cand_starts[x] as usize, cand_starts[x + 1] as usize);
+        defer_row(
+            heap,
+            slab,
+            selbuf,
+            &mut stats,
+            x as u32,
+            &cand[s..e],
+            &bounds[s..e],
+            false,
+            None,
+        );
+    }
     profile.seed_ms = seed_start.elapsed().as_secs_f64() * 1e3;
     profile.seed_allocs = alloc_count() - seed_allocs0;
 
     let loop_start = Instant::now();
     let loop_allocs0 = alloc_count();
     let mut next = num_leaves;
+    // Live *leaf* count, used to retire ring expansions whose perimeter
+    // sweeps would outcost a flat sweep over the surviving leaves.
+    let mut live_leaves = num_leaves;
     // Compact the heap (drop lazily-deleted entries) whenever it doubles
     // past the last compacted size — amortized O(total work) while keeping
     // the heap within a constant factor of its live contents.
@@ -604,20 +1053,153 @@ pub fn run_greedy_with_scratch<O: MergeObjective>(
                 if !alive[x] {
                     continue;
                 }
-                let ring = b as usize;
-                stats.ring_expansions += 1;
-                grid.ring_members(locations[x], ring, members);
-                for &y in &*members {
-                    let yi = y as usize;
-                    if yi > x && alive[yi] {
-                        let key = objective.cost_lower_bound(x, yi);
-                        stats.bound_evals += 1;
-                        assert!(!key.is_nan(), "merge bound of ({x}, {yi}) is NaN");
-                        heap.push(Entry::new(key, KIND_BOUND, a, y));
+                let mut ring = b as usize;
+                // Ring sweeps pay off while live leaves are dense; once a
+                // ring's perimeter holds more cells than there are live
+                // leaves left, pricing every remaining leaf in one kernel
+                // sweep is cheaper than chasing them ring by ring — and
+                // it retires this leaf's expansion entry for good, since
+                // afterwards every pair of `x` is priced and parked.
+                if live_leaves <= 8 * ring {
+                    cand.clear();
+                    cand.extend(
+                        live.iter()
+                            .copied()
+                            .filter(|&y| (y as usize) < num_leaves && (y as usize) > x),
+                    );
+                    if !cand.is_empty() {
+                        bounds.clear();
+                        bounds.resize(cand.len(), 0.0);
+                        objective.bound_batch(x, cand, bounds);
+                        stats.bound_batches += 1;
+                        stats.bound_evals += cand.len() as u64;
+                        defer_row(heap, slab, selbuf, &mut stats, a, cand, bounds, false, None);
+                    }
+                    continue;
+                }
+                // Gather several rings per pop. A ring whose expansion
+                // key is below the next heap entry would pop right back
+                // as the very next entry anyway, and one inside the
+                // center's best known exact cost is all but certain to
+                // pop before `x` merges; consuming those rings now — one
+                // combined kernel batch and one slab row instead of a
+                // pop/push cycle per ring — removes heap traffic without
+                // changing the committed merges (pricing extra pairs at
+                // admissible keys never can).
+                let mut tau = heap.peek().map_or(entry.key, |top| entry.key.max(top.key));
+                if best_seen[x].is_finite() {
+                    tau = tau.max(best_seen[x]);
+                }
+                cand.clear();
+                let mut gathered = 0_usize;
+                let next_key = loop {
+                    stats.ring_expansions += 1;
+                    grid.ring_members(locations[x], ring, members);
+                    cand.extend(
+                        members
+                            .iter()
+                            .copied()
+                            .filter(|&y| (y as usize) > x && alive[y as usize]),
+                    );
+                    gathered += 1;
+                    ring += 1;
+                    let next = expansion_key(&*objective, &grid, x, locations[x], ring);
+                    match next {
+                        Some(key)
+                            if key <= tau && gathered < RING_GATHER && cand.len() < ROW_KEEP =>
+                        {
+                            continue;
+                        }
+                        _ => break next,
+                    }
+                };
+                if !cand.is_empty() {
+                    bounds.clear();
+                    bounds.resize(cand.len(), 0.0);
+                    objective.bound_batch(x, cand, bounds);
+                    stats.bound_batches += 1;
+                    stats.bound_evals += cand.len() as u64;
+                    defer_row(heap, slab, selbuf, &mut stats, a, cand, bounds, false, None);
+                }
+                if let Some(key) = next_key {
+                    heap.push(Entry::new(key, KIND_EXPAND, a, ring as u32));
+                }
+            }
+            KIND_DEFER => {
+                let center = a as usize;
+                if !alive[center] {
+                    continue; // lazy deletion
+                }
+                // Re-open the slab row: the popped key (the row's minimum
+                // remaining bound) is now competitive. Heapify the row on
+                // first reopen, then extract candidates in bound order —
+                // up to the center's best known exact cost, and at least
+                // DEFER_BATCH live candidates, so a row drained under
+                // heap pressure doesn't thrash one pop per candidate —
+                // and re-cover the remainder at its minimum bound.
+                let row = slab.rows[b as usize];
+                let start = row.start as usize;
+                let mut len = row.len as usize;
+                if !row.heaped {
+                    row_heapify(&mut slab.items[start..start + len]);
+                }
+                let tau = if best_seen[center].is_finite() {
+                    entry.key.max(best_seen[center])
+                } else {
+                    entry.key
+                };
+                let mut pushed = 0usize;
+                while len > 0 && pushed < DEFER_CAP {
+                    let (key, y) = slab.items[start];
+                    if key > tau && pushed >= DEFER_BATCH {
+                        break;
+                    }
+                    slab.items[start] = slab.items[start + len - 1];
+                    len -= 1;
+                    row_sift_down(&mut slab.items[start..start + len], 0);
+                    if alive[y as usize] {
+                        let (lo, hi) = if y < a { (y, a) } else { (a, y) };
+                        heap.push(Entry::new(key, KIND_BOUND, lo, hi));
+                        pushed += 1;
                     }
                 }
-                if let Some(key) = expansion_key(&*objective, &grid, x, locations[x], ring + 1) {
-                    heap.push(Entry::new(key, KIND_EXPAND, a, (ring + 1) as u32));
+                stats.bounds_filtered -= pushed as u64;
+                slab.rows[b as usize] = SlabRow {
+                    len: len as u32,
+                    heaped: true,
+                    ..row
+                };
+                if len > 0 {
+                    heap.push(Entry::new(slab.items[start].0, KIND_DEFER, a, b));
+                } else if row.truncated {
+                    // The stored prefix is spent but the flood this row
+                    // came from was truncated: re-price the center
+                    // against the current live set, keeping only
+                    // candidates strictly above the recorded cutoff.
+                    // Everything at or below it was either stored here
+                    // or is covered by a younger node's own flood row,
+                    // and the cutoff rises strictly per re-flood, so
+                    // this converges.
+                    cand.clear();
+                    cand.extend(live.iter().copied().filter(|&y| y != a));
+                    if !cand.is_empty() {
+                        bounds.clear();
+                        bounds.resize(cand.len(), 0.0);
+                        bound_batch_sharded(&*objective, center, cand, bounds, threads);
+                        stats.bound_batches += 1;
+                        stats.bound_evals += cand.len() as u64;
+                        defer_row(
+                            heap,
+                            slab,
+                            selbuf,
+                            &mut stats,
+                            a,
+                            cand,
+                            bounds,
+                            true,
+                            Some((row.thresh, row.tpartner)),
+                        );
+                    }
                 }
             }
             KIND_BOUND => {
@@ -628,6 +1210,8 @@ pub fn run_greedy_with_scratch<O: MergeObjective>(
                 let key = objective.cost(x, y);
                 stats.exact_cost_evals += 1;
                 assert!(!key.is_nan(), "merge cost of ({x}, {y}) is NaN");
+                best_seen[x] = best_seen[x].min(key);
+                best_seen[y] = best_seen[y].min(key);
                 heap.push(Entry::new(key, KIND_EXACT, a, b));
             }
             _ => {
@@ -637,16 +1221,42 @@ pub fn run_greedy_with_scratch<O: MergeObjective>(
                 }
                 alive[x] = false;
                 alive[y] = false;
+                // Retire dead leaves from the bucket grid so later ring
+                // sweeps skip their cells entirely.
+                if x < num_leaves {
+                    live_leaves -= 1;
+                    grid.mark_dead(x);
+                }
+                if y < num_leaves {
+                    live_leaves -= 1;
+                    grid.mark_dead(y);
+                }
                 objective.merge(x, y, next)?;
                 merges.push((x, y));
                 live.retain(|&n| alive[n as usize]);
-                batch.clear();
-                batch.extend(live.iter().map(|&n| (n, next as u32)));
-                stats.bound_evals += batch.len() as u64;
-                entries.clear();
-                evaluate_pairs_into(&*objective, batch, KIND_BOUND, threads, entries);
-                for &e in &*entries {
-                    heap.push(e);
+                // Flood: price the new node against the whole live set in
+                // one kernel sweep and park the entire batch in the slab.
+                // Nothing reaches the heap unless the row's minimum bound
+                // becomes competitive before the new node itself merges.
+                cand.clear();
+                cand.extend_from_slice(live);
+                if !cand.is_empty() {
+                    bounds.clear();
+                    bounds.resize(cand.len(), 0.0);
+                    bound_batch_sharded(&*objective, next, cand, bounds, threads);
+                    stats.bound_batches += 1;
+                    stats.bound_evals += cand.len() as u64;
+                    defer_row(
+                        heap,
+                        slab,
+                        selbuf,
+                        &mut stats,
+                        next as u32,
+                        cand,
+                        bounds,
+                        true,
+                        None,
+                    );
                 }
                 alive[next] = true;
                 live.push(next as u32);
@@ -754,7 +1364,7 @@ pub fn run_greedy_exhaustive_with_scratch<O: MergeObjective>(
         }
     }
     stats.exact_cost_evals += batch.len() as u64;
-    evaluate_pairs_into(&*objective, batch, KIND_EXACT, threads, &mut heap.data);
+    evaluate_exact_pairs_into(&*objective, batch, threads, &mut heap.data);
     heap.rebuild();
     profile.seed_ms = seed_start.elapsed().as_secs_f64() * 1e3;
     profile.seed_allocs = alloc_count() - seed_allocs0;
@@ -778,7 +1388,7 @@ pub fn run_greedy_exhaustive_with_scratch<O: MergeObjective>(
         batch.extend(live.iter().map(|&n| (n, next as u32)));
         stats.exact_cost_evals += batch.len() as u64;
         entries.clear();
-        evaluate_pairs_into(&*objective, batch, KIND_EXACT, threads, entries);
+        evaluate_exact_pairs_into(&*objective, batch, threads, entries);
         for &e in &*entries {
             heap.push(e);
         }
@@ -1060,6 +1670,8 @@ mod tests {
             (KIND_EXPAND, 0u32, 0u32),
             (KIND_EXPAND, 0, 1),
             (KIND_EXPAND, 7, 2),
+            (KIND_DEFER, 0, 0),
+            (KIND_DEFER, 3, 9),
             (KIND_BOUND, 0, 0),
             (KIND_BOUND, 0, (1 << 31) - 1),
             (KIND_BOUND, 1, 0),
@@ -1085,9 +1697,12 @@ mod tests {
         h.push(Entry::new(5.0, KIND_EXACT, 0, 1));
         h.push(Entry::new(1.0, KIND_EXACT, 2, 3));
         h.push(Entry::new(1.0, KIND_BOUND, 4, 5));
+        h.push(Entry::new(1.0, KIND_DEFER, 5, 0));
         h.push(Entry::new(1.0, KIND_EXPAND, 6, 2));
-        // Equal keys: expansion, then bound, then exact.
+        // Equal keys: expansion, then deferred, then bound, then exact —
+        // every non-exact kind resolves before a commit at the same key.
         assert_eq!(h.pop().unwrap().kind(), KIND_EXPAND);
+        assert_eq!(h.pop().unwrap().kind(), KIND_DEFER);
         assert_eq!(h.pop().unwrap().kind(), KIND_BOUND);
         assert_eq!(h.pop().unwrap().kind(), KIND_EXACT);
         assert_eq!(h.pop().unwrap().key, 5.0);
@@ -1141,6 +1756,9 @@ mod tests {
                 ));
             }
             full.push(Entry::new(f64::from(a % 3), KIND_EXPAND, a, 2));
+            // Deferred entries are live iff their center is — `b` is a slab
+            // row index, not a node, and must not affect liveness.
+            full.push(Entry::new(f64::from(a % 5), KIND_DEFER, a, 3));
         }
         let mut compacted = full.clone();
         compacted.retain_live(&alive);

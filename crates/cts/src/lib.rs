@@ -68,7 +68,7 @@ mod sink;
 mod topology;
 mod tree;
 
-pub use arena::{clone_preserving_capacity, MergeArena};
+pub use arena::{clone_preserving_capacity, MergeArena, BOUND_LANES};
 pub use bst::{bounded_skew_merge, embed_bounded_skew, BstOutcome, BstState};
 pub use design_io::{load_design, save_design, LoadedDesign};
 pub use embed::{embed, embed_sized, DeviceAssignment};

@@ -30,6 +30,16 @@ pub struct BucketGrid {
     starts: Vec<u32>,
     /// Point indices, grouped by cell, ascending within each cell.
     items: Vec<u32>,
+    /// One occupancy bit per cell (row-major, `words_per_row` words per
+    /// row), set while the cell still holds at least one live point.
+    /// Ring sweeps walk set bits instead of visiting every perimeter
+    /// cell, so sweeps over dead regions cost a few word reads.
+    occupied: Vec<u64>,
+    words_per_row: usize,
+    /// Live points remaining per cell ([`Self::mark_dead`] decrements).
+    cell_live: Vec<u32>,
+    /// Cell index of each point, for O(1) removal.
+    point_cell: Vec<u32>,
 }
 
 impl BucketGrid {
@@ -64,6 +74,7 @@ impl BucketGrid {
         } else {
             Point::ORIGIN
         };
+        let words_per_row = nx.div_ceil(64);
         let mut grid = Self {
             origin,
             cell,
@@ -71,6 +82,10 @@ impl BucketGrid {
             ny,
             starts: vec![0; nx * ny + 1],
             items: vec![0; points.len()],
+            occupied: vec![0; words_per_row * ny],
+            words_per_row,
+            cell_live: vec![0; nx * ny],
+            point_cell: vec![0; points.len()],
         };
         // Counting sort into CSR: per-cell counts, prefix sums, then a
         // second pass placing each point. Scanning `points` in order both
@@ -86,11 +101,28 @@ impl BucketGrid {
         let mut cursor: Vec<u32> = grid.starts[..nx * ny].to_vec();
         for (i, &p) in points.iter().enumerate() {
             let (cx, cy) = grid.cell_of(p);
-            let slot = &mut cursor[cy * nx + cx];
+            let c = cy * nx + cx;
+            let slot = &mut cursor[c];
             grid.items[*slot as usize] = i as u32;
             *slot += 1;
+            grid.point_cell[i] = c as u32;
+            grid.cell_live[c] += 1;
+            grid.occupied[cy * words_per_row + cx / 64] |= 1_u64 << (cx % 64);
         }
         grid
+    }
+
+    /// Records that `point` is no longer live. The point stays in the CSR
+    /// arrays (callers filter dead indices themselves); what changes is
+    /// that a cell whose last live point dies stops being visited by
+    /// [`Self::ring_members`], so sweeps shrink as the live set does.
+    pub fn mark_dead(&mut self, point: usize) {
+        let c = self.point_cell[point] as usize;
+        self.cell_live[c] -= 1;
+        if self.cell_live[c] == 0 {
+            let (cx, cy) = (c % self.nx, c / self.nx);
+            self.occupied[cy * self.words_per_row + cx / 64] &= !(1_u64 << (cx % 64));
+        }
     }
 
     /// Number of cells along one axis of extent `extent`.
@@ -125,33 +157,58 @@ impl BucketGrid {
 
     /// Collects into `out` the indices of every point whose cell is at
     /// Chebyshev cell-distance exactly `ring` from `p`'s cell (`ring` 0 is
-    /// `p`'s own cell). `out` is cleared first; indices come out in
-    /// ascending order within each cell, cells scanned deterministically.
+    /// `p`'s own cell) and still holds at least one live point. `out` is
+    /// cleared first; indices come out in ascending order within each
+    /// cell, cells scanned deterministically (top row, bottom row, then
+    /// the side columns).
     pub fn ring_members(&self, p: Point, ring: usize, out: &mut Vec<u32>) {
         out.clear();
         let (cx, cy) = self.cell_of(p);
         let (cx, cy) = (cx as i64, cy as i64);
         let r = ring as i64;
-        let mut visit = |ix: i64, iy: i64| {
-            if ix >= 0 && iy >= 0 && (ix as usize) < self.nx && (iy as usize) < self.ny {
-                let c = iy as usize * self.nx + ix as usize;
+        if r == 0 {
+            self.visit_row(cy, cx, cx, out);
+            return;
+        }
+        self.visit_row(cy - r, cx - r, cx + r, out);
+        self.visit_row(cy + r, cx - r, cx + r, out);
+        for iy in (cy - r + 1)..=(cy + r - 1) {
+            self.visit_row(iy, cx - r, cx - r, out);
+            self.visit_row(iy, cx + r, cx + r, out);
+        }
+    }
+
+    /// Appends the members of every occupied cell of row `iy`, columns
+    /// `x0..=x1` (clamped to the grid), walking only the set bits of the
+    /// row's occupancy words.
+    fn visit_row(&self, iy: i64, x0: i64, x1: i64, out: &mut Vec<u32>) {
+        if iy < 0 || iy as usize >= self.ny || x1 < 0 {
+            return;
+        }
+        let iy = iy as usize;
+        let lo = x0.max(0) as usize;
+        let hi = (x1 as usize).min(self.nx - 1);
+        if lo > hi {
+            return;
+        }
+        let words = &self.occupied[iy * self.words_per_row..(iy + 1) * self.words_per_row];
+        let (w0, w1) = (lo / 64, hi / 64);
+        for (w, &word) in words.iter().enumerate().take(w1 + 1).skip(w0) {
+            let mut word = word;
+            if w == w0 {
+                word &= !0_u64 << (lo % 64);
+            }
+            if w == w1 {
+                word &= !0_u64 >> (63 - hi % 64);
+            }
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let c = iy * self.nx + w * 64 + bit;
                 out.extend_from_slice(
                     &self.items[self.starts[c] as usize..self.starts[c + 1] as usize],
                 );
             }
-        };
-        if r == 0 {
-            visit(cx, cy);
-            return;
-        }
-        // Top and bottom rows of the ring square, then the side columns.
-        for ix in (cx - r)..=(cx + r) {
-            visit(ix, cy - r);
-            visit(ix, cy + r);
-        }
-        for iy in (cy - r + 1)..=(cy + r - 1) {
-            visit(cx - r, iy);
-            visit(cx + r, iy);
         }
     }
 
@@ -205,6 +262,12 @@ impl MergeObjective for NearestNeighborObjective {
     // Manhattan distance >= dist costs at least dist.
     fn cost_lower_bound(&self, a: usize, b: usize) -> f64 {
         self.cost(a, b)
+    }
+
+    // The bound is the region distance itself, so the batched kernel is
+    // exactly the arena's columnar distance sweep.
+    fn bound_batch(&self, center: usize, candidates: &[u32], out: &mut [f64]) {
+        self.arena.distance_batch(center, candidates, out);
     }
 
     fn cost_lower_bound_at_distance(&self, _node: usize, dist: f64) -> f64 {
