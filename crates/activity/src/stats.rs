@@ -31,8 +31,24 @@ pub struct StreamStats {
     pub module_activity: Vec<f64>,
 }
 
+/// `num / den`, defined as 0 when the denominator is 0: an empty
+/// instruction stream or a zero-module universe has no activity, and a
+/// 0/0 here would otherwise surface as NaN probabilities that poison
+/// every downstream Equation-3 cost.
+fn ratio_or_zero(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
 impl StreamStats {
     /// Scans `stream` once and collects the statistics.
+    ///
+    /// Degenerate inputs produce well-defined zeros rather than NaN:
+    /// with no cycles or no modules, `avg_module_activity` and every
+    /// `module_activity` entry are 0.
     #[must_use]
     pub fn collect(rtl: &Rtl, stream: &InstructionStream) -> Self {
         let n = rtl.num_modules();
@@ -50,14 +66,20 @@ impl StreamStats {
             num_cycles: stream.len(),
             num_instructions: rtl.num_instructions(),
             num_modules: n,
-            avg_module_activity: active_total as f64 / (b * n as f64),
-            module_activity: active_cycles.iter().map(|&c| c as f64 / b).collect(),
+            avg_module_activity: ratio_or_zero(active_total as f64, b * n as f64),
+            module_activity: active_cycles
+                .iter()
+                .map(|&c| ratio_or_zero(c as f64, b))
+                .collect(),
         }
     }
 
     /// Collects the same statistics from pre-built tables (no stream scan):
     /// `P(M_j)` is the table-driven signal probability of the singleton set
     /// and the average activity is the IFT-weighted usage fraction.
+    ///
+    /// As with [`Self::collect`], a zero-module universe yields an
+    /// average activity of 0, not NaN.
     #[must_use]
     pub fn from_tables(tables: &ActivityTables) -> Self {
         let rtl = tables.rtl();
@@ -65,16 +87,15 @@ impl StreamStats {
         let module_activity: Vec<f64> = (0..n)
             .map(|m| tables.enable_stats(&ModuleSet::with_modules(n, [m])).signal)
             .collect();
-        let avg: f64 = rtl
+        let weighted: f64 = rtl
             .instruction_ids()
             .map(|i| tables.ift().probability(i) * rtl.modules_used(i).len() as f64)
-            .sum::<f64>()
-            / n as f64;
+            .sum();
         Self {
             num_cycles: 0, // unknown without the stream
             num_instructions: rtl.num_instructions(),
             num_modules: n,
-            avg_module_activity: avg,
+            avg_module_activity: ratio_or_zero(weighted, n as f64),
             module_activity,
         }
     }
@@ -132,6 +153,62 @@ mod tests {
         let stats = StreamStats::collect(&rtl, &s);
         let mean: f64 = stats.module_activity.iter().sum::<f64>() / stats.num_modules as f64;
         assert!((stats.avg_module_activity - mean).abs() < 1e-12);
+    }
+
+    /// Regression: the stats divisions must never produce NaN. The public
+    /// constructors reject empty streams and zero-module RTLs, so the
+    /// guard is exercised directly: a zero denominator yields 0, and the
+    /// smallest legal inputs stay finite end to end.
+    #[test]
+    fn degenerate_inputs_yield_zeros_not_nan() {
+        // The raw guard: 0/0 and x/0 are defined as 0.
+        assert_eq!(ratio_or_zero(0.0, 0.0), 0.0);
+        assert_eq!(ratio_or_zero(3.0, 0.0), 0.0);
+        assert!((ratio_or_zero(3.0, 4.0) - 0.75).abs() < 1e-12);
+
+        // Smallest legal inputs (B = 2 cycles, one instruction, one
+        // module): every statistic stays finite, and a module the stream
+        // never exercises reports exactly 0.
+        let rtl = Rtl::builder(2)
+            .instruction("I1", [0])
+            .unwrap()
+            .build()
+            .unwrap();
+        let s = InstructionStream::from_indices(&rtl, [0, 0]).unwrap();
+        let stats = StreamStats::collect(&rtl, &s);
+        assert!(stats.avg_module_activity.is_finite());
+        assert!(stats.module_activity.iter().all(|p| p.is_finite()));
+        assert_eq!(stats.module_activity[1], 0.0);
+
+        let tabled = StreamStats::from_tables(&ActivityTables::scan(&rtl, &s));
+        assert!(tabled.avg_module_activity.is_finite());
+        assert_eq!(tabled.module_activity[1], 0.0);
+    }
+
+    #[test]
+    fn scan_traced_reports_spans_and_counters() {
+        use gcr_trace::{MemorySink, Tracer};
+        use std::sync::Arc;
+
+        let rtl = paper_example_rtl();
+        let s = InstructionStream::from_indices(&rtl, [0, 1, 2, 3, 0, 2]).unwrap();
+        let sink = Arc::new(MemorySink::new());
+        let traced = ActivityTables::scan_traced(&rtl, &s, &Tracer::new(sink.clone()));
+        let plain = ActivityTables::scan(&rtl, &s);
+        assert_eq!(traced.ift(), plain.ift());
+        assert_eq!(traced.itmatt(), plain.itmatt());
+        let nesting = sink.nesting().unwrap();
+        assert_eq!(
+            nesting,
+            vec![
+                ("activity.scan", 0),
+                ("activity.ift", 1),
+                ("activity.itmatt", 1)
+            ]
+        );
+        assert_eq!(sink.counter("activity.cycles"), Some(6.0));
+        assert_eq!(sink.counter("activity.instructions"), Some(4.0));
+        assert_eq!(sink.counter("activity.modules"), Some(6.0));
     }
 
     #[test]

@@ -178,10 +178,30 @@ impl ActivityTables {
     /// Builds both tables with a single O(B) scan of `stream`.
     #[must_use]
     pub fn scan(rtl: &Rtl, stream: &InstructionStream) -> Self {
+        Self::scan_traced(rtl, stream, &gcr_trace::Tracer::disabled())
+    }
+
+    /// As [`Self::scan`], reporting per-table spans and size counters
+    /// through `tracer` (see `docs/observability.md` for the taxonomy).
+    #[must_use]
+    pub fn scan_traced(rtl: &Rtl, stream: &InstructionStream, tracer: &gcr_trace::Tracer) -> Self {
+        let _scan = tracer.span("activity.scan");
+        let ift = {
+            let _span = tracer.span("activity.ift");
+            Ift::scan(rtl, stream)
+        };
+        let itmatt = {
+            let _span = tracer.span("activity.itmatt");
+            Itmatt::scan(rtl, stream)
+        };
+        tracer.counter("activity.cycles", stream.len() as f64);
+        tracer.counter("activity.instructions", rtl.num_instructions() as f64);
+        tracer.counter("activity.modules", rtl.num_modules() as f64);
+        tracer.counter("activity.itmatt_nonzero", itmatt.nonzero.len() as f64);
         Self {
             rtl: rtl.clone(),
-            ift: Ift::scan(rtl, stream),
-            itmatt: Itmatt::scan(rtl, stream),
+            ift,
+            itmatt,
         }
     }
 

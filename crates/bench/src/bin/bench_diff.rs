@@ -1,6 +1,6 @@
 //! Perf-regression gate: compares two `BENCH_greedy.json` files.
 //!
-//! Usage: `bench_diff BASELINE.json NEW.json [--threshold PCT]`
+//! Usage: `bench_diff BASELINE.json NEW.json [--threshold PCT] [--trace PATH]`
 //!
 //! For every `(benchmark, objective)` run present in both files this
 //! compares the **pruned engine's** wall time and reports the relative
@@ -22,8 +22,10 @@
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use gcr_bench::json::{parse, Json};
+use gcr_trace::{ChromeTraceSink, Tracer};
 
 /// The fields `bench_diff` needs from one `runs[]` entry.
 struct Run {
@@ -89,9 +91,24 @@ fn load_runs(path: &str) -> Result<BTreeMap<(String, String), Run>, String> {
     Ok(out)
 }
 
-fn run(baseline_path: &str, new_path: &str, threshold_pct: f64) -> Result<bool, String> {
-    let baseline = load_runs(baseline_path)?;
-    let fresh = load_runs(new_path)?;
+fn run(
+    baseline_path: &str,
+    new_path: &str,
+    threshold_pct: f64,
+    tracer: &Tracer,
+) -> Result<bool, String> {
+    let _diff = tracer.span("diff.run");
+    let baseline = {
+        let _span = tracer.span("diff.load_baseline");
+        load_runs(baseline_path)?
+    };
+    let fresh = {
+        let _span = tracer.span("diff.load_new");
+        load_runs(new_path)?
+    };
+    let _compare = tracer.span("diff.compare");
+    tracer.counter("diff.baseline_runs", baseline.len() as f64);
+    tracer.counter("diff.new_runs", fresh.len() as f64);
 
     let mut ok = true;
     println!(
@@ -175,8 +192,10 @@ fn run(baseline_path: &str, new_path: &str, threshold_pct: f64) -> Result<bool, 
 }
 
 fn main() -> ExitCode {
+    const USAGE: &str = "usage: bench_diff BASELINE.json NEW.json [--threshold PCT] [--trace PATH]";
     let mut positional: Vec<String> = Vec::new();
     let mut threshold_pct = 25.0;
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--threshold" {
@@ -187,19 +206,43 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+        } else if arg == "--trace" {
+            match args.next() {
+                Some(p) => trace_path = Some(p),
+                None => {
+                    eprintln!("--trace requires a path");
+                    return ExitCode::from(2);
+                }
+            }
         } else if arg == "--help" || arg == "-h" {
-            eprintln!("usage: bench_diff BASELINE.json NEW.json [--threshold PCT]");
+            eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
         } else {
             positional.push(arg);
         }
     }
     let [baseline_path, new_path] = positional.as_slice() else {
-        eprintln!("usage: bench_diff BASELINE.json NEW.json [--threshold PCT]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
 
-    match run(baseline_path, new_path, threshold_pct) {
+    let chrome = trace_path.as_ref().map(|_| Arc::new(ChromeTraceSink::new()));
+    let tracer = match &chrome {
+        Some(sink) => Tracer::new(Arc::clone(sink) as Arc<dyn gcr_trace::TraceSink>),
+        None => Tracer::disabled(),
+    };
+
+    let outcome = run(baseline_path, new_path, threshold_pct, &tracer);
+
+    if let (Some(path), Some(sink)) = (&trace_path, &chrome) {
+        if let Err(e) = sink.write_to(path) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    match outcome {
         Ok(true) => {
             println!("bench_diff: OK (threshold {threshold_pct}%)");
             ExitCode::SUCCESS

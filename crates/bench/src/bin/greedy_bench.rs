@@ -15,7 +15,14 @@
 //! heap allocations (`loop_allocs`). A counting global allocator feeds the
 //! engine's allocation profile via [`gcr_cts::set_alloc_probe`].
 //!
-//! Usage: `greedy_bench [r1 r2 ...] [--out BENCH_greedy.json]`
+//! Usage: `greedy_bench [r1 r2 ...] [--out BENCH_greedy.json] [--trace PATH]`
+//!
+//! With `--trace PATH` the run records a merged Chrome-trace timeline
+//! (load it in `chrome://tracing`, Perfetto or Speedscope): workload and
+//! activity-table construction, the warm pruned greedy run with its
+//! ring/defer/bound/merge sub-phases, and one full gated-routing flow per
+//! benchmark (Equation-3 merge, embedding, Equation-3 evaluation) so the
+//! trace covers every layer of the pipeline.
 //!
 //! The JSON output backs two acceptance gates: the pruned engine must stay
 //! bit-identical everywhere, and `bench_diff` compares `pruned.wall_ms`
@@ -25,14 +32,17 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-use gcr_core::{GatedObjective, RouterConfig};
+use gcr_core::{evaluate_traced, route_gated_mapped_traced, DeviceRole, GatedObjective, RouterConfig};
 use gcr_cts::{
-    run_greedy_exhaustive_with_scratch, run_greedy_with_scratch, GreedyParams, GreedyProfile,
-    GreedyScratch, GreedyStats, MergeObjective, NearestNeighborObjective,
+    run_greedy_exhaustive_with_scratch, run_greedy_with_scratch, run_greedy_with_scratch_traced,
+    GreedyParams, GreedyProfile, GreedyScratch, GreedyStats, MergeObjective,
+    NearestNeighborObjective,
 };
 use gcr_rctree::Technology;
+use gcr_trace::{ChromeTraceSink, EchoWarnSink, TraceSink, Tracer};
 use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
 
 /// Pass-through allocator that counts allocation events (alloc + realloc),
@@ -102,6 +112,7 @@ fn compare<O: MergeObjective + Clone>(
     objective_name: &'static str,
     n: usize,
     objective: &O,
+    tracer: &Tracer,
 ) -> Comparison {
     let params = GreedyParams::default();
 
@@ -118,7 +129,8 @@ fn compare<O: MergeObjective + Clone>(
     let exhaustive_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     // Cold run grows the scratch buffers; the timed run reuses them, which
-    // is the engine's steady-state (zero-allocation) regime.
+    // is the engine's steady-state (zero-allocation) regime. Only the warm
+    // run is traced so the timeline shows steady-state phase costs.
     let mut scratch = GreedyScratch::new();
     let mut cold_obj = objective.clone();
     run_greedy_with_scratch(n, &mut cold_obj, &params, &mut scratch)
@@ -126,7 +138,7 @@ fn compare<O: MergeObjective + Clone>(
     let mut pruned_obj = objective.clone();
     let t1 = Instant::now();
     let (pruned_topology, pruned_stats, pruned_profile) =
-        run_greedy_with_scratch(n, &mut pruned_obj, &params, &mut scratch)
+        run_greedy_with_scratch_traced(n, &mut pruned_obj, &params, &mut scratch, tracer)
             .expect("pruned greedy failed on a generated workload");
     let pruned_ms = t1.elapsed().as_secs_f64() * 1e3;
 
@@ -152,8 +164,9 @@ fn compare<O: MergeObjective + Clone>(
     clippy::expect_used,
     reason = "bench harness: aborting on an unroutable generated workload is intended"
 )]
-fn run_benchmark(which: TsayBenchmark, params: &WorkloadParams) -> Vec<Comparison> {
-    let workload = Workload::generate(which, params).expect("workload generation failed");
+fn run_benchmark(which: TsayBenchmark, params: &WorkloadParams, tracer: &Tracer) -> Vec<Comparison> {
+    let workload =
+        Workload::generate_traced(which, params, tracer).expect("workload generation failed");
     let sinks = &workload.benchmark.sinks;
     let n = sinks.len();
     let tech = Technology::default();
@@ -168,10 +181,28 @@ fn run_benchmark(which: TsayBenchmark, params: &WorkloadParams) -> Vec<Compariso
         sinks,
         &module_of,
     );
-    vec![
-        compare(which.name(), "nearest-neighbor", n, &nn),
-        compare(which.name(), "equation-3", n, &gated),
-    ]
+    let runs = vec![
+        compare(which.name(), "nearest-neighbor", n, &nn, tracer),
+        compare(which.name(), "equation-3", n, &gated, tracer),
+    ];
+
+    // With tracing on, additionally record one full gated-routing flow —
+    // Equation-3 merge, zero-skew embedding, Equation-3 evaluation — so
+    // the timeline covers every pipeline layer, not just the merge loop.
+    if tracer.enabled() {
+        let routing = route_gated_mapped_traced(sinks, &module_of, &workload.tables, &config, tracer)
+            .expect("gated routing failed on a generated workload");
+        let report = evaluate_traced(
+            &routing.tree,
+            &routing.node_stats,
+            config.controller(),
+            config.tech(),
+            DeviceRole::Gate,
+            tracer,
+        );
+        assert!(report.total_switched_cap.is_finite());
+    }
+    runs
 }
 
 fn stats_json(out: &mut String, label: &str, run: &EngineRun) {
@@ -238,36 +269,85 @@ fn parse_benchmark(name: &str) -> Option<TsayBenchmark> {
     TsayBenchmark::ALL.into_iter().find(|b| b.name() == name)
 }
 
-fn main() -> ExitCode {
-    gcr_cts::set_alloc_probe(alloc_probe);
+/// Parsed command line.
+#[derive(Debug)]
+struct Cli {
+    benchmarks: Vec<TsayBenchmark>,
+    out_path: String,
+    trace_path: Option<String>,
+}
+
+/// Parses the argument list (without the program name). Errors are the
+/// usage message to print before exiting nonzero.
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
     let mut benchmarks: Vec<TsayBenchmark> = Vec::new();
     let mut out_path = String::from("BENCH_greedy.json");
-    let mut args = std::env::args().skip(1);
+    let mut trace_path = None;
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         if arg == "--out" {
             match args.next() {
                 Some(p) => out_path = p,
-                None => {
-                    eprintln!("--out requires a path");
-                    return ExitCode::from(2);
-                }
+                None => return Err("--out requires a path".to_owned()),
+            }
+        } else if arg == "--trace" {
+            match args.next() {
+                Some(p) => trace_path = Some(p),
+                None => return Err("--trace requires a path".to_owned()),
             }
         } else if let Some(b) = parse_benchmark(&arg) {
             benchmarks.push(b);
         } else {
-            eprintln!("unknown argument `{arg}`; usage: greedy_bench [r1..r5] [--out PATH]");
-            return ExitCode::from(2);
+            return Err(format!(
+                "unknown argument `{arg}`; usage: greedy_bench [r1..r5] [--out PATH] [--trace PATH]"
+            ));
         }
     }
     if benchmarks.is_empty() {
         benchmarks.extend(TsayBenchmark::ALL);
     }
+    Ok(Cli {
+        benchmarks,
+        out_path,
+        trace_path,
+    })
+}
+
+/// Writes `contents` to `path`, reporting failure on stderr. The caller
+/// must turn `false` into a nonzero exit status.
+fn write_or_report(path: &str, contents: &str) -> bool {
+    match std::fs::write(path, contents) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    gcr_cts::set_alloc_probe(alloc_probe);
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let chrome = cli.trace_path.as_ref().map(|_| Arc::new(ChromeTraceSink::new()));
+    let tracer = match &chrome {
+        Some(sink) => Tracer::new(Arc::new(EchoWarnSink::new(
+            Arc::clone(sink) as Arc<dyn TraceSink>
+        ))),
+        None => Tracer::disabled(),
+    };
 
     let params = WorkloadParams::smoke();
     let mut runs = Vec::new();
-    for which in benchmarks {
+    for which in cli.benchmarks {
         eprintln!("{which}: routing {} sinks...", which.num_sinks());
-        runs.extend(run_benchmark(which, &params));
+        runs.extend(run_benchmark(which, &params, &tracer));
     }
 
     let mut all_identical = true;
@@ -291,16 +371,69 @@ fn main() -> ExitCode {
     }
 
     let json = render_json(&params, &runs);
-    if let Err(e) = std::fs::write(&out_path, json) {
-        eprintln!("failed to write {out_path}: {e}");
+    if !write_or_report(&cli.out_path, &json) {
         return ExitCode::FAILURE;
     }
-    println!("wrote {out_path}");
+    println!("wrote {}", cli.out_path);
+
+    if let (Some(path), Some(sink)) = (&cli.trace_path, &chrome) {
+        if !write_or_report(path, &sink.to_json()) {
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
 
     if all_identical {
         ExitCode::SUCCESS
     } else {
         eprintln!("FAIL: pruned engine diverged from the exhaustive reference");
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_args_defaults_to_full_suite() {
+        let cli = parse_args(Vec::new()).unwrap();
+        assert_eq!(cli.benchmarks.len(), TsayBenchmark::ALL.len());
+        assert_eq!(cli.out_path, "BENCH_greedy.json");
+        assert!(cli.trace_path.is_none());
+    }
+
+    #[test]
+    fn parse_args_accepts_benchmarks_out_and_trace() {
+        let cli = parse_args(
+            ["r1", "r3", "--out", "x.json", "--trace", "t.json"]
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(cli.benchmarks.len(), 2);
+        assert_eq!(cli.out_path, "x.json");
+        assert_eq!(cli.trace_path.as_deref(), Some("t.json"));
+    }
+
+    #[test]
+    fn arg_errors_are_reported() {
+        assert!(parse_args(["--out"].map(String::from)).is_err());
+        assert!(parse_args(["--trace"].map(String::from)).is_err());
+        assert!(parse_args(["r9"].map(String::from))
+            .unwrap_err()
+            .contains("unknown argument"));
+    }
+
+    #[test]
+    fn failed_writes_are_reported_as_false() {
+        assert!(!write_or_report(
+            "/nonexistent-gcr-dir/trace.json",
+            "{}"
+        ));
+        let dir = std::env::temp_dir().join("gcr_greedy_bench_write_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        assert!(write_or_report(path.to_str().unwrap(), "{}"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -96,11 +96,36 @@ pub fn evaluate(
     tech: &Technology,
     role: DeviceRole,
 ) -> PowerReport {
+    evaluate_traced(
+        tree,
+        node_stats,
+        controller,
+        tech,
+        role,
+        &gcr_trace::Tracer::disabled(),
+    )
+}
+
+/// As [`evaluate`], reporting the Equation-3 evaluation through `tracer`
+/// (span `evaluate.equation3` plus `evaluate.*` result counters).
+///
+/// # Panics
+///
+/// As [`evaluate`].
+#[must_use]
+pub fn evaluate_traced(
+    tree: &ClockTree,
+    node_stats: &[EnableStats],
+    controller: &ControllerPlan,
+    tech: &Technology,
+    role: DeviceRole,
+    tracer: &gcr_trace::Tracer,
+) -> PowerReport {
     let controlled = match role {
         DeviceRole::Gate => vec![true; tree.len()],
         DeviceRole::Buffer => vec![false; tree.len()],
     };
-    evaluate_with_mask(tree, node_stats, controller, tech, &controlled)
+    evaluate_with_mask_traced(tree, node_stats, controller, tech, &controlled, tracer)
 }
 
 /// As [`evaluate`], but with per-edge control: `controlled[i]` says whether
@@ -121,6 +146,32 @@ pub fn evaluate_with_mask(
     tech: &Technology,
     controlled: &[bool],
 ) -> PowerReport {
+    evaluate_with_mask_traced(
+        tree,
+        node_stats,
+        controller,
+        tech,
+        controlled,
+        &gcr_trace::Tracer::disabled(),
+    )
+}
+
+/// As [`evaluate_with_mask`], reporting the evaluation through `tracer`
+/// (same spans as [`evaluate_traced`]).
+///
+/// # Panics
+///
+/// As [`evaluate_with_mask`].
+#[must_use]
+pub fn evaluate_with_mask_traced(
+    tree: &ClockTree,
+    node_stats: &[EnableStats],
+    controller: &ControllerPlan,
+    tech: &Technology,
+    controlled: &[bool],
+    tracer: &gcr_trace::Tracer,
+) -> PowerReport {
+    let _span = tracer.span("evaluate.equation3");
     assert_eq!(
         node_stats.len(),
         tree.len(),
@@ -192,6 +243,11 @@ pub fn evaluate_with_mask(
     let control_wire_area = tech.control_wire_area(control_len);
     let (rc, sinks) = tree.to_rc_tree(tech);
     let analysis = rc.analyze();
+
+    tracer.counter("evaluate.clock_switched_cap", clock_cap);
+    tracer.counter("evaluate.control_switched_cap", control_cap);
+    tracer.counter("evaluate.total_switched_cap", clock_cap + control_cap);
+    tracer.counter("evaluate.num_devices", tree.device_count() as f64);
 
     PowerReport {
         clock_switched_cap: clock_cap,

@@ -1,10 +1,12 @@
 use gcr_activity::{ActivityTables, EnableStats, ModuleSet};
 use gcr_cts::{
-    clone_preserving_capacity, embed_sized, run_greedy, ClockTree, CtsError, DeviceAssignment,
-    MergeArena, MergeObjective, Sink, SizingLimits, Topology, BOUND_LANES,
+    clone_preserving_capacity, embed_sized, embed_sized_traced, run_greedy_traced, ClockTree,
+    CtsError, DeviceAssignment, MergeArena, MergeObjective, Sink, SizingLimits, Topology,
+    BOUND_LANES,
 };
 use gcr_geometry::{BBox, Point};
 use gcr_rctree::{Device, Technology};
+use gcr_trace::Tracer;
 
 use crate::{merge_switched_cap, ControllerPlan, RouteError};
 
@@ -631,6 +633,24 @@ pub fn route_gated(
     tables: &ActivityTables,
     config: &RouterConfig,
 ) -> Result<GatedRouting, RouteError> {
+    route_gated_traced(sinks, tables, config, &Tracer::disabled())
+}
+
+/// [`route_gated`] reporting the full flow through `tracer`: objective
+/// construction (`route.objective` — the leaf `P(EN)`/`P_tr(EN)`
+/// derivation), the greedy merge (`greedy.*` spans), and the zero-skew
+/// embedding (`embed.*` spans), all nested in a `route.gated` span. The
+/// routing is bit-identical to [`route_gated`]'s at any tracing state.
+///
+/// # Errors
+///
+/// As [`route_gated`].
+pub fn route_gated_traced(
+    sinks: &[Sink],
+    tables: &ActivityTables,
+    config: &RouterConfig,
+    tracer: &Tracer,
+) -> Result<GatedRouting, RouteError> {
     if sinks.len() != tables.rtl().num_modules() {
         return Err(RouteError::SinkModuleMismatch {
             sinks: sinks.len(),
@@ -638,7 +658,7 @@ pub fn route_gated(
         });
     }
     let identity: Vec<usize> = (0..sinks.len()).collect();
-    route_gated_mapped(sinks, &identity, tables, config)
+    route_gated_mapped_traced(sinks, &identity, tables, config, tracer)
 }
 
 /// As [`route_gated`], for designs where a module clocks **several**
@@ -658,6 +678,22 @@ pub fn route_gated_mapped(
     tables: &ActivityTables,
     config: &RouterConfig,
 ) -> Result<GatedRouting, RouteError> {
+    route_gated_mapped_traced(sinks, module_of, tables, config, &Tracer::disabled())
+}
+
+/// [`route_gated_mapped`] reporting the full flow through `tracer` (see
+/// [`route_gated_traced`] for the span taxonomy).
+///
+/// # Errors
+///
+/// As [`route_gated_mapped`].
+pub fn route_gated_mapped_traced(
+    sinks: &[Sink],
+    module_of: &[usize],
+    tables: &ActivityTables,
+    config: &RouterConfig,
+    tracer: &Tracer,
+) -> Result<GatedRouting, RouteError> {
     if module_of.len() != sinks.len() || module_of.iter().any(|&m| m >= tables.rtl().num_modules())
     {
         return Err(RouteError::SinkModuleMismatch {
@@ -665,17 +701,22 @@ pub fn route_gated_mapped(
             modules: tables.rtl().num_modules(),
         });
     }
-    let mut objective =
-        GatedObjective::new(config.tech(), config.controller(), tables, sinks, module_of);
-    let topology = run_greedy(sinks.len(), &mut objective)?;
+    let _route = tracer.span("route.gated");
+    let mut objective = {
+        let _span = tracer.span("route.objective");
+        GatedObjective::new(config.tech(), config.controller(), tables, sinks, module_of)
+    };
+    tracer.counter("route.sinks", sinks.len() as f64);
+    let topology = run_greedy_traced(sinks.len(), &mut objective, tracer)?;
     let assignment = DeviceAssignment::everywhere(&topology, config.tech().and_gate());
-    let tree = embed_sized(
+    let tree = embed_sized_traced(
         &topology,
         sinks,
         config.tech(),
         &assignment,
         config.source(),
         SizingLimits::default(),
+        tracer,
     )?;
     let node_stats = objective.node_stats();
     let node_modules = objective.node_modules();

@@ -101,7 +101,32 @@ pub fn embed(
     assignment: &DeviceAssignment,
     source: Point,
 ) -> Result<ClockTree, CtsError> {
-    embed_impl(topology, sinks, tech, assignment, source, None)
+    embed_impl(
+        topology,
+        sinks,
+        tech,
+        assignment,
+        source,
+        None,
+        &gcr_trace::Tracer::disabled(),
+    )
+}
+
+/// [`embed`] reporting the embedding phases (`embed.bottom_up`,
+/// `embed.top_down`, nested in `embed.run`) through `tracer`.
+///
+/// # Errors
+///
+/// Same as [`embed`].
+pub fn embed_traced(
+    topology: &Topology,
+    sinks: &[Sink],
+    tech: &Technology,
+    assignment: &DeviceAssignment,
+    source: Point,
+    tracer: &gcr_trace::Tracer,
+) -> Result<ClockTree, CtsError> {
+    embed_impl(topology, sinks, tech, assignment, source, None, tracer)
 }
 
 /// As [`embed`], but allows the embedder to **resize edge devices** within
@@ -126,9 +151,36 @@ pub fn embed_sized(
     source: Point,
     limits: crate::SizingLimits,
 ) -> Result<ClockTree, CtsError> {
-    embed_impl(topology, sinks, tech, assignment, source, Some(limits))
+    embed_impl(
+        topology,
+        sinks,
+        tech,
+        assignment,
+        source,
+        Some(limits),
+        &gcr_trace::Tracer::disabled(),
+    )
 }
 
+/// [`embed_sized`] reporting the embedding phases through `tracer` (same
+/// spans as [`embed_traced`]).
+///
+/// # Errors
+///
+/// Same as [`embed`].
+pub fn embed_sized_traced(
+    topology: &Topology,
+    sinks: &[Sink],
+    tech: &Technology,
+    assignment: &DeviceAssignment,
+    source: Point,
+    limits: crate::SizingLimits,
+    tracer: &gcr_trace::Tracer,
+) -> Result<ClockTree, CtsError> {
+    embed_impl(topology, sinks, tech, assignment, source, Some(limits), tracer)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn embed_impl(
     topology: &Topology,
     sinks: &[Sink],
@@ -136,7 +188,9 @@ fn embed_impl(
     assignment: &DeviceAssignment,
     source: Point,
     sizing: Option<crate::SizingLimits>,
+    tracer: &gcr_trace::Tracer,
 ) -> Result<ClockTree, CtsError> {
+    let _run = tracer.span("embed.run");
     if sinks.len() != topology.num_leaves() {
         return Err(CtsError::InvalidTopology {
             reason: format!(
@@ -163,6 +217,7 @@ fn embed_impl(
     let mut devices: Vec<Option<gcr_rctree::Device>> = (0..n).map(|i| assignment.get(i)).collect();
 
     // Bottom-up: merging regions, tap lengths, electrical state.
+    let bottom_up_span = tracer.span("embed.bottom_up");
     for (i, node) in topology.bottom_up() {
         debug_assert_eq!(i, states.len());
         let state = match node {
@@ -185,8 +240,10 @@ fn embed_impl(
         };
         states.push(state);
     }
+    drop(bottom_up_span);
 
     // Top-down: concrete locations.
+    let top_down_span = tracer.span("embed.top_down");
     let mut locations: Vec<Point> = vec![Point::ORIGIN; n];
     let root = topology.root();
     locations[root] = states[root].ms.closest_point(source);
@@ -199,6 +256,8 @@ fn embed_impl(
             locations[right] = states[right].ms.closest_point(p);
         }
     }
+    drop(top_down_span);
+    tracer.counter("embed.nodes", n as f64);
 
     Ok(build_clock_tree(
         topology,

@@ -2,6 +2,7 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 use gcr_geometry::Point;
+use gcr_trace::Tracer;
 
 use crate::nearest::BucketGrid;
 use crate::{CtsError, Topology};
@@ -176,6 +177,11 @@ pub fn set_alloc_probe(probe: fn() -> u64) {
 /// Current allocation count, or 0 when no probe is installed.
 fn alloc_count() -> u64 {
     ALLOC_PROBE.get().map_or(0, |probe| probe())
+}
+
+/// A duration as saturating `u64` nanoseconds (the trace event width).
+fn elapsed_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Heap-entry kinds, in tie-break order. At equal keys, every non-exact
@@ -382,18 +388,25 @@ const MAX_THREADS: usize = 16;
 /// per run (reading the environment allocates).
 ///
 /// An unparsable `GCR_THREADS` is **rejected**, not silently ignored: it
-/// warns once and resolves to 1, so a typo in a CI timing run pins the
-/// engine instead of picking up ambient parallelism.
-fn resolve_threads(params: &GreedyParams) -> usize {
+/// reports a `greedy.threads` warning through `tracer` and resolves to 1,
+/// so a typo in a CI timing run pins the engine instead of picking up
+/// ambient parallelism. Library code never writes to stderr — binaries
+/// that want the warning visible echo it from their sink.
+fn resolve_threads(params: &GreedyParams, tracer: &Tracer) -> usize {
     params
         .threads
         .or_else(|| match std::env::var("GCR_THREADS") {
             Ok(s) => match s.trim().parse() {
                 Ok(n) => Some(n),
                 Err(_) => {
-                    eprintln!(
-                        "gcr-cts: unparsable GCR_THREADS value {s:?}; running single-threaded"
-                    );
+                    if tracer.enabled() {
+                        tracer.warn(
+                            "greedy.threads",
+                            &format!(
+                                "unparsable GCR_THREADS value {s:?}; running single-threaded"
+                            ),
+                        );
+                    }
                     Some(1)
                 }
             },
@@ -905,6 +918,30 @@ pub fn run_greedy<O: MergeObjective>(
     run_greedy_instrumented(num_leaves, objective).map(|(topology, _)| topology)
 }
 
+/// [`run_greedy`] reporting phase spans, loop sub-phases, and counters
+/// through `tracer` (see [`run_greedy_with_scratch_traced`] for the span
+/// taxonomy). The committed merges are bit-identical to [`run_greedy`]'s
+/// at any tracing state — instrumentation never influences the search.
+///
+/// # Errors
+///
+/// As [`run_greedy`].
+pub fn run_greedy_traced<O: MergeObjective>(
+    num_leaves: usize,
+    objective: &mut O,
+    tracer: &Tracer,
+) -> Result<Topology, CtsError> {
+    let mut scratch = GreedyScratch::new();
+    run_greedy_with_scratch_traced(
+        num_leaves,
+        objective,
+        &GreedyParams::default(),
+        &mut scratch,
+        tracer,
+    )
+    .map(|(topology, _, _)| topology)
+}
+
 /// [`run_greedy`] with its [`GreedyStats`] instrumentation.
 ///
 /// # Errors
@@ -939,17 +976,44 @@ pub fn run_greedy_instrumented<O: MergeObjective>(
 /// Panics if the objective returns a NaN cost or bound, or if
 /// `2 * num_leaves - 1` overflows the 31-bit node-index budget of the
 /// packed heap entries.
+pub fn run_greedy_with_scratch<O: MergeObjective>(
+    num_leaves: usize,
+    objective: &mut O,
+    params: &GreedyParams,
+    scratch: &mut GreedyScratch,
+) -> Result<(Topology, GreedyStats, GreedyProfile), CtsError> {
+    run_greedy_with_scratch_traced(num_leaves, objective, params, scratch, &Tracer::disabled())
+}
+
+/// [`run_greedy_with_scratch`] reporting phase spans, per-kind loop
+/// sub-phases (`greedy.ring` / `greedy.defer` / `greedy.bound` /
+/// `greedy.merge`) and the [`GreedyStats`] counters through `tracer`.
+///
+/// The merge loop itself never calls the tracer: per-kind wall time is
+/// accumulated in plain stack integers and emitted as aggregated
+/// [`complete-span`](Tracer::complete_span) events after the loop's
+/// allocation window closes, so `loop_allocs == 0` holds on a warm
+/// scratch even under an **active** sink.
+///
+/// # Errors
+///
+/// As [`run_greedy`].
+///
+/// # Panics
+///
+/// As [`run_greedy_with_scratch`].
 #[expect(
     clippy::expect_used,
     reason = "every live pair is covered by a bound, exact, expansion, or \
               deferred entry until one root remains (see the coverage \
               argument in docs/algorithms.md §Candidate pruning)"
 )]
-pub fn run_greedy_with_scratch<O: MergeObjective>(
+pub fn run_greedy_with_scratch_traced<O: MergeObjective>(
     num_leaves: usize,
     objective: &mut O,
     params: &GreedyParams,
     scratch: &mut GreedyScratch,
+    tracer: &Tracer,
 ) -> Result<(Topology, GreedyStats, GreedyProfile), CtsError> {
     let mut stats = GreedyStats::default();
     let mut profile = GreedyProfile::default();
@@ -960,9 +1024,11 @@ pub fn run_greedy_with_scratch<O: MergeObjective>(
         return Ok((Topology::single_sink()?, stats, profile));
     }
 
+    let _run = tracer.span("greedy.run");
+    let seed_span_start = tracer.now_ns();
     let seed_start = Instant::now();
     let seed_allocs0 = alloc_count();
-    let threads = resolve_threads(params);
+    let threads = resolve_threads(params, tracer);
     let total = 2 * num_leaves - 1;
     assert!(
         u64::try_from(total).is_ok_and(|t| t <= INDEX_MASK),
@@ -1032,8 +1098,19 @@ pub fn run_greedy_with_scratch<O: MergeObjective>(
     }
     profile.seed_ms = seed_start.elapsed().as_secs_f64() * 1e3;
     profile.seed_allocs = alloc_count() - seed_allocs0;
+    tracer.complete_span("greedy.seed", seed_span_start, elapsed_ns(seed_start.elapsed()));
 
+    // Per-kind loop time, accumulated in stack integers so the measured
+    // loop window stays free of tracer calls (and of their allocations).
+    // Each iteration charges the interval since the previous pop to the
+    // previous entry's kind — `continue`-safe, since the charge happens
+    // at the *top* of the iteration.
+    let trace_kinds = tracer.enabled();
+    let mut kind_ns = [0_u64; 4];
+    let mut last_kind: Option<u8> = None;
+    let loop_span_start = tracer.now_ns();
     let loop_start = Instant::now();
+    let mut t_last = loop_start;
     let loop_allocs0 = alloc_count();
     let mut next = num_leaves;
     // Live *leaf* count, used to retire ring expansions whose perimeter
@@ -1044,8 +1121,16 @@ pub fn run_greedy_with_scratch<O: MergeObjective>(
     // the heap within a constant factor of its live contents.
     let mut watermark = heap.len() * 2 + 1024;
     while next < total {
+        if trace_kinds {
+            let now = Instant::now();
+            if let Some(k) = last_kind {
+                kind_ns[k as usize] += elapsed_ns(now - t_last);
+            }
+            t_last = now;
+        }
         let entry = heap.pop().expect("heap exhausted before root was formed");
         stats.heap_pops += 1;
+        last_kind = Some(entry.kind());
         let (a, b) = (entry.a(), entry.b());
         match entry.kind() {
             KIND_EXPAND => {
@@ -1270,8 +1355,42 @@ pub fn run_greedy_with_scratch<O: MergeObjective>(
     }
     profile.loop_ms = loop_start.elapsed().as_secs_f64() * 1e3;
     profile.loop_allocs = alloc_count() - loop_allocs0;
+    if trace_kinds {
+        if let Some(k) = last_kind {
+            kind_ns[k as usize] += elapsed_ns(t_last.elapsed());
+        }
+        // The loop's allocation window is closed; events may allocate now.
+        tracer.complete_span("greedy.loop", loop_span_start, elapsed_ns(loop_start.elapsed()));
+        // Aggregated per-kind sub-phases, laid out back to back inside the
+        // loop interval so a Chrome-trace viewer shows their proportions.
+        let mut at = loop_span_start;
+        for (name, ns) in [
+            ("greedy.ring", kind_ns[KIND_EXPAND as usize]),
+            ("greedy.defer", kind_ns[KIND_DEFER as usize]),
+            ("greedy.bound", kind_ns[KIND_BOUND as usize]),
+            ("greedy.merge", kind_ns[KIND_EXACT as usize]),
+        ] {
+            tracer.complete_span(name, at, ns);
+            at = at.saturating_add(ns);
+        }
+        emit_greedy_counters(tracer, &stats, &profile);
+    }
 
     Ok((Topology::from_merges(num_leaves, merges)?, stats, profile))
+}
+
+/// Reports the [`GreedyStats`] counters and the profile's allocation
+/// counts through `tracer` (names under `greedy.`; see
+/// `docs/observability.md`).
+fn emit_greedy_counters(tracer: &Tracer, stats: &GreedyStats, profile: &GreedyProfile) {
+    tracer.counter("greedy.exact_cost_evals", stats.exact_cost_evals as f64);
+    tracer.counter("greedy.bound_evals", stats.bound_evals as f64);
+    tracer.counter("greedy.ring_expansions", stats.ring_expansions as f64);
+    tracer.counter("greedy.heap_pops", stats.heap_pops as f64);
+    tracer.counter("greedy.bound_batches", stats.bound_batches as f64);
+    tracer.counter("greedy.bounds_filtered", stats.bounds_filtered as f64);
+    tracer.counter("greedy.seed_allocs", profile.seed_allocs as f64);
+    tracer.counter("greedy.loop_allocs", profile.loop_allocs as f64);
 }
 
 /// The pre-pruning engine: evaluates the exact cost of **every** live pair
@@ -1318,15 +1437,42 @@ pub fn run_greedy_exhaustive_instrumented<O: MergeObjective>(
 /// # Panics
 ///
 /// As [`run_greedy_with_scratch`].
-#[expect(
-    clippy::expect_used,
-    reason = "the heap holds a candidate for every live pair until one root remains"
-)]
 pub fn run_greedy_exhaustive_with_scratch<O: MergeObjective>(
     num_leaves: usize,
     objective: &mut O,
     params: &GreedyParams,
     scratch: &mut GreedyScratch,
+) -> Result<(Topology, GreedyStats, GreedyProfile), CtsError> {
+    run_greedy_exhaustive_with_scratch_traced(
+        num_leaves,
+        objective,
+        params,
+        scratch,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`run_greedy_exhaustive_with_scratch`] reporting phase spans and
+/// counters through `tracer` (outer span `greedy.exhaustive`, phases
+/// `greedy.seed` / `greedy.loop`).
+///
+/// # Errors
+///
+/// As [`run_greedy`].
+///
+/// # Panics
+///
+/// As [`run_greedy_with_scratch`].
+#[expect(
+    clippy::expect_used,
+    reason = "the heap holds a candidate for every live pair until one root remains"
+)]
+pub fn run_greedy_exhaustive_with_scratch_traced<O: MergeObjective>(
+    num_leaves: usize,
+    objective: &mut O,
+    params: &GreedyParams,
+    scratch: &mut GreedyScratch,
+    tracer: &Tracer,
 ) -> Result<(Topology, GreedyStats, GreedyProfile), CtsError> {
     let mut stats = GreedyStats::default();
     let mut profile = GreedyProfile::default();
@@ -1337,9 +1483,11 @@ pub fn run_greedy_exhaustive_with_scratch<O: MergeObjective>(
         return Ok((Topology::single_sink()?, stats, profile));
     }
 
+    let _run = tracer.span("greedy.exhaustive");
+    let seed_span_start = tracer.now_ns();
     let seed_start = Instant::now();
     let seed_allocs0 = alloc_count();
-    let threads = resolve_threads(params);
+    let threads = resolve_threads(params, tracer);
     let total = 2 * num_leaves - 1;
     assert!(
         u64::try_from(total).is_ok_and(|t| t <= INDEX_MASK),
@@ -1368,7 +1516,9 @@ pub fn run_greedy_exhaustive_with_scratch<O: MergeObjective>(
     heap.rebuild();
     profile.seed_ms = seed_start.elapsed().as_secs_f64() * 1e3;
     profile.seed_allocs = alloc_count() - seed_allocs0;
+    tracer.complete_span("greedy.seed", seed_span_start, elapsed_ns(seed_start.elapsed()));
 
+    let loop_span_start = tracer.now_ns();
     let loop_start = Instant::now();
     let loop_allocs0 = alloc_count();
     let mut next = num_leaves;
@@ -1398,6 +1548,10 @@ pub fn run_greedy_exhaustive_with_scratch<O: MergeObjective>(
     }
     profile.loop_ms = loop_start.elapsed().as_secs_f64() * 1e3;
     profile.loop_allocs = alloc_count() - loop_allocs0;
+    if tracer.enabled() {
+        tracer.complete_span("greedy.loop", loop_span_start, elapsed_ns(loop_start.elapsed()));
+        emit_greedy_counters(tracer, &stats, &profile);
+    }
 
     Ok((Topology::from_merges(num_leaves, merges)?, stats, profile))
 }
@@ -1816,12 +1970,87 @@ mod tests {
     /// resolves to at least one worker.
     #[test]
     fn thread_resolution_clamps() {
-        assert_eq!(resolve_threads(&GreedyParams { threads: Some(7) }), 7);
-        assert_eq!(resolve_threads(&GreedyParams { threads: Some(0) }), 1);
+        let tracer = Tracer::disabled();
+        assert_eq!(resolve_threads(&GreedyParams { threads: Some(7) }, &tracer), 7);
+        assert_eq!(resolve_threads(&GreedyParams { threads: Some(0) }, &tracer), 1);
         assert_eq!(
-            resolve_threads(&GreedyParams { threads: Some(999) }),
+            resolve_threads(&GreedyParams { threads: Some(999) }, &tracer),
             MAX_THREADS
         );
-        assert!(resolve_threads(&GreedyParams::default()) >= 1);
+        assert!(resolve_threads(&GreedyParams::default(), &tracer) >= 1);
+    }
+
+    /// A pruned run under an active memory sink commits the same topology
+    /// as an untraced run, reports balanced greedy spans with the four
+    /// loop sub-phases, and mirrors the [`GreedyStats`] counters.
+    #[test]
+    fn traced_run_is_identical_and_reports_phases() {
+        use gcr_trace::{MemorySink, TraceEvent};
+        use std::sync::Arc;
+
+        let points: Vec<Point> = (0..60)
+            .map(|i| Point::new(f64::from(i * 37 % 101), f64::from(i * 53 % 89)))
+            .collect();
+        let mut plain_obj = PointObjective {
+            points: points.clone(),
+        };
+        let (plain, plain_stats) = run_greedy_instrumented(60, &mut plain_obj).unwrap();
+
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        let mut traced_obj = PointObjective { points };
+        let traced = run_greedy_traced(60, &mut traced_obj, &tracer).unwrap();
+        assert_eq!(traced, plain, "tracing must not influence the search");
+
+        let nesting = sink.nesting().unwrap();
+        assert_eq!(nesting[0], ("greedy.run", 0));
+        for phase in [
+            "greedy.seed",
+            "greedy.loop",
+            "greedy.ring",
+            "greedy.defer",
+            "greedy.bound",
+            "greedy.merge",
+        ] {
+            assert!(
+                nesting.iter().any(|&(name, depth)| name == phase && depth == 1),
+                "missing sub-phase {phase} in {nesting:?}"
+            );
+        }
+        assert_eq!(
+            sink.counter("greedy.exact_cost_evals"),
+            Some(plain_stats.exact_cost_evals as f64)
+        );
+        assert_eq!(
+            sink.counter("greedy.heap_pops"),
+            Some(plain_stats.heap_pops as f64)
+        );
+        // The four sub-phase intervals partition the loop span.
+        let events = sink.events();
+        let loop_ns = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Complete { name, dur_ns, .. } if *name == "greedy.loop" => {
+                    Some(*dur_ns)
+                }
+                _ => None,
+            })
+            .unwrap();
+        let sub_ns: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Complete { name, dur_ns, .. }
+                    if ["greedy.ring", "greedy.defer", "greedy.bound", "greedy.merge"]
+                        .contains(name) =>
+                {
+                    Some(*dur_ns)
+                }
+                _ => None,
+            })
+            .sum();
+        assert!(
+            sub_ns <= loop_ns,
+            "sub-phases ({sub_ns} ns) exceed the loop ({loop_ns} ns)"
+        );
     }
 }

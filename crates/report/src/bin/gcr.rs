@@ -4,6 +4,7 @@
 //! gcr route --sinks sinks.txt --rtl rtl.txt --trace trace.txt
 //!           [--die W H] [--strength 0.2] [--svg out.svg] [--spice out.sp]
 //!           [--save out.design] [--controllers k] [--optimal]
+//!           [--trace-out flow.json]
 //! gcr evaluate --design out.design --rtl rtl.txt --trace trace.txt
 //! gcr init-example <dir>     # write a ready-to-run example input set
 //! ```
@@ -12,6 +13,10 @@
 //! * sinks: one `x y cap_pf` triple per line (`#` comments allowed); sink
 //!   `i` is module `i` of the RTL;
 //! * rtl / trace: see [`gcr_activity::io`].
+//!
+//! `--trace` names the *instruction* trace input; `--trace-out` writes a
+//! Chrome-trace timeline of the routing flow itself (activity scan,
+//! Equation-3 merge, embedding, evaluation) for `chrome://tracing`.
 // CLI entry point: aborting with the expect message is the intended
 // failure mode for bad inputs or a broken terminal.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -19,12 +24,14 @@
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use gcr_activity::{io as aio, ActivityTables};
 use gcr_core::{
-    evaluate, evaluate_buffered, evaluate_with_mask, reduce_gates_untied, route_gated,
-    ControllerPlan, DeviceRole, ReductionParams, RouterConfig,
+    evaluate, evaluate_buffered, evaluate_traced, evaluate_with_mask_traced, reduce_gates_untied,
+    route_gated_traced, ControllerPlan, DeviceRole, ReductionParams, RouterConfig,
 };
+use gcr_trace::{ChromeTraceSink, EchoWarnSink, TraceSink, Tracer};
 use gcr_cts::{build_buffered_tree, Sink};
 use gcr_geometry::{BBox, Point};
 use gcr_rctree::{to_spice, Technology};
@@ -40,7 +47,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage:\n  gcr route --sinks F --rtl F --trace F \
-                 [--die W H] [--strength S] [--svg OUT] [--controllers K]\n  \
+                 [--die W H] [--strength S] [--svg OUT] [--controllers K] \
+                 [--trace-out OUT]\n  \
                  gcr init-example DIR"
             );
             return ExitCode::from(2);
@@ -66,6 +74,7 @@ fn route_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut save_out: Option<String> = None;
     let mut optimal = false;
     let mut controllers = 1usize;
+    let mut trace_out: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -84,6 +93,7 @@ fn route_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--save" => save_out = Some(val()?.to_owned()),
             "--optimal" => optimal = true,
             "--controllers" => controllers = val()?.parse()?,
+            "--trace-out" => trace_out = Some(val()?.to_owned()),
             "--die" => {
                 let w: f64 = val()?.parse()?;
                 let h: f64 = val()?.parse()?;
@@ -96,10 +106,18 @@ fn route_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let rtl_path = rtl_path.ok_or("--rtl is required")?;
     let trace_path = trace_path.ok_or("--trace is required")?;
 
+    let chrome = trace_out.as_ref().map(|_| Arc::new(ChromeTraceSink::new()));
+    let tracer = match &chrome {
+        Some(sink) => Tracer::new(Arc::new(EchoWarnSink::new(
+            Arc::clone(sink) as Arc<dyn TraceSink>
+        ))),
+        None => Tracer::disabled(),
+    };
+
     let sinks = parse_sinks(&fs::read_to_string(&sinks_path)?)?;
     let rtl = aio::parse_rtl(&fs::read_to_string(&rtl_path)?, Some(sinks.len()))?;
     let stream = aio::parse_trace(&rtl, &fs::read_to_string(&trace_path)?)?;
-    let tables = ActivityTables::scan(&rtl, &stream);
+    let tables = ActivityTables::scan_traced(&rtl, &stream, &tracer);
 
     let die = match die {
         Some((w, h)) => BBox::new(Point::ORIGIN, Point::new(w, h)),
@@ -113,13 +131,14 @@ fn route_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let buffered = evaluate_buffered(&build_buffered_tree(&tech, &sinks, config.source())?, &tech);
-    let routing = route_gated(&sinks, &tables, &config)?;
-    let gated = evaluate(
+    let routing = route_gated_traced(&sinks, &tables, &config, &tracer)?;
+    let gated = evaluate_traced(
         &routing.tree,
         &routing.node_stats,
         config.controller(),
         &tech,
         DeviceRole::Gate,
+        &tracer,
     );
     let mask = if optimal {
         gcr_core::reduce_gates_optimal(&routing, &tech, config.controller())
@@ -130,12 +149,13 @@ fn route_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             &ReductionParams::from_strength_scaled(strength, &tech, die.half_perimeter() / 8.0),
         )
     };
-    let reduced = evaluate_with_mask(
+    let reduced = evaluate_with_mask_traced(
         &routing.tree,
         &routing.node_stats,
         config.controller(),
         &tech,
         &mask,
+        &tracer,
     );
 
     println!("sinks      : {}", sinks.len());
@@ -198,6 +218,10 @@ fn route_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             render_svg(&routing.tree, die, config.controller(), &options),
         )?;
         println!("svg        : wrote {path}");
+    }
+    if let (Some(path), Some(sink)) = (&trace_out, &chrome) {
+        sink.write_to(path)?;
+        println!("flow trace : wrote {path}");
     }
     Ok(())
 }

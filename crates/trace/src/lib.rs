@@ -1,0 +1,687 @@
+//! Structured tracing and metrics for the gated clock routing flow.
+//!
+//! Every stage of the flow — activity-table construction, the greedy
+//! switched-capacitance merge, top-down embedding, Equation-3 evaluation,
+//! and the `gcr-verify` passes — reports *phase spans* (wall-time
+//! intervals on a monotonic clock), *counters* (named totals such as
+//! exact-cost evaluations), and *warnings* through a [`Tracer`] handle.
+//! Where the events go is decided by the caller via a [`TraceSink`]:
+//!
+//! * [`NullSink`] — discards everything (and a *disabled* tracer skips
+//!   even the clock reads);
+//! * [`MemorySink`] — buffers events for test assertions;
+//! * [`ChromeTraceSink`] — accumulates events and renders them as a
+//!   Chrome-trace JSON file (`chrome://tracing`, Perfetto, Speedscope).
+//!
+//! # Cost model
+//!
+//! A disabled tracer ([`Tracer::disabled`]) is a `None` behind one
+//! branch: no sink call, no timestamp, no formatting. Library code
+//! formats warning text only after checking [`Tracer::enabled`], so the
+//! disabled path never allocates — the warm greedy merge loop keeps its
+//! zero-allocation invariant with tracing compiled in (and the engine
+//! keeps it even under an *active* sink by emitting only aggregated
+//! events outside the measured loop window; see
+//! `docs/observability.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use gcr_trace::{MemorySink, Tracer};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MemorySink::new());
+//! let tracer = Tracer::new(sink.clone());
+//! {
+//!     let _phase = tracer.span("outer");
+//!     let _inner = tracer.span("inner");
+//!     tracer.counter("widgets", 3.0);
+//! }
+//! assert_eq!(sink.counter("widgets"), Some(3.0));
+//! assert_eq!(sink.nesting().unwrap(), vec![("outer", 0), ("inner", 1)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One structured trace event. Timestamps are nanoseconds on the owning
+/// [`Tracer`]'s monotonic clock, measured from its creation ([`Tracer`]
+/// clones share the epoch, so events from every layer of one run merge
+/// onto a single timeline).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A phase span opened (emitted by [`Tracer::span`]).
+    Begin {
+        /// Span name (see the taxonomy in `docs/observability.md`).
+        name: &'static str,
+        /// Nanoseconds since the tracer epoch.
+        ts_ns: u64,
+    },
+    /// The most recent unclosed span with this name closed.
+    End {
+        /// Span name matching the corresponding [`TraceEvent::Begin`].
+        name: &'static str,
+        /// Nanoseconds since the tracer epoch.
+        ts_ns: u64,
+    },
+    /// A self-contained span reported after the fact — used for
+    /// aggregated sub-phase totals (e.g. the greedy engine's per-kind
+    /// loop time), where begin/end pairs would have to be emitted from
+    /// inside an allocation-free hot loop.
+    Complete {
+        /// Span name.
+        name: &'static str,
+        /// Start of the interval, nanoseconds since the tracer epoch.
+        start_ns: u64,
+        /// Interval length in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A named numeric total or level (monotone counters and gauges share
+    /// this event; the distinction is in the name's documentation).
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Reported value.
+        value: f64,
+        /// Nanoseconds since the tracer epoch.
+        ts_ns: u64,
+    },
+    /// A warning from library code (which never writes to stderr
+    /// itself); binaries may echo these wherever they see fit.
+    Warn {
+        /// Warning category (stable, machine-matchable).
+        name: &'static str,
+        /// Human-readable message.
+        message: String,
+        /// Nanoseconds since the tracer epoch.
+        ts_ns: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's name field, whatever its variant.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Begin { name, .. }
+            | TraceEvent::End { name, .. }
+            | TraceEvent::Complete { name, .. }
+            | TraceEvent::Counter { name, .. }
+            | TraceEvent::Warn { name, .. } => name,
+        }
+    }
+}
+
+/// A destination for [`TraceEvent`]s.
+///
+/// Sinks must be `Send + Sync`: one sink is typically shared (via
+/// [`Arc`]) by tracer clones living in different layers of the flow, and
+/// benchmarks record from timing threads. `record` should be cheap —
+/// the built-in sinks push into a mutex-guarded vector and defer all
+/// formatting to the final export.
+pub trait TraceSink: Send + Sync {
+    /// Accepts one event. Ordering within a thread follows call order.
+    fn record(&self, event: TraceEvent);
+}
+
+/// A sink that discards every event. [`Tracer::new`] with a `NullSink`
+/// exercises the full enabled code path (timestamps, event construction)
+/// without retaining anything — useful for parity tests; for production
+/// "tracing off" prefer [`Tracer::disabled`], which skips the clock
+/// reads too.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// A sink buffering every event in memory, with query helpers for test
+/// assertions.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every recorded event, in record order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the buffer
+    /// lock.
+    #[must_use]
+    #[expect(clippy::expect_used, reason = "poisoned lock means a test already failed")]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace buffer poisoned").clone()
+    }
+
+    /// The last value recorded for counter `name`, if any.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.events().iter().rev().find_map(|e| match e {
+            TraceEvent::Counter { name: n, value, .. } if *n == name => Some(*value),
+            _ => None,
+        })
+    }
+
+    /// Every warning message recorded under category `name`.
+    #[must_use]
+    pub fn warnings(&self, name: &str) -> Vec<String> {
+        self.events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Warn {
+                    name: n, message, ..
+                } if *n == name => Some(message.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Replays the begin/end stream and returns each completed span as
+    /// `(name, depth)` in *begin* order, depth 0 for top-level spans.
+    /// [`TraceEvent::Complete`] spans are reported at the depth of the
+    /// stack position they were recorded at.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first imbalance: an `End` that
+    /// matches no open span, or spans left open at the end of the
+    /// stream.
+    pub fn nesting(&self) -> Result<Vec<(&'static str, usize)>, String> {
+        let mut stack: Vec<&'static str> = Vec::new();
+        let mut out = Vec::new();
+        for event in self.events() {
+            match event {
+                TraceEvent::Begin { name, .. } => {
+                    out.push((name, stack.len()));
+                    stack.push(name);
+                }
+                TraceEvent::End { name, .. } => match stack.pop() {
+                    Some(open) if open == name => {}
+                    Some(open) => {
+                        return Err(format!("span end `{name}` closes open span `{open}`"))
+                    }
+                    None => return Err(format!("span end `{name}` with no open span")),
+                },
+                TraceEvent::Complete { name, .. } => out.push((name, stack.len())),
+                TraceEvent::Counter { .. } | TraceEvent::Warn { .. } => {}
+            }
+        }
+        if stack.is_empty() {
+            Ok(out)
+        } else {
+            Err(format!("spans left open: {stack:?}"))
+        }
+    }
+}
+
+impl TraceSink for MemorySink {
+    #[expect(clippy::expect_used, reason = "poisoned lock means a recorder already panicked")]
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("trace buffer poisoned").push(event);
+    }
+}
+
+/// A sink accumulating events for export in the Chrome trace-event JSON
+/// format (the `chrome://tracing` / Perfetto / Speedscope interchange
+/// format): spans become `B`/`E`/`X` events, counters become `C` events
+/// with a `value` arg, warnings become global instant (`i`) events.
+#[derive(Debug, Default)]
+pub struct ChromeTraceSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl ChromeTraceSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the Chrome-trace JSON document for everything recorded so
+    /// far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the buffer
+    /// lock.
+    #[must_use]
+    #[expect(clippy::expect_used, reason = "poisoned lock means a recorder already panicked")]
+    pub fn to_json(&self) -> String {
+        let events = self.events.lock().expect("trace buffer poisoned");
+        let mut out = String::with_capacity(64 + 96 * events.len());
+        out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+        let us = |ns: u64| ns as f64 / 1e3;
+        for (i, event) in events.iter().enumerate() {
+            out.push_str("    ");
+            match event {
+                TraceEvent::Begin { name, ts_ns } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\": \"{}\", \"ph\": \"B\", \"pid\": 0, \"tid\": 0, \"ts\": {:.3}}}",
+                        escape(name),
+                        us(*ts_ns)
+                    );
+                }
+                TraceEvent::End { name, ts_ns } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\": \"{}\", \"ph\": \"E\", \"pid\": 0, \"tid\": 0, \"ts\": {:.3}}}",
+                        escape(name),
+                        us(*ts_ns)
+                    );
+                }
+                TraceEvent::Complete {
+                    name,
+                    start_ns,
+                    dur_ns,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 0, \"tid\": 0, \
+                         \"ts\": {:.3}, \"dur\": {:.3}}}",
+                        escape(name),
+                        us(*start_ns),
+                        us(*dur_ns)
+                    );
+                }
+                TraceEvent::Counter { name, value, ts_ns } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\": \"{}\", \"ph\": \"C\", \"pid\": 0, \"tid\": 0, \
+                         \"ts\": {:.3}, \"args\": {{\"value\": {}}}}}",
+                        escape(name),
+                        us(*ts_ns),
+                        json_number(*value)
+                    );
+                }
+                TraceEvent::Warn {
+                    name,
+                    message,
+                    ts_ns,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"g\", \"pid\": 0, \
+                         \"tid\": 0, \"ts\": {:.3}, \"args\": {{\"message\": \"{}\"}}}}",
+                        escape(name),
+                        us(*ts_ns),
+                        escape(message)
+                    );
+                }
+            }
+            out.push_str(if i + 1 == events.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the rendered JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error of the write.
+    pub fn write_to(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    #[expect(clippy::expect_used, reason = "poisoned lock means a recorder already panicked")]
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("trace buffer poisoned").push(event);
+    }
+}
+
+/// A sink decorator for CLI binaries: forwards every event to `inner`
+/// unchanged, and additionally echoes [`TraceEvent::Warn`] events to
+/// stderr so library warnings stay visible on a terminal even when the
+/// trace itself goes to a file. Library code should never print; this
+/// decorator is how a binary opts back into on-terminal warnings.
+pub struct EchoWarnSink {
+    inner: Arc<dyn TraceSink>,
+}
+
+impl EchoWarnSink {
+    /// Wraps `inner`.
+    #[must_use]
+    pub fn new(inner: Arc<dyn TraceSink>) -> Self {
+        Self { inner }
+    }
+}
+
+impl TraceSink for EchoWarnSink {
+    fn record(&self, event: TraceEvent) {
+        if let TraceEvent::Warn { name, message, .. } = &event {
+            eprintln!("warning [{name}]: {message}");
+        }
+        self.inner.record(event);
+    }
+}
+
+/// JSON string escaping for names and warning messages.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a counter value as a valid JSON number (JSON has no
+/// NaN/Infinity; they are clamped to null-adjacent sentinels).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        // Integral values print without a fraction so counters stay
+        // exact; everything else keeps full precision.
+        if x.fract() == 0.0 && x.abs() < 9e15 {
+            format!("{x:.0}")
+        } else {
+            format!("{x}")
+        }
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Shared state behind an enabled tracer: the sink and the monotonic
+/// epoch all timestamps are measured from.
+#[derive(Clone)]
+struct Enabled {
+    epoch: Instant,
+    sink: Arc<dyn TraceSink>,
+}
+
+/// A cheap, cloneable handle through which library code reports trace
+/// events. Clones share the sink *and* the epoch, so a tracer passed
+/// down the flow produces one coherent timeline.
+///
+/// The disabled tracer ([`Tracer::disabled`]) is the default and costs
+/// one branch per call site.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Enabled>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer feeding `sink`, with its epoch set to "now".
+    #[must_use]
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Self {
+            inner: Some(Enabled {
+                epoch: Instant::now(),
+                sink,
+            }),
+        }
+    }
+
+    /// The no-op tracer: every call is a single branch, no clock reads,
+    /// no sink, no formatting.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether events are being recorded. Check this before doing any
+    /// work (formatting, counting) that only feeds the tracer.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Nanoseconds since the tracer epoch (0 when disabled). Pair with
+    /// [`Tracer::complete_span`] to report aggregated intervals.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |t| saturating_ns(t.epoch.elapsed().as_nanos()))
+    }
+
+    /// Opens a phase span; the returned guard closes it on drop. Spans
+    /// opened while another guard is live are nested inside it (sinks
+    /// reconstruct the hierarchy from begin/end order).
+    #[must_use = "the span closes when the guard drops — bind it with `let`"]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        if let Some(t) = &self.inner {
+            t.sink.record(TraceEvent::Begin {
+                name,
+                ts_ns: saturating_ns(t.epoch.elapsed().as_nanos()),
+            });
+        }
+        SpanGuard { tracer: self, name }
+    }
+
+    /// Reports a self-contained `[start_ns, start_ns + dur_ns]` interval
+    /// measured by the caller — the hook for hot loops that accumulate
+    /// per-phase time in plain integers and emit one aggregate event
+    /// after the measured window.
+    pub fn complete_span(&self, name: &'static str, start_ns: u64, dur_ns: u64) {
+        if let Some(t) = &self.inner {
+            t.sink.record(TraceEvent::Complete {
+                name,
+                start_ns,
+                dur_ns,
+            });
+        }
+    }
+
+    /// Reports a named numeric value (counter or gauge).
+    pub fn counter(&self, name: &'static str, value: f64) {
+        if let Some(t) = &self.inner {
+            t.sink.record(TraceEvent::Counter {
+                name,
+                value,
+                ts_ns: saturating_ns(t.epoch.elapsed().as_nanos()),
+            });
+        }
+    }
+
+    /// Reports a warning. Callers format `message` only after checking
+    /// [`Tracer::enabled`] so the disabled path stays allocation-free:
+    ///
+    /// ```
+    /// # let tracer = gcr_trace::Tracer::disabled();
+    /// # let detail = 7;
+    /// if tracer.enabled() {
+    ///     tracer.warn("demo.category", &format!("detail: {detail}"));
+    /// }
+    /// ```
+    pub fn warn(&self, name: &'static str, message: &str) {
+        if let Some(t) = &self.inner {
+            t.sink.record(TraceEvent::Warn {
+                name,
+                message: message.to_owned(),
+                ts_ns: saturating_ns(t.epoch.elapsed().as_nanos()),
+            });
+        }
+    }
+}
+
+/// Clamps a 128-bit nanosecond count into the event timestamp width
+/// (u64 nanoseconds cover ~584 years of process uptime).
+fn saturating_ns(ns: u128) -> u64 {
+    u64::try_from(ns).unwrap_or(u64::MAX)
+}
+
+/// Guard of an open span; closes it on drop. Returned by
+/// [`Tracer::span`].
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(t) = &self.tracer.inner {
+            t.sink.record(TraceEvent::End {
+                name: self.name,
+                ts_ns: saturating_ns(t.epoch.elapsed().as_nanos()),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_reads_no_clock() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        assert_eq!(tracer.now_ns(), 0);
+        let _span = tracer.span("anything");
+        tracer.counter("c", 1.0);
+        tracer.warn("w", "msg");
+        // Nothing to assert against — the point is that no sink exists
+        // and none of the calls panic.
+    }
+
+    #[test]
+    fn memory_sink_reconstructs_nesting_and_counters() {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        {
+            let _outer = tracer.span("outer");
+            tracer.counter("evals", 10.0);
+            {
+                let _inner = tracer.span("inner");
+                tracer.counter("evals", 25.0);
+            }
+            tracer.complete_span("aggregate", 0, 500);
+        }
+        assert_eq!(
+            sink.nesting().unwrap(),
+            vec![("outer", 0), ("inner", 1), ("aggregate", 1)]
+        );
+        assert_eq!(sink.counter("evals"), Some(25.0));
+        assert_eq!(sink.counter("missing"), None);
+    }
+
+    #[test]
+    fn nesting_reports_imbalance() {
+        let sink = MemorySink::new();
+        sink.record(TraceEvent::Begin {
+            name: "open",
+            ts_ns: 0,
+        });
+        assert!(sink.nesting().unwrap_err().contains("left open"));
+        sink.record(TraceEvent::End {
+            name: "other",
+            ts_ns: 1,
+        });
+        assert!(sink.nesting().unwrap_err().contains("closes open span"));
+    }
+
+    #[test]
+    fn warnings_are_captured_by_category() {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        if tracer.enabled() {
+            tracer.warn("greedy.threads", "bad value");
+        }
+        assert_eq!(sink.warnings("greedy.threads"), vec!["bad value"]);
+        assert!(sink.warnings("other").is_empty());
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        {
+            let _a = tracer.span("a");
+        }
+        {
+            let _b = tracer.span("b");
+        }
+        let ts: Vec<u64> = sink
+            .events()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Begin { ts_ns, .. } | TraceEvent::End { ts_ns, .. } => *ts_ns,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn chrome_export_contains_every_phase_type() {
+        let sink = Arc::new(ChromeTraceSink::new());
+        let tracer = Tracer::new(sink.clone());
+        {
+            let _span = tracer.span("phase \"quoted\"");
+            tracer.counter("count", 42.0);
+            tracer.counter("ratio", 0.125);
+            tracer.counter("bad", f64::NAN);
+            if tracer.enabled() {
+                tracer.warn("warnings", "line1\nline2");
+            }
+        }
+        tracer.complete_span("agg", 1_000, 2_000);
+        let json = sink.to_json();
+        assert!(json.contains("\"displayTimeUnit\": \"ms\""));
+        assert!(json.contains("\"ph\": \"B\"") && json.contains("\"ph\": \"E\""));
+        assert!(json.contains("\"ph\": \"X\"") && json.contains("\"dur\": 2.000"));
+        assert!(json.contains("\"ph\": \"C\"") && json.contains("\"value\": 42"));
+        assert!(json.contains("\"value\": 0.125"));
+        assert!(json.contains("\"value\": null"));
+        assert!(json.contains("phase \\\"quoted\\\""));
+        assert!(json.contains("line1\\nline2"));
+        // Balanced braces/brackets as a cheap well-formedness check; the
+        // real parse round-trip lives in gcr-bench's tests, next to its
+        // JSON reader.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn clones_share_sink_and_epoch() {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        let clone = tracer.clone();
+        {
+            let _a = tracer.span("from-original");
+            let _b = clone.span("from-clone");
+        }
+        assert_eq!(
+            sink.nesting().unwrap(),
+            vec![("from-original", 0), ("from-clone", 1)]
+        );
+    }
+}

@@ -68,16 +68,34 @@ impl Verifier {
     /// [`VerifyReport::passes_run`] only if they actually ran.
     #[must_use]
     pub fn run(&self, input: &VerifyInput<'_>) -> VerifyReport {
+        self.run_traced(input, &gcr_trace::Tracer::disabled())
+    }
+
+    /// [`Verifier::run`] with a span per pass (named by the lint id) under
+    /// a `verify.run` parent, plus diagnostic counters, recorded on
+    /// `tracer`. Skipped passes emit a `verify.skipped` warn event.
+    #[must_use]
+    pub fn run_traced(&self, input: &VerifyInput<'_>, tracer: &gcr_trace::Tracer) -> VerifyReport {
+        let _run = tracer.span("verify.run");
         let mut diagnostics = Vec::new();
         let mut passes_run = Vec::new();
         let mut structure_broken = false;
         for lint in &self.lints {
             let traverses = matches!(lint.id(), "zero-skew" | "switched-cap");
             if structure_broken && traverses {
+                if tracer.enabled() {
+                    tracer.warn(
+                        "verify.skipped",
+                        &format!("skipping {} pass: tree structure is broken", lint.id()),
+                    );
+                }
                 continue;
             }
             let before = diagnostics.len();
-            lint.run(input, &mut diagnostics);
+            {
+                let _pass = tracer.span(lint.id());
+                lint.run(input, &mut diagnostics);
+            }
             passes_run.push(lint.id());
             if lint.id() == "tree-structure"
                 && diagnostics[before..]
@@ -87,6 +105,8 @@ impl Verifier {
                 structure_broken = true;
             }
         }
+        tracer.counter("verify.passes_run", passes_run.len() as f64);
+        tracer.counter("verify.diagnostics", diagnostics.len() as f64);
         VerifyReport::new(diagnostics, passes_run)
     }
 }

@@ -123,12 +123,26 @@ impl Workload {
     /// Returns [`ActivityError`] when the parameters are out of range
     /// (e.g. `usage_fraction` not in (0, 1]).
     pub fn generate(which: TsayBenchmark, params: &WorkloadParams) -> Result<Self, ActivityError> {
+        Self::generate_traced(which, params, &gcr_trace::Tracer::disabled())
+    }
+
+    /// [`Workload::generate`] with workload-synthesis spans recorded on
+    /// `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError`] when the parameters are out of range.
+    pub fn generate_traced(
+        which: TsayBenchmark,
+        params: &WorkloadParams,
+        tracer: &gcr_trace::Tracer,
+    ) -> Result<Self, ActivityError> {
         let benchmark = if params.groups > 0 {
             Benchmark::tsay_clustered(which, params.seed, params.groups)
         } else {
             Benchmark::tsay(which, params.seed)
         };
-        Self::for_benchmark(benchmark, params)
+        Self::for_benchmark_traced(benchmark, params, tracer)
     }
 
     /// Generates the activity side of a workload for an arbitrary
@@ -141,16 +155,43 @@ impl Workload {
         benchmark: Benchmark,
         params: &WorkloadParams,
     ) -> Result<Self, ActivityError> {
-        let model = CpuModel::builder(benchmark.sinks.len())
-            .instructions(params.instructions)
-            .usage_fraction(params.usage_fraction)
-            .persistence(params.persistence)
-            .groups(params.groups)
-            .seed(params.seed)
-            .build()?;
-        let stream: InstructionStream = model.generate_stream(params.stream_len);
-        let tables = ActivityTables::scan(model.rtl(), &stream);
-        let stats = StreamStats::collect(model.rtl(), &stream);
+        Self::for_benchmark_traced(benchmark, params, &gcr_trace::Tracer::disabled())
+    }
+
+    /// [`Workload::for_benchmark`] with workload-synthesis spans recorded
+    /// on `tracer`: `workload.generate` wraps model construction, stream
+    /// generation and the [`ActivityTables`] scan (whose `activity.*`
+    /// spans nest underneath).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError`] when the parameters are out of range.
+    pub fn for_benchmark_traced(
+        benchmark: Benchmark,
+        params: &WorkloadParams,
+        tracer: &gcr_trace::Tracer,
+    ) -> Result<Self, ActivityError> {
+        let _generate = tracer.span("workload.generate");
+        let model = {
+            let _span = tracer.span("workload.model");
+            CpuModel::builder(benchmark.sinks.len())
+                .instructions(params.instructions)
+                .usage_fraction(params.usage_fraction)
+                .persistence(params.persistence)
+                .groups(params.groups)
+                .seed(params.seed)
+                .build()?
+        };
+        let stream: InstructionStream = {
+            let _span = tracer.span("workload.stream");
+            model.generate_stream(params.stream_len)
+        };
+        let tables = ActivityTables::scan_traced(model.rtl(), &stream, tracer);
+        let stats = {
+            let _span = tracer.span("workload.stats");
+            StreamStats::collect(model.rtl(), &stream)
+        };
+        tracer.counter("workload.sinks", benchmark.sinks.len() as f64);
         Ok(Self {
             benchmark,
             tables,

@@ -13,14 +13,17 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use std::sync::Arc;
+
 use gcr_activity::{ActivityTables, CpuModel};
 use gcr_core::{GatedObjective, RouterConfig};
 use gcr_cts::{
-    run_greedy_with_scratch, GreedyParams, GreedyScratch, MergeObjective, NearestNeighborObjective,
-    Sink,
+    run_greedy_with_scratch, run_greedy_with_scratch_traced, GreedyParams, GreedyScratch,
+    MergeObjective, NearestNeighborObjective, Sink,
 };
 use gcr_geometry::{BBox, Point};
 use gcr_rctree::Technology;
+use gcr_trace::{ChromeTraceSink, TraceSink, Tracer};
 
 struct CountingAlloc;
 
@@ -110,4 +113,26 @@ fn warm_greedy_loop_performs_zero_allocations() {
         gated_allocs, 0,
         "equation-3 warm loop allocated {gated_allocs} times"
     );
+
+    // An active trace sink must not break the invariant: the engine times
+    // the loop phases on the stack and defers all event emission until
+    // after the allocation window closes.
+    let sink = Arc::new(ChromeTraceSink::new());
+    let tracer = Tracer::new(Arc::clone(&sink) as Arc<dyn TraceSink>);
+    let params = GreedyParams::default();
+    let mut scratch = GreedyScratch::new();
+    let mut cold = gated.clone();
+    run_greedy_with_scratch(n, &mut cold, &params, &mut scratch).unwrap();
+    let mut warm = gated.clone();
+    let (_, _, profile) =
+        run_greedy_with_scratch_traced(n, &mut warm, &params, &mut scratch, &tracer).unwrap();
+    assert_eq!(
+        profile.loop_allocs, 0,
+        "traced warm loop allocated {} times",
+        profile.loop_allocs
+    );
+    let json = sink.to_json();
+    for name in ["greedy.run", "greedy.ring", "greedy.bound", "greedy.defer", "greedy.merge"] {
+        assert!(json.contains(name), "trace missing {name}");
+    }
 }
