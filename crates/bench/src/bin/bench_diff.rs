@@ -226,7 +226,9 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let chrome = trace_path.as_ref().map(|_| Arc::new(ChromeTraceSink::new()));
+    let chrome = trace_path
+        .as_ref()
+        .map(|_| Arc::new(ChromeTraceSink::new()));
     let tracer = match &chrome {
         Some(sink) => Tracer::new(Arc::clone(sink) as Arc<dyn gcr_trace::TraceSink>),
         None => Tracer::disabled(),

@@ -35,7 +35,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use gcr_core::{evaluate_traced, route_gated_mapped_traced, DeviceRole, GatedObjective, RouterConfig};
+use gcr_core::{
+    evaluate_traced, route_gated_mapped_traced, DeviceRole, GatedObjective, RouterConfig,
+};
 use gcr_cts::{
     run_greedy_exhaustive_with_scratch, run_greedy_with_scratch, run_greedy_with_scratch_traced,
     GreedyParams, GreedyProfile, GreedyScratch, GreedyStats, MergeObjective,
@@ -164,7 +166,11 @@ fn compare<O: MergeObjective + Clone>(
     clippy::expect_used,
     reason = "bench harness: aborting on an unroutable generated workload is intended"
 )]
-fn run_benchmark(which: TsayBenchmark, params: &WorkloadParams, tracer: &Tracer) -> Vec<Comparison> {
+fn run_benchmark(
+    which: TsayBenchmark,
+    params: &WorkloadParams,
+    tracer: &Tracer,
+) -> Vec<Comparison> {
     let workload =
         Workload::generate_traced(which, params, tracer).expect("workload generation failed");
     let sinks = &workload.benchmark.sinks;
@@ -190,8 +196,9 @@ fn run_benchmark(which: TsayBenchmark, params: &WorkloadParams, tracer: &Tracer)
     // Equation-3 merge, zero-skew embedding, Equation-3 evaluation — so
     // the timeline covers every pipeline layer, not just the merge loop.
     if tracer.enabled() {
-        let routing = route_gated_mapped_traced(sinks, &module_of, &workload.tables, &config, tracer)
-            .expect("gated routing failed on a generated workload");
+        let routing =
+            route_gated_mapped_traced(sinks, &module_of, &workload.tables, &config, tracer)
+                .expect("gated routing failed on a generated workload");
         let report = evaluate_traced(
             &routing.tree,
             &routing.node_stats,
@@ -335,7 +342,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let chrome = cli.trace_path.as_ref().map(|_| Arc::new(ChromeTraceSink::new()));
+    let chrome = cli
+        .trace_path
+        .as_ref()
+        .map(|_| Arc::new(ChromeTraceSink::new()));
     let tracer = match &chrome {
         Some(sink) => Tracer::new(Arc::new(EchoWarnSink::new(
             Arc::clone(sink) as Arc<dyn TraceSink>
@@ -405,11 +415,9 @@ mod tests {
 
     #[test]
     fn parse_args_accepts_benchmarks_out_and_trace() {
-        let cli = parse_args(
-            ["r1", "r3", "--out", "x.json", "--trace", "t.json"]
-                .map(String::from),
-        )
-        .unwrap();
+        let cli =
+            parse_args(["r1", "r3", "--out", "x.json", "--trace", "t.json"].map(String::from))
+                .unwrap();
         assert_eq!(cli.benchmarks.len(), 2);
         assert_eq!(cli.out_path, "x.json");
         assert_eq!(cli.trace_path.as_deref(), Some("t.json"));
@@ -426,10 +434,7 @@ mod tests {
 
     #[test]
     fn failed_writes_are_reported_as_false() {
-        assert!(!write_or_report(
-            "/nonexistent-gcr-dir/trace.json",
-            "{}"
-        ));
+        assert!(!write_or_report("/nonexistent-gcr-dir/trace.json", "{}"));
         let dir = std::env::temp_dir().join("gcr_greedy_bench_write_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("out.json");

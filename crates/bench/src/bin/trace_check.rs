@@ -57,7 +57,9 @@ fn check_trace(text: &str) -> Result<Vec<String>, String> {
     }
     for (name, count) in &balance {
         if *count != 0 {
-            return Err(format!("span \"{name}\" has unbalanced B/E events ({count:+})"));
+            return Err(format!(
+                "span \"{name}\" has unbalanced B/E events ({count:+})"
+            ));
         }
     }
     Ok(names)

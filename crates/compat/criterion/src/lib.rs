@@ -11,6 +11,7 @@
 // crate's public names and casts, so the workspace lint policy for our
 // own code does not apply.
 #![allow(missing_docs, clippy::cast_lossless, clippy::must_use_candidate)]
+#![forbid(unsafe_code)]
 
 use std::fmt;
 use std::time::Instant;

@@ -177,7 +177,15 @@ pub fn embed_sized_traced(
     limits: crate::SizingLimits,
     tracer: &gcr_trace::Tracer,
 ) -> Result<ClockTree, CtsError> {
-    embed_impl(topology, sinks, tech, assignment, source, Some(limits), tracer)
+    embed_impl(
+        topology,
+        sinks,
+        tech,
+        assignment,
+        source,
+        Some(limits),
+        tracer,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -136,6 +136,63 @@ pub struct GreedyParams {
     /// on shared CI runners — the committed merges are identical at any
     /// thread count, only wall time varies.
     pub threads: Option<usize>,
+    /// Record a [`MergeDecision`] per committed merge into the scratch's
+    /// decision log (read back with [`GreedyScratch::decisions`]). Off by
+    /// default: the log is one push per merge — cheap, but it may grow a
+    /// cold scratch's buffer, so the zero-allocation warm-loop invariant
+    /// is only guaranteed with logging off or a warmed log buffer.
+    pub log_decisions: bool,
+}
+
+/// One committed merge of a greedy run: the canonical decision-log record
+/// the determinism auditor diffs across thread counts and tracing
+/// configurations.
+///
+/// The winning pair is stored in canonical `a < b` orientation and the
+/// winning exact cost as raw `f64` bits, so two logs are equal **iff**
+/// the runs took bit-identical decisions (same merge order, same chosen
+/// partners, same tie-break keys).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MergeDecision {
+    /// Lower-indexed merge partner.
+    pub a: u32,
+    /// Higher-indexed merge partner.
+    pub b: u32,
+    /// The node index the merge created (`num_leaves + step`).
+    pub node: u32,
+    /// The winning exact cost, as `f64::to_bits` for bit-exact diffing.
+    pub key_bits: u64,
+}
+
+impl MergeDecision {
+    /// The winning exact cost as a float.
+    #[must_use]
+    pub fn key(&self) -> f64 {
+        f64::from_bits(self.key_bits)
+    }
+}
+
+impl std::fmt::Display for MergeDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "merge v{} <- (v{}, v{}) key=0x{:016x}",
+            self.node, self.a, self.b, self.key_bits
+        )
+    }
+}
+
+/// Renders a decision log in its canonical text form: one
+/// `merge v<node> <- (v<a>, v<b>) key=0x<bits>` line per committed merge.
+/// Two runs are bit-identical iff their canonical logs are equal strings.
+#[must_use]
+pub fn canonical_decision_log(decisions: &[MergeDecision]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for d in decisions {
+        let _ = writeln!(out, "{d}");
+    }
+    out
 }
 
 /// Per-phase wall times and allocation counts of one greedy run.
@@ -402,9 +459,7 @@ fn resolve_threads(params: &GreedyParams, tracer: &Tracer) -> usize {
                     if tracer.enabled() {
                         tracer.warn(
                             "greedy.threads",
-                            &format!(
-                                "unparsable GCR_THREADS value {s:?}; running single-threaded"
-                            ),
+                            &format!("unparsable GCR_THREADS value {s:?}; running single-threaded"),
                         );
                     }
                     Some(1)
@@ -549,6 +604,9 @@ pub struct GreedyScratch {
     /// in [`defer_row`].
     selbuf: Vec<(f64, u32)>,
     slab: CandidateSlab,
+    /// Decision log of the last run, populated only under
+    /// [`GreedyParams::log_decisions`].
+    decisions: Vec<MergeDecision>,
 }
 
 impl GreedyScratch {
@@ -557,6 +615,20 @@ impl GreedyScratch {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The decision log of the most recent run through this scratch —
+    /// empty unless that run set [`GreedyParams::log_decisions`].
+    #[must_use]
+    pub fn decisions(&self) -> &[MergeDecision] {
+        &self.decisions
+    }
+
+    /// Takes ownership of the last run's decision log, leaving the
+    /// scratch's buffer empty (it regrows on the next logged run).
+    #[must_use]
+    pub fn take_decisions(&mut self) -> Vec<MergeDecision> {
+        std::mem::take(&mut self.decisions)
     }
 
     /// Clears every buffer and sizes the liveness state for a run over
@@ -581,7 +653,85 @@ impl GreedyScratch {
         self.best_seen.resize(total, f64::INFINITY);
         self.selbuf.clear();
         self.slab.clear();
+        self.decisions.clear();
     }
+}
+
+/// Shadow-invariant micro-checks, compiled into the greedy warm loop by
+/// the `shadow-invariants` cargo feature. Each hook is an `#[inline]`
+/// assertion over values the loop already holds in registers; with the
+/// feature off the functions below are empty and vanish entirely, so the
+/// default build's hot loop (and its zero-allocation profile) is
+/// untouched.
+#[cfg(feature = "shadow-invariants")]
+mod shadow {
+    use super::{Entry, MinHeap, Point};
+
+    /// After a pop, the new heap top must not precede the popped entry in
+    /// the strict `(key, kind, a, b)` total order — a cheap online probe
+    /// of the 4-ary sift-down.
+    #[inline]
+    pub(super) fn heap_monotone(heap: &MinHeap, popped: Entry) {
+        if let Some(top) = heap.peek() {
+            assert!(
+                !top.precedes(popped),
+                "shadow-invariants: heap top {top:?} precedes the entry just popped {popped:?}"
+            );
+        }
+    }
+
+    /// Admissibility, observed online: the exact cost evaluated for a
+    /// popped `KIND_BOUND` entry must not undercut the bound it was
+    /// priced at (non-negative bound slack).
+    #[inline]
+    pub(super) fn bound_slack(bound: f64, exact: f64, a: usize, b: usize) {
+        assert!(
+            exact >= bound,
+            "shadow-invariants: exact cost {exact} of ({a}, {b}) undercuts its lower bound \
+             {bound}; the bound is inadmissible"
+        );
+    }
+
+    /// Arena index consistency at a merge commit: partners below the new
+    /// node, the new node inside the run's index budget.
+    #[inline]
+    pub(super) fn merge_indices(a: usize, b: usize, next: usize, total: usize) {
+        assert!(
+            a < b && b < next && next < total,
+            "shadow-invariants: merge ({a}, {b}) -> {next} breaks index order (total {total})"
+        );
+    }
+
+    /// The merged node's location must be finite — a NaN or infinite
+    /// coordinate here poisons every later distance and bound.
+    #[inline]
+    pub(super) fn finite_location(loc: Point, node: usize) {
+        assert!(
+            loc.x.is_finite() && loc.y.is_finite(),
+            "shadow-invariants: merged node {node} placed at non-finite ({}, {})",
+            loc.x,
+            loc.y
+        );
+    }
+}
+
+/// No-op twins of the shadow hooks: empty `#[inline]` functions that the
+/// optimizer erases, keeping call sites unconditional.
+#[cfg(not(feature = "shadow-invariants"))]
+mod shadow {
+    use super::{Entry, MinHeap, Point};
+
+    #[inline]
+    pub(super) fn heap_monotone(_heap: &MinHeap, _popped: Entry) {}
+
+    #[inline]
+    pub(super) fn bound_slack(_bound: f64, _exact: f64, _a: usize, _b: usize) {}
+
+    #[inline]
+    pub(super) fn merge_indices(_a: usize, _b: usize, _next: usize, _total: usize) {}
+
+    #[inline]
+    pub(super) fn finite_location(_loc: Point, _node: usize) {}
 }
 
 /// Evaluates the exact cost of every pair, appending `KIND_EXACT` entries
@@ -1048,6 +1198,7 @@ pub fn run_greedy_with_scratch_traced<O: MergeObjective>(
         best_seen,
         selbuf,
         slab,
+        decisions,
         ..
     } = scratch;
 
@@ -1098,7 +1249,11 @@ pub fn run_greedy_with_scratch_traced<O: MergeObjective>(
     }
     profile.seed_ms = seed_start.elapsed().as_secs_f64() * 1e3;
     profile.seed_allocs = alloc_count() - seed_allocs0;
-    tracer.complete_span("greedy.seed", seed_span_start, elapsed_ns(seed_start.elapsed()));
+    tracer.complete_span(
+        "greedy.seed",
+        seed_span_start,
+        elapsed_ns(seed_start.elapsed()),
+    );
 
     // Per-kind loop time, accumulated in stack integers so the measured
     // loop window stays free of tracer calls (and of their allocations).
@@ -1129,6 +1284,7 @@ pub fn run_greedy_with_scratch_traced<O: MergeObjective>(
             t_last = now;
         }
         let entry = heap.pop().expect("heap exhausted before root was formed");
+        shadow::heap_monotone(heap, entry);
         stats.heap_pops += 1;
         last_kind = Some(entry.kind());
         let (a, b) = (entry.a(), entry.b());
@@ -1295,6 +1451,7 @@ pub fn run_greedy_with_scratch_traced<O: MergeObjective>(
                 let key = objective.cost(x, y);
                 stats.exact_cost_evals += 1;
                 assert!(!key.is_nan(), "merge cost of ({x}, {y}) is NaN");
+                shadow::bound_slack(entry.key, key, x, y);
                 best_seen[x] = best_seen[x].min(key);
                 best_seen[y] = best_seen[y].min(key);
                 heap.push(Entry::new(key, KIND_EXACT, a, b));
@@ -1304,6 +1461,7 @@ pub fn run_greedy_with_scratch_traced<O: MergeObjective>(
                 if !alive[x] || !alive[y] {
                     continue; // lazy deletion
                 }
+                shadow::merge_indices(x, y, next, total);
                 alive[x] = false;
                 alive[y] = false;
                 // Retire dead leaves from the bucket grid so later ring
@@ -1317,7 +1475,16 @@ pub fn run_greedy_with_scratch_traced<O: MergeObjective>(
                     grid.mark_dead(y);
                 }
                 objective.merge(x, y, next)?;
+                shadow::finite_location(objective.location(next), next);
                 merges.push((x, y));
+                if params.log_decisions {
+                    decisions.push(MergeDecision {
+                        a,
+                        b,
+                        node: next as u32,
+                        key_bits: entry.key.to_bits(),
+                    });
+                }
                 live.retain(|&n| alive[n as usize]);
                 // Flood: price the new node against the whole live set in
                 // one kernel sweep and park the entire batch in the slab.
@@ -1360,7 +1527,11 @@ pub fn run_greedy_with_scratch_traced<O: MergeObjective>(
             kind_ns[k as usize] += elapsed_ns(t_last.elapsed());
         }
         // The loop's allocation window is closed; events may allocate now.
-        tracer.complete_span("greedy.loop", loop_span_start, elapsed_ns(loop_start.elapsed()));
+        tracer.complete_span(
+            "greedy.loop",
+            loop_span_start,
+            elapsed_ns(loop_start.elapsed()),
+        );
         // Aggregated per-kind sub-phases, laid out back to back inside the
         // loop interval so a Chrome-trace viewer shows their proportions.
         let mut at = loop_span_start;
@@ -1501,6 +1672,7 @@ pub fn run_greedy_exhaustive_with_scratch_traced<O: MergeObjective>(
         batch,
         entries,
         merges,
+        decisions,
         ..
     } = scratch;
 
@@ -1516,7 +1688,11 @@ pub fn run_greedy_exhaustive_with_scratch_traced<O: MergeObjective>(
     heap.rebuild();
     profile.seed_ms = seed_start.elapsed().as_secs_f64() * 1e3;
     profile.seed_allocs = alloc_count() - seed_allocs0;
-    tracer.complete_span("greedy.seed", seed_span_start, elapsed_ns(seed_start.elapsed()));
+    tracer.complete_span(
+        "greedy.seed",
+        seed_span_start,
+        elapsed_ns(seed_start.elapsed()),
+    );
 
     let loop_span_start = tracer.now_ns();
     let loop_start = Instant::now();
@@ -1524,6 +1700,7 @@ pub fn run_greedy_exhaustive_with_scratch_traced<O: MergeObjective>(
     let mut next = num_leaves;
     while next < total {
         let entry = heap.pop().expect("heap exhausted before root was formed");
+        shadow::heap_monotone(heap, entry);
         stats.heap_pops += 1;
         let (a, b) = (entry.a() as usize, entry.b() as usize);
         if !alive[a] || !alive[b] {
@@ -1533,6 +1710,14 @@ pub fn run_greedy_exhaustive_with_scratch_traced<O: MergeObjective>(
         alive[b] = false;
         objective.merge(a, b, next)?;
         merges.push((a, b));
+        if params.log_decisions {
+            decisions.push(MergeDecision {
+                a: entry.a(),
+                b: entry.b(),
+                node: next as u32,
+                key_bits: entry.key.to_bits(),
+            });
+        }
         live.retain(|&n| alive[n as usize]);
         batch.clear();
         batch.extend(live.iter().map(|&n| (n, next as u32)));
@@ -1549,7 +1734,11 @@ pub fn run_greedy_exhaustive_with_scratch_traced<O: MergeObjective>(
     profile.loop_ms = loop_start.elapsed().as_secs_f64() * 1e3;
     profile.loop_allocs = alloc_count() - loop_allocs0;
     if tracer.enabled() {
-        tracer.complete_span("greedy.loop", loop_span_start, elapsed_ns(loop_start.elapsed()));
+        tracer.complete_span(
+            "greedy.loop",
+            loop_span_start,
+            elapsed_ns(loop_start.elapsed()),
+        );
         emit_greedy_counters(tracer, &stats, &profile);
     }
 
@@ -1573,14 +1762,49 @@ pub fn run_greedy_checked<O: MergeObjective + Clone>(
     num_leaves: usize,
     objective: &mut O,
 ) -> Result<Topology, CtsError> {
+    run_greedy_checked_logged(num_leaves, objective).map(|(topology, _)| topology)
+}
+
+/// [`run_greedy_checked`] returning the pruned run's decision log after
+/// additionally asserting it is **bit-identical** to the exhaustive
+/// engine's — same merge order, same partners, same winning keys down to
+/// the `f64` bits, a strictly stronger check than topology equality. The
+/// log feeds the `determinism` verifier pass and the per-merge scoped
+/// verification in `gcr-verify` (which owns the tree-level replay, since
+/// the verifier depends on this crate and not vice versa).
+///
+/// # Errors
+///
+/// As [`run_greedy`].
+///
+/// # Panics
+///
+/// As [`run_greedy_checked`], plus a decision-log mismatch.
+pub fn run_greedy_checked_logged<O: MergeObjective + Clone>(
+    num_leaves: usize,
+    objective: &mut O,
+) -> Result<(Topology, Vec<MergeDecision>), CtsError> {
+    let params = GreedyParams {
+        log_decisions: true,
+        ..GreedyParams::default()
+    };
     let mut reference = objective.clone();
-    let expected = run_greedy_exhaustive(num_leaves, &mut reference)?;
-    let (topology, _) = run_greedy_instrumented(num_leaves, objective)?;
+    let mut scratch = GreedyScratch::new();
+    let (expected, _, _) =
+        run_greedy_exhaustive_with_scratch(num_leaves, &mut reference, &params, &mut scratch)?;
+    let expected_log = scratch.take_decisions();
+    let (topology, _, _) = run_greedy_with_scratch(num_leaves, objective, &params, &mut scratch)?;
+    let log = scratch.take_decisions();
     assert_eq!(
         topology, expected,
         "pruned greedy diverged from the exhaustive engine: inadmissible bound?"
     );
-    Ok(topology)
+    assert_eq!(
+        canonical_decision_log(&log),
+        canonical_decision_log(&expected_log),
+        "pruned and exhaustive topologies agree but the decision logs differ"
+    );
+    Ok((topology, log))
 }
 
 #[cfg(test)]
@@ -1702,7 +1926,10 @@ mod tests {
                 points: points.clone(),
             };
             let mut scratch = GreedyScratch::new();
-            let params = GreedyParams { threads };
+            let params = GreedyParams {
+                threads,
+                ..GreedyParams::default()
+            };
             run_greedy_exhaustive_with_scratch(128, &mut obj, &params, &mut scratch)
                 .unwrap()
                 .0
@@ -1785,9 +2012,131 @@ mod tests {
         assert_eq!(topo.num_leaves(), 50);
     }
 
-    /// An inadmissible bound must be caught by the checked mode.
+    /// The decision log records exactly the committed merges, in order,
+    /// canonically oriented, and bit-identically across both engines.
     #[test]
-    #[should_panic(expected = "diverged")]
+    fn decision_log_is_canonical_and_engine_independent() {
+        let obj = PointObjective {
+            points: (0..40)
+                .map(|i| Point::new(f64::from(i * 37 % 199), f64::from(i * 53 % 211)))
+                .collect(),
+        };
+        let params = GreedyParams {
+            log_decisions: true,
+            ..GreedyParams::default()
+        };
+        let mut scratch = GreedyScratch::new();
+        let mut pruned_obj = obj.clone();
+        let (topo, _, _) =
+            run_greedy_with_scratch(40, &mut pruned_obj, &params, &mut scratch).unwrap();
+        let pruned_log = scratch.take_decisions();
+        let mut exhaustive_obj = obj.clone();
+        let (_, _, _) =
+            run_greedy_exhaustive_with_scratch(40, &mut exhaustive_obj, &params, &mut scratch)
+                .unwrap();
+        let exhaustive_log = scratch.take_decisions();
+
+        assert_eq!(pruned_log.len(), 39, "one record per committed merge");
+        for (i, d) in pruned_log.iter().enumerate() {
+            assert_eq!(d.node as usize, 40 + i, "nodes are created in order");
+            assert!(d.a < d.b, "partners are canonically oriented");
+            assert!(d.b < d.node, "partners precede the node they form");
+            assert!(d.key().is_finite());
+        }
+        assert_eq!(
+            pruned_log, exhaustive_log,
+            "decision logs are bit-identical"
+        );
+        let text = canonical_decision_log(&pruned_log);
+        assert_eq!(text.lines().count(), 39);
+        assert!(text.starts_with("merge v40 <- "), "{text}");
+        assert_eq!(topo.num_leaves(), 40);
+    }
+
+    /// Without the flag the log stays empty — no branch taken, nothing
+    /// recorded, identical committed merges.
+    #[test]
+    fn decision_log_is_off_by_default() {
+        let mut obj = PointObjective {
+            points: (0..20)
+                .map(|i| Point::new(f64::from(i * 13 % 71), f64::from(i * 29 % 83)))
+                .collect(),
+        };
+        let mut scratch = GreedyScratch::new();
+        let (_, _, _) =
+            run_greedy_with_scratch(20, &mut obj, &GreedyParams::default(), &mut scratch).unwrap();
+        assert!(scratch.decisions().is_empty());
+    }
+
+    /// `run_greedy_checked_logged` returns the log the plain flag-driven
+    /// run would have produced.
+    #[test]
+    fn checked_logged_returns_the_pruned_log() {
+        let mut obj = PointObjective {
+            points: (0..24)
+                .map(|i| Point::new(f64::from(i * 41 % 113), f64::from(i * 59 % 127)))
+                .collect(),
+        };
+        let (topo, log) = run_greedy_checked_logged(24, &mut obj).unwrap();
+        assert_eq!(topo.num_leaves(), 24);
+        assert_eq!(log.len(), 23);
+    }
+
+    /// With the feature on, a clean objective sails through every shadow
+    /// hook; an objective with an inadmissible bound trips the online
+    /// bound-slack check *during* the run, before the checked-mode
+    /// topology diff would see it.
+    #[cfg(feature = "shadow-invariants")]
+    mod shadow_feature {
+        use super::*;
+
+        #[test]
+        fn clean_run_passes_all_shadow_hooks() {
+            let mut obj = PointObjective {
+                points: (0..60)
+                    .map(|i| Point::new(f64::from(i * 37 % 199), f64::from(i * 53 % 211)))
+                    .collect(),
+            };
+            let topo = run_greedy(60, &mut obj).unwrap();
+            assert_eq!(topo.num_leaves(), 60);
+        }
+
+        #[test]
+        #[should_panic(expected = "shadow-invariants")]
+        fn inadmissible_bound_trips_the_online_slack_check() {
+            #[derive(Clone)]
+            struct Lying(PointObjective);
+            impl MergeObjective for Lying {
+                fn cost(&self, a: usize, b: usize) -> f64 {
+                    self.0.cost(a, b)
+                }
+                fn cost_lower_bound(&self, a: usize, b: usize) -> f64 {
+                    self.0.cost(a, b) + 1.0 // overshoots every exact cost
+                }
+                fn cost_lower_bound_at_distance(&self, _node: usize, dist: f64) -> f64 {
+                    dist
+                }
+                fn location(&self, node: usize) -> Point {
+                    self.0.location(node)
+                }
+                fn merge(&mut self, a: usize, b: usize, k: usize) -> Result<(), CtsError> {
+                    self.0.merge(a, b, k)
+                }
+            }
+            let mut obj = Lying(PointObjective {
+                points: (0..12)
+                    .map(|i| Point::new(f64::from(i * 31 % 89), f64::from(i * 17 % 97)))
+                    .collect(),
+            });
+            let _ = run_greedy(12, &mut obj);
+        }
+    }
+
+    /// An inadmissible bound must be caught by the checked mode (or, with
+    /// `shadow-invariants` on, by the online slack check even earlier —
+    /// both panics name the inadmissible bound).
+    #[test]
+    #[should_panic(expected = "inadmissible")]
     fn checked_mode_catches_inadmissible_bounds() {
         #[derive(Clone)]
         struct Lying(PointObjective);
@@ -1971,10 +2320,34 @@ mod tests {
     #[test]
     fn thread_resolution_clamps() {
         let tracer = Tracer::disabled();
-        assert_eq!(resolve_threads(&GreedyParams { threads: Some(7) }, &tracer), 7);
-        assert_eq!(resolve_threads(&GreedyParams { threads: Some(0) }, &tracer), 1);
         assert_eq!(
-            resolve_threads(&GreedyParams { threads: Some(999) }, &tracer),
+            resolve_threads(
+                &GreedyParams {
+                    threads: Some(7),
+                    ..GreedyParams::default()
+                },
+                &tracer
+            ),
+            7
+        );
+        assert_eq!(
+            resolve_threads(
+                &GreedyParams {
+                    threads: Some(0),
+                    ..GreedyParams::default()
+                },
+                &tracer
+            ),
+            1
+        );
+        assert_eq!(
+            resolve_threads(
+                &GreedyParams {
+                    threads: Some(999),
+                    ..GreedyParams::default()
+                },
+                &tracer
+            ),
             MAX_THREADS
         );
         assert!(resolve_threads(&GreedyParams::default(), &tracer) >= 1);
@@ -2013,7 +2386,9 @@ mod tests {
             "greedy.merge",
         ] {
             assert!(
-                nesting.iter().any(|&(name, depth)| name == phase && depth == 1),
+                nesting
+                    .iter()
+                    .any(|&(name, depth)| name == phase && depth == 1),
                 "missing sub-phase {phase} in {nesting:?}"
             );
         }
@@ -2040,8 +2415,13 @@ mod tests {
             .iter()
             .filter_map(|e| match e {
                 TraceEvent::Complete { name, dur_ns, .. }
-                    if ["greedy.ring", "greedy.defer", "greedy.bound", "greedy.merge"]
-                        .contains(name) =>
+                    if [
+                        "greedy.ring",
+                        "greedy.defer",
+                        "greedy.bound",
+                        "greedy.merge",
+                    ]
+                    .contains(name) =>
                 {
                     Some(*dur_ns)
                 }

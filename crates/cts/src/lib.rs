@@ -74,11 +74,11 @@ pub use design_io::{load_design, save_design, LoadedDesign};
 pub use embed::{embed, embed_sized, embed_sized_traced, embed_traced, DeviceAssignment};
 pub use error::CtsError;
 pub use greedy::{
-    run_greedy, run_greedy_checked, run_greedy_exhaustive, run_greedy_exhaustive_instrumented,
-    run_greedy_exhaustive_with_scratch, run_greedy_exhaustive_with_scratch_traced,
-    run_greedy_instrumented, run_greedy_traced, run_greedy_with_scratch,
-    run_greedy_with_scratch_traced, set_alloc_probe, GreedyParams, GreedyProfile, GreedyScratch,
-    GreedyStats, MergeObjective,
+    canonical_decision_log, run_greedy, run_greedy_checked, run_greedy_checked_logged,
+    run_greedy_exhaustive, run_greedy_exhaustive_instrumented, run_greedy_exhaustive_with_scratch,
+    run_greedy_exhaustive_with_scratch_traced, run_greedy_instrumented, run_greedy_traced,
+    run_greedy_with_scratch, run_greedy_with_scratch_traced, set_alloc_probe, GreedyParams,
+    GreedyProfile, GreedyScratch, GreedyStats, MergeDecision, MergeObjective,
 };
 pub use merge::{balance_devices, zero_skew_merge, MergeOutcome, SizingLimits, SubtreeState};
 pub use mmm::mmm_topology;

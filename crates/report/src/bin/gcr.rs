@@ -31,11 +31,11 @@ use gcr_core::{
     evaluate, evaluate_buffered, evaluate_traced, evaluate_with_mask_traced, reduce_gates_untied,
     route_gated_traced, ControllerPlan, DeviceRole, ReductionParams, RouterConfig,
 };
-use gcr_trace::{ChromeTraceSink, EchoWarnSink, TraceSink, Tracer};
 use gcr_cts::{build_buffered_tree, Sink};
 use gcr_geometry::{BBox, Point};
 use gcr_rctree::{to_spice, Technology};
 use gcr_report::{render_svg, SvgOptions};
+use gcr_trace::{ChromeTraceSink, EchoWarnSink, TraceSink, Tracer};
 use gcr_workloads::io::parse_sinks;
 
 fn main() -> ExitCode {

@@ -161,7 +161,10 @@ impl MemorySink {
     /// Panics if a recording thread panicked while holding the buffer
     /// lock.
     #[must_use]
-    #[expect(clippy::expect_used, reason = "poisoned lock means a test already failed")]
+    #[expect(
+        clippy::expect_used,
+        reason = "poisoned lock means a test already failed"
+    )]
     pub fn events(&self) -> Vec<TraceEvent> {
         self.events.lock().expect("trace buffer poisoned").clone()
     }
@@ -228,9 +231,15 @@ impl MemorySink {
 }
 
 impl TraceSink for MemorySink {
-    #[expect(clippy::expect_used, reason = "poisoned lock means a recorder already panicked")]
+    #[expect(
+        clippy::expect_used,
+        reason = "poisoned lock means a recorder already panicked"
+    )]
     fn record(&self, event: TraceEvent) {
-        self.events.lock().expect("trace buffer poisoned").push(event);
+        self.events
+            .lock()
+            .expect("trace buffer poisoned")
+            .push(event);
     }
 }
 
@@ -258,7 +267,10 @@ impl ChromeTraceSink {
     /// Panics if a recording thread panicked while holding the buffer
     /// lock.
     #[must_use]
-    #[expect(clippy::expect_used, reason = "poisoned lock means a recorder already panicked")]
+    #[expect(
+        clippy::expect_used,
+        reason = "poisoned lock means a recorder already panicked"
+    )]
     pub fn to_json(&self) -> String {
         let events = self.events.lock().expect("trace buffer poisoned");
         let mut out = String::with_capacity(64 + 96 * events.len());
@@ -339,9 +351,15 @@ impl ChromeTraceSink {
 }
 
 impl TraceSink for ChromeTraceSink {
-    #[expect(clippy::expect_used, reason = "poisoned lock means a recorder already panicked")]
+    #[expect(
+        clippy::expect_used,
+        reason = "poisoned lock means a recorder already panicked"
+    )]
     fn record(&self, event: TraceEvent) {
-        self.events.lock().expect("trace buffer poisoned").push(event);
+        self.events
+            .lock()
+            .expect("trace buffer poisoned")
+            .push(event);
     }
 }
 

@@ -3,60 +3,107 @@
 //! Loads a `gcr-design v1` file (see `gcr-cts::design_io`), re-embeds it
 //! under the default technology, runs the full lint deck, and prints the
 //! findings. Exits `0` when the design is clean, `1` when any
-//! error-severity diagnostic fires, `2` on usage or load failure.
+//! error-severity diagnostic fires (or a pass was skipped under
+//! `--deny-skipped`), `2` on usage or load failure.
+//!
+//! The `audit` subcommand is the determinism harness: it replays the
+//! r1–r5 reference benchmarks through the Equation-3 greedy router
+//! across thread counts and traced/untraced configurations, records the
+//! decision log of every run, and fails unless all logs are
+//! bit-identical and the routed trees verify clean.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use gcr_core::{ControllerPlan, DeviceRole};
-use gcr_cts::{embed, load_design};
+use gcr_core::{ControllerPlan, DeviceRole, GatedObjective};
+use gcr_cts::{
+    canonical_decision_log, embed, embed_sized, load_design, run_greedy_with_scratch_traced,
+    DeviceAssignment, GreedyParams, GreedyScratch, MergeObjective, SizingLimits,
+};
 use gcr_geometry::{BBox, Point};
 use gcr_rctree::Technology;
-use gcr_verify::{Verifier, VerifyInput};
+use gcr_trace::{MemorySink, Tracer};
+use gcr_verify::{Scope, Verifier, VerifyInput};
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
 
 const USAGE: &str = "\
 usage: gcr-verify [options] <design-file>
+       gcr-verify audit [audit-options]
 
 Statically verifies a gcr-design v1 file: tree structure, geometry,
 zero skew, gating consistency, and switched-capacitance accounting.
 
 options:
   --json                 emit the report as JSON instead of text
+  --sarif                emit the report as SARIF 2.1.0 instead of text
+  --deny-skipped         exit nonzero when any pass was skipped
+  --scope N,N,...        verify only the given dirty node indices
+                         (whole-design passes are skipped and recorded)
   --die X0 Y0 X1 Y1      die outline; default: bounding box of the design
   --skew-tol PS          allowed sink-to-sink skew in ps (default 1e-6)
   --role gate|buffer     how edge devices are accounted (default gate)
   --list-lints           print the registered passes and exit
   -h, --help             print this help
+
+audit-options:
+  --benchmarks r1,r2,..  Tsay benchmarks to replay (default r1,r2,r3,r4,r5)
+  --threads 1,2,4,8      GCR_THREADS values to sweep (default 1,2,4,8)
+  --stream-len N         activity stream length (default 2000)
+  --sarif-dir DIR        write one SARIF report per benchmark into DIR
 ";
 
 struct Options {
     path: Option<String>,
     json: bool,
+    sarif: bool,
+    deny_skipped: bool,
     die: Option<BBox>,
     skew_tol: Option<f64>,
     role: DeviceRole,
     list_lints: bool,
+    scope: Option<Vec<usize>>,
 }
 
-fn take_f64(args: &mut std::env::Args, flag: &str) -> Result<f64, String> {
+struct AuditOptions {
+    benchmarks: Vec<TsayBenchmark>,
+    threads: Vec<usize>,
+    stream_len: usize,
+    sarif_dir: Option<String>,
+}
+
+fn take_f64(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<f64, String> {
     args.next()
         .ok_or_else(|| format!("{flag} needs a value"))?
         .parse::<f64>()
         .map_err(|e| format!("{flag}: {e}"))
 }
 
-fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
-    let _argv0 = args.next();
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut opts = Options {
         path: None,
         json: false,
+        sarif: false,
+        deny_skipped: false,
         die: None,
         skew_tol: None,
         role: DeviceRole::Gate,
         list_lints: false,
+        scope: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--sarif" => opts.sarif = true,
+            "--deny-skipped" => opts.deny_skipped = true,
+            "--scope" => {
+                let value = args.next().ok_or("--scope needs a value")?;
+                opts.scope = Some(
+                    value
+                        .split(',')
+                        .map(|n| n.parse::<usize>().map_err(|e| format!("--scope: {e}")))
+                        .collect::<Result<_, _>>()?,
+                );
+            }
             "--list-lints" => opts.list_lints = true,
             "--skew-tol" => opts.skew_tol = Some(take_f64(&mut args, "--skew-tol")?),
             "--die" => {
@@ -80,11 +127,68 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
             _ => return Err("more than one design file given".into()),
         }
     }
+    if opts.json && opts.sarif {
+        return Err("--json and --sarif are mutually exclusive".into());
+    }
+    Ok(opts)
+}
+
+fn parse_audit_args(mut args: impl Iterator<Item = String>) -> Result<AuditOptions, String> {
+    let mut opts = AuditOptions {
+        benchmarks: TsayBenchmark::ALL.to_vec(),
+        threads: vec![1, 2, 4, 8],
+        stream_len: 2_000,
+        sarif_dir: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--benchmarks" => {
+                let value = args.next().ok_or("--benchmarks needs a value")?;
+                opts.benchmarks = value
+                    .split(',')
+                    .map(|name| {
+                        TsayBenchmark::ALL
+                            .into_iter()
+                            .find(|b| b.name() == name)
+                            .ok_or_else(|| format!("unknown benchmark {name}; expected r1..r5"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--threads" => {
+                let value = args.next().ok_or("--threads needs a value")?;
+                opts.threads = value
+                    .split(',')
+                    .map(|t| t.parse::<usize>().map_err(|e| format!("--threads: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if opts.threads.is_empty() {
+                    return Err("--threads needs at least one value".into());
+                }
+            }
+            "--stream-len" => {
+                let value = args.next().ok_or("--stream-len needs a value")?;
+                opts.stream_len = value
+                    .parse::<usize>()
+                    .map_err(|e| format!("--stream-len: {e}"))?;
+            }
+            "--sarif-dir" => {
+                opts.sarif_dir = Some(args.next().ok_or("--sarif-dir needs a value")?);
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown audit option {other}")),
+        }
+    }
     Ok(opts)
 }
 
 fn run() -> Result<bool, String> {
-    let opts = parse_args(std::env::args())?;
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    let args: Vec<String> = args.collect();
+    if args.first().map(String::as_str) == Some("audit") {
+        let opts = parse_audit_args(args.into_iter().skip(1))?;
+        return run_audit(&opts);
+    }
+    let opts = parse_args(args.into_iter())?;
     let verifier = Verifier::with_default_lints();
     if opts.list_lints {
         for lint in verifier.lints() {
@@ -129,14 +233,149 @@ fn run() -> Result<bool, String> {
     if let Some(tol) = opts.skew_tol {
         input = input.with_skew_tolerance_ps(tol);
     }
+    if let Some(nodes) = opts.scope {
+        input = input.with_scope(Scope::nodes(nodes));
+    }
 
     let report = verifier.run(&input);
     if opts.json {
         println!("{}", report.render_json());
+    } else if opts.sarif {
+        println!("{}", report.render_sarif());
     } else {
         print!("{}", report.render_text());
     }
-    Ok(!report.has_errors())
+    let denied = opts.deny_skipped && !report.skipped().is_empty();
+    if denied && !opts.json && !opts.sarif {
+        println!(
+            "--deny-skipped: {} pass(es) were skipped",
+            report.skipped().len()
+        );
+    }
+    Ok(!report.has_errors() && !denied)
+}
+
+/// Replays one benchmark through the gated greedy router under `params`,
+/// returning the canonical decision log.
+fn replay(
+    base: &GatedObjective<'_>,
+    num_sinks: usize,
+    params: &GreedyParams,
+    tracer: &Tracer,
+) -> Result<(gcr_cts::Topology, Vec<gcr_cts::MergeDecision>), String> {
+    let mut objective = base.clone();
+    let mut scratch = GreedyScratch::new();
+    let (topology, _, _) =
+        run_greedy_with_scratch_traced(num_sinks, &mut objective, params, &mut scratch, tracer)
+            .map_err(|e| format!("greedy route failed: {e}"))?;
+    Ok((topology, scratch.take_decisions()))
+}
+
+fn run_audit(opts: &AuditOptions) -> Result<bool, String> {
+    let tech = Technology::default();
+    let params = WorkloadParams::smoke().with_stream_len(opts.stream_len);
+    if let Some(dir) = &opts.sarif_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    }
+    let mut all_ok = true;
+    for &which in &opts.benchmarks {
+        let workload =
+            Workload::generate(which, &params).map_err(|e| format!("{}: {e}", which.name()))?;
+        let sinks = &workload.benchmark.sinks;
+        let die = workload.benchmark.die;
+        let controller = ControllerPlan::Centralized {
+            location: die.center(),
+        };
+        let module_of: Vec<usize> = (0..sinks.len()).collect();
+        let base = GatedObjective::new(&tech, &controller, &workload.tables, sinks, &module_of);
+
+        // The baseline: single-threaded, untraced.
+        let greedy = |threads: usize| GreedyParams {
+            threads: Some(threads),
+            log_decisions: true,
+        };
+        let (topology, baseline) = replay(
+            &base,
+            sinks.len(),
+            &greedy(opts.threads[0]),
+            &Tracer::disabled(),
+        )?;
+        let baseline_log = canonical_decision_log(&baseline);
+        let mut divergent = 0usize;
+        let mut configs = 1usize;
+        for &threads in &opts.threads {
+            for traced in [false, true] {
+                if threads == opts.threads[0] && !traced {
+                    continue; // the baseline itself
+                }
+                let tracer = if traced {
+                    Tracer::new(Arc::new(MemorySink::new()))
+                } else {
+                    Tracer::disabled()
+                };
+                let (_, log) = replay(&base, sinks.len(), &greedy(threads), &tracer)?;
+                configs += 1;
+                if canonical_decision_log(&log) != baseline_log {
+                    divergent += 1;
+                    eprintln!(
+                        "gcr-verify audit: {}: decision log diverges at threads={threads} \
+                         traced={traced}",
+                        which.name()
+                    );
+                }
+            }
+        }
+
+        // Verify the baseline routing end to end, decision log included.
+        let assignment = DeviceAssignment::everywhere(&topology, tech.and_gate());
+        let tree = embed_sized(
+            &topology,
+            sinks,
+            &tech,
+            &assignment,
+            die.center(),
+            SizingLimits::default(),
+        )
+        .map_err(|e| format!("{}: embedding failed: {e}", which.name()))?;
+        let mut objective = base.clone();
+        for d in &baseline {
+            objective
+                .merge(d.a as usize, d.b as usize, d.node as usize)
+                .map_err(|e| format!("{}: replaying log failed: {e}", which.name()))?;
+        }
+        let node_stats = objective.node_stats();
+        let report = Verifier::with_default_lints().run(
+            &VerifyInput::new(&tree, &tech)
+                .with_die(die)
+                .with_controller(&controller)
+                .with_tables(&workload.tables)
+                .with_node_stats(&node_stats)
+                .with_decision_log(&baseline),
+        );
+        if let Some(dir) = &opts.sarif_dir {
+            let path = format!("{dir}/{}.sarif", which.name());
+            std::fs::write(&path, report.render_sarif()).map_err(|e| format!("{path}: {e}"))?;
+        }
+        let errors = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.severity == gcr_verify::Severity::Error)
+            .count();
+        let ok = divergent == 0 && errors == 0;
+        all_ok &= ok;
+        println!(
+            "{}: {} merges, {configs} configs {}, verify: {errors} errors{}",
+            which.name(),
+            baseline.len(),
+            if divergent == 0 {
+                "bit-identical".to_string()
+            } else {
+                format!("with {divergent} divergent")
+            },
+            if ok { "" } else { " [FAIL]" },
+        );
+    }
+    Ok(all_ok)
 }
 
 fn main() -> ExitCode {

@@ -1,6 +1,6 @@
 //! The diagnostics data model: severities, locations, diagnostics and the
-//! report they are collected into, renderable as human text or
-//! machine-readable JSON.
+//! report they are collected into, renderable as human text,
+//! machine-readable JSON, or SARIF 2.1.0.
 
 use std::fmt;
 
@@ -77,6 +77,12 @@ pub struct Diagnostic {
     pub location: Location,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Stable diagnostic code (e.g. `"GCR-ZS01"`); `None` falls back to
+    /// the lint id in renderings. Codes never change meaning between
+    /// releases — tooling may key on them.
+    pub code: Option<&'static str>,
+    /// Optional fix-it hint: what a user would do about this finding.
+    pub hint: Option<String>,
 }
 
 impl Diagnostic {
@@ -93,7 +99,29 @@ impl Diagnostic {
             severity,
             location,
             message: message.into(),
+            code: None,
+            hint: None,
         }
+    }
+
+    /// Attaches a stable diagnostic code (builder style).
+    #[must_use]
+    pub fn with_code(mut self, code: &'static str) -> Self {
+        self.code = Some(code);
+        self
+    }
+
+    /// Attaches a fix-it hint (builder style).
+    #[must_use]
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+
+    /// The stable code, falling back to the lint id when none was set.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        self.code.unwrap_or(self.lint_id)
     }
 }
 
@@ -102,9 +130,26 @@ impl fmt::Display for Diagnostic {
         write!(
             f,
             "{}: [{}] {}: {}",
-            self.severity, self.lint_id, self.location, self.message
-        )
+            self.severity,
+            self.code(),
+            self.location,
+            self.message
+        )?;
+        if let Some(hint) = &self.hint {
+            write!(f, " (hint: {hint})")?;
+        }
+        Ok(())
     }
+}
+
+/// A pass the verifier decided not to run, and why.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkippedPass {
+    /// The id of the pass that was skipped.
+    pub id: &'static str,
+    /// Why it was skipped (e.g. broken tree structure upstream, or a
+    /// whole-design pass under a partial scope).
+    pub reason: String,
 }
 
 /// Every diagnostic produced by one verifier run.
@@ -112,13 +157,19 @@ impl fmt::Display for Diagnostic {
 pub struct VerifyReport {
     diagnostics: Vec<Diagnostic>,
     passes_run: Vec<&'static str>,
+    skipped: Vec<SkippedPass>,
 }
 
 impl VerifyReport {
-    pub(crate) fn new(diagnostics: Vec<Diagnostic>, passes_run: Vec<&'static str>) -> Self {
+    pub(crate) fn new(
+        diagnostics: Vec<Diagnostic>,
+        passes_run: Vec<&'static str>,
+        skipped: Vec<SkippedPass>,
+    ) -> Self {
         VerifyReport {
             diagnostics,
             passes_run,
+            skipped,
         }
     }
 
@@ -132,6 +183,14 @@ impl VerifyReport {
     #[must_use]
     pub fn passes_run(&self) -> &[&'static str] {
         &self.passes_run
+    }
+
+    /// Passes the verifier skipped this run, with reasons — e.g.
+    /// delay-dependent passes after the tree structure proved broken, or
+    /// whole-design passes under a partial [`Scope`](crate::Scope).
+    #[must_use]
+    pub fn skipped(&self) -> &[SkippedPass] {
+        &self.skipped
     }
 
     /// Number of diagnostics at `severity`.
@@ -162,7 +221,10 @@ impl VerifyReport {
         for d in &self.diagnostics {
             let _ = writeln!(out, "{d}");
         }
-        let _ = writeln!(
+        for s in &self.skipped {
+            let _ = writeln!(out, "skipped: [{}] {}", s.id, s.reason);
+        }
+        let _ = write!(
             out,
             "{} passes, {} errors, {} warnings, {} notes",
             self.passes_run.len(),
@@ -170,12 +232,17 @@ impl VerifyReport {
             self.count(Severity::Warn),
             self.count(Severity::Info),
         );
+        if !self.skipped.is_empty() {
+            let _ = write!(out, ", {} skipped", self.skipped.len());
+        }
+        out.push('\n');
         out
     }
 
     /// Machine-readable JSON rendering (no external dependencies, hence
     /// hand-built; the shape is stable: `{"passes": [...], "diagnostics":
-    /// [{"lint", "severity", "location", "message"}], "errors": N}`).
+    /// [{"lint", "code", "severity", "location", "message", "hint"?}],
+    /// "skipped": [{"pass", "reason"}], "errors": N}`).
     #[must_use]
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\"passes\":[");
@@ -194,17 +261,92 @@ impl VerifyReport {
             }
             out.push_str("{\"lint\":\"");
             out.push_str(d.lint_id);
+            out.push_str("\",\"code\":\"");
+            out.push_str(d.code());
             out.push_str("\",\"severity\":\"");
             out.push_str(&d.severity.to_string());
             out.push_str("\",\"location\":\"");
             push_json_escaped(&mut out, &d.location.to_string());
             out.push_str("\",\"message\":\"");
             push_json_escaped(&mut out, &d.message);
+            out.push('"');
+            if let Some(hint) = &d.hint {
+                out.push_str(",\"hint\":\"");
+                push_json_escaped(&mut out, hint);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push_str("],\"skipped\":[");
+        for (i, s) in self.skipped.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"pass\":\"");
+            out.push_str(s.id);
+            out.push_str("\",\"reason\":\"");
+            push_json_escaped(&mut out, &s.reason);
             out.push_str("\"}");
         }
         out.push_str("],\"errors\":");
         out.push_str(&self.count(Severity::Error).to_string());
         out.push('}');
+        out
+    }
+
+    /// SARIF 2.1.0 rendering — the static-analysis interchange format
+    /// GitHub code scanning and most SARIF viewers ingest. One run, one
+    /// `tool.driver` named `gcr-verify`; each unique diagnostic code
+    /// becomes a reporting rule, each diagnostic a result anchored at a
+    /// logical location (the design has no source files, so tree nodes,
+    /// sinks and tables are logical locations).
+    #[must_use]
+    pub fn render_sarif(&self) -> String {
+        let mut out = String::from(concat!(
+            "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",",
+            "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{",
+            "\"name\":\"gcr-verify\",\"informationUri\":",
+            "\"https://github.com/gcr/gcr\",\"rules\":["
+        ));
+        let mut rules: Vec<(&'static str, &'static str)> = Vec::new();
+        for d in &self.diagnostics {
+            if !rules.iter().any(|(code, _)| *code == d.code()) {
+                rules.push((d.code(), d.lint_id));
+            }
+        }
+        for (i, (code, lint_id)) in rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"id\":\"");
+            out.push_str(code);
+            out.push_str("\",\"shortDescription\":{\"text\":\"");
+            push_json_escaped(&mut out, lint_id);
+            out.push_str("\"}}");
+        }
+        out.push_str("]}},\"results\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"ruleId\":\"");
+            out.push_str(d.code());
+            out.push_str("\",\"level\":\"");
+            out.push_str(match d.severity {
+                Severity::Error => "error",
+                Severity::Warn => "warning",
+                Severity::Info => "note",
+            });
+            out.push_str("\",\"message\":{\"text\":\"");
+            push_json_escaped(&mut out, &d.message);
+            if let Some(hint) = &d.hint {
+                push_json_escaped(&mut out, &format!(" (hint: {hint})"));
+            }
+            out.push_str("\"},\"locations\":[{\"logicalLocations\":[{\"name\":\"");
+            push_json_escaped(&mut out, &d.location.to_string());
+            out.push_str("\"}]}]}");
+        }
+        out.push_str("]}]}");
         out
     }
 }
@@ -245,6 +387,7 @@ mod tests {
                 Diagnostic::new("a", Severity::Info, Location::Sink(0), "fyi"),
             ],
             vec!["a", "b"],
+            Vec::new(),
         );
         assert!(report.has_errors());
         assert_eq!(report.count(Severity::Error), 1);
@@ -252,6 +395,7 @@ mod tests {
         let text = report.render_text();
         assert!(text.contains("error: [a] v3: bad"));
         assert!(text.contains("2 passes, 1 errors, 1 warnings, 1 notes"));
+        assert!(!text.contains("skipped"));
     }
 
     #[test]
@@ -268,11 +412,77 @@ mod tests {
                 "say \"no\"\n",
             )],
             vec!["x"],
+            Vec::new(),
         );
         let json = report.render_json();
         assert!(json.contains("\"lint\":\"x\""));
+        assert!(json.contains("\"code\":\"x\""));
         assert!(json.contains("IFT[1][2]"));
         assert!(json.contains("say \\\"no\\\"\\n"));
+        assert!(json.contains("\"skipped\":[]"));
         assert!(json.ends_with("\"errors\":1}"));
+    }
+
+    #[test]
+    fn codes_and_hints_flow_through_every_rendering() {
+        let d = Diagnostic::new(
+            "zero-skew",
+            Severity::Error,
+            Location::Node(7),
+            "late arrival",
+        )
+        .with_code("GCR-ZS01")
+        .with_hint("re-run embed() after the topology change");
+        assert_eq!(d.code(), "GCR-ZS01");
+        assert_eq!(
+            d.to_string(),
+            "error: [GCR-ZS01] v7: late arrival \
+             (hint: re-run embed() after the topology change)"
+        );
+        let report = VerifyReport::new(vec![d], vec!["zero-skew"], Vec::new());
+        let json = report.render_json();
+        assert!(json.contains("\"code\":\"GCR-ZS01\""));
+        assert!(json.contains("\"hint\":\"re-run embed()"));
+        let sarif = report.render_sarif();
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"name\":\"gcr-verify\""));
+        assert!(sarif.contains("{\"id\":\"GCR-ZS01\""));
+        assert!(sarif.contains("\"ruleId\":\"GCR-ZS01\",\"level\":\"error\""));
+        assert!(sarif.contains("\"logicalLocations\":[{\"name\":\"v7\"}]"));
+    }
+
+    #[test]
+    fn skipped_passes_surface_in_text_and_json() {
+        let report = VerifyReport::new(
+            Vec::new(),
+            vec!["tree-structure"],
+            vec![SkippedPass {
+                id: "zero-skew",
+                reason: "tree structure is broken".into(),
+            }],
+        );
+        let text = report.render_text();
+        assert!(text.contains("skipped: [zero-skew] tree structure is broken"));
+        assert!(text.contains("1 passes, 0 errors, 0 warnings, 0 notes, 1 skipped"));
+        let json = report.render_json();
+        assert!(json.contains(
+            "\"skipped\":[{\"pass\":\"zero-skew\",\"reason\":\"tree structure is broken\"}]"
+        ));
+    }
+
+    #[test]
+    fn sarif_dedupes_rules_and_maps_levels() {
+        let report = VerifyReport::new(
+            vec![
+                Diagnostic::new("g", Severity::Warn, Location::Sink(1), "w1").with_code("GCR-G01"),
+                Diagnostic::new("g", Severity::Info, Location::Sink(2), "w2").with_code("GCR-G01"),
+            ],
+            vec!["g"],
+            Vec::new(),
+        );
+        let sarif = report.render_sarif();
+        assert_eq!(sarif.matches("{\"id\":\"GCR-G01\"").count(), 1);
+        assert!(sarif.contains("\"level\":\"warning\""));
+        assert!(sarif.contains("\"level\":\"note\""));
     }
 }

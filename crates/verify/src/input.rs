@@ -3,14 +3,16 @@
 //! report to cross-check) the caller has. Passes check what the provided
 //! context allows and stay silent about the rest.
 
+use crate::Scope;
 use gcr_activity::{ActivityTables, EnableStats};
 use gcr_core::{ControllerPlan, DeviceRole, PowerReport};
-use gcr_cts::ClockTree;
+use gcr_cts::{ClockTree, MergeDecision};
 use gcr_geometry::BBox;
 use gcr_rctree::Technology;
 
 /// Everything a lint pass may look at. Build with [`VerifyInput::new`] and
 /// the `with_*` methods.
+#[derive(Clone)]
 pub struct VerifyInput<'a> {
     /// The embedded tree under verification.
     pub tree: &'a ClockTree,
@@ -38,6 +40,14 @@ pub struct VerifyInput<'a> {
     /// 1e-6 ps of float noise; bounded-skew trees need the bound they
     /// were built with.
     pub skew_tolerance_ps: f64,
+    /// Which part of the design to re-verify. Defaults to
+    /// [`Scope::Full`]; a dirty-set scope makes the run incremental and
+    /// the report is exactly the full run's findings restricted to the
+    /// scope (see `docs/invariants.md` §Scope semantics).
+    pub scope: Scope,
+    /// The greedy engine's decision log for this tree, if recorded
+    /// (`GreedyParams::log_decisions`). Enables the `determinism` pass.
+    pub decision_log: Option<&'a [MergeDecision]>,
 }
 
 impl<'a> VerifyInput<'a> {
@@ -56,7 +66,24 @@ impl<'a> VerifyInput<'a> {
             controlled: None,
             power_report: None,
             skew_tolerance_ps: 1e-6,
+            scope: Scope::Full,
+            decision_log: None,
         }
+    }
+
+    /// Restricts the run to a [`Scope`] (dirty node set or subtree).
+    #[must_use]
+    pub fn with_scope(mut self, scope: Scope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Attaches the greedy engine's decision log, enabling the
+    /// `determinism` pass.
+    #[must_use]
+    pub fn with_decision_log(mut self, log: &'a [MergeDecision]) -> Self {
+        self.decision_log = Some(log);
+        self
     }
 
     /// Sets the die outline.

@@ -17,16 +17,19 @@
 //! - [`Lint`] is the pass interface: an `id`, a `description`, and a
 //!   `run` that appends [`Diagnostic`]s.
 //! - [`Verifier`] is the registry; [`Verifier::with_default_lints`]
-//!   installs the six standard passes in dependency order and
+//!   installs the seven standard passes in dependency order and
 //!   [`Verifier::run`] produces a [`VerifyReport`].
 //! - [`VerifyInput`] bundles the design under audit: the tree and
 //!   technology always, plus optional die outline, activity tables,
 //!   per-node enable statistics, controller plan, controlled-gate mask,
-//!   and a stored power report to cross-check.
+//!   a stored power report to cross-check, a greedy [`MergeDecision`]
+//!   log, and a [`Scope`] restricting the run to a dirty node set.
 //! - [`VerifyReport`] renders as human-readable text
-//!   ([`VerifyReport::render_text`]) or machine-readable JSON
-//!   ([`VerifyReport::render_json`]), and answers
-//!   [`VerifyReport::has_errors`] for gating CI.
+//!   ([`VerifyReport::render_text`]), machine-readable JSON
+//!   ([`VerifyReport::render_json`]), or SARIF 2.1.0
+//!   ([`VerifyReport::render_sarif`]) for code-scanning tooling; it
+//!   answers [`VerifyReport::has_errors`] for gating CI and surfaces
+//!   skipped passes with reasons ([`VerifyReport::skipped`]).
 //!
 //! The standard passes, in run order:
 //!
@@ -38,10 +41,22 @@
 //! | `activity-tables` | IFT/ITMATT are consistent distributions, enable probability bounds |
 //! | `gating` | controlled edges carry gates, enable nets exist in the star plan |
 //! | `switched-cap` | Equation (3) re-derived from first principles matches `gcr-core::evaluate` |
+//! | `determinism` | the greedy decision log is canonical and matches the embedded tree |
 //!
 //! The delay- and capacitance-dependent passes (`zero-skew`,
 //! `switched-cap`) are skipped when `tree-structure` reports an error:
-//! their recursions assume a well-formed tree.
+//! their recursions assume a well-formed tree. Skips are recorded in the
+//! report with reasons.
+//!
+//! # Scoped (incremental) verification
+//!
+//! A [`Scope`] restricts a run to a dirty node set or subtree. The
+//! contract — property-tested in `tests/scoped.rs` — is that a scoped
+//! run reports exactly the diagnostics a full run reports at locations
+//! the scope [`covers`](Scope::covers). Whole-design passes are skipped
+//! under a partial scope (and recorded as skipped); node-anchored passes
+//! either restrict their iteration to the scope or are filtered by the
+//! [`Verifier`] after the fact.
 //!
 //! # Example
 //!
@@ -59,20 +74,30 @@
 //!     Sink::new(Point::new(0.0, 200.0), 0.05),
 //!     Sink::new(Point::new(200.0, 200.0), 0.05),
 //! ];
-//! let tree = build_buffered_tree(&tech, &sinks, Point::new(100.0, 100.0)).unwrap();
+//! let tree = build_buffered_tree(&tech, &sinks, Point::new(100.0, 100.0))?;
 //! let input = VerifyInput::new(&tree, &tech).with_role(DeviceRole::Buffer);
 //! let report = Verifier::with_default_lints().run(&input);
 //! assert!(!report.has_errors(), "{}", report.render_text());
+//! # Ok::<(), gcr_cts::CtsError>(())
 //! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 mod diag;
 mod input;
 mod lint;
 pub mod passes;
+mod scope;
+mod shadow;
 
-pub use diag::{Diagnostic, Location, Severity, VerifyReport};
+pub use diag::{Diagnostic, Location, Severity, SkippedPass, VerifyReport};
+pub use gcr_cts::MergeDecision;
 pub use input::VerifyInput;
 pub use lint::{Lint, Verifier};
 pub use passes::{
-    ActivityTablesLint, GatingLint, GeometryLint, SwitchedCapLint, TreeStructureLint, ZeroSkewLint,
+    ActivityTablesLint, DeterminismLint, GatingLint, GeometryLint, SwitchedCapLint,
+    TreeStructureLint, ZeroSkewLint,
 };
+pub use scope::Scope;
+pub use shadow::verify_each_merge;

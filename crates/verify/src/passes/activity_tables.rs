@@ -43,8 +43,12 @@ impl Lint for ActivityTablesLint {
     }
 
     fn run(&self, input: &VerifyInput<'_>, out: &mut Vec<Diagnostic>) {
-        if let Some(tables) = input.tables {
-            check_tables(tables, out);
+        // Table findings anchor at Table/TableCell locations, which a
+        // partial scope never covers — skip the whole-table sweep there.
+        if input.scope.is_full() {
+            if let Some(tables) = input.tables {
+                check_tables(tables, out);
+            }
         }
         if let Some(stats) = input.node_stats {
             check_node_stats(input, stats, out);
@@ -59,24 +63,30 @@ fn check_tables(tables: &gcr_activity::ActivityTables, out: &mut Vec<Diagnostic>
     let k = rtl.num_instructions();
 
     if ift.len() != k {
-        out.push(Diagnostic::new(
-            ID,
-            Severity::Error,
-            Location::Table("IFT"),
-            format!("IFT covers {} instructions, RTL has {k}", ift.len()),
-        ));
+        out.push(
+            Diagnostic::new(
+                ID,
+                Severity::Error,
+                Location::Table("IFT"),
+                format!("IFT covers {} instructions, RTL has {k}", ift.len()),
+            )
+            .with_code("GCR-AT01"),
+        );
         return;
     }
     if itmatt.num_instructions() != k {
-        out.push(Diagnostic::new(
-            ID,
-            Severity::Error,
-            Location::Table("ITMATT"),
-            format!(
-                "ITMATT covers {} instructions, RTL has {k}",
-                itmatt.num_instructions()
-            ),
-        ));
+        out.push(
+            Diagnostic::new(
+                ID,
+                Severity::Error,
+                Location::Table("ITMATT"),
+                format!(
+                    "ITMATT covers {} instructions, RTL has {k}",
+                    itmatt.num_instructions()
+                ),
+            )
+            .with_code("GCR-AT02"),
+        );
         return;
     }
 
@@ -85,26 +95,32 @@ fn check_tables(tables: &gcr_activity::ActivityTables, out: &mut Vec<Diagnostic>
     for (row, i) in rtl.instruction_ids().enumerate() {
         let p = ift.probability(i);
         if !is_probability(p) {
-            out.push(Diagnostic::new(
-                ID,
-                Severity::Error,
-                Location::TableCell {
-                    table: "IFT",
-                    row,
-                    col: 0,
-                },
-                format!("P(I{row}) = {p} is not a probability"),
-            ));
+            out.push(
+                Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::TableCell {
+                        table: "IFT",
+                        row,
+                        col: 0,
+                    },
+                    format!("P(I{row}) = {p} is not a probability"),
+                )
+                .with_code("GCR-AT03"),
+            );
         }
         ift_sum += p;
     }
     if (ift_sum - 1.0).abs() > SUM_TOL {
-        out.push(Diagnostic::new(
-            ID,
-            Severity::Error,
-            Location::Table("IFT"),
-            format!("IFT sums to {ift_sum}, not 1"),
-        ));
+        out.push(
+            Diagnostic::new(
+                ID,
+                Severity::Error,
+                Location::Table("IFT"),
+                format!("IFT sums to {ift_sum}, not 1"),
+            )
+            .with_code("GCR-AT04"),
+        );
     }
 
     // ITMATT: a joint distribution over consecutive pairs whose row
@@ -115,44 +131,53 @@ fn check_tables(tables: &gcr_activity::ActivityTables, out: &mut Vec<Diagnostic>
         for (col, b) in rtl.instruction_ids().enumerate() {
             let p = itmatt.pair_probability(a, b);
             if !is_probability(p) {
-                out.push(Diagnostic::new(
-                    ID,
-                    Severity::Error,
-                    Location::TableCell {
-                        table: "ITMATT",
-                        row,
-                        col,
-                    },
-                    format!("P(I{row} -> I{col}) = {p} is not a probability"),
-                ));
+                out.push(
+                    Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::TableCell {
+                            table: "ITMATT",
+                            row,
+                            col,
+                        },
+                        format!("P(I{row} -> I{col}) = {p} is not a probability"),
+                    )
+                    .with_code("GCR-AT05"),
+                );
             }
             row_sum += p;
         }
         pair_sum += row_sum;
         let marginal = ift.probability(a);
         if (row_sum - marginal).abs() > STREAM_TOL {
-            out.push(Diagnostic::new(
-                ID,
-                Severity::Warn,
-                Location::TableCell {
-                    table: "ITMATT",
-                    row,
-                    col: 0,
-                },
-                format!(
-                    "row {row} marginal {row_sum} differs from IFT {marginal} by more than \
+            out.push(
+                Diagnostic::new(
+                    ID,
+                    Severity::Warn,
+                    Location::TableCell {
+                        table: "ITMATT",
+                        row,
+                        col: 0,
+                    },
+                    format!(
+                        "row {row} marginal {row_sum} differs from IFT {marginal} by more than \
                      finite-stream end effects explain"
-                ),
-            ));
+                    ),
+                )
+                .with_code("GCR-AT06"),
+            );
         }
     }
     if (pair_sum - 1.0).abs() > SUM_TOL {
-        out.push(Diagnostic::new(
-            ID,
-            Severity::Error,
-            Location::Table("ITMATT"),
-            format!("ITMATT pair probabilities sum to {pair_sum}, not 1"),
-        ));
+        out.push(
+            Diagnostic::new(
+                ID,
+                Severity::Error,
+                Location::Table("ITMATT"),
+                format!("ITMATT pair probabilities sum to {pair_sum}, not 1"),
+            )
+            .with_code("GCR-AT07"),
+        );
     }
 }
 
@@ -163,36 +188,50 @@ fn check_node_stats(
 ) {
     let tree = input.tree;
     if stats.len() != tree.len() {
-        out.push(Diagnostic::new(
-            ID,
-            Severity::Error,
-            Location::Design,
-            format!(
-                "node statistics cover {} nodes, tree has {}",
-                stats.len(),
-                tree.len()
-            ),
-        ));
+        // The mismatch is a whole-design finding; a partial scope never
+        // covers it, and indexing below would be unsound — bail either way.
+        if input.scope.is_full() {
+            out.push(
+                Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Design,
+                    format!(
+                        "node statistics cover {} nodes, tree has {}",
+                        stats.len(),
+                        tree.len()
+                    ),
+                )
+                .with_code("GCR-AT08"),
+            );
+        }
         return;
     }
-    for (i, st) in stats.iter().enumerate() {
+    for i in input.scope.nodes_in(stats.len()) {
+        let st = &stats[i];
         let (p, tr) = (st.signal, st.transition);
         if !is_probability(p) {
-            out.push(Diagnostic::new(
-                ID,
-                Severity::Error,
-                Location::Node(i),
-                format!("P(EN) = {p} is not a probability"),
-            ));
+            out.push(
+                Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Node(i),
+                    format!("P(EN) = {p} is not a probability"),
+                )
+                .with_code("GCR-AT09"),
+            );
             continue;
         }
         if !is_probability(tr) {
-            out.push(Diagnostic::new(
-                ID,
-                Severity::Error,
-                Location::Node(i),
-                format!("P_tr(EN) = {tr} is not a probability"),
-            ));
+            out.push(
+                Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Node(i),
+                    format!("P_tr(EN) = {tr} is not a probability"),
+                )
+                .with_code("GCR-AT10"),
+            );
             continue;
         }
         // Stationarity theorem: P(0->1) = P(1->0) and each is bounded by
@@ -201,15 +240,19 @@ fn check_node_stats(
         // were not measured on the same stream.
         let hard = 2.0 * p.min(1.0 - p);
         if tr > hard + STREAM_TOL {
-            out.push(Diagnostic::new(
-                ID,
-                Severity::Error,
-                Location::Node(i),
-                format!(
-                    "P_tr(EN) = {tr} exceeds the stationary bound 2*min(P, 1-P) = {hard} \
+            out.push(
+                Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Node(i),
+                    format!(
+                        "P_tr(EN) = {tr} exceeds the stationary bound 2*min(P, 1-P) = {hard} \
                      for P(EN) = {p}"
-                ),
-            ));
+                    ),
+                )
+                .with_code("GCR-AT11")
+                .with_hint("measure P(EN) and P_tr(EN) on the same enable stream"),
+            );
             continue;
         }
         // Independence bound (§2.2): an uncorrelated enable toggles with
@@ -218,34 +261,41 @@ fn check_node_stats(
         // stream is anti-persistent and the SC accounting premise is off.
         let soft = 2.0 * p * (1.0 - p);
         if tr > soft + STREAM_TOL {
-            out.push(Diagnostic::new(
-                ID,
-                Severity::Warn,
-                Location::Node(i),
-                format!(
-                    "P_tr(EN) = {tr} exceeds the independence bound 2*P*(1-P) = {soft}: \
+            out.push(
+                Diagnostic::new(
+                    ID,
+                    Severity::Warn,
+                    Location::Node(i),
+                    format!(
+                        "P_tr(EN) = {tr} exceeds the independence bound 2*P*(1-P) = {soft}: \
                      the enable is anti-persistent"
-                ),
-            ));
+                    ),
+                )
+                .with_code("GCR-AT12"),
+            );
         }
     }
     // EN_parent is the OR of its children's enables (§3.3), so P(EN) can
     // only grow toward the root. Check along tree edges where both ends
     // have stats.
-    for id in tree.ids() {
+    for i in input.scope.nodes_in(tree.len()) {
+        let id = tree.id(i);
         if let Some(p) = tree.node(id).parent() {
             if p.index() < stats.len() {
                 let (child_p, parent_p) = (stats[id.index()].signal, stats[p.index()].signal);
                 if child_p > parent_p + 1e-9 {
-                    out.push(Diagnostic::new(
-                        ID,
-                        Severity::Error,
-                        Location::Node(id.index()),
-                        format!(
-                            "P(EN) = {child_p} exceeds its parent's {parent_p}; an OR of \
+                    out.push(
+                        Diagnostic::new(
+                            ID,
+                            Severity::Error,
+                            Location::Node(id.index()),
+                            format!(
+                                "P(EN) = {child_p} exceeds its parent's {parent_p}; an OR of \
                              enables cannot be less probable than any input"
-                        ),
-                    ));
+                            ),
+                        )
+                        .with_code("GCR-AT13"),
+                    );
                 }
             }
         }

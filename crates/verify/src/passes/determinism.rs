@@ -1,0 +1,136 @@
+//! `determinism`: cross-checks the greedy engine's decision log against
+//! the tree it claims to have built.
+//!
+//! The log ([`gcr_cts::MergeDecision`], recorded under
+//! `GreedyParams::log_decisions`) is the replay artifact the
+//! `gcr-verify audit` subcommand diffs across thread counts and
+//! traced/untraced configurations; this pass checks the *internal*
+//! consistency of one log — canonical pair order, bottom-up merge
+//! numbering, finite tie-break keys, and agreement with the embedded
+//! tree's parent/child structure. A log that passes here and is
+//! bit-identical across configurations certifies the run deterministic.
+//!
+//! Without a decision log in the [`VerifyInput`] the pass runs and finds
+//! nothing (the usual missing-context convention).
+
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::input::VerifyInput;
+use crate::lint::Lint;
+
+/// See the module docs.
+pub struct DeterminismLint;
+
+const ID: &str = "determinism";
+
+impl Lint for DeterminismLint {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "the greedy decision log is canonical and matches the embedded tree"
+    }
+
+    fn run(&self, input: &VerifyInput<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(log) = input.decision_log else {
+            return;
+        };
+        let tree = input.tree;
+        let s = tree.num_sinks();
+        if s == 0 || tree.len() != 2 * s - 1 {
+            // A malformed tree is the structure pass's finding; matching a
+            // log against it would only produce noise.
+            return;
+        }
+        if log.len() != s - 1 {
+            out.push(
+                Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Design,
+                    format!(
+                        "decision log records {} merges; a tree over {s} sinks has {}",
+                        log.len(),
+                        s - 1
+                    ),
+                )
+                .with_code("GCR-DT01")
+                .with_hint("the log and the tree come from different runs"),
+            );
+            return;
+        }
+        for (i, d) in log.iter().enumerate() {
+            let expected = (s + i) as u32;
+            if d.node != expected {
+                out.push(
+                    Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::Node(d.node as usize),
+                        format!(
+                            "merge {i} created v{}; bottom-up numbering expects v{expected}",
+                            d.node
+                        ),
+                    )
+                    .with_code("GCR-DT02"),
+                );
+                continue;
+            }
+            if !(d.a < d.b && d.b < d.node) {
+                out.push(
+                    Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::Node(d.node as usize),
+                        format!(
+                            "merge v{} <- (v{}, v{}) is not in canonical order \
+                             (a < b < node)",
+                            d.node, d.a, d.b
+                        ),
+                    )
+                    .with_code("GCR-DT03"),
+                );
+                continue;
+            }
+            if !d.key().is_finite() {
+                out.push(
+                    Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::Node(d.node as usize),
+                        format!(
+                            "merge v{} carries a non-finite tie-break key \
+                             (bits 0x{:016x})",
+                            d.node, d.key_bits
+                        ),
+                    )
+                    .with_code("GCR-DT04"),
+                );
+            }
+            let node = tree.node(tree.id(d.node as usize));
+            let kids = node.children();
+            let matches_tree = kids.len() == 2 && {
+                let (x, y) = (kids[0].index() as u32, kids[1].index() as u32);
+                (x.min(y), x.max(y)) == (d.a, d.b)
+            };
+            if !matches_tree {
+                out.push(
+                    Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::Node(d.node as usize),
+                        format!(
+                            "log says v{} merged (v{}, v{}); the tree's children are {:?}",
+                            d.node,
+                            d.a,
+                            d.b,
+                            kids.iter().map(|k| k.index()).collect::<Vec<_>>()
+                        ),
+                    )
+                    .with_code("GCR-DT05")
+                    .with_hint("replay the route with log_decisions on the same input"),
+                );
+            }
+        }
+    }
+}

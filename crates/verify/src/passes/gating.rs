@@ -27,16 +27,19 @@ impl Lint for GatingLint {
         let tree = input.tree;
         if let Some(mask) = input.controlled {
             if mask.len() != tree.len() {
-                out.push(Diagnostic::new(
-                    ID,
-                    Severity::Error,
-                    Location::Design,
-                    format!(
-                        "controlled mask covers {} edges, tree has {}",
-                        mask.len(),
-                        tree.len()
-                    ),
-                ));
+                out.push(
+                    Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::Design,
+                        format!(
+                            "controlled mask covers {} edges, tree has {}",
+                            mask.len(),
+                            tree.len()
+                        ),
+                    )
+                    .with_code("GCR-GA01"),
+                );
                 return;
             }
         }
@@ -48,12 +51,15 @@ impl Lint for GatingLint {
             if let Some(i) =
                 (0..tree.len()).find(|&i| controlled[i] && tree.node(tree.id(i)).device().is_some())
             {
-                out.push(Diagnostic::new(
-                    ID,
-                    Severity::Error,
-                    Location::Edge { child: i },
-                    "buffer-role tree has a controlled gate; buffers take no enable wiring",
-                ));
+                out.push(
+                    Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::Edge { child: i },
+                        "buffer-role tree has a controlled gate; buffers take no enable wiring",
+                    )
+                    .with_code("GCR-GA02"),
+                );
             }
         }
 
@@ -64,12 +70,16 @@ impl Lint for GatingLint {
                 // The reduction pass unties or removes a gate by clearing
                 // its mask/device together; a controlled edge without a
                 // device means the mask refers to a gate that is gone.
-                out.push(Diagnostic::new(
-                    ID,
-                    Severity::Error,
-                    Location::Edge { child: i },
-                    "edge is marked as a controlled gate but carries no device",
-                ));
+                out.push(
+                    Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::Edge { child: i },
+                        "edge is marked as a controlled gate but carries no device",
+                    )
+                    .with_code("GCR-GA03")
+                    .with_hint("clear the mask bit and the device together when untying a gate"),
+                );
             }
             if is_controlled && has_device {
                 controlled_gates.push(i);
@@ -78,26 +88,33 @@ impl Lint for GatingLint {
 
         if controlled_gates.is_empty() {
             if input.role == DeviceRole::Gate && tree.device_count() == 0 {
-                out.push(Diagnostic::new(
-                    ID,
-                    Severity::Info,
-                    Location::Design,
-                    "gate-role tree carries no devices; nothing is masked",
-                ));
+                out.push(
+                    Diagnostic::new(
+                        ID,
+                        Severity::Info,
+                        Location::Design,
+                        "gate-role tree carries no devices; nothing is masked",
+                    )
+                    .with_code("GCR-GA04"),
+                );
             }
             return;
         }
 
         let Some(controller) = input.controller else {
-            out.push(Diagnostic::new(
-                ID,
-                Severity::Error,
-                Location::Design,
-                format!(
-                    "{} controlled gates but no controller star plan to drive their enables",
-                    controlled_gates.len()
-                ),
-            ));
+            out.push(
+                Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Design,
+                    format!(
+                        "{} controlled gates but no controller star plan to drive their enables",
+                        controlled_gates.len()
+                    ),
+                )
+                .with_code("GCR-GA05")
+                .with_hint("attach a ControllerPlan with with_controller()"),
+            );
             return;
         };
 
@@ -107,34 +124,43 @@ impl Lint for GatingLint {
             let serving = controller.controller_for(gate_loc);
             let len = controller.enable_wire_length(gate_loc);
             if !len.is_finite() || len < 0.0 {
-                out.push(Diagnostic::new(
-                    ID,
-                    Severity::Error,
-                    Location::Edge { child: i },
-                    format!("enable net length {len} is not a finite non-negative number"),
-                ));
-            }
-            if let Some(die) = input.die {
-                if !die.contains(serving) {
-                    out.push(Diagnostic::new(
+                out.push(
+                    Diagnostic::new(
                         ID,
                         Severity::Error,
                         Location::Edge { child: i },
-                        format!(
-                            "enable net terminates at controller ({}, {}), outside the die",
-                            serving.x, serving.y
-                        ),
-                    ));
+                        format!("enable net length {len} is not a finite non-negative number"),
+                    )
+                    .with_code("GCR-GA06"),
+                );
+            }
+            if let Some(die) = input.die {
+                if !die.contains(serving) {
+                    out.push(
+                        Diagnostic::new(
+                            ID,
+                            Severity::Error,
+                            Location::Edge { child: i },
+                            format!(
+                                "enable net terminates at controller ({}, {}), outside the die",
+                                serving.x, serving.y
+                            ),
+                        )
+                        .with_code("GCR-GA07"),
+                    );
                 }
             }
             if let Some(stats) = input.node_stats {
                 if i < stats.len() && stats[i].signal >= 1.0 && stats[i].transition <= 0.0 {
-                    out.push(Diagnostic::new(
-                        ID,
-                        Severity::Info,
-                        Location::Edge { child: i },
-                        "controlled gate is always enabled; its enable wire is pure overhead",
-                    ));
+                    out.push(
+                        Diagnostic::new(
+                            ID,
+                            Severity::Info,
+                            Location::Edge { child: i },
+                            "controlled gate is always enabled; its enable wire is pure overhead",
+                        )
+                        .with_code("GCR-GA08"),
+                    );
                 }
             }
         }

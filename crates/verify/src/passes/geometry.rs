@@ -24,36 +24,49 @@ impl Lint for GeometryLint {
 
     fn run(&self, input: &VerifyInput<'_>, out: &mut Vec<Diagnostic>) {
         let tree = input.tree;
-        for id in tree.ids() {
+        // Every finding anchors at the node (or its parent edge), so a
+        // scoped run only needs to walk the dirty set.
+        for i in input.scope.nodes_in(tree.len()) {
+            let id = tree.id(i);
             let node = tree.node(id);
             let loc = node.location();
             if !loc.x.is_finite() || !loc.y.is_finite() {
-                out.push(Diagnostic::new(
-                    ID,
-                    Severity::Error,
-                    Location::Node(id.index()),
-                    format!("non-finite location ({}, {})", loc.x, loc.y),
-                ));
+                out.push(
+                    Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::Node(id.index()),
+                        format!("non-finite location ({}, {})", loc.x, loc.y),
+                    )
+                    .with_code("GCR-GE01"),
+                );
                 continue;
             }
             if let Some(die) = input.die {
                 if !die.contains(loc) {
-                    out.push(Diagnostic::new(
-                        ID,
-                        Severity::Error,
-                        Location::Node(id.index()),
-                        format!("placed at ({}, {}), outside the die {die:?}", loc.x, loc.y),
-                    ));
+                    out.push(
+                        Diagnostic::new(
+                            ID,
+                            Severity::Error,
+                            Location::Node(id.index()),
+                            format!("placed at ({}, {}), outside the die {die:?}", loc.x, loc.y),
+                        )
+                        .with_code("GCR-GE02")
+                        .with_hint("re-run embed(); DME tap points never leave the sink bbox"),
+                    );
                 }
             }
             let el = node.electrical_length();
             if !el.is_finite() || el < 0.0 {
-                out.push(Diagnostic::new(
-                    ID,
-                    Severity::Error,
-                    Location::Edge { child: id.index() },
-                    format!("electrical length {el} is not a finite non-negative number"),
-                ));
+                out.push(
+                    Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::Edge { child: id.index() },
+                        format!("electrical length {el} is not a finite non-negative number"),
+                    )
+                    .with_code("GCR-GE03"),
+                );
                 continue;
             }
             if let Some(p) = node.parent() {
@@ -64,15 +77,22 @@ impl Lint for GeometryLint {
                     // beyond rounding noise is a genuinely short wire.
                     let tol = 1e-9 * dist.max(1.0);
                     if el + tol < dist {
-                        out.push(Diagnostic::new(
-                            ID,
-                            Severity::Error,
-                            Location::Edge { child: id.index() },
-                            format!(
-                                "electrical length {el} shorter than the {dist} Manhattan \
-                                 distance to the parent (negative snaking)"
+                        out.push(
+                            Diagnostic::new(
+                                ID,
+                                Severity::Error,
+                                Location::Edge { child: id.index() },
+                                format!(
+                                    "electrical length {el} shorter than the {dist} Manhattan \
+                                     distance to the parent (negative snaking)"
+                                ),
+                            )
+                            .with_code("GCR-GE04")
+                            .with_hint(
+                                "wire may be snaked longer than geometry, never shorter; \
+                                 recompute the edge length from the embedding",
                             ),
-                        ));
+                        );
                     }
                 }
             }

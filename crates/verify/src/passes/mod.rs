@@ -1,6 +1,7 @@
 //! The built-in lint passes.
 
 mod activity_tables;
+mod determinism;
 mod gating;
 mod geometry;
 mod switched_cap;
@@ -8,6 +9,7 @@ mod tree_structure;
 mod zero_skew;
 
 pub use activity_tables::ActivityTablesLint;
+pub use determinism::DeterminismLint;
 pub use gating::GatingLint;
 pub use geometry::GeometryLint;
 pub use switched_cap::SwitchedCapLint;

@@ -36,6 +36,12 @@ impl Lint for SwitchedCapLint {
         "Equation (3) re-derived from first principles matches gcr-core::evaluate"
     }
 
+    fn whole_design_only(&self) -> bool {
+        // Every finding is a Design-level total mismatch; a partial scope
+        // never covers those, so the re-derivation would be wasted work.
+        true
+    }
+
     fn run(&self, input: &VerifyInput<'_>, out: &mut Vec<Diagnostic>) {
         let tree = input.tree;
         let tech = input.tech;
@@ -144,7 +150,7 @@ impl Lint for SwitchedCapLint {
                         "{name} from first principles is {ours} pF; gcr-core::evaluate \
                          reports {theirs} pF"
                     ),
-                ));
+                ).with_code("GCR-SC01").with_hint("the naive Equation (3) walk and the memoized evaluator disagree; one of them is wrong"));
             }
         }
 
@@ -164,7 +170,7 @@ impl Lint for SwitchedCapLint {
                             "stored power report claims {name} = {theirs} pF; first-principles \
                              recomputation gives {ours} pF"
                         ),
-                    ));
+                    ).with_code("GCR-SC02").with_hint("regenerate the archived PowerReport; the design changed since it was computed"));
                 }
             }
         }

@@ -28,25 +28,26 @@ impl Lint for TreeStructureLint {
         let tree = input.tree;
         let n = tree.len();
         if n == 0 {
-            out.push(Diagnostic::new(
-                ID,
-                Severity::Error,
-                Location::Design,
-                "tree has no nodes",
-            ));
+            out.push(
+                Diagnostic::new(ID, Severity::Error, Location::Design, "tree has no nodes")
+                    .with_code("GCR-TS01"),
+            );
             return;
         }
         let s = tree.num_sinks();
         if n != 2 * s.max(1) - 1 {
-            out.push(Diagnostic::new(
-                ID,
-                Severity::Error,
-                Location::Design,
-                format!(
-                    "{n} nodes for {s} sinks; a binary merge tree has 2N-1 = {}",
-                    2 * s.max(1) - 1
-                ),
-            ));
+            out.push(
+                Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Design,
+                    format!(
+                        "{n} nodes for {s} sinks; a binary merge tree has 2N-1 = {}",
+                        2 * s.max(1) - 1
+                    ),
+                )
+                .with_code("GCR-TS02"),
+            );
         }
 
         // Exactly one root, and it is the last node (the merge-order
@@ -55,18 +56,24 @@ impl Lint for TreeStructureLint {
         for id in tree.ids() {
             let node = tree.node(id);
             match node.parent() {
-                None if id != root => out.push(Diagnostic::new(
-                    ID,
-                    Severity::Error,
-                    Location::Node(id.index()),
-                    format!("parentless node {id} is not the root (v{})", root.index()),
-                )),
-                Some(p) if id == root => out.push(Diagnostic::new(
-                    ID,
-                    Severity::Error,
-                    Location::Node(id.index()),
-                    format!("root node has parent {p}"),
-                )),
+                None if id != root => out.push(
+                    Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::Node(id.index()),
+                        format!("parentless node {id} is not the root (v{})", root.index()),
+                    )
+                    .with_code("GCR-TS03"),
+                ),
+                Some(p) if id == root => out.push(
+                    Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::Node(id.index()),
+                        format!("root node has parent {p}"),
+                    )
+                    .with_code("GCR-TS04"),
+                ),
                 _ => {}
             }
         }
@@ -77,52 +84,67 @@ impl Lint for TreeStructureLint {
             let node = tree.node(id);
             let kids = node.children();
             if !kids.is_empty() && kids.len() != 2 {
-                out.push(Diagnostic::new(
-                    ID,
-                    Severity::Error,
-                    Location::Node(id.index()),
-                    format!(
-                        "internal node has {} children; merges are binary",
-                        kids.len()
-                    ),
-                ));
-            }
-            for &ch in kids {
-                if ch.index() >= id.index() {
-                    out.push(Diagnostic::new(
+                out.push(
+                    Diagnostic::new(
                         ID,
                         Severity::Error,
                         Location::Node(id.index()),
-                        format!("child {ch} does not precede its parent {id} in index order"),
-                    ));
+                        format!(
+                            "internal node has {} children; merges are binary",
+                            kids.len()
+                        ),
+                    )
+                    .with_code("GCR-TS05"),
+                );
+            }
+            for &ch in kids {
+                if ch.index() >= id.index() {
+                    out.push(
+                        Diagnostic::new(
+                            ID,
+                            Severity::Error,
+                            Location::Node(id.index()),
+                            format!("child {ch} does not precede its parent {id} in index order"),
+                        )
+                        .with_code("GCR-TS06"),
+                    );
                 }
                 if tree.node(ch).parent() != Some(id) {
-                    out.push(Diagnostic::new(
-                        ID,
-                        Severity::Error,
-                        Location::Node(ch.index()),
-                        format!(
-                            "child {ch} of {id} points back at {:?}",
-                            tree.node(ch).parent().map(gcr_cts::TreeId::index)
-                        ),
-                    ));
+                    out.push(
+                        Diagnostic::new(
+                            ID,
+                            Severity::Error,
+                            Location::Node(ch.index()),
+                            format!(
+                                "child {ch} of {id} points back at {:?}",
+                                tree.node(ch).parent().map(gcr_cts::TreeId::index)
+                            ),
+                        )
+                        .with_code("GCR-TS07"),
+                    );
                 }
             }
             if let Some(p) = node.parent() {
                 if p.index() >= n {
-                    out.push(Diagnostic::new(
-                        ID,
-                        Severity::Error,
-                        Location::Node(id.index()),
-                        format!("parent index {} out of range", p.index()),
-                    ));
+                    out.push(
+                        Diagnostic::new(
+                            ID,
+                            Severity::Error,
+                            Location::Node(id.index()),
+                            format!("parent index {} out of range", p.index()),
+                        )
+                        .with_code("GCR-TS08"),
+                    );
                 } else if !tree.node(p).children().contains(&id) {
-                    out.push(Diagnostic::new(
-                        ID,
-                        Severity::Error,
-                        Location::Node(id.index()),
-                        format!("{id} claims parent {p}, which does not list it as a child"),
-                    ));
+                    out.push(
+                        Diagnostic::new(
+                            ID,
+                            Severity::Error,
+                            Location::Node(id.index()),
+                            format!("{id} claims parent {p}, which does not list it as a child"),
+                        )
+                        .with_code("GCR-TS09"),
+                    );
                 }
             }
         }
@@ -139,12 +161,15 @@ impl Lint for TreeStructureLint {
                 cur = p;
                 steps += 1;
                 if steps > n {
-                    out.push(Diagnostic::new(
-                        ID,
-                        Severity::Error,
-                        Location::Node(id.index()),
-                        format!("parent chain from {id} cycles without reaching the root"),
-                    ));
+                    out.push(
+                        Diagnostic::new(
+                            ID,
+                            Severity::Error,
+                            Location::Node(id.index()),
+                            format!("parent chain from {id} cycles without reaching the root"),
+                        )
+                        .with_code("GCR-TS10"),
+                    );
                     break;
                 }
             }
@@ -158,80 +183,102 @@ impl Lint for TreeStructureLint {
             match node.sink() {
                 Some(k) => {
                     if !node.children().is_empty() {
-                        out.push(Diagnostic::new(
-                            ID,
-                            Severity::Error,
-                            Location::Node(id.index()),
-                            format!("internal node is bound to sink s{k}"),
-                        ));
-                    }
-                    if k >= s {
-                        out.push(Diagnostic::new(
-                            ID,
-                            Severity::Error,
-                            Location::Node(id.index()),
-                            format!("sink index s{k} out of range (N = {s})"),
-                        ));
-                    } else {
-                        if seen[k] {
-                            out.push(Diagnostic::new(
-                                ID,
-                                Severity::Error,
-                                Location::Sink(k),
-                                format!("sink s{k} bound to more than one leaf"),
-                            ));
-                        }
-                        seen[k] = true;
-                        if id.index() != k {
-                            out.push(Diagnostic::new(
+                        out.push(
+                            Diagnostic::new(
                                 ID,
                                 Severity::Error,
                                 Location::Node(id.index()),
-                                format!(
-                                    "leaf v{} bound to s{k}; leaf ids must equal sink indices",
-                                    id.index()
-                                ),
-                            ));
+                                format!("internal node is bound to sink s{k}"),
+                            )
+                            .with_code("GCR-TS11"),
+                        );
+                    }
+                    if k >= s {
+                        out.push(
+                            Diagnostic::new(
+                                ID,
+                                Severity::Error,
+                                Location::Node(id.index()),
+                                format!("sink index s{k} out of range (N = {s})"),
+                            )
+                            .with_code("GCR-TS12"),
+                        );
+                    } else {
+                        if seen[k] {
+                            out.push(
+                                Diagnostic::new(
+                                    ID,
+                                    Severity::Error,
+                                    Location::Sink(k),
+                                    format!("sink s{k} bound to more than one leaf"),
+                                )
+                                .with_code("GCR-TS13"),
+                            );
+                        }
+                        seen[k] = true;
+                        if id.index() != k {
+                            out.push(
+                                Diagnostic::new(
+                                    ID,
+                                    Severity::Error,
+                                    Location::Node(id.index()),
+                                    format!(
+                                        "leaf v{} bound to s{k}; leaf ids must equal sink indices",
+                                        id.index()
+                                    ),
+                                )
+                                .with_code("GCR-TS14"),
+                            );
                         }
                     }
                 }
                 None => {
                     if node.children().is_empty() {
-                        out.push(Diagnostic::new(
-                            ID,
-                            Severity::Error,
-                            Location::Node(id.index()),
-                            "leaf node is not bound to any sink",
-                        ));
+                        out.push(
+                            Diagnostic::new(
+                                ID,
+                                Severity::Error,
+                                Location::Node(id.index()),
+                                "leaf node is not bound to any sink",
+                            )
+                            .with_code("GCR-TS15"),
+                        );
                     }
                 }
             }
         }
         for (k, &was_seen) in seen.iter().enumerate() {
             if !was_seen {
-                out.push(Diagnostic::new(
-                    ID,
-                    Severity::Error,
-                    Location::Sink(k),
-                    format!("sink s{k} is not bound to any leaf"),
-                ));
+                out.push(
+                    Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        Location::Sink(k),
+                        format!("sink s{k} is not bound to any leaf"),
+                    )
+                    .with_code("GCR-TS16"),
+                );
             }
         }
 
         // The root drives the tree directly: it has no parent edge, so a
         // nonzero electrical length there is meaningless.
         if tree.node(root).electrical_length() != 0.0 {
-            out.push(Diagnostic::new(
-                ID,
-                Severity::Error,
-                Location::Edge {
-                    child: root.index(),
-                },
-                format!(
-                    "root carries a parent-edge length of {}; it has no parent",
-                    tree.node(root).electrical_length()
-                ),
-            ));
+            out.push(
+                Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Edge {
+                        child: root.index(),
+                    },
+                    format!(
+                        "root carries a parent-edge length of {}; it has no parent",
+                        tree.node(root).electrical_length()
+                    ),
+                )
+                .with_code("GCR-TS17")
+                .with_hint("zero the root's electrical_length; only child edges carry wire"),
+            );
         }
     }
 }

@@ -102,23 +102,33 @@ impl Lint for ZeroSkewLint {
         let skew = max_t - min_t;
         let tol = input.skew_tolerance_ps.max(1e-12 * max_t.abs());
         if skew > tol {
-            out.push(Diagnostic::new(
-                ID,
-                Severity::Error,
-                Location::Sink(max_k),
-                format!(
-                    "skew {skew:.6} ps exceeds tolerance {tol:.6} ps: s{max_k} hears the clock \
-                     at {max_t:.6} ps, s{min_k} at {min_t:.6} ps"
+            out.push(
+                Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Sink(max_k),
+                    format!(
+                        "skew {skew:.6} ps exceeds tolerance {tol:.6} ps: s{max_k} hears the \
+                         clock at {max_t:.6} ps, s{min_k} at {min_t:.6} ps"
+                    ),
+                )
+                .with_code("GCR-ZS01")
+                .with_hint(
+                    "re-run embed() after any topology or device change; \
+                     zero skew is only guaranteed by a fresh DME pass",
                 ),
-            ));
+            );
         }
         if !max_t.is_finite() {
-            out.push(Diagnostic::new(
-                ID,
-                Severity::Error,
-                Location::Design,
-                "non-finite Elmore delay; electrical parameters are corrupt",
-            ));
+            out.push(
+                Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    Location::Design,
+                    "non-finite Elmore delay; electrical parameters are corrupt",
+                )
+                .with_code("GCR-ZS02"),
+            );
         }
     }
 }

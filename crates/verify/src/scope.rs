@@ -1,0 +1,153 @@
+//! Verification scopes: which part of the design a run re-checks.
+//!
+//! A [`Scope`] is either the full tree or a *dirty set* of topology node
+//! indices (e.g. the subtree an ECO re-balance touched, or the frontier a
+//! single greedy merge created). Passes use the scope to re-derive their
+//! invariants only over the dirty set plus its boundary conditions, and
+//! the [`Verifier`](crate::Verifier) guarantees the scoped-oracle
+//! contract: a scoped run reports **exactly** the diagnostics a full run
+//! reports at locations the scope [`covers`](Scope::covers).
+//!
+//! Coverage rules (see `docs/invariants.md` §Scope semantics):
+//!
+//! - `Node(i)` and `Edge { child: i }` are covered iff node `i` is dirty.
+//! - `Sink(k)` is covered iff node `k` is dirty (leaf ids equal sink
+//!   indices — the bijection the `tree-structure` pass enforces).
+//! - `Design`, `Table` and `TableCell` locations are whole-design
+//!   findings; only [`Scope::Full`] covers them.
+
+use crate::diag::Location;
+use gcr_cts::ClockTree;
+
+/// The part of the design a verifier run re-checks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Scope {
+    /// Every node, every table, every whole-design property — the
+    /// one-shot linter behavior.
+    #[default]
+    Full,
+    /// A dirty set of topology node indices, sorted and deduplicated.
+    /// Whole-design findings are out of scope; node-anchored findings
+    /// are reported iff their node is in the set.
+    Dirty(Vec<usize>),
+}
+
+impl Scope {
+    /// The full-tree scope.
+    #[must_use]
+    pub fn full() -> Self {
+        Scope::Full
+    }
+
+    /// A dirty-set scope over the given topology node indices
+    /// (deduplicated and sorted; order of the input is irrelevant).
+    #[must_use]
+    pub fn nodes(nodes: impl IntoIterator<Item = usize>) -> Self {
+        let mut v: Vec<usize> = nodes.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Scope::Dirty(v)
+    }
+
+    /// The subtree rooted at topology node `root` (inclusive) — the dirty
+    /// set of a local re-balance or of one committed merge.
+    #[must_use]
+    pub fn subtree(tree: &ClockTree, root: usize) -> Self {
+        if root >= tree.len() {
+            return Scope::Dirty(Vec::new());
+        }
+        let mut stack = vec![tree.id(root)];
+        let mut nodes = Vec::new();
+        while let Some(id) = stack.pop() {
+            nodes.push(id.index());
+            stack.extend(tree.node(id).children().iter().copied());
+        }
+        Scope::nodes(nodes)
+    }
+
+    /// Whether this is the full-tree scope.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        matches!(self, Scope::Full)
+    }
+
+    /// Whether topology node `i` is inside the scope.
+    #[must_use]
+    pub fn contains_node(&self, i: usize) -> bool {
+        match self {
+            Scope::Full => true,
+            Scope::Dirty(nodes) => nodes.binary_search(&i).is_ok(),
+        }
+    }
+
+    /// Whether a diagnostic at `location` belongs to this scope — the
+    /// oracle predicate: a scoped run reports exactly the full run's
+    /// diagnostics whose locations this returns `true` for.
+    #[must_use]
+    pub fn covers(&self, location: &Location) -> bool {
+        match self {
+            Scope::Full => true,
+            Scope::Dirty(_) => match location {
+                Location::Node(i) | Location::Edge { child: i } | Location::Sink(i) => {
+                    self.contains_node(*i)
+                }
+                Location::Design | Location::Table(_) | Location::TableCell { .. } => false,
+            },
+        }
+    }
+
+    /// Iterates the in-scope node indices of a tree with `len` nodes, in
+    /// ascending order (all of them under [`Scope::Full`]; dirty indices
+    /// past the tree are skipped).
+    pub fn nodes_in(&self, len: usize) -> impl Iterator<Item = usize> + '_ {
+        let (full, dirty): (Option<std::ops::Range<usize>>, &[usize]) = match self {
+            Scope::Full => (Some(0..len), &[]),
+            Scope::Dirty(nodes) => (None, nodes.as_slice()),
+        };
+        full.into_iter()
+            .flatten()
+            .chain(dirty.iter().copied().filter(move |&i| i < len))
+    }
+}
+
+impl std::fmt::Display for Scope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scope::Full => f.write_str("full"),
+            Scope::Dirty(nodes) => write!(f, "dirty({} nodes)", nodes.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_sets_sort_and_dedup() {
+        let s = Scope::nodes([5, 1, 3, 1, 5]);
+        assert_eq!(s, Scope::Dirty(vec![1, 3, 5]));
+        assert!(s.contains_node(3) && !s.contains_node(2));
+        assert!(!s.is_full());
+        assert_eq!(s.to_string(), "dirty(3 nodes)");
+    }
+
+    #[test]
+    fn coverage_follows_the_location_kind() {
+        let s = Scope::nodes([2, 4]);
+        assert!(s.covers(&Location::Node(2)));
+        assert!(s.covers(&Location::Edge { child: 4 }));
+        assert!(s.covers(&Location::Sink(2)));
+        assert!(!s.covers(&Location::Node(3)));
+        assert!(!s.covers(&Location::Design));
+        assert!(!s.covers(&Location::Table("IFT")));
+        assert!(Scope::full().covers(&Location::Design));
+    }
+
+    #[test]
+    fn nodes_in_clips_to_the_tree() {
+        let s = Scope::nodes([0, 2, 99]);
+        assert_eq!(s.nodes_in(5).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(Scope::full().nodes_in(3).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Online shadow verification: re-running the scoped verifier over every
+//! merge's dirty subtree, the heavyweight companion to the in-loop
+//! micro-checks `gcr-cts` compiles in under its `shadow-invariants`
+//! feature.
+//!
+//! A committed merge dirties exactly three nodes: the new internal node
+//! and the two subtree roots it joined (everything below them was
+//! already verified when *their* merges committed). Walking the merge
+//! sequence and verifying each frontier with a
+//! [`Scope::nodes`](crate::Scope::nodes) dirty set is therefore a full
+//! structural audit of the construction, pass by pass, at incremental
+//! cost per step.
+
+use crate::diag::{Diagnostic, SkippedPass, VerifyReport};
+use crate::input::VerifyInput;
+use crate::lint::Verifier;
+use crate::scope::Scope;
+
+/// Verifies every merge's dirty frontier of `input.tree` with the
+/// default lints, one scoped run per internal node, and aggregates the
+/// findings into a single deduplicated report.
+///
+/// When `input` carries a decision log, the frontiers are taken from the
+/// log (node plus its two logged partners); otherwise they are read off
+/// the embedded tree's children. The per-merge scope is the three-node
+/// dirty set `{a, b, node}`, matching what `run_greedy_checked`'s
+/// shadow path re-verifies after each commit.
+///
+/// The aggregate's `passes_run` is the union over the scoped runs, and
+/// skips are deduplicated by pass id. Note that whole-design passes are
+/// always skipped here (every scope is partial); this function audits
+/// node-anchored invariants and is a complement to — not a substitute
+/// for — one full-scope [`Verifier::run`].
+#[must_use]
+pub fn verify_each_merge(input: &VerifyInput<'_>) -> VerifyReport {
+    let tree = input.tree;
+    let s = tree.num_sinks();
+    let verifier = Verifier::with_default_lints();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut passes_run: Vec<&'static str> = Vec::new();
+    let mut skipped: Vec<SkippedPass> = Vec::new();
+    for k in s..tree.len() {
+        let frontier: Vec<usize> = match input.decision_log {
+            Some(log) if k >= s && k - s < log.len() => {
+                let d = &log[k - s];
+                vec![d.a as usize, d.b as usize, k]
+            }
+            _ => {
+                let mut f: Vec<usize> = tree
+                    .node(tree.id(k))
+                    .children()
+                    .iter()
+                    .map(|ch| ch.index())
+                    .collect();
+                f.push(k);
+                f
+            }
+        };
+        let scoped = input.clone().with_scope(Scope::nodes(frontier));
+        let report = verifier.run(&scoped);
+        for d in report.diagnostics() {
+            if !diagnostics.contains(d) {
+                diagnostics.push(d.clone());
+            }
+        }
+        for p in report.passes_run() {
+            if !passes_run.contains(p) {
+                passes_run.push(p);
+            }
+        }
+        for sk in report.skipped() {
+            if !skipped.iter().any(|prev| prev.id == sk.id) {
+                skipped.push(sk.clone());
+            }
+        }
+    }
+    VerifyReport::new(diagnostics, passes_run, skipped)
+}

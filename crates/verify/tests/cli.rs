@@ -1,0 +1,227 @@
+//! Integration tests of the `gcr-verify` binary: exit codes, the three
+//! output formats against golden files, scoped runs, `--deny-skipped`,
+//! the `audit` subcommand, and malformed-input error paths.
+// Test code: unwrap/expect on infallible setup is idiomatic here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use gcr_cts::{embed, nearest_neighbor_topology, save_design, DeviceAssignment, Sink};
+use gcr_geometry::Point;
+use gcr_rctree::Technology;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_gcr-verify")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawning gcr-verify")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("stdout is UTF-8")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("stderr is UTF-8")
+}
+
+/// A deterministic 4-sink gated design, written once per test-process
+/// into the target tmpdir. Integer coordinates keep every float in the
+/// design file and the reports exactly reproducible.
+fn fixture_design() -> PathBuf {
+    let tech = Technology::default();
+    let sinks = vec![
+        Sink::new(Point::new(0.0, 0.0), 0.05),
+        Sink::new(Point::new(2_000.0, 0.0), 0.04),
+        Sink::new(Point::new(0.0, 2_000.0), 0.06),
+        Sink::new(Point::new(2_000.0, 2_000.0), 0.05),
+    ];
+    let gate = tech.and_gate();
+    let topology = nearest_neighbor_topology(&tech, &sinks, Some(gate)).unwrap();
+    let assignment = DeviceAssignment::everywhere(&topology, gate);
+    let source = Point::new(1_000.0, 1_000.0);
+    let tree = embed(&topology, &sinks, &tech, &assignment, source).unwrap();
+    let text = save_design(&topology, &sinks, &tree, source);
+    let path = std::env::temp_dir().join(format!("gcr-verify-cli-{}.design", std::process::id()));
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+const DIE: &[&str] = &["--die", "0", "0", "2000", "2000"];
+
+#[test]
+fn clean_design_exits_zero_with_golden_text() {
+    let design = fixture_design();
+    let out = run(&[DIE, &[design.to_str().unwrap()]].concat());
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert_eq!(stdout(&out), golden("clean.txt"));
+}
+
+#[test]
+fn clean_design_json_matches_golden() {
+    let design = fixture_design();
+    let out = run(&[DIE, &["--json", design.to_str().unwrap()]].concat());
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(stdout(&out), golden("clean.json"));
+}
+
+#[test]
+fn clean_design_sarif_matches_golden() {
+    let design = fixture_design();
+    let out = run(&[DIE, &["--sarif", design.to_str().unwrap()]].concat());
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(stdout(&out), golden("clean.sarif"));
+}
+
+#[test]
+fn off_die_design_exits_one_with_golden_sarif() {
+    let design = fixture_design();
+    // A 1x1 die at the origin leaves every placement outside: geometry
+    // errors at each node, exit code 1, and SARIF results with rules.
+    let out = run(&[
+        "--die",
+        "0",
+        "0",
+        "1",
+        "1",
+        "--sarif",
+        design.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(stdout(&out), golden("offdie.sarif"));
+}
+
+#[test]
+fn scoped_run_restricts_and_deny_skipped_fires() {
+    let design = fixture_design();
+    // Scoped to one leaf: whole-design passes are skipped and recorded.
+    let out = run(&[DIE, &["--scope", "0,1", design.to_str().unwrap()]].concat());
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(
+        text.contains("skipped: [switched-cap]"),
+        "skips must be surfaced in the report: {text}"
+    );
+    // The same run under --deny-skipped is a failure.
+    let denied = run(&[
+        DIE,
+        &["--scope", "0,1", "--deny-skipped", design.to_str().unwrap()],
+    ]
+    .concat());
+    assert_eq!(denied.status.code(), Some(1), "{}", stdout(&denied));
+    assert!(stdout(&denied).contains("--deny-skipped"));
+    // A full clean run under --deny-skipped stays green.
+    let full = run(&[DIE, &["--deny-skipped", design.to_str().unwrap()]].concat());
+    assert_eq!(full.status.code(), Some(0));
+}
+
+#[test]
+fn list_lints_includes_the_determinism_pass() {
+    let out = run(&["--list-lints"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for id in [
+        "tree-structure",
+        "geometry",
+        "zero-skew",
+        "activity-tables",
+        "gating",
+        "switched-cap",
+        "determinism",
+    ] {
+        assert!(text.contains(id), "missing {id} in:\n{text}");
+    }
+}
+
+#[test]
+fn usage_and_malformed_inputs_exit_two() {
+    // No design file.
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("no design file"));
+
+    // Nonexistent path.
+    let out = run(&["/nonexistent/never.design"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Unknown option.
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown option"));
+
+    // Conflicting formats.
+    let out = run(&["--json", "--sarif", "x.design"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("mutually exclusive"));
+
+    // Unparsable values.
+    for args in [
+        &["--skew-tol", "abc", "x.design"][..],
+        &["--scope", "1,x", "x.design"][..],
+        &["--role", "diode", "x.design"][..],
+        &["--die", "0", "0", "x.design"][..],
+    ] {
+        let out = run(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+    }
+
+    // A file that is not a gcr-design.
+    let bad = std::env::temp_dir().join(format!("gcr-verify-bad-{}.design", std::process::id()));
+    std::fs::write(&bad, "not a design\n").unwrap();
+    let out = run(&[bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown header"));
+
+    // A truncated design file.
+    std::fs::write(&bad, "gcr-design v1\nsource 0 0\nsinks 4\n0 0 0.05\n").unwrap();
+    let out = run(&[bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Help is not an error.
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("usage: gcr-verify"));
+}
+
+#[test]
+fn audit_smoke_is_deterministic_and_writes_sarif() {
+    let dir = std::env::temp_dir().join(format!("gcr-verify-audit-{}", std::process::id()));
+    let out = run(&[
+        "audit",
+        "--benchmarks",
+        "r1",
+        "--threads",
+        "1,2",
+        "--stream-len",
+        "500",
+        "--sarif-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("r1: 266 merges, 4 configs bit-identical, verify: 0 errors"),
+        "unexpected audit summary: {text}"
+    );
+    let sarif = std::fs::read_to_string(dir.join("r1.sarif")).unwrap();
+    assert!(sarif.contains("\"version\":\"2.1.0\""));
+
+    // Malformed audit inputs exit 2.
+    let out = run(&["audit", "--benchmarks", "r9"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown benchmark"));
+    let out = run(&["audit", "--threads", "two"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -61,7 +61,7 @@ fn buffered_baseline_is_clean() {
         .with_die(die);
     let report = Verifier::with_default_lints().run(&input);
     assert_clean(&report);
-    assert_eq!(report.passes_run().len(), 6, "all passes must run");
+    assert_eq!(report.passes_run().len(), 7, "all passes must run");
 }
 
 #[test]

@@ -32,8 +32,13 @@ fn full_flow_trace_covers_every_layer_with_correct_nesting() {
     let workload = Workload::generate_traced(TsayBenchmark::R1, &params, &tracer).unwrap();
     let n = workload.benchmark.sinks.len();
     let config = RouterConfig::new(Technology::default(), workload.benchmark.die);
-    let routing =
-        route_gated_traced(&workload.benchmark.sinks, &workload.tables, &config, &tracer).unwrap();
+    let routing = route_gated_traced(
+        &workload.benchmark.sinks,
+        &workload.tables,
+        &config,
+        &tracer,
+    )
+    .unwrap();
     let report = evaluate_traced(
         &routing.tree,
         &routing.node_stats,
@@ -64,7 +69,14 @@ fn full_flow_trace_covers_every_layer_with_correct_nesting() {
     assert_eq!(depth_of("route.gated"), 0);
     assert_eq!(depth_of("route.objective"), 1);
     assert_eq!(depth_of("greedy.run"), 1);
-    for phase in ["greedy.seed", "greedy.loop", "greedy.ring", "greedy.defer", "greedy.bound", "greedy.merge"] {
+    for phase in [
+        "greedy.seed",
+        "greedy.loop",
+        "greedy.ring",
+        "greedy.defer",
+        "greedy.bound",
+        "greedy.merge",
+    ] {
         assert_eq!(depth_of(phase), 2, "{phase} not nested in greedy.run");
     }
     assert_eq!(depth_of("embed.run"), 1);
@@ -91,8 +103,13 @@ fn traced_routing_is_bit_identical_on_r1() {
     let config = RouterConfig::new(Technology::default(), workload.benchmark.die);
     let plain = route_gated(&workload.benchmark.sinks, &workload.tables, &config).unwrap();
     let tracer = Tracer::new(Arc::new(NullSink));
-    let traced =
-        route_gated_traced(&workload.benchmark.sinks, &workload.tables, &config, &tracer).unwrap();
+    let traced = route_gated_traced(
+        &workload.benchmark.sinks,
+        &workload.tables,
+        &config,
+        &tracer,
+    )
+    .unwrap();
     assert_eq!(plain.topology, traced.topology);
     assert_eq!(plain.tree, traced.tree);
 }

@@ -132,7 +132,13 @@ fn warm_greedy_loop_performs_zero_allocations() {
         profile.loop_allocs
     );
     let json = sink.to_json();
-    for name in ["greedy.run", "greedy.ring", "greedy.bound", "greedy.defer", "greedy.merge"] {
+    for name in [
+        "greedy.run",
+        "greedy.ring",
+        "greedy.bound",
+        "greedy.defer",
+        "greedy.merge",
+    ] {
         assert!(json.contains(name), "trace missing {name}");
     }
 }
