@@ -1,6 +1,7 @@
 //! Perf-regression gate: compares two `BENCH_greedy.json` files.
 //!
-//! Usage: `bench_diff BASELINE.json NEW.json [--threshold PCT] [--trace PATH]`
+//! Usage: `bench_diff BASELINE.json NEW.json [--threshold PCT] [--strict]
+//! [--trace PATH]`
 //!
 //! For every `(benchmark, objective)` run present in both files this
 //! compares the **pruned engine's** wall time and reports the relative
@@ -15,10 +16,13 @@
 //!   these counters are deterministic, so a pruning-quality regression
 //!   is caught even when the clock happens to look fine.
 //!
-//! Runs present in only one file are reported but never fail the gate, so
-//! the CI smoke job can measure a benchmark subset against the full
-//! checked-in baseline. Speed-ups and small noise-level regressions are
-//! informational.
+//! Runs present in only one file are reported as informative skips and
+//! never fail the gate by default, so the CI smoke job can measure a
+//! benchmark subset against the full checked-in baseline. With
+//! `--strict` — intended for full-suite baseline refreshes — a run
+//! missing from either side is a failure, catching a benchmark that
+//! silently fell out of the baseline. Speed-ups and small noise-level
+//! regressions are informational.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -91,36 +95,27 @@ fn load_runs(path: &str) -> Result<BTreeMap<(String, String), Run>, String> {
     Ok(out)
 }
 
-fn run(
-    baseline_path: &str,
-    new_path: &str,
+/// Pure comparison over the two loaded run maps: the gate verdict plus
+/// the report lines to print, in order. Separated from I/O so the gate
+/// semantics (threshold, counters, strictness) are unit-testable.
+fn diff(
+    baseline: &BTreeMap<(String, String), Run>,
+    fresh: &BTreeMap<(String, String), Run>,
     threshold_pct: f64,
-    tracer: &Tracer,
-) -> Result<bool, String> {
-    let _diff = tracer.span("diff.run");
-    let baseline = {
-        let _span = tracer.span("diff.load_baseline");
-        load_runs(baseline_path)?
-    };
-    let fresh = {
-        let _span = tracer.span("diff.load_new");
-        load_runs(new_path)?
-    };
-    let _compare = tracer.span("diff.compare");
-    tracer.counter("diff.baseline_runs", baseline.len() as f64);
-    tracer.counter("diff.new_runs", fresh.len() as f64);
-
+    strict: bool,
+) -> (bool, Vec<String>) {
     let mut ok = true;
-    println!(
+    let mut lines = Vec::new();
+    lines.push(format!(
         "{:<4} {:<18} {:>12} {:>12} {:>9}  verdict",
         "run", "objective", "base ms", "new ms", "delta"
-    );
-    for ((benchmark, objective), new_run) in &fresh {
+    ));
+    for ((benchmark, objective), new_run) in fresh {
         if !new_run.identical_topology {
-            println!(
+            lines.push(format!(
                 "{benchmark:<4} {objective:<18} {:>12} {:>12.3} {:>9}  FAIL (topology diverged)",
                 "-", new_run.pruned_wall_ms, "-"
-            );
+            ));
             ok = false;
             continue;
         }
@@ -136,20 +131,20 @@ fn run(
                 } else {
                     "ok"
                 };
-                println!(
+                lines.push(format!(
                     "{benchmark:<4} {objective:<18} {:>12.3} {:>12.3} {:>+8.1}%  {verdict}",
                     base.pruned_wall_ms, new_run.pruned_wall_ms, delta_pct
-                );
+                ));
                 // Evaluation counts are deterministic; call out drift even
                 // when wall time stays within the threshold.
                 if new_run.exact_cost_evals.is_finite()
                     && base.exact_cost_evals.is_finite()
                     && new_run.exact_cost_evals > base.exact_cost_evals
                 {
-                    println!(
+                    lines.push(format!(
                         "     note: exact cost evals grew {} -> {}",
                         base.exact_cost_evals, new_run.exact_cost_evals
-                    );
+                    ));
                 }
                 for (name, base_count, new_count) in [
                     ("bound_evals", base.bound_evals, new_run.bound_evals),
@@ -159,46 +154,92 @@ fn run(
                         let count_delta_pct = 100.0 * (new_count - base_count) / base_count;
                         if count_delta_pct > threshold_pct {
                             ok = false;
-                            println!(
+                            lines.push(format!(
                                 "     FAIL: {name} grew {base_count} -> {new_count} ({count_delta_pct:+.1}%)"
-                            );
+                            ));
                         }
                     }
                 }
             }
             Some(_) => {
-                println!(
+                lines.push(format!(
                     "{benchmark:<4} {objective:<18} {:>12} {:>12.3} {:>9}  skipped (zero baseline)",
                     "0", new_run.pruned_wall_ms, "-"
-                );
+                ));
+            }
+            None if strict => {
+                lines.push(format!(
+                    "{benchmark:<4} {objective:<18} {:>12} {:>12.3} {:>9}  FAIL (missing from baseline)",
+                    "-", new_run.pruned_wall_ms, "-"
+                ));
+                ok = false;
             }
             None => {
-                println!(
-                    "{benchmark:<4} {objective:<18} {:>12} {:>12.3} {:>9}  new (no baseline)",
+                lines.push(format!(
+                    "{benchmark:<4} {objective:<18} {:>12} {:>12.3} {:>9}  skipped (new, no baseline)",
                     "-", new_run.pruned_wall_ms, "-"
-                );
+                ));
             }
         }
     }
     for key in baseline.keys() {
         if !fresh.contains_key(key) {
-            println!(
-                "{:<4} {:<18} baseline-only (not measured in {new_path})",
-                key.0, key.1
-            );
+            if strict {
+                lines.push(format!(
+                    "{:<4} {:<18} FAIL (baseline-only: not measured in the new file)",
+                    key.0, key.1
+                ));
+                ok = false;
+            } else {
+                lines.push(format!(
+                    "{:<4} {:<18} skipped (baseline-only: not measured in the new file)",
+                    key.0, key.1
+                ));
+            }
         }
+    }
+    (ok, lines)
+}
+
+fn run(
+    baseline_path: &str,
+    new_path: &str,
+    threshold_pct: f64,
+    strict: bool,
+    tracer: &Tracer,
+) -> Result<bool, String> {
+    let _diff = tracer.span("diff.run");
+    let baseline = {
+        let _span = tracer.span("diff.load_baseline");
+        load_runs(baseline_path)?
+    };
+    let fresh = {
+        let _span = tracer.span("diff.load_new");
+        load_runs(new_path)?
+    };
+    let _compare = tracer.span("diff.compare");
+    tracer.counter("diff.baseline_runs", baseline.len() as f64);
+    tracer.counter("diff.new_runs", fresh.len() as f64);
+
+    let (ok, lines) = diff(&baseline, &fresh, threshold_pct, strict);
+    for line in lines {
+        println!("{line}");
     }
     Ok(ok)
 }
 
 fn main() -> ExitCode {
-    const USAGE: &str = "usage: bench_diff BASELINE.json NEW.json [--threshold PCT] [--trace PATH]";
+    const USAGE: &str =
+        "usage: bench_diff BASELINE.json NEW.json [--threshold PCT] [--strict] [--trace PATH]";
     let mut positional: Vec<String> = Vec::new();
     let mut threshold_pct = 25.0;
+    let mut strict = false;
     let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--threshold" {
+        if arg == "--strict" {
+            strict = true;
+        } else if arg == "--threshold" {
             match args.next().as_deref().map(str::parse::<f64>) {
                 Some(Ok(t)) if t >= 0.0 => threshold_pct = t,
                 _ => {
@@ -234,7 +275,7 @@ fn main() -> ExitCode {
         None => Tracer::disabled(),
     };
 
-    let outcome = run(baseline_path, new_path, threshold_pct, &tracer);
+    let outcome = run(baseline_path, new_path, threshold_pct, strict, &tracer);
 
     if let (Some(path), Some(sink)) = (&trace_path, &chrome) {
         if let Err(e) = sink.write_to(path) {
@@ -257,5 +298,100 @@ fn main() -> ExitCode {
             eprintln!("bench_diff: {msg}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_entry(wall_ms: f64, identical: bool) -> Run {
+        Run {
+            pruned_wall_ms: wall_ms,
+            exact_cost_evals: 100.0,
+            bound_evals: 1_000.0,
+            heap_pops: 500.0,
+            identical_topology: identical,
+        }
+    }
+
+    fn map(entries: Vec<(&str, &str, Run)>) -> BTreeMap<(String, String), Run> {
+        entries
+            .into_iter()
+            .map(|(b, o, r)| ((b.to_owned(), o.to_owned()), r))
+            .collect()
+    }
+
+    #[test]
+    fn matching_runs_within_threshold_pass() {
+        let baseline = map(vec![("r1", "equation-3", run_entry(10.0, true))]);
+        let fresh = map(vec![("r1", "equation-3", run_entry(11.0, true))]);
+        let (ok, lines) = diff(&baseline, &fresh, 25.0, false);
+        assert!(ok, "{lines:?}");
+        assert!(lines.iter().any(|l| l.ends_with("ok")));
+    }
+
+    #[test]
+    fn wall_time_regressions_fail() {
+        let baseline = map(vec![("r1", "equation-3", run_entry(10.0, true))]);
+        let fresh = map(vec![("r1", "equation-3", run_entry(20.0, true))]);
+        let (ok, lines) = diff(&baseline, &fresh, 25.0, false);
+        assert!(!ok);
+        assert!(lines.iter().any(|l| l.contains("FAIL (regression)")));
+    }
+
+    #[test]
+    fn diverged_topology_fails_even_without_baseline() {
+        let baseline = map(vec![]);
+        let fresh = map(vec![("r6", "equation-3", run_entry(5.0, false))]);
+        let (ok, lines) = diff(&baseline, &fresh, 25.0, false);
+        assert!(!ok);
+        assert!(lines.iter().any(|l| l.contains("topology diverged")));
+    }
+
+    #[test]
+    fn counter_growth_fails_when_wall_time_is_quiet() {
+        let baseline = map(vec![("r2", "nearest-neighbor", run_entry(10.0, true))]);
+        let mut new_run = run_entry(10.0, true);
+        new_run.heap_pops = 5_000.0;
+        let fresh = map(vec![("r2", "nearest-neighbor", new_run)]);
+        let (ok, lines) = diff(&baseline, &fresh, 25.0, false);
+        assert!(!ok);
+        assert!(lines.iter().any(|l| l.contains("heap_pops grew")));
+    }
+
+    #[test]
+    fn missing_runs_skip_by_default_and_fail_in_strict_mode() {
+        // A one-sided pair in each direction.
+        let baseline = map(vec![("r1", "equation-3", run_entry(10.0, true))]);
+        let fresh = map(vec![("r6", "equation-3", run_entry(900.0, true))]);
+
+        let (ok, lines) = diff(&baseline, &fresh, 25.0, false);
+        assert!(ok, "one-sided runs must stay informative by default");
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("skipped (new, no baseline)")));
+        assert!(lines.iter().any(|l| l.contains("skipped (baseline-only")));
+
+        let (ok, lines) = diff(&baseline, &fresh, 25.0, true);
+        assert!(!ok, "strict mode must flag one-sided runs");
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("FAIL (missing from baseline)")));
+        assert!(lines.iter().any(|l| l.contains("FAIL (baseline-only")));
+    }
+
+    #[test]
+    fn strict_mode_passes_when_both_sides_match() {
+        let baseline = map(vec![
+            ("r1", "equation-3", run_entry(10.0, true)),
+            ("r6", "equation-3", run_entry(800.0, true)),
+        ]);
+        let fresh = map(vec![
+            ("r1", "equation-3", run_entry(9.0, true)),
+            ("r6", "equation-3", run_entry(820.0, true)),
+        ]);
+        let (ok, _) = diff(&baseline, &fresh, 25.0, true);
+        assert!(ok);
     }
 }

@@ -17,6 +17,14 @@
 //!
 //! Usage: `greedy_bench [r1 r2 ...] [--out BENCH_greedy.json] [--trace PATH]`
 //!
+//! The scale benchmarks (r6–r8, up to a million sinks) are opt-in by
+//! name and measured differently: the exhaustive reference is skipped
+//! (its all-pairs seeding alone would dwarf the measurement) and the
+//! instance runs through the hierarchical coarsening engine
+//! ([`gcr_cts::run_greedy_coarsened`]); `identical_topology` there
+//! records that the warm run at the ambient thread count reproduced the
+//! single-threaded cold run's topology.
+//!
 //! With `--trace PATH` the run records a merged Chrome-trace timeline
 //! (load it in `chrome://tracing`, Perfetto or Speedscope): workload and
 //! activity-table construction, the warm pruned greedy run with its
@@ -36,12 +44,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gcr_core::{
-    evaluate_traced, route_gated_mapped_traced, DeviceRole, GatedObjective, RouterConfig,
+    evaluate_traced, gated_region_factory, route_gated_coarsened_traced, route_gated_mapped_traced,
+    DeviceRole, GatedObjective, RouterConfig,
 };
 use gcr_cts::{
-    run_greedy_exhaustive_with_scratch, run_greedy_with_scratch, run_greedy_with_scratch_traced,
+    run_greedy_coarsened, run_greedy_coarsened_traced, run_greedy_exhaustive_with_scratch,
+    run_greedy_with_scratch, run_greedy_with_scratch_traced, CoarsenParams, CoarsenScratch,
     GreedyParams, GreedyProfile, GreedyScratch, GreedyStats, MergeObjective,
-    NearestNeighborObjective,
+    NearestNeighborObjective, Sink,
 };
 use gcr_rctree::Technology;
 use gcr_trace::{ChromeTraceSink, EchoWarnSink, TraceSink, Tracer};
@@ -84,23 +94,31 @@ struct EngineRun {
     wall_ms: f64,
 }
 
-/// A pruned/exhaustive pair on one (benchmark, objective) input.
+/// A pruned/exhaustive pair on one (benchmark, objective) input. On the
+/// scale benchmarks (above [`EXHAUSTIVE_LIMIT`] sinks) the exhaustive
+/// reference is skipped — its all-pairs seeding alone would dwarf the
+/// measured run — and `identical_topology` instead records that the
+/// coarsened engine reproduced its own single-threaded result.
 struct Comparison {
     benchmark: &'static str,
     objective: &'static str,
     sinks: usize,
     pruned: EngineRun,
-    exhaustive: EngineRun,
+    exhaustive: Option<EngineRun>,
     identical_topology: bool,
 }
 
+/// Largest sink count on which the exhaustive reference engine is run.
+const EXHAUSTIVE_LIMIT: usize = 10_000;
+
 impl Comparison {
-    /// Pruned exact evaluations as a fraction of exhaustive ones.
+    /// Pruned exact evaluations as a fraction of exhaustive ones (0 when
+    /// the exhaustive reference was skipped).
     fn exact_eval_ratio(&self) -> f64 {
-        let denom = self.exhaustive.stats.exact_cost_evals;
-        if denom == 0 {
-            return 0.0;
-        }
+        let denom = match &self.exhaustive {
+            Some(run) if run.stats.exact_cost_evals > 0 => run.stats.exact_cost_evals,
+            _ => return 0.0,
+        };
         self.pruned.stats.exact_cost_evals as f64 / denom as f64
     }
 }
@@ -153,12 +171,75 @@ fn compare<O: MergeObjective + Clone>(
             profile: pruned_profile,
             wall_ms: pruned_ms,
         },
-        exhaustive: EngineRun {
+        exhaustive: Some(EngineRun {
             stats: exhaustive_stats,
             profile: exhaustive_profile,
             wall_ms: exhaustive_ms,
-        },
+        }),
         identical_topology: pruned_topology == reference,
+    }
+}
+
+/// Scale-benchmark measurement: the hierarchical coarsening engine,
+/// warm-scratch, against its own single-threaded cold run instead of the
+/// (intractable) exhaustive reference. The cold run doubles as the
+/// determinism check: `identical_topology` records that the warm run at
+/// the ambient thread count reproduced the single-threaded topology.
+#[expect(
+    clippy::expect_used,
+    reason = "bench harness: aborting on an unroutable generated workload is intended"
+)]
+fn compare_coarsened<O, R, F>(
+    benchmark: &'static str,
+    objective_name: &'static str,
+    n: usize,
+    objective: &O,
+    factory: &F,
+    tracer: &Tracer,
+) -> Comparison
+where
+    O: MergeObjective + Clone,
+    R: MergeObjective,
+    F: Fn(&[u32]) -> R + Sync,
+{
+    let mut scratch = CoarsenScratch::new();
+    let cold_params = CoarsenParams {
+        greedy: GreedyParams {
+            threads: Some(1),
+            ..GreedyParams::default()
+        },
+        ..CoarsenParams::default()
+    };
+    let mut cold_obj = objective.clone();
+    let (reference, _, _) =
+        run_greedy_coarsened(n, &mut cold_obj, factory, &cold_params, &mut scratch)
+            .expect("coarsened greedy failed on a generated workload");
+
+    let warm_params = CoarsenParams::default();
+    let mut warm_obj = objective.clone();
+    let t0 = Instant::now();
+    let (topology, stats, profile) = run_greedy_coarsened_traced(
+        n,
+        &mut warm_obj,
+        factory,
+        &warm_params,
+        &mut scratch,
+        tracer,
+    )
+    .expect("coarsened greedy failed on a generated workload");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    Comparison {
+        benchmark,
+        objective: objective_name,
+        sinks: n,
+        pruned: EngineRun {
+            stats,
+            profile,
+            wall_ms,
+        },
+        exhaustive: None,
+        identical_topology: topology == reference,
     }
 }
 
@@ -177,7 +258,7 @@ fn run_benchmark(
     let n = sinks.len();
     let tech = Technology::default();
     let config = RouterConfig::new(tech.clone(), workload.benchmark.die);
-    let module_of: Vec<usize> = (0..n).collect();
+    let module_of = workload.module_of();
 
     let nn = NearestNeighborObjective::new(&tech, sinks, None);
     let gated = GatedObjective::new(
@@ -187,18 +268,63 @@ fn run_benchmark(
         sinks,
         &module_of,
     );
-    let runs = vec![
-        compare(which.name(), "nearest-neighbor", n, &nn, tracer),
-        compare(which.name(), "equation-3", n, &gated, tracer),
-    ];
+    let runs = if n > EXHAUSTIVE_LIMIT {
+        let nn_factory = |members: &[u32]| {
+            let sub: Vec<Sink> = members.iter().map(|&i| sinks[i as usize]).collect();
+            NearestNeighborObjective::new(&tech, &sub, None)
+        };
+        let gated_factory = gated_region_factory(
+            config.tech(),
+            config.controller(),
+            &workload.tables,
+            sinks,
+            &module_of,
+        );
+        vec![
+            compare_coarsened(
+                which.name(),
+                "nearest-neighbor",
+                n,
+                &nn,
+                &nn_factory,
+                tracer,
+            ),
+            compare_coarsened(
+                which.name(),
+                "equation-3",
+                n,
+                &gated,
+                &gated_factory,
+                tracer,
+            ),
+        ]
+    } else {
+        vec![
+            compare(which.name(), "nearest-neighbor", n, &nn, tracer),
+            compare(which.name(), "equation-3", n, &gated, tracer),
+        ]
+    };
 
     // With tracing on, additionally record one full gated-routing flow —
     // Equation-3 merge, zero-skew embedding, Equation-3 evaluation — so
     // the timeline covers every pipeline layer, not just the merge loop.
+    // Scale benchmarks route through the coarsened path, like the
+    // measured runs.
     if tracer.enabled() {
-        let routing =
+        let routing = if n > EXHAUSTIVE_LIMIT {
+            route_gated_coarsened_traced(
+                sinks,
+                &module_of,
+                &workload.tables,
+                &config,
+                &CoarsenParams::default(),
+                tracer,
+            )
+            .expect("gated routing failed on a generated workload")
+        } else {
             route_gated_mapped_traced(sinks, &module_of, &workload.tables, &config, tracer)
-                .expect("gated routing failed on a generated workload");
+                .expect("gated routing failed on a generated workload")
+        };
         let report = evaluate_traced(
             &routing.tree,
             &routing.node_stats,
@@ -254,12 +380,18 @@ fn render_json(params: &WorkloadParams, runs: &[Comparison]) -> String {
         );
         stats_json(&mut out, "pruned", &c.pruned);
         out.push_str(",\n");
-        stats_json(&mut out, "exhaustive", &c.exhaustive);
-        out.push_str(",\n");
+        if let Some(exhaustive) = &c.exhaustive {
+            stats_json(&mut out, "exhaustive", exhaustive);
+            out.push_str(",\n");
+            let _ = writeln!(
+                out,
+                "      \"exact_eval_ratio\": {:.6},",
+                c.exact_eval_ratio()
+            );
+        }
         let _ = writeln!(
             out,
-            "      \"exact_eval_ratio\": {:.6}, \"identical_topology\": {}",
-            c.exact_eval_ratio(),
+            "      \"identical_topology\": {}",
             c.identical_topology
         );
         out.push_str(if i + 1 == runs.len() {
@@ -273,7 +405,10 @@ fn render_json(params: &WorkloadParams, runs: &[Comparison]) -> String {
 }
 
 fn parse_benchmark(name: &str) -> Option<TsayBenchmark> {
-    TsayBenchmark::ALL.into_iter().find(|b| b.name() == name)
+    TsayBenchmark::ALL
+        .into_iter()
+        .chain(TsayBenchmark::SCALED)
+        .find(|b| b.name() == name)
 }
 
 /// Parsed command line.
@@ -306,7 +441,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
             benchmarks.push(b);
         } else {
             return Err(format!(
-                "unknown argument `{arg}`; usage: greedy_bench [r1..r5] [--out PATH] [--trace PATH]"
+                "unknown argument `{arg}`; usage: greedy_bench [r1..r8] [--out PATH] [--trace PATH]"
             ));
         }
     }
@@ -362,18 +497,25 @@ fn main() -> ExitCode {
 
     let mut all_identical = true;
     for c in &runs {
+        let (exhaustive_evals, exhaustive_wall) = match &c.exhaustive {
+            Some(run) => (
+                run.stats.exact_cost_evals.to_string(),
+                format!("{:.1} ms", run.wall_ms),
+            ),
+            None => ("-".to_owned(), "coarsened".to_owned()),
+        };
         println!(
-            "{:>3} {:<16} sinks {:>5}  exact {:>9} / {:>9} ({:>5.1} %)  batches {:>6}  parked {:>8}  wall {:>8.1} ms / {:>8.1} ms  loop allocs {:>6}  identical {}",
+            "{:>3} {:<16} sinks {:>7}  exact {:>9} / {:>9} ({:>5.1} %)  batches {:>6}  parked {:>8}  wall {:>8.1} ms / {:>10}  loop allocs {:>6}  identical {}",
             c.benchmark,
             c.objective,
             c.sinks,
             c.pruned.stats.exact_cost_evals,
-            c.exhaustive.stats.exact_cost_evals,
+            exhaustive_evals,
             100.0 * c.exact_eval_ratio(),
             c.pruned.stats.bound_batches,
             c.pruned.stats.bounds_filtered,
             c.pruned.wall_ms,
-            c.exhaustive.wall_ms,
+            exhaustive_wall,
             c.pruned.profile.loop_allocs,
             c.identical_topology,
         );
@@ -430,6 +572,20 @@ mod tests {
         assert!(parse_args(["r9"].map(String::from))
             .unwrap_err()
             .contains("unknown argument"));
+    }
+
+    #[test]
+    fn scale_benchmarks_parse_but_stay_out_of_the_default_suite() {
+        let cli = parse_args(["r6", "r7", "r8"].map(String::from)).unwrap();
+        assert_eq!(
+            cli.benchmarks,
+            vec![TsayBenchmark::R6, TsayBenchmark::R7, TsayBenchmark::R8]
+        );
+        let default = parse_args(Vec::new()).unwrap();
+        assert!(!default
+            .benchmarks
+            .iter()
+            .any(|b| TsayBenchmark::SCALED.contains(b)));
     }
 
     #[test]

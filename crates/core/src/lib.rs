@@ -85,7 +85,8 @@ pub use evaluate::{
 pub use optimal::reduce_gates_optimal;
 pub use reduction::{reduce_gates, reduce_gates_untied, ReductionParams};
 pub use router::{
-    gated_routing_for_topology, gated_routing_for_topology_mapped, route_gated, route_gated_mapped,
+    gated_region_factory, gated_routing_for_topology, gated_routing_for_topology_mapped,
+    route_gated, route_gated_coarsened, route_gated_coarsened_traced, route_gated_mapped,
     route_gated_mapped_traced, route_gated_traced, GatedObjective, GatedRouting, RouterConfig,
 };
 pub use simulate::{simulate_stream, SimulationReport, WINDOW};

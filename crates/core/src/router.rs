@@ -1,8 +1,8 @@
 use gcr_activity::{ActivityTables, EnableStats, ModuleSet};
 use gcr_cts::{
-    clone_preserving_capacity, embed_sized, embed_sized_traced, run_greedy_traced, ClockTree,
-    CtsError, DeviceAssignment, MergeArena, MergeObjective, Sink, SizingLimits, Topology,
-    BOUND_LANES,
+    clone_preserving_capacity, embed_sized, embed_sized_traced, run_greedy_coarsened_traced,
+    run_greedy_traced, ClockTree, CoarsenParams, CoarsenScratch, CtsError, DeviceAssignment,
+    MergeArena, MergeObjective, Sink, SizingLimits, Topology, BOUND_LANES,
 };
 use gcr_geometry::{BBox, Point};
 use gcr_rctree::{Device, Technology};
@@ -729,6 +729,118 @@ pub fn route_gated_mapped_traced(
     })
 }
 
+/// A region-objective factory over `sinks` for the coarsened greedy
+/// engine: for a member subset (ascending global sink indices) it builds
+/// a [`GatedObjective`] whose leaf states are bit-identical to the
+/// corresponding leaves of the global objective — same technology,
+/// controller plan, activity tables and module gating, restricted to the
+/// subset. This is the contract [`gcr_cts::run_greedy_coarsened`]
+/// requires of its `region_objective` argument.
+pub fn gated_region_factory<'a>(
+    tech: &'a Technology,
+    controller: &'a ControllerPlan,
+    tables: &'a ActivityTables,
+    sinks: &'a [Sink],
+    module_of: &'a [usize],
+) -> impl Fn(&[u32]) -> GatedObjective<'a> + Sync + 'a {
+    move |members: &[u32]| {
+        let sub_sinks: Vec<Sink> = members.iter().map(|&i| sinks[i as usize]).collect();
+        let sub_modules: Vec<usize> = members.iter().map(|&i| module_of[i as usize]).collect();
+        GatedObjective::new(tech, controller, tables, &sub_sinks, &sub_modules)
+    }
+}
+
+/// As [`route_gated_mapped`], but building the topology with the
+/// hierarchical coarsening engine ([`gcr_cts::run_greedy_coarsened`]) —
+/// the tractable path for the scale benchmarks (r6–r8, up to a million
+/// sinks), where the flat greedy's merge loop is no longer economical.
+/// Small instances fall back to the flat pruned engine inside the
+/// coarsened entry point, so this is safe to call at any size.
+///
+/// See the `gcr_cts::coarsen` module docs for the exactness caveat: the
+/// coarsened topology is a deterministic approximation of the flat
+/// greedy's, not bit-identical to it.
+///
+/// # Errors
+///
+/// As [`route_gated_mapped`].
+pub fn route_gated_coarsened(
+    sinks: &[Sink],
+    module_of: &[usize],
+    tables: &ActivityTables,
+    config: &RouterConfig,
+    params: &CoarsenParams,
+) -> Result<GatedRouting, RouteError> {
+    route_gated_coarsened_traced(
+        sinks,
+        module_of,
+        tables,
+        config,
+        params,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`route_gated_coarsened`] reporting the full flow through `tracer`
+/// (`route.objective`, the `coarsen.*` spans, then the `embed.*` spans,
+/// nested in `route.gated`).
+///
+/// # Errors
+///
+/// As [`route_gated_mapped`].
+pub fn route_gated_coarsened_traced(
+    sinks: &[Sink],
+    module_of: &[usize],
+    tables: &ActivityTables,
+    config: &RouterConfig,
+    params: &CoarsenParams,
+    tracer: &Tracer,
+) -> Result<GatedRouting, RouteError> {
+    if module_of.len() != sinks.len() || module_of.iter().any(|&m| m >= tables.rtl().num_modules())
+    {
+        return Err(RouteError::SinkModuleMismatch {
+            sinks: sinks.len(),
+            modules: tables.rtl().num_modules(),
+        });
+    }
+    let _route = tracer.span("route.gated");
+    let mut objective = {
+        let _span = tracer.span("route.objective");
+        GatedObjective::new(config.tech(), config.controller(), tables, sinks, module_of)
+    };
+    tracer.counter("route.sinks", sinks.len() as f64);
+    let factory =
+        gated_region_factory(config.tech(), config.controller(), tables, sinks, module_of);
+    let mut scratch = CoarsenScratch::new();
+    let (topology, _, _) = run_greedy_coarsened_traced(
+        sinks.len(),
+        &mut objective,
+        factory,
+        params,
+        &mut scratch,
+        tracer,
+    )?;
+    let assignment = DeviceAssignment::everywhere(&topology, config.tech().and_gate());
+    let tree = embed_sized_traced(
+        &topology,
+        sinks,
+        config.tech(),
+        &assignment,
+        config.source(),
+        SizingLimits::default(),
+        tracer,
+    )?;
+    let node_stats = objective.node_stats();
+    let node_modules = objective.node_modules();
+    Ok(GatedRouting {
+        topology,
+        assignment,
+        tree,
+        node_stats,
+        node_modules,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -761,6 +873,39 @@ mod tests {
         let (sinks, tables, config) = setup(12, 3);
         let routing = route_gated(&sinks, &tables, &config).unwrap();
         assert_eq!(routing.tree.num_sinks(), 12);
+        assert_eq!(routing.tree.device_count(), routing.tree.len());
+        let delay = routing.tree.source_to_sink_delay(config.tech());
+        assert!(routing.tree.verify_skew(config.tech()) < 1e-9 * delay.max(1.0));
+    }
+
+    #[test]
+    fn coarsened_route_matches_flat_below_the_region_threshold() {
+        let (sinks, tables, config) = setup(12, 3);
+        let module_of: Vec<usize> = (0..12).collect();
+        let flat = route_gated(&sinks, &tables, &config).unwrap();
+        let coarse = route_gated_coarsened(
+            &sinks,
+            &module_of,
+            &tables,
+            &config,
+            &CoarsenParams::default(),
+        )
+        .unwrap();
+        assert_eq!(coarse.topology, flat.topology);
+        assert_eq!(coarse.node_stats, flat.node_stats);
+    }
+
+    #[test]
+    fn coarsened_route_is_zero_skew_and_fully_gated() {
+        let (sinks, tables, config) = setup(300, 5);
+        let module_of: Vec<usize> = (0..300).collect();
+        let params = CoarsenParams {
+            target_region_size: 32,
+            ..CoarsenParams::default()
+        };
+        let routing = route_gated_coarsened(&sinks, &module_of, &tables, &config, &params).unwrap();
+        assert_eq!(routing.tree.num_sinks(), 300);
+        assert_eq!(routing.node_stats.len(), 2 * 300 - 1);
         assert_eq!(routing.tree.device_count(), routing.tree.len());
         let delay = routing.tree.source_to_sink_delay(config.tech());
         assert!(routing.tree.verify_skew(config.tech()) < 1e-9 * delay.max(1.0));

@@ -97,14 +97,48 @@ impl Clone for MergeArena {
     }
 }
 
+/// Largest node count the packed-entry / u32 indexing supports: node
+/// indices live in 31-bit fields of the greedy engine's packed heap tags
+/// (and in u32 [`TreeNode`](crate::TreeNode) children), so `2·n − 1` must
+/// stay at or below `2³¹ − 1`.
+pub(crate) const NODE_INDEX_LIMIT: usize = (1 << 31) - 1;
+
 impl MergeArena {
     /// Creates an empty arena for `capacity` nodes (pass `2·n − 1` for an
     /// `n`-sink run so the greedy loop never reallocates).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` exceeds the 31-bit node-index budget; use
+    /// [`MergeArena::try_new`] to get a [`CtsError::CapacityExceeded`]
+    /// instead.
     #[must_use]
     pub fn new(tech: &Technology, capacity: usize) -> Self {
+        match Self::try_new(tech, capacity) {
+            Ok(arena) => arena,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`MergeArena::new`]: rejects capacities whose node indices
+    /// would not fit the engine's packed 31-bit / u32 representation,
+    /// *before* any column is allocated — silent index truncation
+    /// downstream is never an option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtsError::CapacityExceeded`] when `capacity` exceeds
+    /// `2³¹ − 1` nodes.
+    pub fn try_new(tech: &Technology, capacity: usize) -> Result<Self, CtsError> {
+        if capacity > NODE_INDEX_LIMIT {
+            return Err(CtsError::CapacityExceeded {
+                nodes: capacity,
+                limit: NODE_INDEX_LIMIT,
+            });
+        }
         let unit_res = tech.unit_res();
         let unit_cap = tech.unit_cap();
-        Self {
+        Ok(Self {
             unit_res,
             unit_cap,
             beta: unit_res * unit_cap / 2.0,
@@ -120,7 +154,7 @@ impl MergeArena {
             u_hi: Vec::with_capacity(capacity),
             v_lo: Vec::with_capacity(capacity),
             v_hi: Vec::with_capacity(capacity),
-        }
+        })
     }
 
     /// Number of stored nodes.
@@ -405,6 +439,24 @@ mod tests {
         arena.push_leaf(&Sink::new(Point::new(100.0, 0.0), 0.05), None);
         let err = arena.try_merge(0, 1).unwrap_err();
         assert!(matches!(err, CtsError::MergeRegionDisjoint { .. }), "{err}");
+    }
+
+    /// An arena sized past the 31-bit node budget must refuse up front —
+    /// with `try_new` as an error, with `new` as a panic — rather than
+    /// hand out indices that would later truncate in u32/packed storage.
+    #[test]
+    fn oversized_capacity_is_rejected_before_allocation() {
+        let tech = Technology::default();
+        let over = NODE_INDEX_LIMIT + 1;
+        let err = MergeArena::try_new(&tech, over).unwrap_err();
+        assert_eq!(
+            err,
+            CtsError::CapacityExceeded {
+                nodes: over,
+                limit: NODE_INDEX_LIMIT,
+            }
+        );
+        assert!(MergeArena::try_new(&tech, 8).is_ok());
     }
 
     #[test]

@@ -1,0 +1,737 @@
+//! Hierarchical region coarsening for large sink sets.
+//!
+//! The flat greedy engine is quadratic-ish in practice once the instance
+//! outgrows its pruning radius; at 10⁵–10⁶ sinks even the pruned
+//! best-first loop spends most of its time re-flooding enormous live
+//! sets. This module makes such instances tractable with the classic
+//! regional decomposition (cf. "Regional Clock Tree Generation by
+//! Abutment"): partition the sinks into geometric regions of roughly
+//! [`CoarsenParams::target_region_size`] members, build each region's
+//! subtree with the **unchanged pruned greedy engine**, then merge the
+//! region roots with the exhaustive engine — a few hundred roots, where
+//! exhaustive search is both trivial and exactly the paper's loop.
+//!
+//! # Exactness caveat
+//!
+//! Unlike the pruned flat engine — which is *bit-identical* to the
+//! exhaustive reference — coarsening is a heuristic: a sink near a region
+//! border can only merge across that border at the root level, so the
+//! committed merges may differ from the flat greedy's. What **is**
+//! preserved:
+//!
+//! * every committed merge is an exact-cost zero-skew merge under the
+//!   same objective (regions see bit-identical leaf states);
+//! * the run is deterministic: the partition, the per-region runs, the
+//!   replay order, and the root-level merge are all independent of the
+//!   worker-thread count, so decision logs are bit-identical across
+//!   `GCR_THREADS` settings;
+//! * the merge loops stay allocation-free on warm scratches — the
+//!   aggregated [`GreedyProfile::loop_allocs`] counts every constituent
+//!   engine's loop phase (orchestration work — partitioning, local
+//!   objective construction, result collection — happens outside the
+//!   loop windows, like any seed phase).
+//!
+//! # Determinism & replay
+//!
+//! Regions are solved on worker threads against **local** objectives
+//! (local node `i` = the region's `i`-th member, ascending), each worker
+//! reusing its own [`GreedyScratch`]. The local decision logs are then
+//! replayed *sequentially, in region order* into the global objective,
+//! assigning global node ids in replay order. The local→global node map
+//! is strictly monotone (members ascend; internals are created in local
+//! order), so the canonical `a < b` orientation of every local decision
+//! survives the translation, and the global log passes the `gcr-verify`
+//! determinism pass unchanged.
+
+use gcr_geometry::Point;
+use gcr_trace::Tracer;
+
+use crate::greedy::{
+    resolve_threads, run_greedy_exhaustive_with_scratch, run_greedy_with_scratch_traced,
+    GreedyParams, GreedyProfile, GreedyScratch, GreedyStats, MergeDecision, MergeObjective,
+};
+use crate::{CtsError, Topology};
+
+/// Tuning knobs of a coarsened run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoarsenParams {
+    /// Worker threads and decision logging, shared with the constituent
+    /// engine runs. Threads resolve exactly as in the flat engine
+    /// (explicit, then `GCR_THREADS`, then available parallelism).
+    pub greedy: GreedyParams,
+    /// Aimed-for sinks per region; `0` picks [`DEFAULT_REGION_SIZE`].
+    /// Instances below twice this size skip coarsening entirely and run
+    /// the flat pruned engine.
+    pub target_region_size: usize,
+}
+
+/// Default [`CoarsenParams::target_region_size`]: large enough that a
+/// region amortizes its seed phase, small enough that every in-region
+/// candidate batch stays below the engine's parallel-fan-out threshold —
+/// region-level parallelism comes from solving regions concurrently, not
+/// from sharding inside one region.
+pub const DEFAULT_REGION_SIZE: usize = 2_048;
+
+impl CoarsenParams {
+    fn region_size(&self) -> usize {
+        if self.target_region_size == 0 {
+            DEFAULT_REGION_SIZE
+        } else {
+            self.target_region_size
+        }
+    }
+}
+
+/// Reusable buffers of [`run_greedy_coarsened`]: one [`GreedyScratch`]
+/// per worker slot for the region runs, one for the flat fallback and
+/// the root-level merge, plus the replay buffers. Reusing one across
+/// runs keeps every constituent merge loop allocation-free.
+#[derive(Debug, Default)]
+pub struct CoarsenScratch {
+    /// Per-worker scratches for the parallel region runs.
+    region: Vec<GreedyScratch>,
+    /// Scratch of the root-level merge (and of the flat fallback path).
+    top: GreedyScratch,
+    /// Local→global node map of the region currently being replayed.
+    map: Vec<u32>,
+    /// Global merge list, in commit order.
+    merges: Vec<(usize, usize)>,
+    /// Global decision log of the last run (under
+    /// [`GreedyParams::log_decisions`]).
+    decisions: Vec<MergeDecision>,
+}
+
+impl CoarsenScratch {
+    /// Creates an empty scratch. Buffers grow on first use and are then
+    /// reused.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The decision log of the most recent coarsened run — empty unless
+    /// that run set [`GreedyParams::log_decisions`].
+    #[must_use]
+    pub fn decisions(&self) -> &[MergeDecision] {
+        &self.decisions
+    }
+
+    /// Takes ownership of the last run's decision log.
+    #[must_use]
+    pub fn take_decisions(&mut self) -> Vec<MergeDecision> {
+        std::mem::take(&mut self.decisions)
+    }
+}
+
+/// Partitions `locations` into geometric regions of roughly `target`
+/// members: a `k × k` grid over the bounding box with
+/// `k = ⌈√(n / target)⌉`, cells emitted in row-major order, empty cells
+/// dropped, members ascending within each region. Degenerate extents
+/// (coincident or collinear points, non-finite coordinates) collapse the
+/// affected axis to a single row or column — the result is always a
+/// partition of `0..locations.len()`.
+///
+/// The partition is a pure function of the locations and `target` —
+/// no thread count, no hash order — which is the root of the coarsened
+/// flow's cross-thread determinism.
+#[must_use]
+pub fn partition_regions(locations: &[Point], target: usize) -> Vec<Vec<u32>> {
+    let n = locations.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let target = target.max(1);
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let k = ((n as f64 / target as f64).sqrt().ceil() as usize).max(1);
+    let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+    let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in locations {
+        min = Point::new(min.x.min(p.x), min.y.min(p.y));
+        max = Point::new(max.x.max(p.x), max.y.max(p.y));
+    }
+    let axis_cells = |lo: f64, hi: f64| -> usize {
+        let extent = hi - lo;
+        if extent.is_finite() && extent > 0.0 {
+            k
+        } else {
+            1
+        }
+    };
+    let (kx, ky) = (axis_cells(min.x, max.x), axis_cells(min.y, max.y));
+    let cell_index = |v: f64, lo: f64, hi: f64, cells: usize| -> usize {
+        if cells == 1 {
+            return 0;
+        }
+        let t = (v - lo) / (hi - lo) * cells as f64;
+        if t.is_finite() && t > 0.0 {
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            let i = t as usize;
+            i.min(cells - 1)
+        } else {
+            0
+        }
+    };
+    let mut cells: Vec<Vec<u32>> = vec![Vec::new(); kx * ky];
+    for (i, p) in locations.iter().enumerate() {
+        let cx = cell_index(p.x, min.x, max.x, kx);
+        let cy = cell_index(p.y, min.y, max.y, ky);
+        cells[cy * kx + cx].push(i as u32);
+    }
+    cells.retain(|c| !c.is_empty());
+    cells
+}
+
+/// Per-region result shipped from a worker back to the orchestrator.
+#[derive(Default)]
+struct RegionOut {
+    decisions: Vec<MergeDecision>,
+    stats: GreedyStats,
+    profile: GreedyProfile,
+}
+
+/// Root-level view of the global objective: local node `i` is
+/// `map[i]` in the global index space. Pairs are canonicalized to
+/// ascending *global* order before touching the inner objective (the
+/// region roots are not monotone in region order — a single-sink region's
+/// root is its leaf — so local order does not imply global order), which
+/// keeps the executed merges, and the decision log built from them, in
+/// the canonical `a < b` orientation the determinism pass requires.
+struct RootObjective<'a, O: MergeObjective> {
+    inner: &'a mut O,
+    /// Local node → global node.
+    map: Vec<u32>,
+    /// Next unused global node id.
+    next_global: usize,
+}
+
+impl<O: MergeObjective> RootObjective<'_, O> {
+    fn pair(&self, a: usize, b: usize) -> (usize, usize) {
+        let (ga, gb) = (self.map[a] as usize, self.map[b] as usize);
+        if ga < gb {
+            (ga, gb)
+        } else {
+            (gb, ga)
+        }
+    }
+}
+
+impl<O: MergeObjective> MergeObjective for RootObjective<'_, O> {
+    fn cost(&self, a: usize, b: usize) -> f64 {
+        let (x, y) = self.pair(a, b);
+        self.inner.cost(x, y)
+    }
+
+    fn cost_lower_bound(&self, a: usize, b: usize) -> f64 {
+        let (x, y) = self.pair(a, b);
+        self.inner.cost_lower_bound(x, y)
+    }
+
+    fn cost_lower_bound_at_distance(&self, node: usize, dist: f64) -> f64 {
+        self.inner
+            .cost_lower_bound_at_distance(self.map[node] as usize, dist)
+    }
+
+    fn location(&self, node: usize) -> Point {
+        self.inner.location(self.map[node] as usize)
+    }
+
+    fn merge(&mut self, a: usize, b: usize, k: usize) -> Result<(), CtsError> {
+        debug_assert_eq!(k, self.map.len());
+        let (x, y) = self.pair(a, b);
+        self.inner.merge(x, y, self.next_global)?;
+        self.map.push(self.next_global as u32);
+        self.next_global += 1;
+        Ok(())
+    }
+}
+
+/// [`run_greedy_coarsened_traced`] without tracing.
+///
+/// # Errors
+///
+/// As [`run_greedy_coarsened_traced`].
+pub fn run_greedy_coarsened<O, R, F>(
+    num_leaves: usize,
+    objective: &mut O,
+    region_objective: F,
+    params: &CoarsenParams,
+    scratch: &mut CoarsenScratch,
+) -> Result<(Topology, GreedyStats, GreedyProfile), CtsError>
+where
+    O: MergeObjective,
+    R: MergeObjective,
+    F: Fn(&[u32]) -> R + Sync,
+{
+    run_greedy_coarsened_traced(
+        num_leaves,
+        objective,
+        region_objective,
+        params,
+        scratch,
+        &Tracer::disabled(),
+    )
+}
+
+/// Builds a topology over `num_leaves` sinks by hierarchical region
+/// coarsening (see the module docs for the flow and its guarantees).
+///
+/// `objective` is the **global** objective — it ends the run having
+/// merged every internal node, exactly as after a flat run.
+/// `region_objective(members)` must build a *local* objective over the
+/// given ascending global sink indices whose leaf states are
+/// bit-identical to the global objective's (same technology, tables and
+/// module mapping restricted to the subset); region merges are then
+/// replayed into the global objective verbatim.
+///
+/// Instances smaller than twice the target region size (or whose
+/// partition collapses to one region) run the flat pruned engine — same
+/// results, same decision log, none of the coarsening caveats.
+///
+/// Emits `coarsen.partition` / `coarsen.regions` / `coarsen.replay` /
+/// `coarsen.top` phase spans under a `coarsen.run` span when `tracer`
+/// is enabled.
+///
+/// # Errors
+///
+/// As [`run_greedy`](crate::run_greedy), for any constituent engine run
+/// or replayed merge.
+///
+/// # Panics
+///
+/// Panics if an objective returns a NaN cost or bound, or if a region
+/// worker panics.
+#[expect(
+    clippy::expect_used,
+    reason = "a panicking region worker must propagate, not be swallowed"
+)]
+#[expect(
+    clippy::too_many_lines,
+    reason = "one function per engine flow, like the flat engines"
+)]
+pub fn run_greedy_coarsened_traced<O, R, F>(
+    num_leaves: usize,
+    objective: &mut O,
+    region_objective: F,
+    params: &CoarsenParams,
+    scratch: &mut CoarsenScratch,
+    tracer: &Tracer,
+) -> Result<(Topology, GreedyStats, GreedyProfile), CtsError>
+where
+    O: MergeObjective,
+    R: MergeObjective,
+    F: Fn(&[u32]) -> R + Sync,
+{
+    let flat_params = GreedyParams {
+        threads: params.greedy.threads,
+        log_decisions: params.greedy.log_decisions,
+    };
+    if num_leaves < 2 * params.region_size() {
+        let out = run_greedy_with_scratch_traced(
+            num_leaves,
+            objective,
+            &flat_params,
+            &mut scratch.top,
+            tracer,
+        )?;
+        scratch.decisions.clear();
+        scratch.decisions.extend_from_slice(scratch.top.decisions());
+        return Ok(out);
+    }
+
+    let _run = tracer.span("coarsen.run");
+    let threads = resolve_threads(&params.greedy, tracer);
+
+    // Partition over the leaf locations (pure function of the input).
+    let part_start = tracer.now_ns();
+    let t0 = std::time::Instant::now();
+    let locations: Vec<Point> = (0..num_leaves).map(|i| objective.location(i)).collect();
+    let regions = partition_regions(&locations, params.region_size());
+    drop(locations);
+    tracer.complete_span("coarsen.partition", part_start, elapsed_ns(t0.elapsed()));
+    if regions.len() <= 1 {
+        let out = run_greedy_with_scratch_traced(
+            num_leaves,
+            objective,
+            &flat_params,
+            &mut scratch.top,
+            tracer,
+        )?;
+        scratch.decisions.clear();
+        scratch.decisions.extend_from_slice(scratch.top.decisions());
+        return Ok(out);
+    }
+
+    // Solve every region on the worker pool: worker `w` takes regions
+    // `w, w + W, …` with its own scratch and a fresh local objective per
+    // region. Regions run single-threaded (their batches are too small
+    // to fan out profitably) and always log decisions — the log *is* the
+    // replay script. Assignment striping affects only which worker
+    // computes a region, never its result.
+    let regions_start = tracer.now_ns();
+    let t0 = std::time::Instant::now();
+    let workers = threads.min(regions.len());
+    if scratch.region.len() < workers {
+        scratch.region.resize_with(workers, GreedyScratch::new);
+    }
+    let region_params = GreedyParams {
+        threads: Some(1),
+        log_decisions: true,
+    };
+    let region_objective = &region_objective;
+    let regions_ref = &regions;
+    let mut results: Vec<Option<RegionOut>> = Vec::with_capacity(regions.len());
+    results.resize_with(regions.len(), || None);
+    let worker_outs: Vec<Result<Vec<(usize, RegionOut)>, CtsError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scratch
+            .region
+            .iter_mut()
+            .take(workers)
+            .enumerate()
+            .map(|(w, region_scratch)| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for r in (w..regions_ref.len()).step_by(workers) {
+                        let members = &regions_ref[r];
+                        if members.len() == 1 {
+                            out.push((r, RegionOut::default()));
+                            continue;
+                        }
+                        let mut local = region_objective(members);
+                        let (_, stats, profile) = run_greedy_with_scratch_traced(
+                            members.len(),
+                            &mut local,
+                            &region_params,
+                            region_scratch,
+                            &Tracer::disabled(),
+                        )?;
+                        out.push((
+                            r,
+                            RegionOut {
+                                decisions: region_scratch.decisions().to_vec(),
+                                stats,
+                                profile,
+                            },
+                        ));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("region worker panicked"))
+            .collect()
+    });
+    let mut stats = GreedyStats::default();
+    let mut profile = GreedyProfile::default();
+    for worker_out in worker_outs {
+        for (r, region) in worker_out? {
+            add_stats(&mut stats, &region.stats);
+            add_profile(&mut profile, &region.profile);
+            results[r] = Some(region);
+        }
+    }
+    tracer.complete_span("coarsen.regions", regions_start, elapsed_ns(t0.elapsed()));
+
+    // Sequential replay into the global objective, in region order.
+    let replay_start = tracer.now_ns();
+    let t0 = std::time::Instant::now();
+    scratch.merges.clear();
+    scratch.decisions.clear();
+    let mut next_global = num_leaves;
+    // Sized for the root-level merge up front: `RootObjective::merge`
+    // pushes one map entry per merge, and a mid-loop reallocation would
+    // show up in the engine's `loop_allocs` profile.
+    let mut roots: Vec<u32> = Vec::with_capacity(2 * regions.len() - 1);
+    for (members, region) in regions.iter().zip(&results) {
+        let region = region.as_ref().expect("region result missing");
+        if members.len() == 1 {
+            roots.push(members[0]);
+            continue;
+        }
+        scratch.map.clear();
+        scratch.map.extend_from_slice(members);
+        for d in &region.decisions {
+            let (ga, gb) = (
+                scratch.map[d.a as usize] as usize,
+                scratch.map[d.b as usize] as usize,
+            );
+            debug_assert!(ga < gb, "monotone map must preserve orientation");
+            objective.merge(ga, gb, next_global)?;
+            scratch.merges.push((ga, gb));
+            if params.greedy.log_decisions {
+                scratch.decisions.push(MergeDecision {
+                    a: ga as u32,
+                    b: gb as u32,
+                    node: next_global as u32,
+                    key_bits: d.key_bits,
+                });
+            }
+            scratch.map.push(next_global as u32);
+            next_global += 1;
+        }
+        roots.push(scratch.map[scratch.map.len() - 1]);
+    }
+    tracer.complete_span("coarsen.replay", replay_start, elapsed_ns(t0.elapsed()));
+
+    // Merge the region roots with the exhaustive engine — a few hundred
+    // roots, so all-pairs evaluation is cheap, and it needs nothing from
+    // the objective beyond exact costs (no bound admissibility at the
+    // root level, where merging regions are wide).
+    let top_start = tracer.now_ns();
+    let t0 = std::time::Instant::now();
+    let num_roots = roots.len();
+    let mut top = RootObjective {
+        inner: objective,
+        map: roots,
+        next_global,
+    };
+    let top_params = GreedyParams {
+        threads: Some(threads),
+        log_decisions: true,
+    };
+    let (_, top_stats, top_profile) =
+        run_greedy_exhaustive_with_scratch(num_roots, &mut top, &top_params, &mut scratch.top)?;
+    add_stats(&mut stats, &top_stats);
+    add_profile(&mut profile, &top_profile);
+    let map = top.map;
+    for d in scratch.top.decisions() {
+        let (ga, gb) = (map[d.a as usize], map[d.b as usize]);
+        let (ga, gb) = if ga < gb { (ga, gb) } else { (gb, ga) };
+        scratch.merges.push((ga as usize, gb as usize));
+        if params.greedy.log_decisions {
+            scratch.decisions.push(MergeDecision {
+                a: ga,
+                b: gb,
+                node: map[d.node as usize],
+                key_bits: d.key_bits,
+            });
+        }
+    }
+    tracer.complete_span("coarsen.top", top_start, elapsed_ns(t0.elapsed()));
+
+    Ok((
+        Topology::from_merges(num_leaves, &scratch.merges)?,
+        stats,
+        profile,
+    ))
+}
+
+fn add_stats(acc: &mut GreedyStats, s: &GreedyStats) {
+    acc.exact_cost_evals += s.exact_cost_evals;
+    acc.bound_evals += s.bound_evals;
+    acc.ring_expansions += s.ring_expansions;
+    acc.heap_pops += s.heap_pops;
+    acc.bound_batches += s.bound_batches;
+    acc.bounds_filtered += s.bounds_filtered;
+}
+
+fn add_profile(acc: &mut GreedyProfile, p: &GreedyProfile) {
+    acc.seed_ms += p.seed_ms;
+    acc.loop_ms += p.loop_ms;
+    acc.seed_allocs += p.seed_allocs;
+    acc.loop_allocs += p.loop_allocs;
+}
+
+/// A duration as saturating `u64` nanoseconds.
+fn elapsed_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_greedy_with_scratch;
+
+    /// Objective over plain points: cost = Manhattan distance, a merge
+    /// creates the midpoint (the greedy test objective, subset-closed:
+    /// a local instance over any member set has bit-identical leaf
+    /// states).
+    #[derive(Clone)]
+    struct PointObjective {
+        points: Vec<Point>,
+    }
+
+    impl MergeObjective for PointObjective {
+        fn cost(&self, a: usize, b: usize) -> f64 {
+            self.points[a].manhattan(self.points[b])
+        }
+        fn cost_lower_bound(&self, a: usize, b: usize) -> f64 {
+            self.cost(a, b)
+        }
+        fn cost_lower_bound_at_distance(&self, _node: usize, dist: f64) -> f64 {
+            dist
+        }
+        fn location(&self, node: usize) -> Point {
+            self.points[node]
+        }
+        fn merge(&mut self, a: usize, b: usize, k: usize) -> Result<(), CtsError> {
+            assert_eq!(k, self.points.len());
+            let mid = self.points[a].midpoint(self.points[b]);
+            self.points.push(mid);
+            Ok(())
+        }
+    }
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(((i * 131) % 10_007) as f64, ((i * 197) % 9_973) as f64))
+            .collect()
+    }
+
+    fn region_factory(points: &[Point]) -> impl Fn(&[u32]) -> PointObjective + Sync + '_ {
+        move |members: &[u32]| PointObjective {
+            points: members.iter().map(|&i| points[i as usize]).collect(),
+        }
+    }
+
+    fn coarse_params(target: usize) -> CoarsenParams {
+        CoarsenParams {
+            greedy: GreedyParams {
+                threads: Some(2),
+                log_decisions: true,
+            },
+            target_region_size: target,
+        }
+    }
+
+    #[test]
+    fn partition_covers_every_point_exactly_once() {
+        let points = scatter(500);
+        let regions = partition_regions(&points, 50);
+        assert!(regions.len() > 1);
+        let mut seen = vec![false; points.len()];
+        for region in &regions {
+            assert!(!region.is_empty());
+            let mut prev = None;
+            for &m in region {
+                assert!(!seen[m as usize], "point {m} in two regions");
+                seen[m as usize] = true;
+                assert!(prev.is_none_or(|p| p < m), "members must ascend");
+                prev = Some(m);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn partition_handles_degenerate_extents() {
+        // Coincident points: one region.
+        let coincident = vec![Point::new(7.0, 7.0); 40];
+        assert_eq!(partition_regions(&coincident, 8).len(), 1);
+        // Collinear points: the degenerate axis collapses to one row.
+        let line: Vec<Point> = (0..60).map(|i| Point::new(f64::from(i), 0.0)).collect();
+        let regions = partition_regions(&line, 10);
+        assert!(regions.len() > 1);
+        assert_eq!(regions.iter().map(Vec::len).sum::<usize>(), 60);
+        // Empty input.
+        assert!(partition_regions(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn small_instances_fall_back_to_the_flat_engine() {
+        let points = scatter(60);
+        let params = coarse_params(256); // 60 < 2 * 256
+        let mut flat_obj = PointObjective {
+            points: points.clone(),
+        };
+        let mut flat_scratch = GreedyScratch::new();
+        let flat_params = GreedyParams {
+            threads: Some(2),
+            log_decisions: true,
+        };
+        let (flat, _, _) =
+            run_greedy_with_scratch(60, &mut flat_obj, &flat_params, &mut flat_scratch).unwrap();
+        let mut obj = PointObjective {
+            points: points.clone(),
+        };
+        let mut scratch = CoarsenScratch::new();
+        let (topo, _, _) =
+            run_greedy_coarsened(60, &mut obj, region_factory(&points), &params, &mut scratch)
+                .unwrap();
+        assert_eq!(topo, flat);
+        assert_eq!(scratch.decisions(), flat_scratch.decisions());
+    }
+
+    #[test]
+    fn coarsened_run_builds_a_valid_deterministic_topology() {
+        let points = scatter(700);
+        let params = coarse_params(64);
+        let run = |threads: usize| {
+            let mut obj = PointObjective {
+                points: points.clone(),
+            };
+            let mut scratch = CoarsenScratch::new();
+            let mut p = params;
+            p.greedy.threads = Some(threads);
+            let (topo, stats, _) =
+                run_greedy_coarsened(700, &mut obj, region_factory(&points), &p, &mut scratch)
+                    .unwrap();
+            (topo, stats, scratch.take_decisions(), obj)
+        };
+        let (topo, stats, log, obj) = run(1);
+        assert_eq!(topo.num_leaves(), 700);
+        assert_eq!(topo.len(), 2 * 700 - 1);
+        assert_eq!(topo.subtree_sizes()[topo.root()], 700);
+        assert!(stats.exact_cost_evals > 0);
+        assert_eq!(log.len(), 699, "one decision per merge");
+        for (i, d) in log.iter().enumerate() {
+            assert_eq!(d.node as usize, 700 + i, "nodes created in order");
+            assert!(d.a < d.b && d.b < d.node, "canonical orientation");
+            assert!(d.key().is_finite());
+        }
+        // The global objective saw every merge: its point store covers
+        // the full node range.
+        assert_eq!(obj.points.len(), 2 * 700 - 1);
+        // Bit-identical decisions at any worker count.
+        for threads in [2, 4, 8] {
+            let (topo_t, _, log_t, _) = run(threads);
+            assert_eq!(topo_t, topo, "{threads} threads changed the topology");
+            assert_eq!(log_t, log, "{threads} threads changed the decision log");
+        }
+    }
+
+    #[test]
+    fn warm_coarsened_scratch_reuses_buffers() {
+        let points = scatter(600);
+        let params = coarse_params(64);
+        let mut scratch = CoarsenScratch::new();
+        let run = |scratch: &mut CoarsenScratch| {
+            let mut obj = PointObjective {
+                points: points.clone(),
+            };
+            run_greedy_coarsened(600, &mut obj, region_factory(&points), &params, scratch)
+                .unwrap()
+                .0
+        };
+        let cold = run(&mut scratch);
+        let warm = run(&mut scratch);
+        assert_eq!(cold, warm, "scratch reuse must not change results");
+    }
+
+    /// Coincident sink clusters (degenerate region extents) route fine:
+    /// the per-region bucket grids collapse to single cells and the
+    /// clamped cell size keeps their dimensions finite.
+    #[test]
+    fn coarsened_run_survives_coincident_clusters() {
+        let mut points = Vec::new();
+        for c in 0..6 {
+            let base = Point::new(f64::from(c) * 1_000.0, f64::from(c % 2) * 1_000.0);
+            points.extend(std::iter::repeat_n(base, 40));
+        }
+        let params = coarse_params(16);
+        let mut obj = PointObjective {
+            points: points.clone(),
+        };
+        let mut scratch = CoarsenScratch::new();
+        let (topo, _, _) = run_greedy_coarsened(
+            points.len(),
+            &mut obj,
+            region_factory(&points),
+            &params,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(topo.num_leaves(), 240);
+    }
+}

@@ -25,6 +25,17 @@ pub enum CtsError {
         /// Human-readable description of the failing merge.
         detail: String,
     },
+    /// A design is too large for the engine's u32/packed node indexing:
+    /// the full node count `2·n − 1` would overflow the 31-bit index
+    /// budget of the packed heap entries (and the u32 arena/tree
+    /// columns). Raised up front, before any storage is sized, instead
+    /// of silently truncating indices.
+    CapacityExceeded {
+        /// Total nodes (`2·n − 1`) the design would need.
+        nodes: usize,
+        /// Largest node count the index representation supports.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for CtsError {
@@ -39,6 +50,11 @@ impl fmt::Display for CtsError {
             CtsError::MergeRegionDisjoint { detail } => {
                 write!(f, "zero-skew merge regions are disjoint: {detail}")
             }
+            CtsError::CapacityExceeded { nodes, limit } => write!(
+                f,
+                "design needs {nodes} tree nodes but the node index representation \
+                 supports at most {limit}"
+            ),
         }
     }
 }
@@ -66,6 +82,16 @@ mod tests {
         };
         assert!(e.to_string().contains("disjoint"));
         assert!(e.to_string().contains("d=NaN"));
+    }
+
+    #[test]
+    fn capacity_exceeded_displays_both_numbers() {
+        let e = CtsError::CapacityExceeded {
+            nodes: 4_294_967_297,
+            limit: 2_147_483_647,
+        };
+        assert!(e.to_string().contains("4294967297"));
+        assert!(e.to_string().contains("2147483647"));
     }
 
     #[test]

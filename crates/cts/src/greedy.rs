@@ -4,6 +4,7 @@ use std::time::Instant;
 use gcr_geometry::Point;
 use gcr_trace::Tracer;
 
+use crate::arena::NODE_INDEX_LIMIT;
 use crate::nearest::BucketGrid;
 use crate::{CtsError, Topology};
 
@@ -449,7 +450,7 @@ const MAX_THREADS: usize = 16;
 /// so a typo in a CI timing run pins the engine instead of picking up
 /// ambient parallelism. Library code never writes to stderr — binaries
 /// that want the warning visible echo it from their sink.
-fn resolve_threads(params: &GreedyParams, tracer: &Tracer) -> usize {
+pub(crate) fn resolve_threads(params: &GreedyParams, tracer: &Tracer) -> usize {
     params
         .threads
         .or_else(|| match std::env::var("GCR_THREADS") {
@@ -840,6 +841,82 @@ fn seed_bound_batches<O: MergeObjective>(
     });
 }
 
+/// Gathers the seed-phase candidate lists of the leaves in `range`:
+/// rings `0..=INITIAL_RINGS` of each leaf, keeping higher-indexed
+/// partners so every pair appears once, appended to `cand` with the
+/// per-leaf candidate count pushed to `counts`. A pure function of the
+/// grid and the range — disjoint ranges gathered on separate workers and
+/// concatenated in leaf order reproduce the serial sweep exactly.
+fn gather_seed_rings(
+    grid: &BucketGrid,
+    locations: &[Point],
+    range: std::ops::Range<usize>,
+    members: &mut Vec<u32>,
+    cand: &mut Vec<u32>,
+    counts: &mut Vec<u32>,
+) {
+    for x in range {
+        let before = cand.len();
+        for ring in 0..=INITIAL_RINGS {
+            grid.ring_members(locations[x], ring, members);
+            cand.extend(members.iter().copied().filter(|&y| (y as usize) > x));
+        }
+        counts.push((cand.len() - before) as u32);
+    }
+}
+
+/// Sharded seed ring sweep: contiguous leaf ranges gathered on `threads`
+/// workers (each with its own buffers), concatenated in leaf order into
+/// the CSR `cand` / `cand_starts` pair. The combined batch is identical
+/// to the serial sweep's at any thread count.
+#[expect(
+    clippy::expect_used,
+    reason = "a panicking ring-sweep worker must propagate, not be swallowed"
+)]
+fn gather_seed_rings_sharded(
+    grid: &BucketGrid,
+    locations: &[Point],
+    threads: usize,
+    cand: &mut Vec<u32>,
+    cand_starts: &mut Vec<u32>,
+) {
+    let num_leaves = locations.len();
+    let chunk = num_leaves.div_ceil(threads);
+    let parts: Vec<(Vec<u32>, Vec<u32>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..num_leaves)
+            .step_by(chunk)
+            .map(|lo| {
+                let hi = (lo + chunk).min(num_leaves);
+                scope.spawn(move || {
+                    let mut members = Vec::new();
+                    let mut part = Vec::new();
+                    let mut counts = Vec::with_capacity(hi - lo);
+                    gather_seed_rings(
+                        grid,
+                        locations,
+                        lo..hi,
+                        &mut members,
+                        &mut part,
+                        &mut counts,
+                    );
+                    (part, counts)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("seed ring-sweep worker panicked"))
+            .collect()
+    });
+    for (part, counts) in parts {
+        cand.extend_from_slice(&part);
+        for c in counts {
+            let prev = cand_starts[cand_starts.len() - 1];
+            cand_starts.push(prev + c);
+        }
+    }
+}
+
 /// Routes one priced candidate batch of `center`: the minimum bound goes
 /// straight to the heap (it is the candidate a greedy commit will want,
 /// so parking it would only force a row reopen later), and the rest are
@@ -1055,7 +1132,9 @@ fn expansion_key<O: MergeObjective>(
 ///
 /// # Errors
 ///
-/// Returns [`CtsError::NoSinks`] when `num_leaves == 0` and propagates
+/// Returns [`CtsError::NoSinks`] when `num_leaves == 0`,
+/// [`CtsError::CapacityExceeded`] when `2 * num_leaves - 1` overflows the
+/// 31-bit node-index budget of the packed heap entries, and propagates
 /// [`CtsError::MergeRegionDisjoint`] from the objective's `merge`.
 ///
 /// # Panics
@@ -1123,9 +1202,7 @@ pub fn run_greedy_instrumented<O: MergeObjective>(
 ///
 /// # Panics
 ///
-/// Panics if the objective returns a NaN cost or bound, or if
-/// `2 * num_leaves - 1` overflows the 31-bit node-index budget of the
-/// packed heap entries.
+/// Panics if the objective returns a NaN cost or bound.
 pub fn run_greedy_with_scratch<O: MergeObjective>(
     num_leaves: usize,
     objective: &mut O,
@@ -1179,11 +1256,16 @@ pub fn run_greedy_with_scratch_traced<O: MergeObjective>(
     let seed_start = Instant::now();
     let seed_allocs0 = alloc_count();
     let threads = resolve_threads(params, tracer);
-    let total = 2 * num_leaves - 1;
-    assert!(
-        u64::try_from(total).is_ok_and(|t| t <= INDEX_MASK),
-        "{num_leaves} leaves exceed the packed heap entry's 31-bit node-index budget"
-    );
+    // Checked before any storage is sized: past this limit the packed
+    // heap tags and the u32 arena/tree columns would silently truncate
+    // node indices, so the only safe answer is an error up front.
+    let total = num_leaves.saturating_mul(2).saturating_sub(1);
+    if total > NODE_INDEX_LIMIT {
+        return Err(CtsError::CapacityExceeded {
+            nodes: total,
+            limit: NODE_INDEX_LIMIT,
+        });
+    }
     scratch.reset(total, num_leaves);
     let GreedyScratch {
         heap,
@@ -1213,13 +1295,18 @@ pub fn run_greedy_with_scratch_traced<O: MergeObjective>(
     // the slab — the heap starts with two entries per leaf and only ever
     // sees candidates whose bounds actually become competitive.
     cand_starts.push(0);
-    for (x, &loc) in locations.iter().enumerate() {
-        for ring in 0..=INITIAL_RINGS {
-            stats.ring_expansions += 1;
-            grid.ring_members(loc, ring, members);
-            cand.extend(members.iter().copied().filter(|&y| (y as usize) > x));
+    if num_leaves >= PARALLEL_THRESHOLD && threads > 1 {
+        gather_seed_rings_sharded(&grid, locations, threads, cand, cand_starts);
+    } else {
+        gather_seed_rings(&grid, locations, 0..num_leaves, members, cand, cand_starts);
+        // `gather_seed_rings` pushed per-leaf counts; turn them into the
+        // cumulative CSR starts in place.
+        for i in 1..cand_starts.len() {
+            cand_starts[i] += cand_starts[i - 1];
         }
-        cand_starts.push(cand.len() as u32);
+    }
+    stats.ring_expansions += (num_leaves * (INITIAL_RINGS + 1)) as u64;
+    for (x, &loc) in locations.iter().enumerate() {
         if let Some(key) = expansion_key(&*objective, &grid, x, loc, INITIAL_RINGS + 1) {
             heap.push(Entry::new(
                 key,
@@ -1311,7 +1398,7 @@ pub fn run_greedy_with_scratch_traced<O: MergeObjective>(
                     if !cand.is_empty() {
                         bounds.clear();
                         bounds.resize(cand.len(), 0.0);
-                        objective.bound_batch(x, cand, bounds);
+                        bound_batch_sharded(&*objective, x, cand, bounds, threads);
                         stats.bound_batches += 1;
                         stats.bound_evals += cand.len() as u64;
                         defer_row(heap, slab, selbuf, &mut stats, a, cand, bounds, false, None);
@@ -1357,7 +1444,7 @@ pub fn run_greedy_with_scratch_traced<O: MergeObjective>(
                 if !cand.is_empty() {
                     bounds.clear();
                     bounds.resize(cand.len(), 0.0);
-                    objective.bound_batch(x, cand, bounds);
+                    bound_batch_sharded(&*objective, x, cand, bounds, threads);
                     stats.bound_batches += 1;
                     stats.bound_evals += cand.len() as u64;
                     defer_row(heap, slab, selbuf, &mut stats, a, cand, bounds, false, None);
@@ -1659,11 +1746,16 @@ pub fn run_greedy_exhaustive_with_scratch_traced<O: MergeObjective>(
     let seed_start = Instant::now();
     let seed_allocs0 = alloc_count();
     let threads = resolve_threads(params, tracer);
-    let total = 2 * num_leaves - 1;
-    assert!(
-        u64::try_from(total).is_ok_and(|t| t <= INDEX_MASK),
-        "{num_leaves} leaves exceed the packed heap entry's 31-bit node-index budget"
-    );
+    // Checked before any storage is sized: past this limit the packed
+    // heap tags and the u32 arena/tree columns would silently truncate
+    // node indices, so the only safe answer is an error up front.
+    let total = num_leaves.saturating_mul(2).saturating_sub(1);
+    if total > NODE_INDEX_LIMIT {
+        return Err(CtsError::CapacityExceeded {
+            nodes: total,
+            limit: NODE_INDEX_LIMIT,
+        });
+    }
     scratch.reset(total, num_leaves);
     let GreedyScratch {
         heap,
@@ -1891,6 +1983,22 @@ mod tests {
             run_greedy_exhaustive(0, &mut obj).unwrap_err(),
             CtsError::NoSinks
         );
+    }
+
+    #[test]
+    fn oversized_designs_error_before_any_work() {
+        // Past the 31-bit node budget both engines must refuse up front;
+        // the check runs before the objective is ever consulted, so an
+        // empty point store is fine.
+        let n = (1usize << 30) + 1;
+        let expected = CtsError::CapacityExceeded {
+            nodes: 2 * n - 1,
+            limit: NODE_INDEX_LIMIT,
+        };
+        let mut obj = PointObjective { points: vec![] };
+        assert_eq!(run_greedy(n, &mut obj).unwrap_err(), expected);
+        let mut obj = PointObjective { points: vec![] };
+        assert_eq!(run_greedy_exhaustive(n, &mut obj).unwrap_err(), expected);
     }
 
     #[test]

@@ -56,6 +56,7 @@
 
 mod arena;
 mod bst;
+mod coarsen;
 mod design_io;
 mod embed;
 mod error;
@@ -70,6 +71,10 @@ mod tree;
 
 pub use arena::{clone_preserving_capacity, MergeArena, BOUND_LANES};
 pub use bst::{bounded_skew_merge, embed_bounded_skew, BstOutcome, BstState};
+pub use coarsen::{
+    partition_regions, run_greedy_coarsened, run_greedy_coarsened_traced, CoarsenParams,
+    CoarsenScratch, DEFAULT_REGION_SIZE,
+};
 pub use design_io::{load_design, save_design, LoadedDesign};
 pub use embed::{embed, embed_sized, embed_sized_traced, embed_traced, DeviceAssignment};
 pub use error::CtsError;

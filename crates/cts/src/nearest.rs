@@ -42,11 +42,22 @@ pub struct BucketGrid {
     point_cell: Vec<u32>,
 }
 
+/// Smallest admissible cell side. A *tiny but nonzero* extent (think a
+/// coarsened region whose sinks sit within a few nanometers, or subnormal
+/// coordinate spreads) would otherwise produce `cell = extent / √n`
+/// rounding to `0.0` — and a zero cell turns [`BucketGrid::dimension`]
+/// into `extent / 0 = inf`, saturating the cell counts. Any positive cell
+/// keeps the ring distance guarantee valid (members of ring `r` are
+/// farther than `(r − 1) · cell`), so clamping only trades pruning
+/// sharpness, never correctness.
+const MIN_CELL: f64 = 1e-9;
+
 impl BucketGrid {
     /// Builds a grid over `points`, sized at roughly one point per cell
-    /// (`cell ≈ extent / √n`). Degenerate inputs (coincident points,
-    /// non-finite coordinates) collapse to a single bucket, which keeps
-    /// every query correct — just unpruned.
+    /// (`cell ≈ extent / √n`, clamped below by a positive minimum).
+    /// Degenerate inputs (coincident points, non-finite coordinates)
+    /// collapse to a single bucket, which keeps every query correct —
+    /// just unpruned.
     ///
     /// # Panics
     ///
@@ -63,7 +74,7 @@ impl BucketGrid {
         let (w, h) = (max.x - min.x, max.y - min.y);
         let extent = w.max(h);
         let cell = if extent.is_finite() && extent > 0.0 {
-            extent / (points.len() as f64).sqrt()
+            (extent / (points.len() as f64).sqrt()).max(MIN_CELL)
         } else {
             1.0
         };
@@ -464,6 +475,31 @@ mod tests {
         // A single point.
         let one = BucketGrid::build(&[Point::ORIGIN]);
         assert_eq!(one.max_ring(Point::ORIGIN), 0);
+    }
+
+    /// A positive-but-tiny extent must not underflow the cell size to
+    /// zero: pre-clamp, `extent / √n` on a subnormal spread rounded to
+    /// `0.0`, `dimension()` divided by it and saturated the cell counts.
+    /// Post-clamp the grid stays small, the cell positive, and rings
+    /// still cover every point.
+    #[test]
+    fn bucket_grid_clamps_tiny_extents() {
+        // Two x positions one subnormal ulp apart: the extent is positive,
+        // but dividing it by √9 underflows to 0.0 without the clamp.
+        let tiny = f64::from_bits(1);
+        let points: Vec<Point> = (0..9)
+            .map(|i| Point::new(if i < 5 { 0.0 } else { tiny }, 5.0))
+            .collect();
+        let grid = BucketGrid::build(&points);
+        assert!(grid.cell_size() >= MIN_CELL, "cell {}", grid.cell_size());
+        assert!(grid.max_ring(points[0]) <= 4, "grid blew up");
+        let mut members = Vec::new();
+        let mut count = 0;
+        for ring in 0..=grid.max_ring(points[0]) {
+            grid.ring_members(points[0], ring, &mut members);
+            count += members.len();
+        }
+        assert_eq!(count, 9);
     }
 
     #[test]

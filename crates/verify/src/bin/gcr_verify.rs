@@ -10,15 +10,20 @@
 //! r1–r5 reference benchmarks through the Equation-3 greedy router
 //! across thread counts and traced/untraced configurations, records the
 //! decision log of every run, and fails unless all logs are
-//! bit-identical and the routed trees verify clean.
+//! bit-identical and the routed trees verify clean. The scale
+//! benchmarks (r6–r8) can be requested by name; they route through the
+//! hierarchical coarsening engine, whose decision logs are audited with
+//! exactly the same machinery (they are sequential and canonical, like
+//! the flat engine's).
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use gcr_core::{ControllerPlan, DeviceRole, GatedObjective};
+use gcr_core::{gated_region_factory, ControllerPlan, DeviceRole, GatedObjective};
 use gcr_cts::{
-    canonical_decision_log, embed, embed_sized, load_design, run_greedy_with_scratch_traced,
-    DeviceAssignment, GreedyParams, GreedyScratch, MergeObjective, SizingLimits,
+    canonical_decision_log, embed, embed_sized, load_design, run_greedy_coarsened_traced,
+    run_greedy_with_scratch_traced, CoarsenParams, CoarsenScratch, DeviceAssignment, GreedyParams,
+    GreedyScratch, MergeObjective, SizingLimits,
 };
 use gcr_geometry::{BBox, Point};
 use gcr_rctree::Technology;
@@ -46,7 +51,8 @@ options:
   -h, --help             print this help
 
 audit-options:
-  --benchmarks r1,r2,..  Tsay benchmarks to replay (default r1,r2,r3,r4,r5)
+  --benchmarks r1,r2,..  benchmarks to replay, r1..r8 (default r1,r2,r3,r4,r5;
+                         r6-r8 are the coarsened scale benchmarks)
   --threads 1,2,4,8      GCR_THREADS values to sweep (default 1,2,4,8)
   --stream-len N         activity stream length (default 2000)
   --sarif-dir DIR        write one SARIF report per benchmark into DIR
@@ -149,8 +155,9 @@ fn parse_audit_args(mut args: impl Iterator<Item = String>) -> Result<AuditOptio
                     .map(|name| {
                         TsayBenchmark::ALL
                             .into_iter()
+                            .chain(TsayBenchmark::SCALED)
                             .find(|b| b.name() == name)
-                            .ok_or_else(|| format!("unknown benchmark {name}; expected r1..r5"))
+                            .ok_or_else(|| format!("unknown benchmark {name}; expected r1..r8"))
                     })
                     .collect::<Result<_, _>>()?;
             }
@@ -255,20 +262,49 @@ fn run() -> Result<bool, String> {
     Ok(!report.has_errors() && !denied)
 }
 
+/// Sink counts above this audit through the hierarchical coarsening
+/// engine instead of the flat greedy (matches `greedy_bench`'s scale
+/// cutover).
+const COARSEN_AUDIT_LIMIT: usize = 10_000;
+
 /// Replays one benchmark through the gated greedy router under `params`,
-/// returning the canonical decision log.
-fn replay(
-    base: &GatedObjective<'_>,
+/// returning the canonical decision log. `region_factory` is consulted
+/// only above [`COARSEN_AUDIT_LIMIT`] sinks, where the run goes through
+/// the coarsening engine.
+fn replay<'a, F>(
+    base: &GatedObjective<'a>,
     num_sinks: usize,
     params: &GreedyParams,
+    region_factory: &F,
     tracer: &Tracer,
-) -> Result<(gcr_cts::Topology, Vec<gcr_cts::MergeDecision>), String> {
+) -> Result<(gcr_cts::Topology, Vec<gcr_cts::MergeDecision>), String>
+where
+    F: Fn(&[u32]) -> GatedObjective<'a> + Sync,
+{
     let mut objective = base.clone();
-    let mut scratch = GreedyScratch::new();
-    let (topology, _, _) =
-        run_greedy_with_scratch_traced(num_sinks, &mut objective, params, &mut scratch, tracer)
-            .map_err(|e| format!("greedy route failed: {e}"))?;
-    Ok((topology, scratch.take_decisions()))
+    if num_sinks > COARSEN_AUDIT_LIMIT {
+        let mut scratch = CoarsenScratch::new();
+        let coarsen = CoarsenParams {
+            greedy: *params,
+            target_region_size: 0,
+        };
+        let (topology, _, _) = run_greedy_coarsened_traced(
+            num_sinks,
+            &mut objective,
+            region_factory,
+            &coarsen,
+            &mut scratch,
+            tracer,
+        )
+        .map_err(|e| format!("coarsened greedy route failed: {e}"))?;
+        Ok((topology, scratch.take_decisions()))
+    } else {
+        let mut scratch = GreedyScratch::new();
+        let (topology, _, _) =
+            run_greedy_with_scratch_traced(num_sinks, &mut objective, params, &mut scratch, tracer)
+                .map_err(|e| format!("greedy route failed: {e}"))?;
+        Ok((topology, scratch.take_decisions()))
+    }
 }
 
 fn run_audit(opts: &AuditOptions) -> Result<bool, String> {
@@ -286,8 +322,9 @@ fn run_audit(opts: &AuditOptions) -> Result<bool, String> {
         let controller = ControllerPlan::Centralized {
             location: die.center(),
         };
-        let module_of: Vec<usize> = (0..sinks.len()).collect();
+        let module_of = workload.module_of();
         let base = GatedObjective::new(&tech, &controller, &workload.tables, sinks, &module_of);
+        let factory = gated_region_factory(&tech, &controller, &workload.tables, sinks, &module_of);
 
         // The baseline: single-threaded, untraced.
         let greedy = |threads: usize| GreedyParams {
@@ -298,6 +335,7 @@ fn run_audit(opts: &AuditOptions) -> Result<bool, String> {
             &base,
             sinks.len(),
             &greedy(opts.threads[0]),
+            &factory,
             &Tracer::disabled(),
         )?;
         let baseline_log = canonical_decision_log(&baseline);
@@ -313,7 +351,7 @@ fn run_audit(opts: &AuditOptions) -> Result<bool, String> {
                 } else {
                     Tracer::disabled()
                 };
-                let (_, log) = replay(&base, sinks.len(), &greedy(threads), &tracer)?;
+                let (_, log) = replay(&base, sinks.len(), &greedy(threads), &factory, &tracer)?;
                 configs += 1;
                 if canonical_decision_log(&log) != baseline_log {
                     divergent += 1;

@@ -6,7 +6,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// The five benchmarks of Tsay's zero-skew suite used in §5, identified by
-/// their published sink counts.
+/// their published sink counts, plus three synthetic scale extensions
+/// (r6–r8) that keep the suite's constant sink density while growing the
+/// instance to ~30k, ~300k and 1M sinks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TsayBenchmark {
     /// 267 sinks.
@@ -19,10 +21,18 @@ pub enum TsayBenchmark {
     R4,
     /// 3101 sinks.
     R5,
+    /// 30 000 sinks (synthetic scale extension).
+    R6,
+    /// 300 000 sinks (synthetic scale extension).
+    R7,
+    /// 1 000 000 sinks (synthetic scale extension).
+    R8,
 }
 
 impl TsayBenchmark {
-    /// All five benchmarks in order.
+    /// The five published benchmarks, in order. Scale extensions live in
+    /// [`Self::SCALED`] so that suite-wide defaults (CI audits, the full
+    /// bench run) stay at the paper's published sizes.
     pub const ALL: [TsayBenchmark; 5] = [
         TsayBenchmark::R1,
         TsayBenchmark::R2,
@@ -31,7 +41,12 @@ impl TsayBenchmark {
         TsayBenchmark::R5,
     ];
 
-    /// The published sink count.
+    /// The synthetic scale extensions, in order. Opt-in: these are
+    /// requested by name, never swept by default.
+    pub const SCALED: [TsayBenchmark; 3] =
+        [TsayBenchmark::R6, TsayBenchmark::R7, TsayBenchmark::R8];
+
+    /// The published (r1–r5) or synthetic (r6–r8) sink count.
     #[must_use]
     pub fn num_sinks(self) -> usize {
         match self {
@@ -40,10 +55,13 @@ impl TsayBenchmark {
             TsayBenchmark::R3 => 862,
             TsayBenchmark::R4 => 1903,
             TsayBenchmark::R5 => 3101,
+            TsayBenchmark::R6 => 30_000,
+            TsayBenchmark::R7 => 300_000,
+            TsayBenchmark::R8 => 1_000_000,
         }
     }
 
-    /// The benchmark's conventional name (`"r1"` … `"r5"`).
+    /// The benchmark's conventional name (`"r1"` … `"r8"`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
@@ -52,6 +70,9 @@ impl TsayBenchmark {
             TsayBenchmark::R3 => "r3",
             TsayBenchmark::R4 => "r4",
             TsayBenchmark::R5 => "r5",
+            TsayBenchmark::R6 => "r6",
+            TsayBenchmark::R7 => "r7",
+            TsayBenchmark::R8 => "r8",
         }
     }
 
@@ -236,8 +257,22 @@ mod tests {
     fn density_is_constant_across_suite() {
         let density = |b: TsayBenchmark| b.num_sinks() as f64 / (b.die_side() * b.die_side());
         let d1 = density(TsayBenchmark::R1);
-        for b in TsayBenchmark::ALL {
+        for b in TsayBenchmark::ALL.into_iter().chain(TsayBenchmark::SCALED) {
             assert!((density(b) - d1).abs() / d1 < 1e-9, "{b} density differs");
+        }
+    }
+
+    #[test]
+    fn scaled_extensions_are_separate_from_the_published_suite() {
+        let counts: Vec<usize> = TsayBenchmark::SCALED
+            .iter()
+            .map(|b| b.num_sinks())
+            .collect();
+        assert_eq!(counts, vec![30_000, 300_000, 1_000_000]);
+        let names: Vec<&str> = TsayBenchmark::SCALED.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["r6", "r7", "r8"]);
+        for b in TsayBenchmark::SCALED {
+            assert!(!TsayBenchmark::ALL.contains(&b), "{b} must stay opt-in");
         }
     }
 

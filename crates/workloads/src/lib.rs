@@ -31,4 +31,4 @@ pub mod io;
 mod workload;
 
 pub use benchmark::{Benchmark, TsayBenchmark};
-pub use workload::{Workload, WorkloadParams};
+pub use workload::{Workload, WorkloadParams, CLAMPED_MODULES, MODULE_IDENTITY_LIMIT};

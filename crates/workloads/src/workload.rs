@@ -114,9 +114,46 @@ pub struct Workload {
     pub params: WorkloadParams,
 }
 
+/// Sink counts up to this run the paper's one-module-per-sink model
+/// verbatim (covers all of r1–r5).
+pub const MODULE_IDENTITY_LIMIT: usize = 4_096;
+
+/// Module count used above [`MODULE_IDENTITY_LIMIT`]: the scale
+/// benchmarks (r6–r8) gate many sinks per module, like a real design
+/// where a module drives a whole register bank. Keeping the module space
+/// bounded keeps the per-node module-set words (and the activity tables)
+/// O(sinks), not O(sinks²).
+pub const CLAMPED_MODULES: usize = 1_024;
+
 impl Workload {
+    /// Number of activity-model modules used for `num_sinks` sinks: one
+    /// per sink up to [`MODULE_IDENTITY_LIMIT`], then clamped to
+    /// [`CLAMPED_MODULES`].
+    #[must_use]
+    pub fn num_modules_for(num_sinks: usize) -> usize {
+        if num_sinks <= MODULE_IDENTITY_LIMIT {
+            num_sinks
+        } else {
+            CLAMPED_MODULES
+        }
+    }
+
+    /// The sink→module gating map matching this workload's tables:
+    /// the identity when the model has one module per sink, otherwise
+    /// sink `i` gates on module `i mod modules` (sinks of one module
+    /// stay co-located under clustered placement, which assigns cluster
+    /// `i % clusters` the same way).
+    #[must_use]
+    pub fn module_of(&self) -> Vec<usize> {
+        let modules = self.tables.rtl().num_modules();
+        (0..self.benchmark.sinks.len())
+            .map(|i| i % modules)
+            .collect()
+    }
+
     /// Generates the workload for a Tsay benchmark: synthesized sinks plus
-    /// a CPU model with one module per sink.
+    /// a CPU model with one module per sink (clamped on the scale
+    /// benchmarks — see [`Workload::num_modules_for`]).
     ///
     /// # Errors
     ///
@@ -174,7 +211,7 @@ impl Workload {
         let _generate = tracer.span("workload.generate");
         let model = {
             let _span = tracer.span("workload.model");
-            CpuModel::builder(benchmark.sinks.len())
+            CpuModel::builder(Self::num_modules_for(benchmark.sinks.len()))
                 .instructions(params.instructions)
                 .usage_fraction(params.usage_fraction)
                 .persistence(params.persistence)
@@ -235,6 +272,26 @@ mod tests {
             "avg activity {}",
             w.stats.avg_module_activity
         );
+        // One module per sink at published sizes: the map is the identity.
+        assert_eq!(w.module_of(), (0..267).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn module_count_clamps_at_scale() {
+        assert_eq!(Workload::num_modules_for(267), 267);
+        assert_eq!(Workload::num_modules_for(MODULE_IDENTITY_LIMIT), 4_096);
+        assert_eq!(Workload::num_modules_for(30_000), CLAMPED_MODULES);
+        assert_eq!(Workload::num_modules_for(1_000_000), CLAMPED_MODULES);
+        // A clamped workload's map wraps and never references a module
+        // the tables don't have.
+        let params = WorkloadParams::smoke();
+        let bench = Benchmark::uniform(MODULE_IDENTITY_LIMIT + 5, 1_000.0, 3);
+        let w = Workload::for_benchmark(bench, &params).unwrap();
+        assert_eq!(w.tables.rtl().num_modules(), CLAMPED_MODULES);
+        let map = w.module_of();
+        assert_eq!(map.len(), MODULE_IDENTITY_LIMIT + 5);
+        assert_eq!(map[CLAMPED_MODULES], 0);
+        assert!(map.iter().all(|&m| m < CLAMPED_MODULES));
     }
 
     #[test]

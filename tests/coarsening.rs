@@ -1,0 +1,170 @@
+//! Property tests for the hierarchical coarsening engine: the region
+//! decomposition must be a deterministic partition of the sink set, the
+//! coarsened parallel route must produce decision logs that are
+//! bit-identical across worker-thread counts (the contract the
+//! `gcr-verify audit` subcommand enforces on the scale benchmarks), and
+//! the routed result must pass the full `gcr-verify` lint deck with
+//! complete activity context.
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gcr_activity::{ActivityTables, CpuModel};
+use gcr_core::{gated_region_factory, GatedObjective, RouterConfig};
+use gcr_cts::{
+    canonical_decision_log, partition_regions, run_greedy_coarsened, CoarsenParams, CoarsenScratch,
+    GreedyParams, MergeDecision, Sink, Topology,
+};
+use gcr_geometry::{BBox, Point};
+use gcr_rctree::Technology;
+use gcr_verify::{Verifier, VerifyInput};
+use proptest::prelude::*;
+
+const SIDE: f64 = 40_000.0;
+
+fn sinks_strategy(min: usize, max: usize) -> impl Strategy<Value = Vec<Sink>> {
+    prop::collection::vec((0.0..SIDE, 0.0..SIDE, 0.005..0.3f64), min..max).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y, c)| Sink::new(Point::new(x, y), c))
+            .collect()
+    })
+}
+
+/// A small activity model with one module per sink, deterministic per
+/// seed (same shape as the flat-engine property tests).
+fn tables_for(num_sinks: usize, seed: u64) -> ActivityTables {
+    let model = CpuModel::builder(num_sinks)
+        .instructions(8)
+        .seed(seed)
+        .build()
+        .unwrap();
+    let stream = model.generate_stream(600);
+    ActivityTables::scan(model.rtl(), &stream)
+}
+
+/// Runs the coarsened engine at `threads` workers over the Equation-3
+/// objective, returning the topology, the decision log, and the fully
+/// merged objective for downstream verification.
+fn coarsened_route<'a>(
+    sinks: &'a [Sink],
+    module_of: &'a [usize],
+    tables: &'a ActivityTables,
+    config: &'a RouterConfig,
+    target_region_size: usize,
+    threads: usize,
+) -> (Topology, Vec<MergeDecision>, GatedObjective<'a>) {
+    let mut objective =
+        GatedObjective::new(config.tech(), config.controller(), tables, sinks, module_of);
+    let factory =
+        gated_region_factory(config.tech(), config.controller(), tables, sinks, module_of);
+    let params = CoarsenParams {
+        greedy: GreedyParams {
+            threads: Some(threads),
+            log_decisions: true,
+        },
+        target_region_size,
+    };
+    let mut scratch = CoarsenScratch::new();
+    let (topology, _, _) =
+        run_greedy_coarsened(sinks.len(), &mut objective, factory, &params, &mut scratch).unwrap();
+    (topology, scratch.take_decisions(), objective)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The region decomposition is a partition of the sink set — every
+    /// sink in exactly one region, members ascending — and a pure
+    /// function of the locations (no thread count anywhere near it).
+    #[test]
+    fn partition_is_a_deterministic_partition(
+        sinks in sinks_strategy(2, 200),
+        target in 1usize..64,
+    ) {
+        let locations: Vec<Point> = sinks.iter().map(Sink::location).collect();
+        let regions = partition_regions(&locations, target);
+        let mut seen = vec![false; locations.len()];
+        for region in &regions {
+            prop_assert!(!region.is_empty());
+            let mut prev = None;
+            for &m in region {
+                prop_assert!(!seen[m as usize], "sink {m} appears in two regions");
+                seen[m as usize] = true;
+                prop_assert!(prev.is_none_or(|p| p < m), "members must ascend");
+                prev = Some(m);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "partition must cover every sink");
+        prop_assert_eq!(partition_regions(&locations, target), regions);
+    }
+
+    /// The coarsened parallel route is deterministic across worker
+    /// counts: topologies and canonical decision logs are bit-identical
+    /// for `threads` ∈ {1, 2, 4, 8} — the property `gcr-verify audit`
+    /// sweeps via `GCR_THREADS` on the scale benchmarks.
+    #[test]
+    fn coarsened_route_is_thread_count_invariant(
+        sinks in sinks_strategy(40, 120),
+        seed in 1u64..1_000,
+    ) {
+        let tech = Technology::default();
+        let die = BBox::new(Point::ORIGIN, Point::new(SIDE, SIDE));
+        let config = RouterConfig::new(tech, die);
+        let tables = tables_for(sinks.len(), seed);
+        let module_of: Vec<usize> = (0..sinks.len()).collect();
+        // target 16 forces multiple regions even at 40 sinks.
+        let (topology, log, _) =
+            coarsened_route(&sinks, &module_of, &tables, &config, 16, 1);
+        prop_assert_eq!(log.len(), sinks.len() - 1);
+        let baseline = canonical_decision_log(&log);
+        for threads in [2usize, 4, 8] {
+            let (topo_t, log_t, _) =
+                coarsened_route(&sinks, &module_of, &tables, &config, 16, threads);
+            prop_assert_eq!(&topo_t, &topology, "topology diverged at {} threads", threads);
+            prop_assert_eq!(
+                canonical_decision_log(&log_t),
+                baseline.clone(),
+                "decision log diverged at {} threads",
+                threads
+            );
+        }
+    }
+
+    /// A coarsened parallel route passes the full `gcr-verify` lint deck
+    /// — zero skew, gating consistency, switched-capacitance accounting,
+    /// and the determinism lints over its decision log.
+    #[test]
+    fn coarsened_route_verifies_clean(
+        sinks in sinks_strategy(40, 120),
+        seed in 1u64..1_000,
+    ) {
+        let tech = Technology::default();
+        let die = BBox::new(Point::ORIGIN, Point::new(SIDE, SIDE));
+        let config = RouterConfig::new(tech.clone(), die);
+        let tables = tables_for(sinks.len(), seed);
+        let module_of: Vec<usize> = (0..sinks.len()).collect();
+        let (topology, log, objective) =
+            coarsened_route(&sinks, &module_of, &tables, &config, 16, 4);
+        let assignment =
+            gcr_cts::DeviceAssignment::everywhere(&topology, config.tech().and_gate());
+        let tree = gcr_cts::embed_sized(
+            &topology,
+            &sinks,
+            config.tech(),
+            &assignment,
+            config.source(),
+            gcr_cts::SizingLimits::default(),
+        )
+        .unwrap();
+        let node_stats = objective.node_stats();
+        let report = Verifier::with_default_lints().run(
+            &VerifyInput::new(&tree, &tech)
+                .with_die(die)
+                .with_tables(&tables)
+                .with_node_stats(&node_stats)
+                .with_controller(config.controller())
+                .with_decision_log(&log),
+        );
+        prop_assert!(!report.has_errors(), "{}", report.render_text());
+    }
+}

@@ -88,6 +88,30 @@ fn duplicate_location_pairs_merge_identically() {
 }
 
 #[test]
+fn subnormal_extent_region_routes_identically() {
+    // A "region" whose bounding box is almost — but not exactly — a
+    // point: the sinks differ by a few ULPs around a common coordinate,
+    // so the bucket-grid extent divided by √n underflows to a subnormal
+    // (or zero) cell size. Before the cell-size clamp this saturated the
+    // grid dimension computation; now the clamp keeps the grid finite
+    // and the pruned engine must still match the exhaustive reference.
+    let tech = Technology::default();
+    for n in [2usize, 5, 12] {
+        let base = 5_000.0_f64;
+        let sinks: Vec<Sink> = (0..n)
+            .map(|i| {
+                let x = f64::from_bits(base.to_bits() + i as u64);
+                let y = f64::from_bits(base.to_bits() + (i as u64 % 3));
+                Sink::new(Point::new(x, y), 0.05)
+            })
+            .collect();
+        let objective = NearestNeighborObjective::new(&tech, &sinks, Some(tech.and_gate()));
+        let topology = pruned_equals_exhaustive(n, &objective);
+        assert_eq!(topology.num_leaves(), n);
+    }
+}
+
+#[test]
 fn all_zero_activity_ties_resolve_identically() {
     // With P(EN) = P_tr(EN) = 0 everywhere, every Equation-3 cost and
     // every lower bound is 0: the engine's answer is decided purely by
