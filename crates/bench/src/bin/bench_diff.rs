@@ -14,7 +14,14 @@
 //! * any common run's pruned `bound_evals` or `heap_pops` grew by more
 //!   than the threshold. Wall time is noisy on shared CI hardware;
 //!   these counters are deterministic, so a pruning-quality regression
-//!   is caught even when the clock happens to look fine.
+//!   is caught even when the clock happens to look fine, or
+//! * any new run's warm-ECO loop allocated (`eco_loop_allocs > 0` — a
+//!   broken zero-allocation contract, gated without needing a
+//!   baseline), or a common run's `eco_warm_ms` regressed, or its
+//!   `eco_speedup_vs_scratch` fell, by more than the threshold.
+//!
+//! The ECO columns are optional on both sides (`greedy_bench --eco`
+//! emits them); a file without them diffs exactly as before.
 //!
 //! Runs present in only one file are reported as informative skips and
 //! never fail the gate by default, so the CI smoke job can measure a
@@ -38,6 +45,10 @@ struct Run {
     bound_evals: f64,
     heap_pops: f64,
     identical_topology: bool,
+    /// NaN when the file was produced without `greedy_bench --eco`.
+    eco_warm_ms: f64,
+    eco_speedup: f64,
+    eco_loop_allocs: f64,
 }
 
 fn load_runs(path: &str) -> Result<BTreeMap<(String, String), Run>, String> {
@@ -81,6 +92,7 @@ fn load_runs(path: &str) -> Result<BTreeMap<(String, String), Run>, String> {
         let identical_topology = field("identical_topology")?
             .as_bool()
             .ok_or_else(|| format!("{path}: runs[{i}].identical_topology is not a boolean"))?;
+        let optional = |key: &str| run.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
         out.insert(
             (benchmark, objective),
             Run {
@@ -89,6 +101,9 @@ fn load_runs(path: &str) -> Result<BTreeMap<(String, String), Run>, String> {
                 bound_evals,
                 heap_pops,
                 identical_topology,
+                eco_warm_ms: optional("eco_warm_ms"),
+                eco_speedup: optional("eco_speedup_vs_scratch"),
+                eco_loop_allocs: optional("eco_loop_allocs"),
             },
         );
     }
@@ -118,6 +133,15 @@ fn diff(
             ));
             ok = false;
             continue;
+        }
+        // The warm-ECO zero-allocation contract needs no baseline: any
+        // measured run that allocated in its loop phase is a failure.
+        if new_run.eco_loop_allocs > 0.0 {
+            lines.push(format!(
+                "{benchmark:<4} {objective:<18} FAIL (warm ECO loop allocated {} times)",
+                new_run.eco_loop_allocs
+            ));
+            ok = false;
         }
         match baseline.get(&(benchmark.clone(), objective.clone())) {
             Some(base) if base.pruned_wall_ms > 0.0 => {
@@ -158,6 +182,42 @@ fn diff(
                                 "     FAIL: {name} grew {base_count} -> {new_count} ({count_delta_pct:+.1}%)"
                             ));
                         }
+                    }
+                }
+                // ECO columns, when both files carry them: warm
+                // incremental wall time must not regress, and the
+                // speedup over the from-scratch run must not collapse.
+                if base.eco_warm_ms.is_finite()
+                    && new_run.eco_warm_ms.is_finite()
+                    && base.eco_warm_ms > 0.0
+                {
+                    let eco_delta_pct =
+                        100.0 * (new_run.eco_warm_ms - base.eco_warm_ms) / base.eco_warm_ms;
+                    if eco_delta_pct > threshold_pct {
+                        ok = false;
+                        lines.push(format!(
+                            "     FAIL: eco_warm_ms regressed {:.4} -> {:.4} ({eco_delta_pct:+.1}%)",
+                            base.eco_warm_ms, new_run.eco_warm_ms
+                        ));
+                    } else {
+                        lines.push(format!(
+                            "     eco: warm {:.4} -> {:.4} ms ({eco_delta_pct:+.1}%)",
+                            base.eco_warm_ms, new_run.eco_warm_ms
+                        ));
+                    }
+                }
+                if base.eco_speedup.is_finite()
+                    && new_run.eco_speedup.is_finite()
+                    && base.eco_speedup > 0.0
+                {
+                    let drop_pct =
+                        100.0 * (base.eco_speedup - new_run.eco_speedup) / base.eco_speedup;
+                    if drop_pct > threshold_pct {
+                        ok = false;
+                        lines.push(format!(
+                            "     FAIL: eco_speedup_vs_scratch fell {:.1}x -> {:.1}x ({drop_pct:+.1}%)",
+                            base.eco_speedup, new_run.eco_speedup
+                        ));
                     }
                 }
             }
@@ -312,6 +372,18 @@ mod tests {
             bound_evals: 1_000.0,
             heap_pops: 500.0,
             identical_topology: identical,
+            eco_warm_ms: f64::NAN,
+            eco_speedup: f64::NAN,
+            eco_loop_allocs: f64::NAN,
+        }
+    }
+
+    fn eco_entry(wall_ms: f64, eco_warm_ms: f64, eco_speedup: f64) -> Run {
+        Run {
+            eco_warm_ms,
+            eco_speedup,
+            eco_loop_allocs: 0.0,
+            ..run_entry(wall_ms, true)
         }
     }
 
@@ -358,6 +430,41 @@ mod tests {
         let (ok, lines) = diff(&baseline, &fresh, 25.0, false);
         assert!(!ok);
         assert!(lines.iter().any(|l| l.contains("heap_pops grew")));
+    }
+
+    #[test]
+    fn eco_runs_within_threshold_pass_and_regressions_fail() {
+        let baseline = map(vec![("r4", "equation-3", eco_entry(10.0, 0.10, 100.0))]);
+        let fresh = map(vec![("r4", "equation-3", eco_entry(10.0, 0.11, 95.0))]);
+        let (ok, lines) = diff(&baseline, &fresh, 25.0, false);
+        assert!(ok, "{lines:?}");
+
+        let fresh = map(vec![("r4", "equation-3", eco_entry(10.0, 0.30, 33.0))]);
+        let (ok, lines) = diff(&baseline, &fresh, 25.0, false);
+        assert!(!ok);
+        assert!(lines.iter().any(|l| l.contains("eco_warm_ms regressed")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("eco_speedup_vs_scratch fell")));
+    }
+
+    #[test]
+    fn eco_loop_allocations_fail_without_a_baseline() {
+        let baseline = map(vec![]);
+        let mut new_run = eco_entry(10.0, 0.10, 100.0);
+        new_run.eco_loop_allocs = 3.0;
+        let fresh = map(vec![("r1", "equation-3", new_run)]);
+        let (ok, lines) = diff(&baseline, &fresh, 25.0, false);
+        assert!(!ok);
+        assert!(lines.iter().any(|l| l.contains("warm ECO loop allocated")));
+    }
+
+    #[test]
+    fn files_without_eco_columns_diff_as_before() {
+        let baseline = map(vec![("r1", "equation-3", run_entry(10.0, true))]);
+        let fresh = map(vec![("r1", "equation-3", eco_entry(10.0, 0.1, 80.0))]);
+        let (ok, lines) = diff(&baseline, &fresh, 25.0, false);
+        assert!(ok, "one-sided eco columns must stay informative: {lines:?}");
     }
 
     #[test]

@@ -15,7 +15,23 @@
 //! heap allocations (`loop_allocs`). A counting global allocator feeds the
 //! engine's allocation profile via [`gcr_cts::set_alloc_probe`].
 //!
-//! Usage: `greedy_bench [r1 r2 ...] [--out BENCH_greedy.json] [--trace PATH]`
+//! Usage: `greedy_bench [r1 r2 ...] [--eco] [--out BENCH_greedy.json]
+//! [--trace PATH]`
+//!
+//! With `--eco` each reference benchmark additionally measures the
+//! incremental ECO engine on the canonical small edit — a single-sink
+//! move of ~2 % of the die — against a warm from-scratch pruned run over
+//! the same edited design. Both sides exclude objective construction and
+//! embedding (the merge search is the contested phase); the ECO side is
+//! the warm loop of `examples/eco.rs`: one [`gcr_core::GatedObjective`]
+//! and one [`gcr_cts::EcoScratch`] stay alive and
+//! [`GatedObjective::truncate`] rewinds to the leaf rows between edits.
+//! The equation-3 run row gains `eco_warm_ms`, `eco_scratch_ms`,
+//! `eco_speedup_vs_scratch` and `eco_loop_allocs` fields, which
+//! `bench_diff` gates alongside the wall times. Scale benchmarks
+//! (r6–r8) skip the ECO columns: their from-scratch reference is the
+//! coarsened engine, a different algorithm than the flat pruned run the
+//! speedup is defined against.
 //!
 //! The scale benchmarks (r6–r8, up to a million sinks) are opt-in by
 //! name and measured differently: the exhaustive reference is skipped
@@ -48,11 +64,12 @@ use gcr_core::{
     DeviceRole, GatedObjective, RouterConfig,
 };
 use gcr_cts::{
-    run_greedy_coarsened, run_greedy_coarsened_traced, run_greedy_exhaustive_with_scratch,
-    run_greedy_with_scratch, run_greedy_with_scratch_traced, CoarsenParams, CoarsenScratch,
-    GreedyParams, GreedyProfile, GreedyScratch, GreedyStats, MergeObjective,
-    NearestNeighborObjective, Sink,
+    apply_eco, plan_eco_leaves, run_greedy_coarsened, run_greedy_coarsened_traced,
+    run_greedy_exhaustive_with_scratch, run_greedy_with_scratch, run_greedy_with_scratch_traced,
+    CoarsenParams, CoarsenScratch, EcoEdit, EcoScratch, GreedyParams, GreedyProfile, GreedyScratch,
+    GreedyStats, MergeObjective, NearestNeighborObjective, Sink,
 };
+use gcr_geometry::Point;
 use gcr_rctree::Technology;
 use gcr_trace::{ChromeTraceSink, EchoWarnSink, TraceSink, Tracer};
 use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
@@ -106,7 +123,37 @@ struct Comparison {
     pruned: EngineRun,
     exhaustive: Option<EngineRun>,
     identical_topology: bool,
+    eco: Option<EcoBench>,
 }
+
+/// Incremental-ECO measurements on one benchmark: the canonical
+/// single-sink move, warm incremental engine against a warm from-scratch
+/// pruned run over the same edited design.
+struct EcoBench {
+    /// Best-of-[`ECO_ITERS`] warm `apply_eco` wall time.
+    warm_ms: f64,
+    /// Best-of-[`ECO_ITERS`] warm from-scratch pruned wall time.
+    scratch_ms: f64,
+    /// Worst warm-iteration loop-phase allocation count (contract: 0).
+    loop_allocs: u64,
+    /// Clean merges replayed verbatim by the last warm run.
+    replayed: usize,
+    /// Merges the splice search re-decided in the last warm run.
+    spliced: usize,
+}
+
+impl EcoBench {
+    /// How much faster the incremental engine re-routes the edit than
+    /// the from-scratch pruned run (the PR's headline number).
+    fn speedup_vs_scratch(&self) -> f64 {
+        self.scratch_ms / self.warm_ms.max(1e-6)
+    }
+}
+
+/// Warm timing repetitions for the ECO columns; both sides take their
+/// best iteration, which filters scheduler noise out of the
+/// sub-millisecond incremental runs.
+const ECO_ITERS: usize = 5;
 
 /// Largest sink count on which the exhaustive reference engine is run.
 const EXHAUSTIVE_LIMIT: usize = 10_000;
@@ -177,6 +224,7 @@ fn compare<O: MergeObjective + Clone>(
             wall_ms: exhaustive_ms,
         }),
         identical_topology: pruned_topology == reference,
+        eco: None,
     }
 }
 
@@ -240,6 +288,115 @@ where
         },
         exhaustive: None,
         identical_topology: topology == reference,
+        eco: None,
+    }
+}
+
+/// Measures the incremental ECO engine on the canonical small edit: the
+/// middle sink moves by ~2 % of the die. Reference is a warm pruned run
+/// over the *edited* design (same leaf set as the ECO side); the ECO
+/// side keeps one objective and one [`EcoScratch`] warm across
+/// iterations, rewinding with [`GatedObjective::truncate`] — the steady
+/// state of an ECO stream, whose loop phase must not allocate.
+#[expect(
+    clippy::expect_used,
+    reason = "bench harness: aborting on an unroutable generated workload is intended"
+)]
+fn measure_eco(workload: &gcr_workloads::Workload, config: &RouterConfig) -> EcoBench {
+    let sinks = &workload.benchmark.sinks;
+    let n = sinks.len();
+    let die = workload.benchmark.die;
+    let module_of = workload.module_of();
+    let params = GreedyParams::default();
+    let mut scratch = GreedyScratch::new();
+
+    // The routed design the ECO perturbs: its merge topology is all the
+    // engine consumes (embedding is outside both measured windows).
+    let mut old_obj = GatedObjective::new(
+        config.tech(),
+        config.controller(),
+        &workload.tables,
+        sinks,
+        &module_of,
+    );
+    let (old_topology, _, _) = run_greedy_with_scratch(n, &mut old_obj, &params, &mut scratch)
+        .expect("pruned greedy failed on a generated workload");
+    let old_locations: Vec<Point> = sinks.iter().map(Sink::location).collect();
+
+    let index = n / 2;
+    let from = sinks[index].location();
+    let reach = 0.02 * (die.max().x - die.min().x).max(die.max().y - die.min().y);
+    let to = Point::new(
+        (from.x + reach).min(die.max().x),
+        (from.y + reach).min(die.max().y),
+    );
+    let edits = [EcoEdit::MoveSink { index, to }];
+    let plan = plan_eco_leaves(n, &edits).expect("canonical ECO edit is valid");
+    let new_sinks = plan.new_sinks(sinks);
+    let new_modules = plan.new_module_of(&module_of);
+
+    // From-scratch reference: the warm pruned engine over the edited
+    // design (cold run grows the scratch, best warm iteration is taken).
+    let fresh = GatedObjective::new(
+        config.tech(),
+        config.controller(),
+        &workload.tables,
+        &new_sinks,
+        &new_modules,
+    );
+    let mut cold = fresh.clone();
+    run_greedy_with_scratch(n, &mut cold, &params, &mut scratch)
+        .expect("pruned greedy failed on the edited workload");
+    let mut scratch_ms = f64::INFINITY;
+    for _ in 0..ECO_ITERS {
+        let mut warm = fresh.clone();
+        let t = Instant::now();
+        run_greedy_with_scratch(n, &mut warm, &params, &mut scratch)
+            .expect("pruned greedy failed on the edited workload");
+        scratch_ms = scratch_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Incremental engine, warm loop: one objective + one EcoScratch stay
+    // alive; truncate() rewinds the objective to its leaf rows.
+    let mut eco_obj = fresh.clone();
+    let mut eco_scratch = EcoScratch::new();
+    apply_eco(
+        &old_topology,
+        &old_locations,
+        &edits,
+        &mut eco_obj,
+        &params,
+        &mut eco_scratch,
+    )
+    .expect("incremental ECO failed on the edited workload");
+    let mut warm_ms = f64::INFINITY;
+    let mut loop_allocs = 0u64;
+    let mut replayed = 0usize;
+    let mut spliced = 0usize;
+    for _ in 0..ECO_ITERS {
+        eco_obj.truncate(n);
+        let t = Instant::now();
+        let outcome = apply_eco(
+            &old_topology,
+            &old_locations,
+            &edits,
+            &mut eco_obj,
+            &params,
+            &mut eco_scratch,
+        )
+        .expect("incremental ECO failed on the edited workload");
+        warm_ms = warm_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        loop_allocs = loop_allocs.max(outcome.profile.loop_allocs);
+        replayed = outcome.replayed;
+        spliced = outcome.spliced;
+    }
+
+    EcoBench {
+        warm_ms,
+        scratch_ms,
+        loop_allocs,
+        replayed,
+        spliced,
     }
 }
 
@@ -250,6 +407,7 @@ where
 fn run_benchmark(
     which: TsayBenchmark,
     params: &WorkloadParams,
+    eco: bool,
     tracer: &Tracer,
 ) -> Vec<Comparison> {
     let workload =
@@ -268,7 +426,7 @@ fn run_benchmark(
         sinks,
         &module_of,
     );
-    let runs = if n > EXHAUSTIVE_LIMIT {
+    let mut runs = if n > EXHAUSTIVE_LIMIT {
         let nn_factory = |members: &[u32]| {
             let sub: Vec<Sink> = members.iter().map(|&i| sinks[i as usize]).collect();
             NearestNeighborObjective::new(&tech, &sub, None)
@@ -304,6 +462,19 @@ fn run_benchmark(
             compare(which.name(), "equation-3", n, &gated, tracer),
         ]
     };
+
+    // The ECO columns ride on the equation-3 row: the incremental engine
+    // re-prices gating decisions, so that objective is the one an ECO
+    // stream actually runs under. Scale benchmarks skip them — their
+    // from-scratch reference is the coarsened engine, not the flat
+    // pruned run the speedup is defined against.
+    if eco {
+        if n > EXHAUSTIVE_LIMIT {
+            eprintln!("{which}: eco columns skipped (scale benchmark)");
+        } else if let Some(run) = runs.iter_mut().find(|c| c.objective == "equation-3") {
+            run.eco = Some(measure_eco(&workload, &config));
+        }
+    }
 
     // With tracing on, additionally record one full gated-routing flow —
     // Equation-3 merge, zero-skew embedding, Equation-3 evaluation — so
@@ -389,6 +560,20 @@ fn render_json(params: &WorkloadParams, runs: &[Comparison]) -> String {
                 c.exact_eval_ratio()
             );
         }
+        if let Some(eco) = &c.eco {
+            let _ = writeln!(
+                out,
+                "      \"eco_warm_ms\": {:.4}, \"eco_scratch_ms\": {:.4}, \
+                 \"eco_speedup_vs_scratch\": {:.2}, \"eco_loop_allocs\": {}, \
+                 \"eco_replayed\": {}, \"eco_spliced\": {},",
+                eco.warm_ms,
+                eco.scratch_ms,
+                eco.speedup_vs_scratch(),
+                eco.loop_allocs,
+                eco.replayed,
+                eco.spliced
+            );
+        }
         let _ = writeln!(
             out,
             "      \"identical_topology\": {}",
@@ -415,6 +600,7 @@ fn parse_benchmark(name: &str) -> Option<TsayBenchmark> {
 #[derive(Debug)]
 struct Cli {
     benchmarks: Vec<TsayBenchmark>,
+    eco: bool,
     out_path: String,
     trace_path: Option<String>,
 }
@@ -423,11 +609,14 @@ struct Cli {
 /// usage message to print before exiting nonzero.
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
     let mut benchmarks: Vec<TsayBenchmark> = Vec::new();
+    let mut eco = false;
     let mut out_path = String::from("BENCH_greedy.json");
     let mut trace_path = None;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
-        if arg == "--out" {
+        if arg == "--eco" {
+            eco = true;
+        } else if arg == "--out" {
             match args.next() {
                 Some(p) => out_path = p,
                 None => return Err("--out requires a path".to_owned()),
@@ -441,7 +630,8 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
             benchmarks.push(b);
         } else {
             return Err(format!(
-                "unknown argument `{arg}`; usage: greedy_bench [r1..r8] [--out PATH] [--trace PATH]"
+                "unknown argument `{arg}`; usage: greedy_bench [r1..r8] [--eco] \
+                 [--out PATH] [--trace PATH]"
             ));
         }
     }
@@ -450,6 +640,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
     }
     Ok(Cli {
         benchmarks,
+        eco,
         out_path,
         trace_path,
     })
@@ -492,7 +683,7 @@ fn main() -> ExitCode {
     let mut runs = Vec::new();
     for which in cli.benchmarks {
         eprintln!("{which}: routing {} sinks...", which.num_sinks());
-        runs.extend(run_benchmark(which, &params, &tracer));
+        runs.extend(run_benchmark(which, &params, cli.eco, &tracer));
     }
 
     let mut all_identical = true;
@@ -520,6 +711,24 @@ fn main() -> ExitCode {
             c.identical_topology,
         );
         all_identical &= c.identical_topology;
+        if let Some(eco) = &c.eco {
+            println!(
+                "    eco: warm {:.4} ms vs scratch {:.3} ms -> {:.1}x, loop allocs {}, replayed {} + spliced {}",
+                eco.warm_ms,
+                eco.scratch_ms,
+                eco.speedup_vs_scratch(),
+                eco.loop_allocs,
+                eco.replayed,
+                eco.spliced,
+            );
+            if eco.loop_allocs > 0 {
+                eprintln!(
+                    "FAIL: {} warm ECO loop allocated {} times",
+                    c.benchmark, eco.loop_allocs
+                );
+                all_identical = false;
+            }
+        }
     }
 
     let json = render_json(&params, &runs);
@@ -553,6 +762,14 @@ mod tests {
         assert_eq!(cli.benchmarks.len(), TsayBenchmark::ALL.len());
         assert_eq!(cli.out_path, "BENCH_greedy.json");
         assert!(cli.trace_path.is_none());
+        assert!(!cli.eco);
+    }
+
+    #[test]
+    fn parse_args_accepts_eco() {
+        let cli = parse_args(["r4", "--eco"].map(String::from)).unwrap();
+        assert!(cli.eco);
+        assert_eq!(cli.benchmarks, vec![TsayBenchmark::R4]);
     }
 
     #[test]

@@ -66,6 +66,7 @@
 mod controller;
 mod corners;
 mod cost;
+mod eco;
 mod error;
 mod evaluate;
 mod optimal;
@@ -77,6 +78,7 @@ mod tellez;
 pub use controller::ControllerPlan;
 pub use corners::{corner_analysis, CornerResult};
 pub use cost::merge_switched_cap;
+pub use eco::{route_gated_eco, route_gated_eco_traced, GatedEcoResult};
 pub use error::RouteError;
 pub use evaluate::{
     evaluate, evaluate_breakdown, evaluate_buffered, evaluate_traced, evaluate_with_mask,

@@ -259,6 +259,26 @@ impl<'a> GatedObjective<'a> {
         );
     }
 
+    /// Rewinds the objective to its first `len` nodes, keeping every
+    /// column's spare capacity. This is the warm-loop primitive of the
+    /// incremental ECO engine: the leaf rows (and the cached
+    /// `min_leaf_*` pruning floors, which depend only on leaves) stay
+    /// priced while internal rows from a superseded search are dropped,
+    /// so the next [`gcr_cts::apply_eco`] pass appends into the same
+    /// storage without reallocating.
+    ///
+    /// Truncating at or above the current node count is a no-op.
+    pub fn truncate(&mut self, len: usize) {
+        self.arena.truncate(len);
+        self.signal.truncate(len);
+        self.transition.truncate(len);
+        self.static_term.truncate(len);
+        self.node_cap.truncate(len);
+        self.cp_dist.truncate(len);
+        self.active.truncate(len * self.instr);
+        self.modules.truncate(len * self.module_words);
+    }
+
     /// Signal/transition probability of `EN_i` for every node, in node
     /// order (leaves first, then merges as committed).
     #[must_use]

@@ -286,6 +286,28 @@ impl MergeArena {
         }
     }
 
+    /// Truncates the arena to its first `len` nodes, keeping every
+    /// column's spare capacity. This is the rewind primitive of the
+    /// incremental ECO engine: leaf rows survive across re-routes while
+    /// internal rows from a superseded search are dropped and their
+    /// storage reused, so a warm ECO loop appends without reallocating.
+    ///
+    /// Truncating to a length at or above [`MergeArena::len`] is a no-op.
+    pub fn truncate(&mut self, len: usize) {
+        self.ms.truncate(len);
+        self.delay.truncate(len);
+        self.cap.truncate(len);
+        self.t0.truncate(len);
+        self.alpha.truncate(len);
+        self.pc0.truncate(len);
+        self.pc1.truncate(len);
+        self.device.truncate(len);
+        self.u_lo.truncate(len);
+        self.u_hi.truncate(len);
+        self.v_lo.truncate(len);
+        self.v_hi.truncate(len);
+    }
+
     /// The zero-skew merge of nodes `a` and `b` from the cached
     /// coefficients — bit-identical to
     /// [`zero_skew_merge`](crate::zero_skew_merge) on the reconstructed
@@ -457,6 +479,30 @@ mod tests {
             }
         );
         assert!(MergeArena::try_new(&tech, 8).is_ok());
+    }
+
+    /// Rewinding to the leaf count and re-merging must reproduce the
+    /// dropped internal rows bitwise, without growing any column's
+    /// capacity (the warm-ECO reuse contract).
+    #[test]
+    fn truncate_rewinds_to_leaves_and_remerge_is_bitwise_stable() {
+        let tech = Technology::default();
+        let sinks = sinks();
+        let mut arena = MergeArena::new(&tech, 2 * sinks.len() - 1);
+        for s in &sinks {
+            arena.push_leaf(s, Some(tech.and_gate()));
+        }
+        let first = arena.merge_push(0, 1, None).unwrap();
+        let second = arena.merge_push(2, 3, None).unwrap();
+        let cap_before = arena.ms.capacity();
+        arena.truncate(sinks.len());
+        assert_eq!(arena.len(), sinks.len());
+        assert_eq!(arena.merge_push(0, 1, None).unwrap(), first);
+        assert_eq!(arena.merge_push(2, 3, None).unwrap(), second);
+        assert_eq!(arena.ms.capacity(), cap_before, "capacity must survive");
+        // Truncating past the end is a no-op.
+        arena.truncate(100);
+        assert_eq!(arena.len(), sinks.len() + 2);
     }
 
     #[test]

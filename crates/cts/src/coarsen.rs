@@ -90,6 +90,8 @@ impl CoarsenParams {
 pub struct CoarsenScratch {
     /// Per-worker scratches for the parallel region runs.
     region: Vec<GreedyScratch>,
+    /// Per-worker persistent result slabs (see [`WorkerLog`]).
+    worker_logs: Vec<WorkerLog>,
     /// Scratch of the root-level merge (and of the flat fallback path).
     top: GreedyScratch,
     /// Local→global node map of the region currently being replayed.
@@ -181,12 +183,37 @@ pub fn partition_regions(locations: &[Point], target: usize) -> Vec<Vec<u32>> {
     cells
 }
 
-/// Per-region result shipped from a worker back to the orchestrator.
-#[derive(Default)]
-struct RegionOut {
+/// One worker's persistent result slab: every region it solved, as rows
+/// into a single flat decision vector, plus its pre-aggregated counters.
+///
+/// Living in [`CoarsenScratch`] rather than per-region heap boxes, the
+/// slab rows are appended in place and keep their capacity across runs —
+/// workers stop contending on the shared allocator for per-region
+/// decision copies, and the warm coarsened loop sheds one allocation per
+/// region per run. Worker `w` visits regions `w, w + W, …` in ascending
+/// order, so the orchestrator replays regions in global order by walking
+/// one cursor per worker.
+#[derive(Debug, Default)]
+struct WorkerLog {
+    /// Region decision logs, concatenated in this worker's visit order.
     decisions: Vec<MergeDecision>,
+    /// `(region, start, len)` row per visited region (len 0 for
+    /// single-sink regions, which need no merges).
+    rows: Vec<(u32, u32, u32)>,
+    /// Search counters summed over this worker's regions.
     stats: GreedyStats,
+    /// Engine profile summed over this worker's regions.
     profile: GreedyProfile,
+}
+
+impl WorkerLog {
+    /// Rewinds the slab for a new run, keeping row capacity.
+    fn reset(&mut self) {
+        self.decisions.clear();
+        self.rows.clear();
+        self.stats = GreedyStats::default();
+        self.profile = GreedyProfile::default();
+    }
 }
 
 /// Root-level view of the global objective: local node `i` is
@@ -373,27 +400,29 @@ where
     if scratch.region.len() < workers {
         scratch.region.resize_with(workers, GreedyScratch::new);
     }
+    if scratch.worker_logs.len() < workers {
+        scratch.worker_logs.resize_with(workers, WorkerLog::default);
+    }
     let region_params = GreedyParams {
         threads: Some(1),
         log_decisions: true,
     };
     let region_objective = &region_objective;
     let regions_ref = &regions;
-    let mut results: Vec<Option<RegionOut>> = Vec::with_capacity(regions.len());
-    results.resize_with(regions.len(), || None);
-    let worker_outs: Vec<Result<Vec<(usize, RegionOut)>, CtsError>> = std::thread::scope(|scope| {
+    let worker_outs: Vec<Result<(), CtsError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = scratch
             .region
             .iter_mut()
+            .zip(scratch.worker_logs.iter_mut())
             .take(workers)
             .enumerate()
-            .map(|(w, region_scratch)| {
+            .map(|(w, (region_scratch, log))| {
                 scope.spawn(move || {
-                    let mut out = Vec::new();
+                    log.reset();
                     for r in (w..regions_ref.len()).step_by(workers) {
                         let members = &regions_ref[r];
                         if members.len() == 1 {
-                            out.push((r, RegionOut::default()));
+                            log.rows.push((r as u32, log.decisions.len() as u32, 0));
                             continue;
                         }
                         let mut local = region_objective(members);
@@ -404,16 +433,14 @@ where
                             region_scratch,
                             &Tracer::disabled(),
                         )?;
-                        out.push((
-                            r,
-                            RegionOut {
-                                decisions: region_scratch.decisions().to_vec(),
-                                stats,
-                                profile,
-                            },
-                        ));
+                        let start = log.decisions.len() as u32;
+                        log.decisions.extend_from_slice(region_scratch.decisions());
+                        log.rows
+                            .push((r as u32, start, log.decisions.len() as u32 - start));
+                        add_stats(&mut log.stats, &stats);
+                        add_profile(&mut log.profile, &profile);
                     }
-                    Ok(out)
+                    Ok(())
                 })
             })
             .collect();
@@ -422,14 +449,14 @@ where
             .map(|h| h.join().expect("region worker panicked"))
             .collect()
     });
+    for worker_out in worker_outs {
+        worker_out?;
+    }
     let mut stats = GreedyStats::default();
     let mut profile = GreedyProfile::default();
-    for worker_out in worker_outs {
-        for (r, region) in worker_out? {
-            add_stats(&mut stats, &region.stats);
-            add_profile(&mut profile, &region.profile);
-            results[r] = Some(region);
-        }
+    for log in scratch.worker_logs.iter().take(workers) {
+        add_stats(&mut stats, &log.stats);
+        add_profile(&mut profile, &log.profile);
     }
     tracer.complete_span("coarsen.regions", regions_start, elapsed_ns(t0.elapsed()));
 
@@ -443,15 +470,23 @@ where
     // pushes one map entry per merge, and a mid-loop reallocation would
     // show up in the engine's `loop_allocs` profile.
     let mut roots: Vec<u32> = Vec::with_capacity(2 * regions.len() - 1);
-    for (members, region) in regions.iter().zip(&results) {
-        let region = region.as_ref().expect("region result missing");
+    // Regions replay in global order by walking each worker's slab rows
+    // with a cursor — worker `r % workers` solved region `r`, and its
+    // rows are in ascending region order.
+    let mut cursor = vec![0usize; workers];
+    for (r, members) in regions.iter().enumerate() {
+        let log = &scratch.worker_logs[r % workers];
+        let (row_region, start, len) = log.rows[cursor[r % workers]];
+        cursor[r % workers] += 1;
+        debug_assert_eq!(row_region as usize, r, "slab rows must follow visit order");
         if members.len() == 1 {
+            debug_assert_eq!(len, 0);
             roots.push(members[0]);
             continue;
         }
         scratch.map.clear();
         scratch.map.extend_from_slice(members);
-        for d in &region.decisions {
+        for d in &log.decisions[start as usize..(start + len) as usize] {
             let (ga, gb) = (
                 scratch.map[d.a as usize] as usize,
                 scratch.map[d.b as usize] as usize,

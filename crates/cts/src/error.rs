@@ -25,6 +25,14 @@ pub enum CtsError {
         /// Human-readable description of the failing merge.
         detail: String,
     },
+    /// An engineering-change-order edit batch was inconsistent with the
+    /// routing it targets: an out-of-range sink index, two geometric
+    /// edits addressing the same sink, or a batch that removes every
+    /// sink.
+    InvalidEco {
+        /// Human-readable reason.
+        reason: String,
+    },
     /// A design is too large for the engine's u32/packed node indexing:
     /// the full node count `2·n − 1` would overflow the 31-bit index
     /// budget of the packed heap entries (and the u32 arena/tree
@@ -50,6 +58,7 @@ impl fmt::Display for CtsError {
             CtsError::MergeRegionDisjoint { detail } => {
                 write!(f, "zero-skew merge regions are disjoint: {detail}")
             }
+            CtsError::InvalidEco { reason } => write!(f, "invalid ECO edit batch: {reason}"),
             CtsError::CapacityExceeded { nodes, limit } => write!(
                 f,
                 "design needs {nodes} tree nodes but the node index representation \
@@ -82,6 +91,15 @@ mod tests {
         };
         assert!(e.to_string().contains("disjoint"));
         assert!(e.to_string().contains("d=NaN"));
+    }
+
+    #[test]
+    fn invalid_eco_displays_reason() {
+        let e = CtsError::InvalidEco {
+            reason: "sink 9 edited twice".to_string(),
+        };
+        assert!(e.to_string().contains("ECO"));
+        assert!(e.to_string().contains("sink 9 edited twice"));
     }
 
     #[test]

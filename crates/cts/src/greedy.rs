@@ -233,7 +233,7 @@ pub fn set_alloc_probe(probe: fn() -> u64) {
 }
 
 /// Current allocation count, or 0 when no probe is installed.
-fn alloc_count() -> u64 {
+pub(crate) fn alloc_count() -> u64 {
     ALLOC_PROBE.get().map_or(0, |probe| probe())
 }
 

@@ -58,6 +58,7 @@ mod arena;
 mod bst;
 mod coarsen;
 mod design_io;
+mod eco;
 mod embed;
 mod error;
 mod greedy;
@@ -76,6 +77,10 @@ pub use coarsen::{
     CoarsenScratch, DEFAULT_REGION_SIZE,
 };
 pub use design_io::{load_design, save_design, LoadedDesign};
+pub use eco::{
+    apply_eco, apply_eco_traced, plan_eco_leaves, EcoEdit, EcoLeafPlan, EcoOutcome, EcoProfile,
+    EcoScratch,
+};
 pub use embed::{embed, embed_sized, embed_sized_traced, embed_traced, DeviceAssignment};
 pub use error::CtsError;
 pub use greedy::{

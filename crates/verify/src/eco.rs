@@ -1,0 +1,209 @@
+//! From-scratch oracle for incremental ECO re-routes.
+//!
+//! [`check_eco`] is the trust anchor of the `gcr_cts::eco` engine: after
+//! every incremental re-route it (1) runs the scoped verifier over the
+//! dirty-node set the engine reports, and (2) rebuilds the result from
+//! scratch with the non-incremental code paths and compares:
+//!
+//! * **Same-topology rebuild** ([`gated_routing_for_topology_mapped`]) —
+//!   must match the incremental result **bit for bit** in every case:
+//!   the embedded tree is a pure function of (topology, sinks,
+//!   assignment), and the incremental enable statistics aggregate the
+//!   same activation vectors the oracle derives from module-set unions.
+//!   For *pure replay* batches (no geometric edit) the old topology
+//!   itself must survive unchanged, so this check alone pins the entire
+//!   result.
+//! * **From-scratch re-route** ([`route_gated_mapped`]) — for splice
+//!   cases the incremental topology may legitimately differ (the
+//!   frontier heuristic re-searches only locally), but the Equation-3
+//!   switched capacitance must stay within a documented ε of the
+//!   from-scratch optimum-effort run. The default bound is
+//!   [`DEFAULT_QUALITY_EPS`]; see `docs/algorithms.md` §Incremental ECO
+//!   for the contract.
+
+use gcr_core::{
+    evaluate, gated_routing_for_topology_mapped, route_gated_mapped, DeviceRole, GatedEcoResult,
+    GatedRouting, RouteError, RouterConfig,
+};
+
+use gcr_activity::ActivityTables;
+
+use crate::{Scope, Verifier, VerifyInput, VerifyReport};
+
+/// Default relative slack allowed between the incremental and the
+/// from-scratch switched capacitance on splice cases: the frontier
+/// re-search is local, so it can miss cross-frontier pairings a global
+/// re-route would take; measured slack on the Tsay benchmarks stays in
+/// the low percents, and 10 % is the contract ceiling.
+pub const DEFAULT_QUALITY_EPS: f64 = 0.10;
+
+/// What [`check_eco`] found. `failures` is empty iff every oracle check
+/// passed; the scoped verifier report is included in full.
+#[derive(Debug)]
+pub struct EcoOracleReport {
+    /// Whether the batch was a pure replay (bit-identity contract) or a
+    /// splice (ε contract).
+    pub pure_replay: bool,
+    /// The scoped verifier run over the engine's dirty-node set.
+    pub scoped: VerifyReport,
+    /// `W` of the incremental routing (Equation 3 total).
+    pub incremental_cap: f64,
+    /// `W` of the from-scratch re-route over the same edited design.
+    pub scratch_cap: f64,
+    /// `incremental_cap / scratch_cap` — the splice quality ratio.
+    pub quality_ratio: f64,
+    /// Human-readable descriptions of every failed check.
+    pub failures: Vec<String>,
+}
+
+impl EcoOracleReport {
+    /// Whether the incremental result is verified: the scoped run is
+    /// clean and every oracle comparison held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty() && !self.scoped.has_errors()
+    }
+}
+
+/// Verifies an incremental re-route against the non-incremental code
+/// paths (see the module docs for the two-sided contract).
+/// `quality_eps` bounds the splice-case switched-capacitance slack; pass
+/// [`DEFAULT_QUALITY_EPS`] unless the caller documents a different
+/// contract.
+///
+/// # Errors
+///
+/// Returns the underlying [`RouteError`] when an oracle rebuild itself
+/// fails — that is an environment problem, not an ECO mismatch.
+///
+/// # Panics
+///
+/// Panics if `quality_eps` is negative or non-finite.
+pub fn check_eco(
+    old: &GatedRouting,
+    result: &GatedEcoResult,
+    tables: &ActivityTables,
+    config: &RouterConfig,
+    quality_eps: f64,
+) -> Result<EcoOracleReport, RouteError> {
+    assert!(
+        quality_eps.is_finite() && quality_eps >= 0.0,
+        "quality_eps must be a finite non-negative fraction"
+    );
+    let mut failures = Vec::new();
+    let pure_replay = result.outcome.pure_replay;
+
+    // 1. Scoped verification over the engine's dirty-node set.
+    let scope = Scope::nodes(result.outcome.dirty_nodes.iter().map(|&i| i as usize));
+    let input = VerifyInput::new(&result.routing.tree, config.tech())
+        .with_scope(scope)
+        .with_die(config.die())
+        .with_tables(tables)
+        .with_node_stats(&result.routing.node_stats)
+        .with_controller(config.controller());
+    let scoped = Verifier::with_default_lints().run(&input);
+    if scoped.has_errors() {
+        failures.push(format!(
+            "scoped verifier reported errors over the dirty set:\n{}",
+            scoped.render_text()
+        ));
+    }
+
+    // 2. Same-topology rebuild: bit-identity in every case.
+    if pure_replay && result.routing.topology != old.topology {
+        failures.push("pure replay changed the topology".to_string());
+    }
+    let same_topo = gated_routing_for_topology_mapped(
+        result.routing.topology.clone(),
+        &result.sinks,
+        &result.module_of,
+        tables,
+        config,
+    )?;
+    if same_topo.tree != result.routing.tree {
+        failures.push("incremental tree differs from the same-topology rebuild".to_string());
+    }
+    if same_topo.node_modules != result.routing.node_modules {
+        failures.push("incremental module sets differ from the same-topology rebuild".to_string());
+    }
+    for (i, (inc, orc)) in result
+        .routing
+        .node_stats
+        .iter()
+        .zip(&same_topo.node_stats)
+        .enumerate()
+    {
+        if inc.signal.to_bits() != orc.signal.to_bits()
+            || inc.transition.to_bits() != orc.transition.to_bits()
+        {
+            failures.push(format!(
+                "node {i} enable stats differ from the same-topology rebuild: \
+                 P(EN) {} vs {}, P_tr(EN) {} vs {}",
+                inc.signal, orc.signal, inc.transition, orc.transition
+            ));
+            break;
+        }
+    }
+
+    // 3. Objective value. A pure replay keeps the topology by contract,
+    //    so its from-scratch reference is the same-topology rebuild and
+    //    the match must be bitwise (a re-route under swapped tables may
+    //    legitimately choose a different topology — that freedom is
+    //    exactly what the replay forgoes). A splice is compared against
+    //    the full from-scratch re-route under the ε bound.
+    let incremental_cap = evaluate(
+        &result.routing.tree,
+        &result.routing.node_stats,
+        config.controller(),
+        config.tech(),
+        DeviceRole::Gate,
+    )
+    .total_switched_cap;
+    let scratch_cap = if pure_replay {
+        evaluate(
+            &same_topo.tree,
+            &same_topo.node_stats,
+            config.controller(),
+            config.tech(),
+            DeviceRole::Gate,
+        )
+        .total_switched_cap
+    } else {
+        let scratch = route_gated_mapped(&result.sinks, &result.module_of, tables, config)?;
+        evaluate(
+            &scratch.tree,
+            &scratch.node_stats,
+            config.controller(),
+            config.tech(),
+            DeviceRole::Gate,
+        )
+        .total_switched_cap
+    };
+    let quality_ratio = if scratch_cap > 0.0 {
+        incremental_cap / scratch_cap
+    } else {
+        1.0
+    };
+    if pure_replay {
+        if incremental_cap.to_bits() != scratch_cap.to_bits() {
+            failures.push(format!(
+                "pure replay switched capacitance {incremental_cap} differs from the \
+                 from-scratch rebuild's value {scratch_cap}"
+            ));
+        }
+    } else if quality_ratio > 1.0 + quality_eps {
+        failures.push(format!(
+            "splice switched capacitance {incremental_cap} exceeds the from-scratch \
+             value {scratch_cap} by more than ε = {quality_eps} (ratio {quality_ratio:.4})"
+        ));
+    }
+
+    Ok(EcoOracleReport {
+        pure_replay,
+        scoped,
+        incremental_cap,
+        scratch_cap,
+        quality_ratio,
+        failures,
+    })
+}

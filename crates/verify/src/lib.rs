@@ -85,6 +85,7 @@
 #![warn(missing_docs)]
 
 mod diag;
+mod eco;
 mod input;
 mod lint;
 pub mod passes;
@@ -92,6 +93,7 @@ mod scope;
 mod shadow;
 
 pub use diag::{Diagnostic, Location, Severity, SkippedPass, VerifyReport};
+pub use eco::{check_eco, EcoOracleReport, DEFAULT_QUALITY_EPS};
 pub use gcr_cts::MergeDecision;
 pub use input::VerifyInput;
 pub use lint::{Lint, Verifier};

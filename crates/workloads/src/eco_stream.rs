@@ -1,0 +1,290 @@
+//! Deterministic ECO edit-stream synthesis.
+//!
+//! Production flows re-route after long streams of small engineering
+//! change orders; this module generates such streams against a benchmark
+//! design so the incremental engine (`gcr_cts::eco`) can be exercised,
+//! verified and benchmarked on reproducible inputs. Every batch in a
+//! stream is **valid by construction** against the design state left by
+//! the batches before it (indices in range, no sink edited twice in one
+//! batch, never removing the last sink), and the whole stream is a pure
+//! function of the seed and parameters.
+
+use gcr_cts::{plan_eco_leaves, EcoEdit, Sink};
+use gcr_geometry::{BBox, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a synthetic ECO stream: how many batches, how many edits per
+/// batch, and the relative frequency of each edit kind. The defaults
+/// model a placement-refinement session — mostly small moves, occasional
+/// adds/removes, and activity-table swaps at twice the structural-churn
+/// rate (activity changes far more often than geometry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EcoStreamParams {
+    /// Number of edit batches in the stream.
+    pub batches: usize,
+    /// Edits per batch.
+    pub batch_size: usize,
+    /// Relative weight of `MoveSink` edits.
+    pub move_weight: u32,
+    /// Relative weight of `AddSink` edits.
+    pub add_weight: u32,
+    /// Relative weight of `RemoveSink` edits.
+    pub remove_weight: u32,
+    /// Relative weight of `SwapActivity` edits.
+    pub swap_weight: u32,
+    /// Seed of the stream (independent of the workload seed).
+    pub seed: u64,
+}
+
+impl Default for EcoStreamParams {
+    fn default() -> Self {
+        Self {
+            batches: 16,
+            batch_size: 1,
+            move_weight: 6,
+            add_weight: 1,
+            remove_weight: 1,
+            swap_weight: 4,
+            seed: 1998,
+        }
+    }
+}
+
+impl EcoStreamParams {
+    /// The benchmark headline scenario: a stream of single-sink moves
+    /// (the canonical small ECO), no structural or activity churn.
+    #[must_use]
+    pub fn single_sink_moves(batches: usize, seed: u64) -> Self {
+        Self {
+            batches,
+            batch_size: 1,
+            move_weight: 1,
+            add_weight: 0,
+            remove_weight: 0,
+            swap_weight: 0,
+            seed,
+        }
+    }
+
+    /// The same parameters with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The same parameters with a different batch shape.
+    #[must_use]
+    pub fn with_batches(mut self, batches: usize, batch_size: usize) -> Self {
+        self.batches = batches;
+        self.batch_size = batch_size;
+        self
+    }
+}
+
+/// Generates a deterministic ECO edit stream against a design of
+/// `sinks` gated by `num_modules` activity-model modules on `die`.
+/// Batch `k` is valid against the design state after batches `0..k`
+/// (apply them in order with [`gcr_cts::plan_eco_leaves`] or
+/// `gcr_core::route_gated_eco`); moved and added sinks stay inside the
+/// die, move distances are a few percent of the die extent (a local
+/// refinement, not a re-floorplan), and added sinks draw loads from the
+/// benchmark range 0.02–0.08 pF.
+///
+/// # Panics
+///
+/// Panics when `sinks` is empty, `num_modules` is zero, or every edit
+/// weight is zero.
+#[must_use]
+#[expect(
+    clippy::expect_used,
+    reason = "batches are valid against the evolving state by construction"
+)]
+pub fn generate_eco_stream(
+    sinks: &[Sink],
+    die: BBox,
+    num_modules: usize,
+    params: &EcoStreamParams,
+) -> Vec<Vec<EcoEdit>> {
+    assert!(!sinks.is_empty(), "edit stream needs a non-empty design");
+    assert!(num_modules > 0, "edit stream needs at least one module");
+    let total_weight =
+        params.move_weight + params.add_weight + params.remove_weight + params.swap_weight;
+    assert!(
+        total_weight > 0,
+        "at least one edit weight must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed ^ (sinks.len() as u64));
+    let extent = (die.max().x - die.min().x).max(die.max().y - die.min().y);
+    let reach = extent * 0.05;
+    let mut current: Vec<Sink> = sinks.to_vec();
+    let mut stream = Vec::with_capacity(params.batches);
+    // Scratch: which current sinks this batch already edits.
+    let mut used = Vec::new();
+    for _ in 0..params.batches {
+        let mut batch = Vec::with_capacity(params.batch_size);
+        used.clear();
+        used.resize(current.len(), false);
+        let mut removes = 0usize;
+        for _ in 0..params.batch_size {
+            let mut kind = rng.gen_range(0..total_weight);
+            // Structural edits need an unedited victim; when the batch
+            // has consumed every sink, degrade to an activity swap.
+            let free = used.iter().filter(|&&u| !u).count();
+            if free == 0 {
+                kind = u32::MAX;
+            }
+            let pick_free = |rng: &mut StdRng, used: &mut [bool]| -> usize {
+                let mut i = rng.gen_range(0..used.len());
+                while used[i] {
+                    i = (i + 1) % used.len();
+                }
+                used[i] = true;
+                i
+            };
+            if kind < params.move_weight {
+                let index = pick_free(&mut rng, &mut used);
+                let from = current[index].location();
+                let clamp = |v: f64, lo: f64, hi: f64| v.max(lo).min(hi);
+                let to = Point::new(
+                    clamp(
+                        from.x + rng.gen_range(-reach..reach),
+                        die.min().x,
+                        die.max().x,
+                    ),
+                    clamp(
+                        from.y + rng.gen_range(-reach..reach),
+                        die.min().y,
+                        die.max().y,
+                    ),
+                );
+                batch.push(EcoEdit::MoveSink { index, to });
+            } else if kind < params.move_weight + params.add_weight {
+                let sink = Sink::new(
+                    Point::new(
+                        rng.gen_range(die.min().x..die.max().x),
+                        rng.gen_range(die.min().y..die.max().y),
+                    ),
+                    rng.gen_range(0.02..0.08),
+                );
+                let module = rng.gen_range(0..num_modules);
+                batch.push(EcoEdit::AddSink { sink, module });
+            } else if kind < params.move_weight + params.add_weight + params.remove_weight
+                && current.len() - removes > 1
+            {
+                let index = pick_free(&mut rng, &mut used);
+                removes += 1;
+                batch.push(EcoEdit::RemoveSink { index });
+            } else {
+                let module = rng.gen_range(0..num_modules);
+                batch.push(EcoEdit::SwapActivity { module });
+            }
+        }
+        let plan = plan_eco_leaves(current.len(), &batch)
+            .expect("generated batch must be valid against the evolving design");
+        current = plan.new_sinks(&current);
+        stream.push(batch);
+    }
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, TsayBenchmark};
+
+    fn design() -> Benchmark {
+        Benchmark::tsay(TsayBenchmark::R1, 1998)
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let b = design();
+        let params = EcoStreamParams::default().with_batches(12, 3);
+        let s1 = generate_eco_stream(&b.sinks, b.die, b.sinks.len(), &params);
+        let s2 = generate_eco_stream(&b.sinks, b.die, b.sinks.len(), &params);
+        assert_eq!(s1, s2);
+        let s3 = generate_eco_stream(&b.sinks, b.die, b.sinks.len(), &params.with_seed(7));
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn every_batch_applies_cleanly_in_order() {
+        let b = design();
+        let params = EcoStreamParams {
+            batches: 30,
+            batch_size: 4,
+            ..EcoStreamParams::default()
+        };
+        let stream = generate_eco_stream(&b.sinks, b.die, b.sinks.len(), &params);
+        assert_eq!(stream.len(), 30);
+        let mut sinks = b.sinks.clone();
+        for batch in &stream {
+            assert_eq!(batch.len(), 4);
+            let plan = plan_eco_leaves(sinks.len(), batch).expect("valid batch");
+            sinks = plan.new_sinks(&sinks);
+            assert!(!sinks.is_empty());
+            for s in &sinks {
+                assert!(b.die.contains(s.location()));
+            }
+        }
+    }
+
+    #[test]
+    fn single_sink_move_preset_emits_only_moves() {
+        let b = design();
+        let params = EcoStreamParams::single_sink_moves(8, 42);
+        let stream = generate_eco_stream(&b.sinks, b.die, b.sinks.len(), &params);
+        assert_eq!(stream.len(), 8);
+        for batch in &stream {
+            assert_eq!(batch.len(), 1);
+            assert!(matches!(batch[0], EcoEdit::MoveSink { .. }));
+        }
+    }
+
+    #[test]
+    fn mixed_stream_exercises_every_edit_kind() {
+        let b = design();
+        let params = EcoStreamParams {
+            batches: 60,
+            batch_size: 2,
+            move_weight: 1,
+            add_weight: 1,
+            remove_weight: 1,
+            swap_weight: 1,
+            seed: 5,
+        };
+        let stream = generate_eco_stream(&b.sinks, b.die, b.sinks.len(), &params);
+        let all: Vec<&EcoEdit> = stream.iter().flatten().collect();
+        assert!(all.iter().any(|e| matches!(e, EcoEdit::MoveSink { .. })));
+        assert!(all.iter().any(|e| matches!(e, EcoEdit::AddSink { .. })));
+        assert!(all.iter().any(|e| matches!(e, EcoEdit::RemoveSink { .. })));
+        assert!(all
+            .iter()
+            .any(|e| matches!(e, EcoEdit::SwapActivity { .. })));
+    }
+
+    #[test]
+    fn tiny_designs_never_remove_the_last_sink() {
+        let tiny = [Sink::new(Point::new(10.0, 10.0), 0.05)];
+        let die = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let params = EcoStreamParams {
+            batches: 10,
+            batch_size: 2,
+            move_weight: 0,
+            add_weight: 0,
+            remove_weight: 1,
+            swap_weight: 1,
+            seed: 3,
+        };
+        let stream = generate_eco_stream(&tiny, die, 4, &params);
+        // With one sink, removals degrade to swaps; the stream stays valid.
+        let mut n = 1usize;
+        for batch in &stream {
+            let plan = plan_eco_leaves(n, batch).expect("valid batch");
+            n = plan.num_new_leaves;
+            assert!(n >= 1);
+        }
+    }
+}

@@ -27,8 +27,10 @@
 #![warn(missing_docs)]
 
 mod benchmark;
+mod eco_stream;
 pub mod io;
 mod workload;
 
 pub use benchmark::{Benchmark, TsayBenchmark};
+pub use eco_stream::{generate_eco_stream, EcoStreamParams};
 pub use workload::{Workload, WorkloadParams, CLAMPED_MODULES, MODULE_IDENTITY_LIMIT};

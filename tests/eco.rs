@@ -1,0 +1,181 @@
+//! Property tests for the incremental ECO engine: on the reference
+//! benchmarks (r1–r3) and random edit streams, every incremental
+//! re-route must pass the from-scratch oracle (`gcr_verify::check_eco`)
+//! — scoped verification over the dirty-node set, bit-identity with the
+//! same-topology rebuild, the ε quality contract against a full
+//! re-route — **and** verify clean under an unrestricted Full-scope run
+//! of the whole lint deck. Activity-only streams must be pure replays
+//! that keep the topology bit-identical. See `docs/algorithms.md`
+//! §Incremental ECO for the contract these tests pin down.
+// Test code: unwrap/expect on infallible setup is idiomatic here, in
+// helpers as well as in #[test] functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+// The offline proptest stub expands `proptest!` by token munching; two
+// stream-driving properties in one block run past the default limit.
+#![recursion_limit = "256"]
+
+use gcr_core::{route_gated_eco, route_gated_mapped, GatedRouting, RouterConfig};
+use gcr_cts::{EcoScratch, Sink};
+use gcr_rctree::Technology;
+use gcr_verify::{check_eco, Verifier, VerifyInput, DEFAULT_QUALITY_EPS};
+use gcr_workloads::{
+    generate_eco_stream, EcoStreamParams, TsayBenchmark, Workload, WorkloadParams,
+};
+use proptest::prelude::*;
+
+const BENCHES: [TsayBenchmark; 3] = [TsayBenchmark::R1, TsayBenchmark::R2, TsayBenchmark::R3];
+
+/// Routes `which` from scratch and returns the routing plus the design
+/// lists and routing context the ECO stream evolves.
+fn routed(which: TsayBenchmark) -> (GatedRouting, Vec<Sink>, Vec<usize>, Workload, RouterConfig) {
+    let workload = Workload::generate(which, &WorkloadParams::smoke()).unwrap();
+    let config = RouterConfig::new(Technology::default(), workload.benchmark.die);
+    let sinks = workload.benchmark.sinks.clone();
+    let module_of = workload.module_of();
+    let routing = route_gated_mapped(&sinks, &module_of, &workload.tables, &config).unwrap();
+    (routing, sinks, module_of, workload, config)
+}
+
+/// Full-scope verifier run (no dirty-set restriction) with complete
+/// activity context; panics with the rendered report on any error.
+fn verify_full(routing: &GatedRouting, workload: &Workload, config: &RouterConfig) {
+    let report = Verifier::with_default_lints().run(
+        &VerifyInput::new(&routing.tree, config.tech())
+            .with_die(config.die())
+            .with_tables(&workload.tables)
+            .with_node_stats(&routing.node_stats)
+            .with_controller(config.controller()),
+    );
+    assert!(!report.has_errors(), "{}", report.render_text());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random mixed edit streams on r1–r3: after every batch the
+    /// incremental result passes the from-scratch oracle and a
+    /// Full-scope verifier run.
+    #[test]
+    fn random_edit_streams_verify_and_match_the_oracle(
+        bench in 0..3usize,
+        seed in 0..10_000u64,
+        batches in 1..4usize,
+        batch_size in 1..3usize,
+    ) {
+        let (mut routing, mut sinks, mut module_of, workload, config) = routed(BENCHES[bench]);
+        let params = EcoStreamParams {
+            seed,
+            ..EcoStreamParams::default().with_batches(batches, batch_size)
+        };
+        let num_modules = workload.tables.rtl().num_modules();
+        let stream = generate_eco_stream(&sinks, config.die(), num_modules, &params);
+        let mut scratch = EcoScratch::new();
+        for batch in &stream {
+            let eco = route_gated_eco(
+                &routing,
+                &sinks,
+                &module_of,
+                batch,
+                &workload.tables,
+                &config,
+                &mut scratch,
+            )
+            .unwrap();
+            let report =
+                check_eco(&routing, &eco, &workload.tables, &config, DEFAULT_QUALITY_EPS).unwrap();
+            prop_assert!(
+                report.passed(),
+                "oracle mismatch on {:?} (quality {:.4}): {:?}",
+                batch,
+                report.quality_ratio,
+                report.failures
+            );
+            verify_full(&eco.routing, &workload, &config);
+            routing = eco.routing;
+            sinks = eco.sinks;
+            module_of = eco.module_of;
+        }
+    }
+
+    /// Activity-only streams are pure replays: the topology survives
+    /// every batch bit-identically and the oracle's bit-identity
+    /// contract (not just the ε bound) holds.
+    #[test]
+    fn activity_only_streams_are_pure_replays(
+        bench in 0..2usize,
+        seed in 0..10_000u64,
+    ) {
+        let (routing, sinks, module_of, workload, config) = routed(BENCHES[bench]);
+        let params = EcoStreamParams {
+            batches: 3,
+            batch_size: 1,
+            move_weight: 0,
+            add_weight: 0,
+            remove_weight: 0,
+            swap_weight: 1,
+            seed,
+        };
+        let num_modules = workload.tables.rtl().num_modules();
+        let stream = generate_eco_stream(&sinks, config.die(), num_modules, &params);
+        let mut scratch = EcoScratch::new();
+        let mut current = routing;
+        for batch in &stream {
+            let eco = route_gated_eco(
+                &current,
+                &sinks,
+                &module_of,
+                batch,
+                &workload.tables,
+                &config,
+                &mut scratch,
+            )
+            .unwrap();
+            prop_assert!(eco.outcome.pure_replay);
+            prop_assert_eq!(&eco.routing.topology, &current.topology);
+            let report =
+                check_eco(&current, &eco, &workload.tables, &config, DEFAULT_QUALITY_EPS).unwrap();
+            prop_assert!(report.passed(), "{:?}", report.failures);
+            prop_assert!(report.pure_replay);
+            current = eco.routing;
+        }
+    }
+}
+
+/// A long deterministic mixed stream on r1 — the example scenario as a
+/// test: every batch verifies, and the design lists stay consistent
+/// (sink count tracks adds/removes, modules stay in range).
+#[test]
+fn long_mixed_stream_on_r1_stays_verified() {
+    let (mut routing, mut sinks, mut module_of, workload, config) = routed(TsayBenchmark::R1);
+    let num_modules = workload.tables.rtl().num_modules();
+    let params = EcoStreamParams::default().with_batches(8, 2);
+    let stream = generate_eco_stream(&sinks, config.die(), num_modules, &params);
+    let mut scratch = EcoScratch::new();
+    for batch in &stream {
+        let eco = route_gated_eco(
+            &routing,
+            &sinks,
+            &module_of,
+            batch,
+            &workload.tables,
+            &config,
+            &mut scratch,
+        )
+        .unwrap();
+        let report = check_eco(
+            &routing,
+            &eco,
+            &workload.tables,
+            &config,
+            DEFAULT_QUALITY_EPS,
+        )
+        .unwrap();
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(eco.routing.tree.num_sinks(), eco.sinks.len());
+        assert_eq!(eco.module_of.len(), eco.sinks.len());
+        assert!(eco.module_of.iter().all(|&m| m < num_modules));
+        routing = eco.routing;
+        sinks = eco.sinks;
+        module_of = eco.module_of;
+    }
+}

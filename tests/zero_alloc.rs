@@ -18,8 +18,8 @@ use std::sync::Arc;
 use gcr_activity::{ActivityTables, CpuModel};
 use gcr_core::{GatedObjective, RouterConfig};
 use gcr_cts::{
-    run_greedy_with_scratch, run_greedy_with_scratch_traced, GreedyParams, GreedyScratch,
-    MergeObjective, NearestNeighborObjective, Sink,
+    apply_eco, plan_eco_leaves, run_greedy_with_scratch, run_greedy_with_scratch_traced, EcoEdit,
+    EcoScratch, GreedyParams, GreedyScratch, MergeObjective, NearestNeighborObjective, Sink,
 };
 use gcr_geometry::{BBox, Point};
 use gcr_rctree::Technology;
@@ -140,5 +140,62 @@ fn warm_greedy_loop_performs_zero_allocations() {
         "greedy.merge",
     ] {
         assert!(json.contains(name), "trace missing {name}");
+    }
+
+    // Warm incremental-ECO loop: same discipline. One objective and one
+    // EcoScratch stay alive; `truncate()` rewinds the objective to its
+    // leaf rows between re-applications, and the replay + splice-search
+    // + stitch window (the engine's `loop_allocs`) must not allocate.
+    let params = GreedyParams::default();
+    let mut topo_scratch = GreedyScratch::new();
+    let mut topo_obj = gated.clone();
+    let (old_topology, _, _) =
+        run_greedy_with_scratch(n, &mut topo_obj, &params, &mut topo_scratch).unwrap();
+    let old_locations: Vec<Point> = sinks.iter().map(Sink::location).collect();
+    let moved = sinks[n / 2].location();
+    let edits = [EcoEdit::MoveSink {
+        index: n / 2,
+        to: Point::new((moved.x + 600.0) % SIDE, (moved.y + 450.0) % SIDE),
+    }];
+    let plan = plan_eco_leaves(n, &edits).unwrap();
+    let new_sinks = plan.new_sinks(&sinks);
+    let new_modules = plan.new_module_of(&module_of);
+    let mut eco_obj = GatedObjective::new(
+        config.tech(),
+        config.controller(),
+        &tables,
+        &new_sinks,
+        &new_modules,
+    );
+    let mut eco_scratch = EcoScratch::new();
+    // Cold application grows every buffer…
+    apply_eco(
+        &old_topology,
+        &old_locations,
+        &edits,
+        &mut eco_obj,
+        &params,
+        &mut eco_scratch,
+    )
+    .unwrap();
+    // …then warm re-applications must keep the loop window silent.
+    for _ in 0..3 {
+        eco_obj.truncate(n);
+        let outcome = apply_eco(
+            &old_topology,
+            &old_locations,
+            &edits,
+            &mut eco_obj,
+            &params,
+            &mut eco_scratch,
+        )
+        .unwrap();
+        assert_eq!(
+            outcome.profile.loop_allocs, 0,
+            "warm ECO loop allocated {} times",
+            outcome.profile.loop_allocs
+        );
+        assert!(!outcome.pure_replay);
+        assert!(outcome.spliced > 0);
     }
 }
