@@ -1,0 +1,857 @@
+//! Streaming, memory-bounded, parallel construction of [`ActivityTables`].
+//!
+//! The sequential [`ActivityTables::scan`] needs the whole trace as a
+//! `Vec<InstructionId>` and walks it twice (IFT, then ITMATT). This module
+//! builds the same tables from a [`TraceSource`] one chunk at a time:
+//!
+//! * **Integer counts, one normalization.** Workers accumulate `u64`
+//!   per-instruction and per-pair counts. Integer addition is exact and
+//!   commutative, so partial tables merge deterministically regardless of
+//!   worker scheduling, and the single `count as f64 / denominator` divide
+//!   at the end uses exactly the arithmetic of the sequential scan — the
+//!   result is **bit-identical** at every thread count and chunk size.
+//! * **Boundary-pair stitching.** Chunk reads are serialized behind a
+//!   mutex that also carries the last instruction of the previous chunk;
+//!   the worker that reads the next chunk counts the spanning pair. Every
+//!   one of the B−1 consecutive pairs is counted exactly once.
+//! * **Bounded memory.** Peak usage is O(threads · chunk) buffer space
+//!   plus the per-worker count tables: dense K×K `u64` below
+//!   [`ScanParams::dense_limit`] instructions, a sparse hash map above it
+//!   — O(observed pairs), not O(K²), per worker.
+//! * **Warm-rescan reuse.** A [`ScanScratch`] keeps buffers and count
+//!   tables across scans; a warm single-threaded rescan performs zero
+//!   heap allocations in the chunk loop (enforced by the allocation-probe
+//!   test, reported in [`ScanProfile`]).
+//!
+//! For push-style integration (the trace arrives from a simulator
+//! callback rather than a pullable source), feed chunks into a
+//! [`TableBuilder`] and [`TableBuilder::merge`] independently built
+//! shards.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+use gcr_trace::Tracer;
+
+use crate::{ActivityError, ActivityTables, Ift, InstructionId, Itmatt, Rtl, TraceSource};
+
+/// Default cycles per chunk: 64 Ki cycles = 256 KiB per worker buffer,
+/// small enough to stay cache-friendly, large enough that the mutex on
+/// the source is uncontended.
+pub const DEFAULT_CHUNK_CYCLES: usize = 64 * 1024;
+
+/// Default instruction-count threshold below which per-worker counts use
+/// a dense K×K array (8 MiB of `u64` at the limit); above it they fall
+/// back to sparse accumulation so per-worker memory tracks the observed
+/// pairs instead of K².
+pub const DEFAULT_DENSE_LIMIT: usize = 1024;
+
+/// Hard cap on worker threads (mirrors the greedy engine's cap).
+const MAX_THREADS: usize = 16;
+
+/// Tuning knobs of [`scan_source`].
+#[derive(Clone, Debug)]
+pub struct ScanParams {
+    /// Worker threads; `None` resolves `GCR_THREADS`, then
+    /// `available_parallelism()`. Clamped to `1..=16`.
+    pub threads: Option<usize>,
+    /// Cycles per chunk read (min 1; default [`DEFAULT_CHUNK_CYCLES`]).
+    pub chunk_cycles: usize,
+    /// Dense/sparse threshold for per-worker count tables (default
+    /// [`DEFAULT_DENSE_LIMIT`]); 0 forces sparse accumulation.
+    pub dense_limit: usize,
+}
+
+impl Default for ScanParams {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            chunk_cycles: DEFAULT_CHUNK_CYCLES,
+            dense_limit: DEFAULT_DENSE_LIMIT,
+        }
+    }
+}
+
+/// Wall times and allocation counts of one streaming scan, measured on
+/// the calling thread like the greedy engine's `GreedyProfile`.
+///
+/// Allocation counts come from the probe installed with
+/// [`set_alloc_probe`]; without a probe they stay 0. The steady-state
+/// invariant is `chunk_allocs == 0` on a **warm single-threaded** rescan
+/// (reused [`ScanScratch`], an in-memory or generator source): every
+/// chunk-loop buffer then already has capacity. Multi-threaded runs spawn
+/// scoped workers inside the chunk window, which allocates thread stacks;
+/// those runs report honest nonzero counts. The merge window builds the
+/// returned tables and always allocates (it is the output).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ScanProfile {
+    /// Cycles scanned (the paper's B).
+    pub cycles: u64,
+    /// Chunks read from the source.
+    pub chunks: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall time (ms) of the chunk loop (read + count, all workers).
+    pub chunk_ms: f64,
+    /// Wall time (ms) of the merge + final normalization.
+    pub merge_ms: f64,
+    /// Heap allocations during the chunk loop.
+    pub chunk_allocs: u64,
+    /// Heap allocations during merge + normalization.
+    pub merge_allocs: u64,
+}
+
+impl ScanProfile {
+    /// Scan throughput in cycles per second (0 when nothing was timed).
+    #[must_use]
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = (self.chunk_ms + self.merge_ms) / 1e3;
+        if secs > 0.0 {
+            self.cycles as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Global allocation-count probe used by [`ScanProfile`].
+///
+/// The activity crate forbids `unsafe`, so it cannot host a counting
+/// `#[global_allocator]` itself; binaries that have one (the bench
+/// harness, the zero-alloc test) register a reader here.
+static ALLOC_PROBE: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Installs the allocation-count reader consulted by [`scan_source`]'s
+/// profile. The probe must be monotone (a running total of allocations in
+/// the process). First installation wins; later calls are ignored.
+pub fn set_alloc_probe(probe: fn() -> u64) {
+    let _ = ALLOC_PROBE.set(probe);
+}
+
+/// Current allocation count, or 0 when no probe is installed.
+fn alloc_count() -> u64 {
+    ALLOC_PROBE.get().map_or(0, |probe| probe())
+}
+
+/// Worker-thread count for this scan: explicit [`ScanParams::threads`],
+/// else the `GCR_THREADS` environment variable, else
+/// `available_parallelism()`; clamped to `1..=16`.
+///
+/// An unparsable `GCR_THREADS` is **rejected**, not silently ignored: it
+/// reports an `activity.threads` warning through `tracer` and resolves to
+/// 1, matching the greedy engine's policy.
+fn resolve_threads(explicit: Option<usize>, tracer: &Tracer) -> usize {
+    explicit
+        .or_else(|| match std::env::var("GCR_THREADS") {
+            Ok(s) => match s.trim().parse() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    if tracer.enabled() {
+                        tracer.warn(
+                            "activity.threads",
+                            &format!("unparsable GCR_THREADS value {s:?}; running single-threaded"),
+                        );
+                    }
+                    Some(1)
+                }
+            },
+            Err(_) => None,
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+        .clamp(1, MAX_THREADS)
+}
+
+/// One worker's partial count table: exact `u64` numerators of the IFT
+/// and ITMATT. Dense K×K storage below the dense limit, sparse hash
+/// accumulation (key `a·K + b`) above it.
+#[derive(Clone, Debug, Default)]
+struct PartialCounts {
+    k: usize,
+    dense_mode: bool,
+    /// Per-instruction cycle counts (IFT numerators), length K.
+    instr: Vec<u64>,
+    /// Dense row-major K×K pair counts (dense mode), else empty.
+    dense: Vec<u64>,
+    /// Sparse pair counts keyed `a·K + b` (sparse mode), else empty.
+    sparse: HashMap<u32, u64>,
+}
+
+impl PartialCounts {
+    /// (Re)shapes for `k` instructions and zeroes all counts. Keeps
+    /// existing capacity when the shape is unchanged, so warm rescans do
+    /// not allocate here.
+    fn reset(&mut self, k: usize, dense_limit: usize) {
+        let dense_mode = k <= dense_limit;
+        if self.k != k || self.dense_mode != dense_mode {
+            self.k = k;
+            self.dense_mode = dense_mode;
+            self.instr.clear();
+            self.instr.resize(k, 0);
+            self.dense.clear();
+            self.dense.resize(if dense_mode { k * k } else { 0 }, 0);
+            self.sparse.clear();
+        } else {
+            self.instr.fill(0);
+            self.dense.fill(0);
+            self.sparse.clear();
+        }
+    }
+
+    /// Counts one consecutive pair (the chunk-boundary stitch).
+    #[inline]
+    fn count_pair(&mut self, a: InstructionId, b: InstructionId) {
+        if self.dense_mode {
+            self.dense[a.index() * self.k + b.index()] += 1;
+        } else {
+            let key = (a.index() * self.k + b.index()) as u32;
+            *self.sparse.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    /// Counts every cycle and every intra-chunk pair of `chunk`.
+    fn count_chunk(&mut self, chunk: &[InstructionId]) {
+        for &i in chunk {
+            self.instr[i.index()] += 1;
+        }
+        if self.dense_mode {
+            for w in chunk.windows(2) {
+                self.dense[w[0].index() * self.k + w[1].index()] += 1;
+            }
+        } else {
+            for w in chunk.windows(2) {
+                let key = (w[0].index() * self.k + w[1].index()) as u32;
+                *self.sparse.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Adds `other`'s counts into `self`. Slot-wise exact integer adds:
+    /// the result is independent of merge order.
+    fn absorb(&mut self, other: &PartialCounts) {
+        debug_assert_eq!(self.k, other.k);
+        for (dst, &src) in self.instr.iter_mut().zip(&other.instr) {
+            *dst += src;
+        }
+        if other.dense_mode {
+            if self.dense_mode {
+                for (dst, &src) in self.dense.iter_mut().zip(&other.dense) {
+                    *dst += src;
+                }
+            } else {
+                for (i, &src) in other.dense.iter().enumerate() {
+                    if src > 0 {
+                        *self.sparse.entry(i as u32).or_insert(0) += src;
+                    }
+                }
+            }
+        } else {
+            for (&key, &src) in &other.sparse {
+                if self.dense_mode {
+                    self.dense[key as usize] += src;
+                } else {
+                    *self.sparse.entry(key).or_insert(0) += src;
+                }
+            }
+        }
+    }
+
+    /// Total cycles these counts have absorbed.
+    fn cycles(&self) -> u64 {
+        self.instr.iter().sum()
+    }
+
+    /// The dense f64 pair-probability matrix — the single final
+    /// normalization. `pairs` is B−1. Zero slots become `+0.0`, exactly
+    /// as in the sequential scan's `0 / pairs`.
+    fn to_pair_probs(&self, pairs: u64) -> Vec<f64> {
+        let denom = pairs as f64;
+        if self.dense_mode {
+            self.dense.iter().map(|&c| c as f64 / denom).collect()
+        } else {
+            let mut probs = vec![0.0f64; self.k * self.k];
+            for (&key, &c) in &self.sparse {
+                probs[key as usize] = c as f64 / denom;
+            }
+            probs
+        }
+    }
+}
+
+/// Incremental push-based table construction: feed trace chunks as they
+/// arrive, merge independently built shards, normalize once at the end.
+///
+/// The counts are exact integers, so `feed`ing a trace in any chunking
+/// and `merge`ing shards in stream order produces tables bit-identical
+/// to [`ActivityTables::scan`] over the concatenated trace.
+///
+/// ```
+/// use gcr_activity::{paper_example_rtl, ActivityTables, InstructionStream, TableBuilder};
+///
+/// let rtl = paper_example_rtl();
+/// let stream = InstructionStream::from_indices(&rtl, [0, 1, 3, 0, 2, 1])?;
+/// let mut builder = TableBuilder::new(&rtl)?;
+/// for chunk in stream.instructions().chunks(2) {
+///     builder.feed(chunk);
+/// }
+/// let tables = builder.finish(&rtl)?;
+/// let oracle = ActivityTables::scan(&rtl, &stream);
+/// assert_eq!(tables.itmatt(), oracle.itmatt());
+/// # Ok::<(), gcr_activity::ActivityError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct TableBuilder {
+    counts: PartialCounts,
+    first: Option<InstructionId>,
+    last: Option<InstructionId>,
+    cycles: u64,
+}
+
+impl TableBuilder {
+    /// A builder for `rtl`'s instruction universe, using the default
+    /// dense/sparse threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError::CapacityExceeded`] when `rtl` exceeds
+    /// [`Itmatt::MAX_INSTRUCTIONS`] — checked before any K-sized
+    /// allocation.
+    pub fn new(rtl: &Rtl) -> Result<Self, ActivityError> {
+        Self::with_dense_limit(rtl, DEFAULT_DENSE_LIMIT)
+    }
+
+    /// As [`Self::new`] with an explicit dense/sparse threshold
+    /// (`dense_limit == 0` forces sparse accumulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError::CapacityExceeded`] when `rtl` exceeds
+    /// [`Itmatt::MAX_INSTRUCTIONS`].
+    pub fn with_dense_limit(rtl: &Rtl, dense_limit: usize) -> Result<Self, ActivityError> {
+        let k = rtl.num_instructions();
+        Itmatt::check_capacity(k)?;
+        let mut counts = PartialCounts::default();
+        counts.reset(k, dense_limit);
+        Ok(Self {
+            counts,
+            first: None,
+            last: None,
+            cycles: 0,
+        })
+    }
+
+    /// Feeds the next cycles of the trace, in stream order. Pairs inside
+    /// `chunk` and the pair spanning the previous `feed` call are both
+    /// counted, so any chunking of a trace yields the same counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` contains an id outside the builder's RTL
+    /// (sources constructed through this crate only yield validated ids).
+    pub fn feed(&mut self, chunk: &[InstructionId]) {
+        let Some(&chunk_first) = chunk.first() else {
+            return;
+        };
+        if let Some(prev) = self.last {
+            self.counts.count_pair(prev, chunk_first);
+        }
+        if self.first.is_none() {
+            self.first = Some(chunk_first);
+        }
+        self.counts.count_chunk(chunk);
+        self.last = chunk.last().copied();
+        self.cycles += chunk.len() as u64;
+    }
+
+    /// Cycles fed so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Appends `other`'s counts, stitching the pair spanning the shard
+    /// boundary — `other` must have observed the cycles *immediately
+    /// following* this builder's, and both must share an RTL universe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError::InvalidStream`] when instruction
+    /// universes differ.
+    pub fn merge(&mut self, other: &Self) -> Result<(), ActivityError> {
+        if self.counts.k != other.counts.k {
+            return Err(ActivityError::InvalidStream {
+                reason: format!(
+                    "cannot merge builders over {} and {} instructions",
+                    self.counts.k, other.counts.k
+                ),
+            });
+        }
+        if let (Some(prev), Some(next)) = (self.last, other.first) {
+            self.counts.count_pair(prev, next);
+        }
+        if self.first.is_none() {
+            self.first = other.first;
+        }
+        if other.last.is_some() {
+            self.last = other.last;
+        }
+        self.counts.absorb(&other.counts);
+        self.cycles += other.cycles;
+        Ok(())
+    }
+
+    /// The single final normalization: builds [`ActivityTables`] from the
+    /// accumulated integer counts, bit-identical to a sequential scan of
+    /// the same trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError::InvalidStream`] when fewer than two
+    /// cycles were fed or `rtl` does not match the builder's universe.
+    pub fn finish(&self, rtl: &Rtl) -> Result<ActivityTables, ActivityError> {
+        if rtl.num_instructions() != self.counts.k {
+            return Err(ActivityError::InvalidStream {
+                reason: format!(
+                    "RTL defines {} instructions but the builder counted {}",
+                    rtl.num_instructions(),
+                    self.counts.k
+                ),
+            });
+        }
+        if self.cycles < 2 {
+            return Err(ActivityError::InvalidStream {
+                reason: format!(
+                    "need at least 2 cycles for transition statistics, got {}",
+                    self.cycles
+                ),
+            });
+        }
+        let ift = Ift::from_counts(&self.counts.instr, self.cycles);
+        let pair_probs = self.counts.to_pair_probs(self.cycles - 1);
+        let itmatt = Itmatt::from_dense(self.counts.k, pair_probs)?;
+        Ok(ActivityTables::from_parts(rtl.clone(), ift, itmatt))
+    }
+}
+
+/// One worker's reusable state: a chunk buffer plus its partial counts.
+#[derive(Clone, Debug, Default)]
+struct WorkerSlot {
+    buf: Vec<InstructionId>,
+    counts: PartialCounts,
+}
+
+/// Reusable buffers of [`scan_source`]. A warm rescan with the same
+/// shape (instructions, chunk size, threads) performs zero chunk-loop
+/// allocations when single-threaded.
+#[derive(Clone, Debug, Default)]
+pub struct ScanScratch {
+    workers: Vec<WorkerSlot>,
+}
+
+impl ScanScratch {
+    /// An empty scratch; the first scan grows it.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shapes `threads` worker slots for `k` instructions and
+    /// `chunk`-cycle buffers, zeroing counts but keeping capacity.
+    fn ensure(&mut self, k: usize, chunk: usize, threads: usize, dense_limit: usize) {
+        if self.workers.len() < threads {
+            self.workers.resize_with(threads, WorkerSlot::default);
+        }
+        for slot in &mut self.workers[..threads] {
+            if slot.buf.len() != chunk {
+                slot.buf.clear();
+                slot.buf.resize(chunk, InstructionId::default());
+            }
+            slot.counts.reset(k, dense_limit);
+        }
+    }
+}
+
+/// The shared cursor workers pull chunks through. Reads are serialized,
+/// which is what makes the boundary stitch exact: `prev_last` always
+/// holds the final instruction of the chunk read immediately before.
+struct SourceCursor<'s> {
+    source: &'s mut dyn TraceSource,
+    prev_last: Option<InstructionId>,
+    cycles: u64,
+    chunks: u64,
+    done: bool,
+    failed: Option<ActivityError>,
+}
+
+fn lock_cursor<'a, 's>(
+    shared: &'a Mutex<SourceCursor<'s>>,
+) -> std::sync::MutexGuard<'a, SourceCursor<'s>> {
+    shared.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One worker: pull a chunk under the lock, count the boundary pair,
+/// release the lock, count the chunk body into the worker's own table.
+fn worker_loop(shared: &Mutex<SourceCursor<'_>>, slot: &mut WorkerSlot) {
+    loop {
+        let mut cursor = lock_cursor(shared);
+        if cursor.done || cursor.failed.is_some() {
+            return;
+        }
+        match cursor.source.next_chunk(&mut slot.buf) {
+            Ok(0) => {
+                cursor.done = true;
+                return;
+            }
+            Ok(n) => {
+                let n = n.min(slot.buf.len());
+                if let Some(prev) = cursor.prev_last {
+                    slot.counts.count_pair(prev, slot.buf[0]);
+                }
+                cursor.prev_last = Some(slot.buf[n - 1]);
+                cursor.cycles += n as u64;
+                cursor.chunks += 1;
+                drop(cursor);
+                slot.counts.count_chunk(&slot.buf[..n]);
+            }
+            Err(e) => {
+                cursor.failed = Some(e);
+                return;
+            }
+        }
+    }
+}
+
+/// Builds [`ActivityTables`] by streaming `source` through a chunked,
+/// parallel count pipeline. Bit-identical to [`ActivityTables::scan`]
+/// over the same trace at every thread count and chunk size; peak memory
+/// is O(threads · chunk + observed pairs) — the trace is never
+/// materialized.
+///
+/// # Errors
+///
+/// Returns [`ActivityError::CapacityExceeded`] for oversized RTLs,
+/// [`ActivityError::InvalidStream`] when the source yields fewer than two
+/// cycles, and any error the source itself reports.
+///
+/// # Panics
+///
+/// Panics if the source yields an instruction id outside `rtl` (sources
+/// constructed through this crate only yield validated ids) or if a
+/// worker thread panics.
+pub fn scan_source(
+    rtl: &Rtl,
+    source: &mut dyn TraceSource,
+    params: &ScanParams,
+    scratch: &mut ScanScratch,
+) -> Result<(ActivityTables, ScanProfile), ActivityError> {
+    scan_source_traced(rtl, source, params, scratch, &Tracer::disabled())
+}
+
+/// As [`scan_source`], reporting `activity.scan > activity.chunks /
+/// activity.merge` spans and cycle/throughput counters through `tracer`
+/// (see `docs/observability.md`). Events are emitted after each timed
+/// window closes, so tracing does not perturb the allocation counts.
+///
+/// # Errors
+///
+/// As [`scan_source`].
+///
+/// # Panics
+///
+/// As [`scan_source`].
+#[expect(
+    clippy::expect_used,
+    reason = "a panicking scan worker is unrecoverable; propagate the panic"
+)]
+pub fn scan_source_traced(
+    rtl: &Rtl,
+    source: &mut dyn TraceSource,
+    params: &ScanParams,
+    scratch: &mut ScanScratch,
+    tracer: &Tracer,
+) -> Result<(ActivityTables, ScanProfile), ActivityError> {
+    let scan_start_ns = tracer.now_ns();
+    let k = rtl.num_instructions();
+    Itmatt::check_capacity(k)?;
+    let chunk = params.chunk_cycles.max(1);
+    let threads = resolve_threads(params.threads, tracer);
+    scratch.ensure(k, chunk, threads, params.dense_limit);
+    let workers = &mut scratch.workers[..threads];
+
+    let shared = Mutex::new(SourceCursor {
+        source,
+        prev_last: None,
+        cycles: 0,
+        chunks: 0,
+        done: false,
+        failed: None,
+    });
+
+    // Chunk window: reads + counting across all workers. Single-threaded
+    // scans run the worker loop inline — no spawn, so a warm rescan's
+    // window is allocation-free.
+    let chunks_start_ns = tracer.now_ns();
+    let chunk_start = Instant::now();
+    let allocs_before = alloc_count();
+    if threads == 1 {
+        worker_loop(&shared, &mut workers[0]);
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .iter_mut()
+                .map(|slot| {
+                    let shared = &shared;
+                    scope.spawn(move || worker_loop(shared, slot))
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("activity scan worker panicked");
+            }
+        });
+    }
+    let chunk_ms = chunk_start.elapsed().as_secs_f64() * 1e3;
+    let chunk_allocs = alloc_count() - allocs_before;
+
+    let cursor = shared.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if let Some(err) = cursor.failed {
+        return Err(err);
+    }
+    if cursor.cycles < 2 {
+        return Err(ActivityError::InvalidStream {
+            reason: format!(
+                "need at least 2 cycles for transition statistics, got {}",
+                cursor.cycles
+            ),
+        });
+    }
+
+    // Merge window: fold the partial tables (slot-wise integer adds, so
+    // the fold order cannot affect the result) and normalize once.
+    let merge_start_ns = tracer.now_ns();
+    let merge_start = Instant::now();
+    let merge_allocs_before = alloc_count();
+    let (first, rest) = workers
+        .split_first_mut()
+        .expect("threads >= 1 worker slots");
+    for other in rest.iter() {
+        first.counts.absorb(&other.counts);
+    }
+    debug_assert_eq!(first.counts.cycles(), cursor.cycles);
+    let ift = Ift::from_counts(&first.counts.instr, cursor.cycles);
+    let pair_probs = first.counts.to_pair_probs(cursor.cycles - 1);
+    let itmatt = Itmatt::from_dense(k, pair_probs)?;
+    let tables = ActivityTables::from_parts(rtl.clone(), ift, itmatt);
+    let merge_ms = merge_start.elapsed().as_secs_f64() * 1e3;
+    let merge_allocs = alloc_count() - merge_allocs_before;
+
+    let profile = ScanProfile {
+        cycles: cursor.cycles,
+        chunks: cursor.chunks,
+        threads,
+        chunk_ms,
+        merge_ms,
+        chunk_allocs,
+        merge_allocs,
+    };
+
+    // All trace events fire after the timed windows close, so an active
+    // sink cannot perturb the allocation discipline being measured.
+    if tracer.enabled() {
+        let ns = |ms: f64| (ms * 1e6) as u64;
+        tracer.complete_span("activity.chunks", chunks_start_ns, ns(chunk_ms));
+        tracer.complete_span("activity.merge", merge_start_ns, ns(merge_ms));
+        tracer.complete_span(
+            "activity.scan",
+            scan_start_ns,
+            tracer.now_ns().saturating_sub(scan_start_ns),
+        );
+        tracer.counter("activity.cycles", profile.cycles as f64);
+        tracer.counter("activity.chunks", profile.chunks as f64);
+        tracer.counter("activity.threads", threads as f64);
+        tracer.counter("activity.cycles_per_sec", profile.cycles_per_sec());
+        tracer.counter("activity.instructions", k as f64);
+        tracer.counter("activity.modules", rtl.num_modules() as f64);
+        tracer.counter(
+            "activity.itmatt_nonzero",
+            tables.itmatt().nonzero_len() as f64,
+        );
+    }
+
+    Ok((tables, profile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{paper_example_rtl, InstructionStream, SliceSource};
+
+    fn paper_stream(rtl: &Rtl) -> InstructionStream {
+        InstructionStream::from_indices(
+            rtl,
+            [0, 1, 3, 0, 2, 1, 0, 0, 1, 0, 2, 0, 1, 2, 0, 0, 1, 1, 3, 1],
+        )
+        .unwrap()
+    }
+
+    fn assert_tables_identical(a: &ActivityTables, b: &ActivityTables) {
+        assert_eq!(a.ift(), b.ift());
+        assert_eq!(a.itmatt(), b.itmatt());
+    }
+
+    #[test]
+    fn scan_source_matches_sequential_scan_exactly() {
+        let rtl = paper_example_rtl();
+        let stream = paper_stream(&rtl);
+        let oracle = ActivityTables::scan(&rtl, &stream);
+        for chunk_cycles in [1, 2, 3, 7, 64] {
+            for threads in [1, 2, 4] {
+                let params = ScanParams {
+                    threads: Some(threads),
+                    chunk_cycles,
+                    ..ScanParams::default()
+                };
+                let mut scratch = ScanScratch::new();
+                let mut source = SliceSource::new(&stream);
+                let (tables, profile) =
+                    scan_source(&rtl, &mut source, &params, &mut scratch).unwrap();
+                assert_tables_identical(&tables, &oracle);
+                assert_eq!(profile.cycles, 20);
+                assert_eq!(profile.threads, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_accumulation_matches_dense() {
+        let rtl = paper_example_rtl();
+        let stream = paper_stream(&rtl);
+        let oracle = ActivityTables::scan(&rtl, &stream);
+        let params = ScanParams {
+            threads: Some(2),
+            chunk_cycles: 3,
+            dense_limit: 0, // force the sparse per-worker path
+        };
+        let mut scratch = ScanScratch::new();
+        let mut source = SliceSource::new(&stream);
+        let (tables, _) = scan_source(&rtl, &mut source, &params, &mut scratch).unwrap();
+        assert_tables_identical(&tables, &oracle);
+    }
+
+    #[test]
+    fn scratch_reuse_across_scans_is_exact() {
+        let rtl = paper_example_rtl();
+        let stream = paper_stream(&rtl);
+        let oracle = ActivityTables::scan(&rtl, &stream);
+        let params = ScanParams {
+            threads: Some(1),
+            chunk_cycles: 4,
+            ..ScanParams::default()
+        };
+        let mut scratch = ScanScratch::new();
+        for _ in 0..3 {
+            let mut source = SliceSource::new(&stream);
+            let (tables, _) = scan_source(&rtl, &mut source, &params, &mut scratch).unwrap();
+            assert_tables_identical(&tables, &oracle);
+        }
+    }
+
+    #[test]
+    fn table_builder_feed_and_merge_stitch_boundaries() {
+        let rtl = paper_example_rtl();
+        let stream = paper_stream(&rtl);
+        let oracle = ActivityTables::scan(&rtl, &stream);
+        let ids = stream.instructions();
+
+        // Arbitrary chunking through one builder.
+        let mut builder = TableBuilder::new(&rtl).unwrap();
+        for chunk in ids.chunks(3) {
+            builder.feed(chunk);
+        }
+        builder.feed(&[]); // empty feeds are no-ops
+        assert_eq!(builder.cycles(), 20);
+        assert_tables_identical(&builder.finish(&rtl).unwrap(), &oracle);
+
+        // Three shards merged in stream order.
+        let mut left = TableBuilder::new(&rtl).unwrap();
+        left.feed(&ids[..7]);
+        let mut mid = TableBuilder::new(&rtl).unwrap();
+        mid.feed(&ids[7..13]);
+        let mut right = TableBuilder::new(&rtl).unwrap();
+        right.feed(&ids[13..]);
+        left.merge(&mid).unwrap();
+        left.merge(&right).unwrap();
+        assert_tables_identical(&left.finish(&rtl).unwrap(), &oracle);
+
+        // Merging an empty shard is a no-op.
+        let empty = TableBuilder::new(&rtl).unwrap();
+        left.merge(&empty).unwrap();
+        assert_tables_identical(&left.finish(&rtl).unwrap(), &oracle);
+    }
+
+    #[test]
+    fn builder_errors_are_structured() {
+        let rtl = paper_example_rtl();
+        // Too few cycles.
+        let builder = TableBuilder::new(&rtl).unwrap();
+        assert!(matches!(
+            builder.finish(&rtl).unwrap_err(),
+            ActivityError::InvalidStream { .. }
+        ));
+        // Universe mismatch on merge.
+        let other_rtl = Rtl::builder(1)
+            .instruction("X", [0])
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut a = TableBuilder::new(&rtl).unwrap();
+        let b = TableBuilder::new(&other_rtl).unwrap();
+        assert!(a.merge(&b).is_err());
+        // Universe mismatch on finish.
+        let mut c = TableBuilder::new(&other_rtl).unwrap();
+        c.feed(&[InstructionId(0), InstructionId(0)]);
+        assert!(c.finish(&rtl).is_err());
+    }
+
+    #[test]
+    fn scan_source_rejects_short_traces() {
+        let rtl = paper_example_rtl();
+        let stream = paper_stream(&rtl);
+        let one = [stream.instructions()[0]];
+        let mut source = crate::SliceSource::from_ids(&one);
+        let mut scratch = ScanScratch::new();
+        let err = scan_source(&rtl, &mut source, &ScanParams::default(), &mut scratch).unwrap_err();
+        assert!(matches!(err, ActivityError::InvalidStream { .. }));
+    }
+
+    #[test]
+    fn traced_scan_is_identical_and_emits_taxonomy() {
+        use std::sync::Arc;
+
+        let rtl = paper_example_rtl();
+        let stream = paper_stream(&rtl);
+        let oracle = ActivityTables::scan(&rtl, &stream);
+        let sink = Arc::new(gcr_trace::ChromeTraceSink::new());
+        let tracer = Tracer::new(Arc::clone(&sink) as Arc<dyn gcr_trace::TraceSink>);
+        let params = ScanParams {
+            threads: Some(2),
+            chunk_cycles: 5,
+            ..ScanParams::default()
+        };
+        let mut scratch = ScanScratch::new();
+        let mut source = SliceSource::new(&stream);
+        let (tables, _) =
+            scan_source_traced(&rtl, &mut source, &params, &mut scratch, &tracer).unwrap();
+        assert_tables_identical(&tables, &oracle);
+        let json = sink.to_json();
+        for name in [
+            "activity.scan",
+            "activity.chunks",
+            "activity.merge",
+            "activity.cycles_per_sec",
+        ] {
+            assert!(json.contains(name), "trace missing {name}");
+        }
+    }
+}

@@ -37,6 +37,15 @@ pub enum ActivityError {
         /// The offending value.
         value: f64,
     },
+    /// A table would exceed a hard capacity limit (checked *before* the
+    /// dense K² allocation is attempted, mirroring
+    /// `CtsError::CapacityExceeded`).
+    CapacityExceeded {
+        /// Requested instruction count K.
+        instructions: usize,
+        /// The hard limit ([`crate::Itmatt::MAX_INSTRUCTIONS`]).
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ActivityError {
@@ -64,6 +73,13 @@ impl fmt::Display for ActivityError {
             ActivityError::InvalidParameter { name, value } => {
                 write!(f, "parameter `{name}` out of range: {value}")
             }
+            ActivityError::CapacityExceeded {
+                instructions,
+                limit,
+            } => write!(
+                f,
+                "instruction count {instructions} exceeds the dense table capacity ({limit})"
+            ),
         }
     }
 }
@@ -86,6 +102,11 @@ mod tests {
             value: 2.0,
         };
         assert!(e.to_string().contains("usage_fraction"));
+        let e = ActivityError::CapacityExceeded {
+            instructions: 70_000,
+            limit: 4096,
+        };
+        assert!(e.to_string().contains("70000") && e.to_string().contains("4096"));
     }
 
     #[test]

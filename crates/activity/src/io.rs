@@ -23,8 +23,9 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::BufRead;
 
-use crate::{ActivityError, InstructionStream, Rtl};
+use crate::{ActivityError, InstructionId, InstructionStream, Rtl, TraceSource};
 
 /// Parses an RTL description from the text format above.
 ///
@@ -80,31 +81,145 @@ pub fn parse_rtl(text: &str, num_modules: Option<usize>) -> Result<Rtl, Activity
 /// Parses an instruction trace: whitespace-separated instruction names or
 /// 0-based indices, validated against `rtl`.
 ///
+/// Materializes the whole trace; for multi-million-cycle inputs stream a
+/// [`TextTraceSource`] through [`crate::scan_source`] instead — this
+/// function is a thin drain over the same tokenizer.
+///
 /// # Errors
 ///
 /// Returns [`ActivityError::InvalidStream`] for unknown instruction names
 /// and the usual stream errors (length < 2, index out of range).
 pub fn parse_trace(rtl: &Rtl, text: &str) -> Result<InstructionStream, ActivityError> {
-    let by_name: HashMap<&str, usize> = rtl
-        .instruction_ids()
-        .map(|id| (rtl.name(id), id.index()))
-        .collect();
-    let mut indices = Vec::new();
-    for raw in text.lines() {
-        for tok in strip_comment(raw).split_whitespace() {
-            let idx = if let Some(&i) = by_name.get(tok) {
-                i
-            } else if let Ok(i) = tok.parse::<usize>() {
-                i
-            } else {
-                return Err(ActivityError::InvalidStream {
-                    reason: format!("unknown instruction `{tok}`"),
-                });
-            };
-            indices.push(idx);
+    let mut source = TextTraceSource::new(rtl, text.as_bytes());
+    let mut ids = Vec::new();
+    let mut buf = [InstructionId::default(); 256];
+    loop {
+        let n = source.next_chunk(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        ids.extend_from_slice(&buf[..n]);
+    }
+    InstructionStream::from_ids(ids)
+}
+
+/// A [`TraceSource`] tokenizing the text trace format from any buffered
+/// reader — one line in memory at a time, so a trace file of any length
+/// streams through [`crate::scan_source`] in bounded memory.
+///
+/// Tokens are instruction names or 0-based indices, `#` starts a comment
+/// until end of line, exactly as in [`parse_trace`].
+///
+/// ```
+/// use gcr_activity::io::TextTraceSource;
+/// use gcr_activity::{paper_example_rtl, ScanParams, ScanScratch};
+///
+/// let rtl = paper_example_rtl();
+/// let mut source = TextTraceSource::new(&rtl, "I1 I2 # warm-up\nI1 I4\n".as_bytes());
+/// let mut scratch = ScanScratch::new();
+/// let (tables, profile) =
+///     gcr_activity::scan_source(&rtl, &mut source, &ScanParams::default(), &mut scratch)?;
+/// assert_eq!(profile.cycles, 4);
+/// # let _ = tables;
+/// # Ok::<(), gcr_activity::ActivityError>(())
+/// ```
+#[derive(Debug)]
+pub struct TextTraceSource<R> {
+    reader: R,
+    by_name: HashMap<String, u32>,
+    num_instructions: usize,
+    /// Current line; `pos..end` is the unconsumed, comment-stripped tail.
+    line: String,
+    pos: usize,
+    end: usize,
+}
+
+impl<R: BufRead> TextTraceSource<R> {
+    /// Streams the trace text from `reader`, resolving tokens against
+    /// `rtl`.
+    #[must_use]
+    pub fn new(rtl: &Rtl, reader: R) -> Self {
+        let by_name = rtl
+            .instruction_ids()
+            .map(|id| (rtl.name(id).to_owned(), id.index() as u32))
+            .collect();
+        Self {
+            reader,
+            by_name,
+            num_instructions: rtl.num_instructions(),
+            line: String::new(),
+            pos: 0,
+            end: 0,
         }
     }
-    InstructionStream::from_indices(rtl, indices)
+
+    /// Pulls the next line into the reused buffer; false at end of input.
+    fn refill(&mut self) -> Result<bool, ActivityError> {
+        self.line.clear();
+        let read =
+            self.reader
+                .read_line(&mut self.line)
+                .map_err(|e| ActivityError::InvalidStream {
+                    reason: format!("trace read error: {e}"),
+                })?;
+        self.pos = 0;
+        self.end = strip_comment(&self.line).len();
+        Ok(read > 0)
+    }
+
+    /// The next whitespace-delimited token of the current line, if any.
+    fn next_line_token(&mut self) -> Option<(usize, usize)> {
+        let bytes = self.line.as_bytes();
+        let mut start = self.pos;
+        while start < self.end && bytes[start].is_ascii_whitespace() {
+            start += 1;
+        }
+        if start >= self.end {
+            self.pos = self.end;
+            return None;
+        }
+        let mut stop = start;
+        while stop < self.end && !bytes[stop].is_ascii_whitespace() {
+            stop += 1;
+        }
+        self.pos = stop;
+        Some((start, stop))
+    }
+
+    /// Resolves one token to a validated instruction id.
+    fn resolve(&self, start: usize, stop: usize) -> Result<InstructionId, ActivityError> {
+        let tok = &self.line[start..stop];
+        if let Some(&i) = self.by_name.get(tok) {
+            return Ok(InstructionId(i));
+        }
+        if let Ok(i) = tok.parse::<usize>() {
+            if i >= self.num_instructions {
+                return Err(ActivityError::InstructionOutOfRange {
+                    instruction: i,
+                    num_instructions: self.num_instructions,
+                });
+            }
+            return Ok(InstructionId(i as u32));
+        }
+        Err(ActivityError::InvalidStream {
+            reason: format!("unknown instruction `{tok}`"),
+        })
+    }
+}
+
+impl<R: BufRead + Send> TraceSource for TextTraceSource<R> {
+    fn next_chunk(&mut self, buf: &mut [InstructionId]) -> Result<usize, ActivityError> {
+        let mut written = 0usize;
+        while written < buf.len() {
+            if let Some((start, stop)) = self.next_line_token() {
+                buf[written] = self.resolve(start, stop)?;
+                written += 1;
+            } else if !self.refill()? {
+                break;
+            }
+        }
+        Ok(written)
+    }
 }
 
 /// Serializes an RTL description to the text format (round-trips through
@@ -232,5 +347,47 @@ I4: M3 M4  # integer/memory
     fn comments_and_blanks_are_ignored() {
         let rtl = parse_rtl("# header\n\n  a: M1  # tail\n", Some(2)).unwrap();
         assert_eq!(rtl.num_instructions(), 1);
+    }
+
+    #[test]
+    fn text_source_matches_parse_trace() {
+        use crate::TraceSource;
+        let rtl = parse_rtl(PAPER_RTL, None).unwrap();
+        let text = "I1 I2 0 3 I3 # trailing comment\nI1\n\n# only a comment\n2 I4";
+        let oracle = parse_trace(&rtl, text).unwrap();
+        // Drain through a tiny buffer to exercise token carry-over.
+        let mut source = TextTraceSource::new(&rtl, text.as_bytes());
+        let mut got = Vec::new();
+        let mut buf = [crate::InstructionId::default(); 3];
+        loop {
+            let n = source.next_chunk(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(got, oracle.instructions());
+        // Exhausted sources keep returning 0.
+        assert_eq!(source.next_chunk(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn text_source_reports_structured_errors() {
+        use crate::{ActivityError, TraceSource};
+        let rtl = paper_example_rtl();
+        let mut buf = [crate::InstructionId::default(); 8];
+        let mut bad_name = TextTraceSource::new(&rtl, "I1 NOPE".as_bytes());
+        assert!(matches!(
+            bad_name.next_chunk(&mut buf).unwrap_err(),
+            ActivityError::InvalidStream { .. }
+        ));
+        let mut bad_index = TextTraceSource::new(&rtl, "I1 9".as_bytes());
+        assert!(matches!(
+            bad_index.next_chunk(&mut buf).unwrap_err(),
+            ActivityError::InstructionOutOfRange {
+                instruction: 9,
+                num_instructions: 4,
+            }
+        ));
     }
 }

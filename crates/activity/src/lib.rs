@@ -25,6 +25,18 @@
 //! probabilities, B−1 consecutive pairs for transition probabilities), and
 //! the test-suite cross-checks them on random streams.
 //!
+//! # Streaming at production scale
+//!
+//! Multi-million-cycle traces need not be materialized: any
+//! [`TraceSource`] (an in-memory [`SliceSource`], an incremental
+//! [`ModelTraceSource`], a text-file [`io::TextTraceSource`]) streams
+//! through [`scan_source`] — a chunked, parallel count pipeline whose
+//! result is **bit-identical** to [`ActivityTables::scan`] at every
+//! thread count and chunk size (integer counts merge exactly; the f64
+//! normalization happens once). Push-style integration goes through
+//! [`TableBuilder`]. See `docs/algorithms.md` for the chunk-stitch and
+//! exact-merge argument.
+//!
 //! # Example
 //!
 //! The paper's worked example: four instructions over six modules, with
@@ -55,19 +67,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod error;
 pub mod io;
 mod model;
 mod moduleset;
 mod rtl;
+mod source;
 mod stats;
 mod stream;
 mod tables;
 
+pub use builder::{
+    scan_source, scan_source_traced, set_alloc_probe, ScanParams, ScanProfile, ScanScratch,
+    TableBuilder, DEFAULT_CHUNK_CYCLES, DEFAULT_DENSE_LIMIT,
+};
 pub use error::ActivityError;
-pub use model::{CpuModel, CpuModelBuilder};
+pub use model::{CpuModel, CpuModelBuilder, ModelTraceSource};
 pub use moduleset::ModuleSet;
 pub use rtl::{paper_example_rtl, InstructionId, Rtl, RtlBuilder};
+pub use source::{SliceSource, TraceSource};
 pub use stats::StreamStats;
 pub use stream::InstructionStream;
 pub use tables::{ActivityTables, EnableStats, Ift, Itmatt};

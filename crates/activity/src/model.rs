@@ -1,7 +1,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{ActivityError, InstructionId, InstructionStream, Rtl};
+use crate::{ActivityError, InstructionId, InstructionStream, Rtl, TraceSource};
 
 /// A synthetic processor model: a randomly generated RTL description plus a
 /// first-order Markov instruction process.
@@ -118,7 +118,9 @@ impl CpuModel {
     /// Generates an instruction stream of `len` cycles.
     ///
     /// Deterministic for a given model (the builder seed also seeds stream
-    /// generation); successive calls return the same stream.
+    /// generation); successive calls return the same stream. Implemented
+    /// by draining a [`Self::trace_source`], so the materialized stream
+    /// and the streaming path are identical by construction.
     ///
     /// # Panics
     ///
@@ -130,21 +132,35 @@ impl CpuModel {
     )]
     pub fn generate_stream(&self, len: usize) -> InstructionStream {
         assert!(len >= 2, "stream length must be >= 2, got {len}");
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5EED_57EA);
-        let mut out = Vec::with_capacity(len);
-        let mut phase = 0usize;
-        let mut current = self.sample_base(&mut rng, phase);
-        out.push(current);
-        for _ in 1..len {
-            if self.phases > 1 && rng.gen::<f64>() < 1.0 / self.phase_length as f64 {
-                phase = (phase + 1) % self.phases;
-                current = self.sample_base(&mut rng, phase);
-            } else if rng.gen::<f64>() >= self.persistence {
-                current = self.sample_base(&mut rng, phase);
-            }
-            out.push(current);
+        let mut source = self.trace_source(len as u64);
+        let mut out = vec![InstructionId(0); len];
+        let mut filled = 0usize;
+        while filled < len {
+            let n = source
+                .next_chunk(&mut out[filled..])
+                .expect("model sources are infallible");
+            assert!(n > 0, "model source ended early at {filled}/{len} cycles");
+            filled += n;
         }
         InstructionStream::from_ids(out).expect("len >= 2 checked above")
+    }
+
+    /// A [`TraceSource`](crate::TraceSource) generating `len` cycles of
+    /// this model's Markov process incrementally — the streaming
+    /// counterpart of [`Self::generate_stream`], producing the identical
+    /// cycle sequence without ever materializing it (peak memory is one
+    /// chunk, whatever the trace length).
+    #[must_use]
+    pub fn trace_source(&self, len: u64) -> ModelTraceSource<'_> {
+        ModelTraceSource {
+            model: self,
+            rng: StdRng::seed_from_u64(self.seed ^ 0x5EED_57EA),
+            phase: 0,
+            current: InstructionId(0),
+            started: false,
+            remaining: len,
+            len,
+        }
     }
 
     /// Draws from the base distribution, restricted to the instructions of
@@ -160,6 +176,54 @@ impl CpuModel {
                 return InstructionId(idx as u32);
             }
         }
+    }
+}
+
+/// Incremental generator of a [`CpuModel`] instruction trace; see
+/// [`CpuModel::trace_source`].
+///
+/// Carries only the Markov state (RNG, phase, current instruction), so a
+/// 10⁸-cycle trace streams through [`crate::scan_source`] in bounded
+/// memory. The emitted sequence is bit-identical to
+/// [`CpuModel::generate_stream`] of the same length — `generate_stream`
+/// is a thin wrapper that drains this source.
+#[derive(Clone, Debug)]
+pub struct ModelTraceSource<'m> {
+    model: &'m CpuModel,
+    rng: StdRng,
+    phase: usize,
+    current: InstructionId,
+    started: bool,
+    remaining: u64,
+    len: u64,
+}
+
+impl TraceSource for ModelTraceSource<'_> {
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.len)
+    }
+
+    fn next_chunk(&mut self, buf: &mut [InstructionId]) -> Result<usize, ActivityError> {
+        let mut written = 0usize;
+        let model = self.model;
+        for slot in buf.iter_mut() {
+            if self.remaining == 0 {
+                break;
+            }
+            if !self.started {
+                self.started = true;
+                self.current = model.sample_base(&mut self.rng, self.phase);
+            } else if model.phases > 1 && self.rng.gen::<f64>() < 1.0 / model.phase_length as f64 {
+                self.phase = (self.phase + 1) % model.phases;
+                self.current = model.sample_base(&mut self.rng, self.phase);
+            } else if self.rng.gen::<f64>() >= model.persistence {
+                self.current = model.sample_base(&mut self.rng, self.phase);
+            }
+            *slot = self.current;
+            self.remaining -= 1;
+            written += 1;
+        }
+        Ok(written)
     }
 }
 
@@ -500,6 +564,40 @@ mod tests {
     fn one_cycle_stream_panics() {
         let m = CpuModel::builder(10).build().unwrap();
         let _ = m.generate_stream(1);
+    }
+
+    #[test]
+    fn trace_source_is_bit_identical_to_generate_stream() {
+        use crate::TraceSource;
+        // Phased and unphased models, drained through ragged chunk sizes:
+        // the incremental source must replay the exact RNG call sequence
+        // of the materializing generator.
+        for phases in [1usize, 3] {
+            let m = CpuModel::builder(24)
+                .instructions(9)
+                .persistence(0.7)
+                .phases(phases)
+                .phase_length(50)
+                .seed(41)
+                .build()
+                .unwrap();
+            let oracle = m.generate_stream(2_000);
+            let mut source = m.trace_source(2_000);
+            assert_eq!(source.len_hint(), Some(2_000));
+            let mut got = Vec::new();
+            let mut buf = vec![InstructionId(0); 1];
+            let mut chunk = 1usize;
+            loop {
+                buf.resize(chunk, InstructionId(0));
+                let n = source.next_chunk(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+                chunk = chunk % 97 + 13; // ragged chunk sizes
+            }
+            assert_eq!(got, oracle.instructions());
+        }
     }
 
     #[test]

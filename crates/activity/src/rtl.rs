@@ -3,7 +3,10 @@ use std::fmt;
 use crate::{ActivityError, ModuleSet};
 
 /// Identifier of an instruction inside an [`Rtl`] description.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// `Default` is the first instruction (index 0) — handy as a fill value
+/// for the chunk buffers the streaming scan reads into.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstructionId(pub(crate) u32);
 
 impl InstructionId {

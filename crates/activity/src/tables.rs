@@ -23,6 +23,18 @@ impl Ift {
         }
     }
 
+    /// Builds the table from integer per-instruction counts over `cycles`
+    /// cycles — the normalization the streaming builder performs once after
+    /// its exact integer merge. Arithmetic is identical to [`Self::scan`]
+    /// (`count as f64 / cycles as f64`), so counts that match a sequential
+    /// scan produce a bit-identical table.
+    pub(crate) fn from_counts(counts: &[u64], cycles: u64) -> Self {
+        let b = cycles as f64;
+        Self {
+            probs: counts.iter().map(|&c| c as f64 / b).collect(),
+        }
+    }
+
     /// Builds the table from explicit probabilities.
     ///
     /// # Errors
@@ -84,11 +96,41 @@ pub struct Itmatt {
 }
 
 impl Itmatt {
+    /// Hard capacity limit on the instruction count K: the table is a
+    /// dense K² matrix of `f64` (128 MiB at the cap) and the sparse view
+    /// packs indices into `u16`. The check runs **before** the K²
+    /// allocation is attempted, so an oversized RTL fails with a
+    /// structured [`ActivityError::CapacityExceeded`] instead of an
+    /// abort-on-OOM.
+    pub const MAX_INSTRUCTIONS: usize = 4096;
+
     /// Builds the table by scanning the B−1 consecutive pairs of `stream`
     /// once (O(B)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rtl` defines more than [`Self::MAX_INSTRUCTIONS`]
+    /// instructions; use [`Self::try_scan`] to handle that structurally.
     #[must_use]
+    #[expect(
+        clippy::expect_used,
+        reason = "documented panic; try_scan is the fallible form"
+    )]
     pub fn scan(rtl: &Rtl, stream: &InstructionStream) -> Self {
+        Self::try_scan(rtl, stream).expect("instruction count exceeds Itmatt::MAX_INSTRUCTIONS")
+    }
+
+    /// As [`Self::scan`], returning a structured error instead of
+    /// panicking on oversized RTLs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError::CapacityExceeded`] when `rtl` defines more
+    /// than [`Self::MAX_INSTRUCTIONS`] instructions — checked before the
+    /// dense K² count array is allocated.
+    pub fn try_scan(rtl: &Rtl, stream: &InstructionStream) -> Result<Self, ActivityError> {
         let k = rtl.num_instructions();
+        Self::check_capacity(k)?;
         let mut counts = vec![0usize; k * k];
         for (a, b) in stream.pairs() {
             counts[a.index() * k + b.index()] += 1;
@@ -98,22 +140,30 @@ impl Itmatt {
         Self::from_dense(k, pair_probs)
     }
 
-    fn from_dense(k: usize, pair_probs: Vec<f64>) -> Self {
-        assert!(
-            k <= u16::MAX as usize,
-            "instruction count {k} exceeds the sparse index width"
-        );
+    /// Rejects instruction counts the dense representation cannot hold.
+    pub(crate) fn check_capacity(k: usize) -> Result<(), ActivityError> {
+        if k > Self::MAX_INSTRUCTIONS {
+            return Err(ActivityError::CapacityExceeded {
+                instructions: k,
+                limit: Self::MAX_INSTRUCTIONS,
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn from_dense(k: usize, pair_probs: Vec<f64>) -> Result<Self, ActivityError> {
+        Self::check_capacity(k)?;
         let nonzero = pair_probs
             .iter()
             .enumerate()
             .filter(|&(_, &p)| p > 0.0)
             .map(|(i, &p)| ((i / k) as u16, (i % k) as u16, p))
             .collect();
-        Self {
+        Ok(Self {
             k,
             pair_probs,
             nonzero,
-        }
+        })
     }
 
     /// Probability that `a` is followed by `b` in consecutive cycles.
@@ -123,18 +173,20 @@ impl Itmatt {
     }
 
     /// Iterator over the pairs with non-zero probability.
+    ///
+    /// Walks the sparse view cached at construction — O(observed pairs)
+    /// per call, not O(K²) — which is what the gate-reduction loop
+    /// iterates per candidate grouping.
     pub fn nonzero_pairs(&self) -> impl Iterator<Item = (InstructionId, InstructionId, f64)> + '_ {
-        self.pair_probs
+        self.nonzero
             .iter()
-            .enumerate()
-            .filter(|&(_i, &p)| p > 0.0)
-            .map(|(i, &p)| {
-                (
-                    InstructionId((i / self.k) as u32),
-                    InstructionId((i % self.k) as u32),
-                    p,
-                )
-            })
+            .map(|&(a, b, p)| (InstructionId(u32::from(a)), InstructionId(u32::from(b)), p))
+    }
+
+    /// Number of pairs with non-zero probability (size of the sparse view).
+    #[must_use]
+    pub fn nonzero_len(&self) -> usize {
+        self.nonzero.len()
     }
 
     /// Number of instructions covered (K); the table holds K² entries.
@@ -176,6 +228,11 @@ pub struct ActivityTables {
 
 impl ActivityTables {
     /// Builds both tables with a single O(B) scan of `stream`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rtl` exceeds [`Itmatt::MAX_INSTRUCTIONS`]; use
+    /// [`Self::try_scan`] to handle that structurally.
     #[must_use]
     pub fn scan(rtl: &Rtl, stream: &InstructionStream) -> Self {
         Self::scan_traced(rtl, stream, &gcr_trace::Tracer::disabled())
@@ -183,8 +240,43 @@ impl ActivityTables {
 
     /// As [`Self::scan`], reporting per-table spans and size counters
     /// through `tracer` (see `docs/observability.md` for the taxonomy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rtl` exceeds [`Itmatt::MAX_INSTRUCTIONS`].
     #[must_use]
+    #[expect(
+        clippy::expect_used,
+        reason = "documented panic; try_scan_traced is the fallible form"
+    )]
     pub fn scan_traced(rtl: &Rtl, stream: &InstructionStream, tracer: &gcr_trace::Tracer) -> Self {
+        Self::try_scan_traced(rtl, stream, tracer)
+            .expect("instruction count exceeds Itmatt::MAX_INSTRUCTIONS")
+    }
+
+    /// As [`Self::scan`], returning a structured error instead of
+    /// panicking on oversized RTLs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError::CapacityExceeded`] when `rtl` defines more
+    /// than [`Itmatt::MAX_INSTRUCTIONS`] instructions.
+    pub fn try_scan(rtl: &Rtl, stream: &InstructionStream) -> Result<Self, ActivityError> {
+        Self::try_scan_traced(rtl, stream, &gcr_trace::Tracer::disabled())
+    }
+
+    /// As [`Self::try_scan`], reporting per-table spans and size counters
+    /// through `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError::CapacityExceeded`] when `rtl` defines more
+    /// than [`Itmatt::MAX_INSTRUCTIONS`] instructions.
+    pub fn try_scan_traced(
+        rtl: &Rtl,
+        stream: &InstructionStream,
+        tracer: &gcr_trace::Tracer,
+    ) -> Result<Self, ActivityError> {
         let _scan = tracer.span("activity.scan");
         let ift = {
             let _span = tracer.span("activity.ift");
@@ -192,17 +284,23 @@ impl ActivityTables {
         };
         let itmatt = {
             let _span = tracer.span("activity.itmatt");
-            Itmatt::scan(rtl, stream)
+            Itmatt::try_scan(rtl, stream)?
         };
         tracer.counter("activity.cycles", stream.len() as f64);
         tracer.counter("activity.instructions", rtl.num_instructions() as f64);
         tracer.counter("activity.modules", rtl.num_modules() as f64);
         tracer.counter("activity.itmatt_nonzero", itmatt.nonzero.len() as f64);
-        Self {
+        Ok(Self {
             rtl: rtl.clone(),
             ift,
             itmatt,
-        }
+        })
+    }
+
+    /// Assembles tables from already-built parts (the streaming builder's
+    /// final normalization step).
+    pub(crate) fn from_parts(rtl: Rtl, ift: Ift, itmatt: Itmatt) -> Self {
+        Self { rtl, ift, itmatt }
     }
 
     /// Builds tables from explicit probabilities instead of a stream scan:
@@ -218,7 +316,9 @@ impl ActivityTables {
     /// # Errors
     ///
     /// Returns [`ActivityError::InvalidStream`] when dimensions mismatch
-    /// the RTL or the probabilities are invalid.
+    /// the RTL or the probabilities are invalid, and
+    /// [`ActivityError::CapacityExceeded`] when the RTL exceeds
+    /// [`Itmatt::MAX_INSTRUCTIONS`].
     pub fn from_probabilities(
         rtl: &Rtl,
         ift: Vec<f64>,
@@ -250,7 +350,7 @@ impl ActivityTables {
         Ok(Self {
             rtl: rtl.clone(),
             ift,
-            itmatt: Itmatt::from_dense(k, pair_probs),
+            itmatt: Itmatt::from_dense(k, pair_probs)?,
         })
     }
 
@@ -564,6 +664,66 @@ mod tests {
         let stats = tables.enable_stats(&m1);
         assert!((stats.signal - 0.75).abs() < 1e-12);
         assert!((stats.transition - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_rtl_is_rejected_before_dense_allocation() {
+        // One instruction past the cap: try_scan must fail with the
+        // structured capacity error (before attempting the K² allocation —
+        // at the cap+1 that would still succeed, but the guard is what
+        // keeps a 10⁵-instruction RTL from aborting on OOM).
+        let k = Itmatt::MAX_INSTRUCTIONS + 1;
+        let mut builder = Rtl::builder(1);
+        for i in 0..k {
+            builder = builder.instruction(&format!("I{i}"), [0]).unwrap();
+        }
+        let rtl = builder.build().unwrap();
+        let stream = InstructionStream::from_indices(&rtl, [0, 1]).unwrap();
+        let err = Itmatt::try_scan(&rtl, &stream).unwrap_err();
+        assert_eq!(
+            err,
+            ActivityError::CapacityExceeded {
+                instructions: k,
+                limit: Itmatt::MAX_INSTRUCTIONS,
+            }
+        );
+        assert!(ActivityTables::try_scan(&rtl, &stream).is_err());
+        // from_probabilities hits the same guard (after validating the
+        // probabilities themselves).
+        let mut ift = vec![0.0; k];
+        ift[0] = 1.0;
+        let mut pairs = vec![0.0; k * k];
+        pairs[0] = 1.0;
+        assert!(matches!(
+            ActivityTables::from_probabilities(&rtl, ift, pairs).unwrap_err(),
+            ActivityError::CapacityExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn nonzero_pairs_matches_dense_filter() {
+        // The sparse iterator must agree with a direct dense filter —
+        // same pairs, same order (row-major), same probabilities.
+        let rtl = paper_example_rtl();
+        let s = paper_stream(&rtl);
+        let t = Itmatt::scan(&rtl, &s);
+        let k = t.num_instructions();
+        let dense: Vec<_> = (0..k * k)
+            .map(|i| {
+                (
+                    InstructionId((i / k) as u32),
+                    InstructionId((i % k) as u32),
+                    t.pair_probability(
+                        InstructionId((i / k) as u32),
+                        InstructionId((i % k) as u32),
+                    ),
+                )
+            })
+            .filter(|&(_, _, p)| p > 0.0)
+            .collect();
+        let sparse: Vec<_> = t.nonzero_pairs().collect();
+        assert_eq!(sparse, dense);
+        assert_eq!(t.nonzero_len(), dense.len());
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Property-based bit-identity of the streaming/parallel scan.
+//!
+//! The contract under test: [`scan_source`] over any [`TraceSource`], at
+//! any thread count in {1, 2, 4, 8} and any chunk size — including chunk
+//! boundaries that split consecutive pairs — produces `ActivityTables`
+//! **bit-identical** (f64 `==`, not epsilon) to the sequential
+//! [`ActivityTables::scan`] of the materialized trace. Same for the
+//! push-based [`TableBuilder`] under arbitrary feed chunkings and shard
+//! merges, and for the text round-trip through [`TextTraceSource`].
+
+use gcr_activity::io::{format_trace, TextTraceSource};
+use gcr_activity::{
+    scan_source, ActivityTables, CpuModel, ScanParams, ScanScratch, SliceSource, TableBuilder,
+};
+use proptest::prelude::*;
+
+fn assert_bit_identical(
+    got: &ActivityTables,
+    oracle: &ActivityTables,
+) -> Result<(), TestCaseError> {
+    // PartialEq on Ift/Itmatt compares every f64 (dense matrix and sparse
+    // view) with `==` — exact bit-identity for non-NaN probabilities.
+    prop_assert_eq!(got.ift(), oracle.ift());
+    prop_assert_eq!(got.itmatt(), oracle.itmatt());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel chunked scan == sequential scan, across thread counts,
+    /// chunk sizes and dense/sparse worker tables.
+    #[test]
+    fn scan_source_bit_identical_across_threads_and_chunks(
+        seed in 0u64..1_000,
+        modules in 4usize..48,
+        instructions in 2usize..14,
+        persistence in 0.0..0.95f64,
+        len in 2usize..2_500,
+        chunk_cycles in 1usize..300,
+        threads_idx in 0usize..4,
+        force_sparse in any::<bool>(),
+    ) {
+        let threads = [1usize, 2, 4, 8][threads_idx];
+        let model = CpuModel::builder(modules)
+            .instructions(instructions)
+            .persistence(persistence)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let stream = model.generate_stream(len.max(2));
+        let oracle = ActivityTables::scan(model.rtl(), &stream);
+        let params = ScanParams {
+            threads: Some(threads),
+            chunk_cycles,
+            dense_limit: if force_sparse { 0 } else { gcr_activity::DEFAULT_DENSE_LIMIT },
+        };
+        let mut scratch = ScanScratch::new();
+        // In-memory source.
+        let mut source = SliceSource::new(&stream);
+        let (tables, profile) =
+            scan_source(model.rtl(), &mut source, &params, &mut scratch).unwrap();
+        assert_bit_identical(&tables, &oracle)?;
+        prop_assert_eq!(profile.cycles, stream.len() as u64);
+        prop_assert_eq!(profile.threads, threads);
+        // Generator source, reusing the (possibly differently-shaped)
+        // scratch — never materializes the trace.
+        let mut gen_source = model.trace_source(stream.len() as u64);
+        let (gen_tables, _) =
+            scan_source(model.rtl(), &mut gen_source, &params, &mut scratch).unwrap();
+        assert_bit_identical(&gen_tables, &oracle)?;
+    }
+
+    /// Push-based TableBuilder: arbitrary feed chunkings and shard splits
+    /// (boundaries landing anywhere, including inside pairs) all stitch
+    /// back to the sequential tables.
+    #[test]
+    fn table_builder_bit_identical_under_arbitrary_chunking(
+        seed in 0u64..1_000,
+        modules in 4usize..32,
+        instructions in 2usize..10,
+        len in 2usize..600,
+        feed_chunk in 1usize..97,
+        split_a in 0usize..600,
+        split_b in 0usize..600,
+    ) {
+        let model = CpuModel::builder(modules)
+            .instructions(instructions)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let stream = model.generate_stream(len.max(2));
+        let ids = stream.instructions();
+        let oracle = ActivityTables::scan(model.rtl(), &stream);
+
+        // One builder, ragged chunking.
+        let mut builder = TableBuilder::new(model.rtl()).unwrap();
+        for chunk in ids.chunks(feed_chunk) {
+            builder.feed(chunk);
+        }
+        assert_bit_identical(&builder.finish(model.rtl()).unwrap(), &oracle)?;
+
+        // Three shards split at arbitrary (possibly degenerate) points,
+        // merged in stream order.
+        let (mut lo, mut hi) = (split_a % ids.len(), split_b % ids.len());
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let mut left = TableBuilder::new(model.rtl()).unwrap();
+        left.feed(&ids[..lo]);
+        let mut mid = TableBuilder::new(model.rtl()).unwrap();
+        mid.feed(&ids[lo..hi]);
+        let mut right = TableBuilder::new(model.rtl()).unwrap();
+        right.feed(&ids[hi..]);
+        left.merge(&mid).unwrap();
+        left.merge(&right).unwrap();
+        assert_bit_identical(&left.finish(model.rtl()).unwrap(), &oracle)?;
+    }
+
+    /// Text traces: format → stream through TextTraceSource → scan must
+    /// equal the sequential scan of the parsed stream.
+    #[test]
+    fn text_source_scan_bit_identical(
+        seed in 0u64..200,
+        len in 2usize..400,
+        chunk_cycles in 1usize..64,
+    ) {
+        let model = CpuModel::builder(12).instructions(6).seed(seed).build().unwrap();
+        let stream = model.generate_stream(len.max(2));
+        let oracle = ActivityTables::scan(model.rtl(), &stream);
+        let text = format_trace(model.rtl(), &stream);
+        let mut source = TextTraceSource::new(model.rtl(), text.as_bytes());
+        let params = ScanParams {
+            threads: Some(2),
+            chunk_cycles,
+            ..ScanParams::default()
+        };
+        let mut scratch = ScanScratch::new();
+        let (tables, _) = scan_source(model.rtl(), &mut source, &params, &mut scratch).unwrap();
+        assert_bit_identical(&tables, &oracle)?;
+    }
+}
+
+/// `GCR_THREADS` is honored (and sanitized) when `ScanParams::threads`
+/// is `None`. Runs outside the proptest block because it mutates process
+/// environment; single test body so the env var cannot race a sibling.
+#[test]
+fn gcr_threads_env_resolution() {
+    let model = CpuModel::builder(16)
+        .instructions(8)
+        .seed(3)
+        .build()
+        .unwrap();
+    let stream = model.generate_stream(1_000);
+    let oracle = ActivityTables::scan(model.rtl(), &stream);
+    let mut scratch = ScanScratch::new();
+    for (value, expect) in [("3", 3usize), ("0", 1), ("99", 16), ("not-a-number", 1)] {
+        std::env::set_var("GCR_THREADS", value);
+        let mut source = SliceSource::new(&stream);
+        let (tables, profile) = scan_source(
+            model.rtl(),
+            &mut source,
+            &ScanParams::default(),
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(profile.threads, expect, "GCR_THREADS={value}");
+        assert_eq!(tables.itmatt(), oracle.itmatt());
+    }
+    std::env::remove_var("GCR_THREADS");
+}

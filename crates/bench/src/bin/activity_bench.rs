@@ -1,0 +1,370 @@
+//! Streaming activity-scan throughput on the production scenario presets.
+//!
+//! For each [`ActivityScenario`] this measures, on the same
+//! multi-million-cycle trace:
+//!
+//! * the **sequential oracle** — materialize the trace, then
+//!   [`ActivityTables::scan`] (the paper's original path);
+//! * the **streaming scan** at 1 thread — [`gcr_activity::scan_source`]
+//!   over the incremental model generator, cold run to grow the
+//!   [`ScanScratch`], then a timed warm rescan whose chunk loop must not
+//!   allocate (`loop_allocs`, fed by a counting global allocator through
+//!   [`gcr_activity::set_alloc_probe`]);
+//! * the **streaming scan** at 8 threads — same contract, and the tables
+//!   must stay **bit-identical** to the sequential oracle at every thread
+//!   count (`identical_topology` in the JSON, reusing the gate name
+//!   `bench_diff` already enforces).
+//!
+//! Rows are emitted with `"strict_zero_alloc": true`, which makes
+//! `bench_diff` fail — without needing a baseline — whenever a warm chunk
+//! loop allocated; the usual wall-time threshold catches throughput
+//! regressions against the checked-in `BENCH_activity.json`.
+//!
+//! Usage: `activity_bench [--cycles N] [--seed S] [--out BENCH_activity.json]`
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use gcr_activity::{ActivityTables, ScanParams, ScanProfile, ScanScratch};
+use gcr_workloads::ActivityScenario;
+
+/// Pass-through allocator that counts allocation events (alloc + realloc),
+/// so the scan can report how many its chunk and merge windows perform.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_probe() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Modules in every scenario model: enough for non-trivial RTL without
+/// dominating the scan with table construction.
+const MODULES: usize = 96;
+
+/// One scenario's measurements.
+struct ScenarioRun {
+    scenario: ActivityScenario,
+    cycles: u64,
+    /// Materialize + sequential scan, wall ms.
+    sequential_ms: f64,
+    /// Warm single-thread streaming scan.
+    warm1: ScanProfile,
+    warm1_ms: f64,
+    /// Warm 8-thread streaming scan.
+    warm8: ScanProfile,
+    warm8_ms: f64,
+    /// Streamed tables (both thread counts) == sequential oracle, bit
+    /// for bit.
+    identical_tables: bool,
+}
+
+impl ScenarioRun {
+    /// Warm 8-thread speedup over the warm single-thread run.
+    fn speedup_8t(&self) -> f64 {
+        self.warm1_ms / self.warm8_ms.max(1e-6)
+    }
+}
+
+#[expect(
+    clippy::expect_used,
+    reason = "bench harness: aborting on a degenerate generated model is intended"
+)]
+fn measure(scenario: ActivityScenario, cycles: u64, seed: u64) -> ScenarioRun {
+    let model = scenario
+        .model(MODULES, seed)
+        .expect("scenario model is valid by construction");
+
+    // Sequential oracle: the paper's path — materialize, then scan.
+    let t0 = Instant::now();
+    let stream = model.generate_stream(cycles as usize);
+    let oracle = ActivityTables::scan(model.rtl(), &stream);
+    let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(stream);
+
+    // Streaming, warm: per thread count, a cold scan grows the scratch
+    // and the timed rescan reuses it — the steady-state regime whose
+    // chunk loop must not allocate.
+    let warm_scan = |threads: usize| -> (ActivityTables, ScanProfile, f64) {
+        let params = ScanParams {
+            threads: Some(threads),
+            ..ScanParams::default()
+        };
+        let mut scratch = ScanScratch::new();
+        let mut cold = model.trace_source(cycles);
+        gcr_activity::scan_source(model.rtl(), &mut cold, &params, &mut scratch)
+            .expect("streaming scan failed on a generated trace");
+        let mut warm = model.trace_source(cycles);
+        let t = Instant::now();
+        let (tables, profile) =
+            gcr_activity::scan_source(model.rtl(), &mut warm, &params, &mut scratch)
+                .expect("streaming scan failed on a generated trace");
+        (tables, profile, t.elapsed().as_secs_f64() * 1e3)
+    };
+    let (tables1, warm1, warm1_ms) = warm_scan(1);
+    let (tables8, warm8, warm8_ms) = warm_scan(8);
+
+    let identical_tables = tables1.ift() == oracle.ift()
+        && tables1.itmatt() == oracle.itmatt()
+        && tables8.ift() == oracle.ift()
+        && tables8.itmatt() == oracle.itmatt();
+
+    ScenarioRun {
+        scenario,
+        cycles,
+        sequential_ms,
+        warm1,
+        warm1_ms,
+        warm8,
+        warm8_ms,
+        identical_tables,
+    }
+}
+
+/// Renders the `bench_diff`-compatible JSON document. The warm
+/// single-thread streaming run is the gated row (`pruned.wall_ms`,
+/// `pruned.loop_allocs`); the oracle and 8-thread numbers ride along as
+/// informational fields.
+fn render_json(cycles: u64, seed: u64, runs: &[ScenarioRun]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"params\": {{\"cycles\": {cycles}, \"seed\": {seed}, \"modules\": {MODULES}}},"
+    );
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(
+            out,
+            "      \"benchmark\": \"{}\", \"objective\": \"activity-scan\", \
+             \"cycles\": {},",
+            r.scenario.name(),
+            r.cycles
+        );
+        let _ = writeln!(
+            out,
+            "      \"pruned\": {{\"wall_ms\": {:.3}, \"loop_allocs\": {}, \
+             \"merge_allocs\": {}, \"chunks\": {}}},",
+            r.warm1_ms, r.warm1.chunk_allocs, r.warm1.merge_allocs, r.warm1.chunks
+        );
+        let _ = writeln!(
+            out,
+            "      \"sequential_wall_ms\": {:.3}, \"warm8_wall_ms\": {:.3}, \
+             \"speedup_8t\": {:.2}, \"threads8\": {}, \
+             \"cycles_per_sec\": {:.0},",
+            r.sequential_ms,
+            r.warm8_ms,
+            r.speedup_8t(),
+            r.warm8.threads,
+            r.warm1.cycles_per_sec()
+        );
+        let _ = writeln!(
+            out,
+            "      \"strict_zero_alloc\": true, \"identical_topology\": {}",
+            r.identical_tables
+        );
+        out.push_str(if i + 1 == runs.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parsed command line.
+#[derive(Debug)]
+struct Cli {
+    cycles: u64,
+    seed: u64,
+    out_path: String,
+}
+
+/// Parses the argument list (without the program name). Errors are the
+/// usage message to print before exiting nonzero.
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        cycles: 10_000_000,
+        seed: 20,
+        out_path: String::from("BENCH_activity.json"),
+    };
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        if arg == "--cycles" {
+            cli.cycles = value("--cycles")?
+                .parse::<u64>()
+                .map_err(|e| format!("--cycles: {e}"))?
+                .max(2);
+        } else if arg == "--seed" {
+            cli.seed = value("--seed")?
+                .parse::<u64>()
+                .map_err(|e| format!("--seed: {e}"))?;
+        } else if arg == "--out" {
+            cli.out_path = value("--out")?;
+        } else {
+            return Err(format!(
+                "unknown argument `{arg}`; usage: activity_bench [--cycles N] \
+                 [--seed S] [--out PATH]"
+            ));
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    gcr_activity::set_alloc_probe(alloc_probe);
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut runs = Vec::new();
+    for scenario in ActivityScenario::ALL {
+        eprintln!(
+            "{scenario}: streaming {} cycles ({})...",
+            cli.cycles,
+            scenario.description()
+        );
+        runs.push(measure(scenario, cli.cycles, cli.seed));
+    }
+
+    let mut ok = true;
+    for r in &runs {
+        println!(
+            "{:<16} cycles {:>10}  sequential {:>8.1} ms  warm 1t {:>8.1} ms \
+             ({:>6.1} Mcyc/s, loop allocs {:>2})  warm 8t {:>8.1} ms ({:.2}x)  identical {}",
+            r.scenario.name(),
+            r.cycles,
+            r.sequential_ms,
+            r.warm1_ms,
+            r.warm1.cycles_per_sec() / 1e6,
+            r.warm1.chunk_allocs,
+            r.warm8_ms,
+            r.speedup_8t(),
+            r.identical_tables,
+        );
+        if !r.identical_tables {
+            eprintln!(
+                "FAIL: {} streamed tables diverged from the sequential oracle",
+                r.scenario.name()
+            );
+            ok = false;
+        }
+        if r.warm1.chunk_allocs > 0 {
+            eprintln!(
+                "FAIL: {} warm single-thread chunk loop allocated {} times",
+                r.scenario.name(),
+                r.warm1.chunk_allocs
+            );
+            ok = false;
+        }
+    }
+
+    let json = render_json(cli.cycles, cli.seed, &runs);
+    if let Err(e) = std::fs::write(&cli.out_path, &json) {
+        eprintln!("failed to write {}: {e}", cli.out_path);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", cli.out_path);
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_args_defaults() {
+        let cli = parse_args(Vec::new()).unwrap();
+        assert_eq!(cli.cycles, 10_000_000);
+        assert_eq!(cli.out_path, "BENCH_activity.json");
+    }
+
+    #[test]
+    fn parse_args_overrides() {
+        let cli =
+            parse_args(["--cycles", "5000", "--seed", "7", "--out", "x.json"].map(String::from))
+                .unwrap();
+        assert_eq!(cli.cycles, 5_000);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.out_path, "x.json");
+    }
+
+    #[test]
+    fn arg_errors_are_reported() {
+        assert!(parse_args(["--cycles"].map(String::from)).is_err());
+        assert!(parse_args(["--cycles", "nope"].map(String::from)).is_err());
+        assert!(parse_args(["--bogus"].map(String::from))
+            .unwrap_err()
+            .contains("unknown argument"));
+    }
+
+    #[test]
+    fn json_rows_carry_the_gate_fields() {
+        let run = measure(ActivityScenario::LowPersistence, 5_000, 3);
+        assert!(run.identical_tables);
+        let json = render_json(5_000, 3, &[run]);
+        let doc = gcr_bench::json::parse(&json).unwrap();
+        let rows = doc
+            .get("runs")
+            .and_then(gcr_bench::json::Json::as_array)
+            .unwrap();
+        let row = &rows[0];
+        assert_eq!(
+            row.get("benchmark").and_then(gcr_bench::json::Json::as_str),
+            Some("low-persistence")
+        );
+        assert_eq!(
+            row.get("strict_zero_alloc")
+                .and_then(gcr_bench::json::Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            row.get("identical_topology")
+                .and_then(gcr_bench::json::Json::as_bool),
+            Some(true)
+        );
+        assert!(row
+            .get("pruned")
+            .and_then(|p| p.get("loop_allocs"))
+            .and_then(gcr_bench::json::Json::as_f64)
+            .is_some());
+    }
+}

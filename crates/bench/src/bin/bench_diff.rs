@@ -18,7 +18,11 @@
 //! * any new run's warm-ECO loop allocated (`eco_loop_allocs > 0` — a
 //!   broken zero-allocation contract, gated without needing a
 //!   baseline), or a common run's `eco_warm_ms` regressed, or its
-//!   `eco_speedup_vs_scratch` fell, by more than the threshold.
+//!   `eco_speedup_vs_scratch` fell, by more than the threshold, or
+//! * any new run marked `"strict_zero_alloc": true` (the
+//!   `activity_bench` streaming-scan rows) reported
+//!   `pruned.loop_allocs > 0` — like the ECO contract, gated without
+//!   needing a baseline.
 //!
 //! The ECO columns are optional on both sides (`greedy_bench --eco`
 //! emits them); a file without them diffs exactly as before.
@@ -49,6 +53,10 @@ struct Run {
     eco_warm_ms: f64,
     eco_speedup: f64,
     eco_loop_allocs: f64,
+    /// When true, `pruned_loop_allocs > 0` fails without a baseline
+    /// (`activity_bench` emits this on its streaming-scan rows).
+    strict_zero_alloc: bool,
+    pruned_loop_allocs: f64,
 }
 
 fn load_runs(path: &str) -> Result<BTreeMap<(String, String), Run>, String> {
@@ -104,6 +112,14 @@ fn load_runs(path: &str) -> Result<BTreeMap<(String, String), Run>, String> {
                 eco_warm_ms: optional("eco_warm_ms"),
                 eco_speedup: optional("eco_speedup_vs_scratch"),
                 eco_loop_allocs: optional("eco_loop_allocs"),
+                strict_zero_alloc: run
+                    .get("strict_zero_alloc")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+                pruned_loop_allocs: pruned
+                    .get("loop_allocs")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN),
             },
         );
     }
@@ -140,6 +156,16 @@ fn diff(
             lines.push(format!(
                 "{benchmark:<4} {objective:<18} FAIL (warm ECO loop allocated {} times)",
                 new_run.eco_loop_allocs
+            ));
+            ok = false;
+        }
+        // Same baseline-free discipline for rows that opted into the
+        // strict zero-allocation contract (streaming activity scans):
+        // any warm-loop allocation is a failure on its own.
+        if new_run.strict_zero_alloc && new_run.pruned_loop_allocs > 0.0 {
+            lines.push(format!(
+                "{benchmark:<4} {objective:<18} FAIL (strict warm loop allocated {} times)",
+                new_run.pruned_loop_allocs
             ));
             ok = false;
         }
@@ -375,6 +401,8 @@ mod tests {
             eco_warm_ms: f64::NAN,
             eco_speedup: f64::NAN,
             eco_loop_allocs: f64::NAN,
+            strict_zero_alloc: false,
+            pruned_loop_allocs: 0.0,
         }
     }
 
@@ -446,6 +474,26 @@ mod tests {
         assert!(lines
             .iter()
             .any(|l| l.contains("eco_speedup_vs_scratch fell")));
+    }
+
+    #[test]
+    fn strict_rows_fail_on_any_loop_allocation_without_a_baseline() {
+        let baseline = map(vec![]);
+        let mut new_run = run_entry(10.0, true);
+        new_run.strict_zero_alloc = true;
+        new_run.pruned_loop_allocs = 2.0;
+        let fresh = map(vec![("bursty", "activity-scan", new_run)]);
+        let (ok, lines) = diff(&baseline, &fresh, 25.0, false);
+        assert!(!ok);
+        assert!(lines.iter().any(|l| l.contains("strict warm loop")));
+
+        // The same allocations on a row that did not opt in stay quiet:
+        // BENCH_greedy's coarsened rows legitimately allocate.
+        let mut lax = run_entry(10.0, true);
+        lax.pruned_loop_allocs = 12.0;
+        let fresh = map(vec![("r6", "equation-3", lax)]);
+        let (ok, _) = diff(&baseline, &fresh, 25.0, false);
+        assert!(ok, "non-strict rows must tolerate loop allocations");
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! §4.3 gate-reduction decisions vs. trace length.
+//!
+//! The paper drives every benchmark with one 20k-cycle stream. This study
+//! asks how much trace that decision actually needs: on a **fixed** gated
+//! r1 topology, the optimal control subset (`reduce_gates_optimal`) is
+//! recomputed from activity tables built over growing prefixes of the
+//! same instruction stream — 2k to 20M cycles, each streamed through
+//! `gcr_activity::scan_source` without materializing the trace — and
+//! every short-trace mask is judged under the *converged* (20M-cycle)
+//! statistics: how many keep/untie decisions flip, and how much switched
+//! capacitance the flipped decisions cost.
+//!
+//! Keeping the topology fixed isolates the reduction decision from the
+//! routing decision (both consume the tables; re-routing per length would
+//! conflate them and make masks incomparable across runs).
+//!
+//! Run with: `cargo run --release -p gcr-report --bin reduction_vs_trace`
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gcr_activity::{ActivityTables, CpuModel, EnableStats, ScanParams, ScanScratch};
+use gcr_core::{evaluate_with_mask, reduce_gates_optimal, route_gated, RouterConfig};
+use gcr_rctree::Technology;
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+/// Trace-length axis; the last entry is the converged reference.
+const LENGTHS: [u64; 5] = [2_000, 20_000, 200_000, 2_000_000, 20_000_000];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // r1 geometry (267 sinks, one activity-model module per sink) and the
+    // paper's activity-model knobs, seed 1998 — the same model every
+    // other experiment runs; only the trace length varies here.
+    let params = WorkloadParams::default();
+    let workload = Workload::generate(TsayBenchmark::R1, &WorkloadParams::smoke())?;
+    let sinks = &workload.benchmark.sinks;
+    let model = CpuModel::builder(sinks.len())
+        .instructions(params.instructions)
+        .usage_fraction(params.usage_fraction)
+        .persistence(params.persistence)
+        .groups(params.groups)
+        .seed(params.seed)
+        .build()?;
+
+    // Stream each prefix length through the chunked scan; one scratch
+    // serves all lengths. trace_source(L) is the first L cycles of the
+    // same deterministic sequence, so longer rows refine, not redraw.
+    let mut scratch = ScanScratch::new();
+    let scan = |len: u64, scratch: &mut ScanScratch| -> Result<ActivityTables, _> {
+        let mut source = model.trace_source(len);
+        gcr_activity::scan_source(model.rtl(), &mut source, &ScanParams::default(), scratch)
+            .map(|(tables, _)| tables)
+    };
+
+    // Fixed topology: routed once under the converged tables.
+    let reference_tables = scan(*LENGTHS.last().unwrap(), &mut scratch)?;
+    let tech = Technology::default();
+    let config = RouterConfig::new(tech.clone(), workload.benchmark.die);
+    let routing = route_gated(sinks, &reference_tables, &config)?;
+    let stats_under = |tables: &ActivityTables| -> Vec<EnableStats> {
+        routing
+            .node_modules
+            .iter()
+            .map(|set| tables.enable_stats(set))
+            .collect()
+    };
+    let reference_stats = stats_under(&reference_tables);
+    let reference_mask = reduce_gates_optimal(&routing, &tech, config.controller());
+    let reference_w = evaluate_with_mask(
+        &routing.tree,
+        &reference_stats,
+        config.controller(),
+        &tech,
+        &reference_mask,
+    )
+    .total_switched_cap;
+
+    println!(
+        "r1, {} sinks, fixed topology; decisions judged under the \
+         {}-cycle reference (W = {reference_w:.1} pF, {} controls kept)\n",
+        sinks.len(),
+        LENGTHS.last().unwrap(),
+        reference_mask.iter().filter(|&&m| m).count(),
+    );
+    println!(
+        "{:>10}  {:>5}  {:>6}  {:>9}  {:>7}",
+        "cycles", "kept", "flips", "W(ref) pF", "excess"
+    );
+    for len in LENGTHS {
+        let tables = scan(len, &mut scratch)?;
+        // Same tree, short-trace statistics: swap the per-node stats and
+        // re-run the exact control-subset DP.
+        let mut short = routing.clone();
+        short.node_stats = stats_under(&tables);
+        let mask = reduce_gates_optimal(&short, &tech, config.controller());
+        let kept = mask.iter().filter(|&&m| m).count();
+        let flips = mask
+            .iter()
+            .zip(&reference_mask)
+            .filter(|(a, b)| a != b)
+            .count();
+        // The short-trace decision priced under the converged truth.
+        let w = evaluate_with_mask(
+            &routing.tree,
+            &reference_stats,
+            config.controller(),
+            &tech,
+            &mask,
+        )
+        .total_switched_cap;
+        println!(
+            "{len:>10}  {kept:>5}  {flips:>6}  {w:>9.1}  {:>+6.2}%",
+            100.0 * (w - reference_w) / reference_w,
+        );
+    }
+    Ok(())
+}

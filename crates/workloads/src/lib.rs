@@ -29,8 +29,10 @@
 mod benchmark;
 mod eco_stream;
 pub mod io;
+mod scenarios;
 mod workload;
 
 pub use benchmark::{Benchmark, TsayBenchmark};
 pub use eco_stream::{generate_eco_stream, EcoStreamParams};
+pub use scenarios::ActivityScenario;
 pub use workload::{Workload, WorkloadParams, CLAMPED_MODULES, MODULE_IDENTITY_LIMIT};

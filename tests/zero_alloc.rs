@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use std::sync::Arc;
 
-use gcr_activity::{ActivityTables, CpuModel};
+use gcr_activity::{ActivityTables, CpuModel, ScanParams, ScanScratch, SliceSource};
 use gcr_core::{GatedObjective, RouterConfig};
 use gcr_cts::{
     apply_eco, plan_eco_leaves, run_greedy_with_scratch, run_greedy_with_scratch_traced, EcoEdit,
@@ -79,6 +79,64 @@ fn warm_loop_allocs<O: MergeObjective + Clone>(n: usize, objective: &O) -> u64 {
 #[test]
 fn warm_greedy_loop_performs_zero_allocations() {
     gcr_cts::set_alloc_probe(alloc_probe);
+    gcr_activity::set_alloc_probe(alloc_probe);
+
+    // Warm streaming activity scan: after a cold scan grows the
+    // ScanScratch, a single-threaded warm rescan must not allocate in the
+    // chunk loop — reads land in the reused buffer, counts in the reused
+    // per-worker table. (The merge window builds the returned tables and
+    // is expected to allocate; only the chunk window is gated.) Checked
+    // for both an in-memory source and the incremental model generator,
+    // and for the dense and sparse per-worker count layouts.
+    let scan_model = CpuModel::builder(64)
+        .instructions(16)
+        .persistence(0.8)
+        .seed(42)
+        .build()
+        .unwrap();
+    let scan_stream = scan_model.generate_stream(50_000);
+    for dense_limit in [gcr_activity::DEFAULT_DENSE_LIMIT, 0] {
+        let scan_params = ScanParams {
+            threads: Some(1),
+            chunk_cycles: 4_096,
+            dense_limit,
+        };
+        let mut scan_scratch = ScanScratch::new();
+        let mut cold_source = SliceSource::new(&scan_stream);
+        gcr_activity::scan_source(
+            scan_model.rtl(),
+            &mut cold_source,
+            &scan_params,
+            &mut scan_scratch,
+        )
+        .unwrap();
+        let mut warm_source = SliceSource::new(&scan_stream);
+        let (_, profile) = gcr_activity::scan_source(
+            scan_model.rtl(),
+            &mut warm_source,
+            &scan_params,
+            &mut scan_scratch,
+        )
+        .unwrap();
+        assert_eq!(
+            profile.chunk_allocs, 0,
+            "warm slice-source chunk loop allocated {} times (dense_limit {dense_limit})",
+            profile.chunk_allocs
+        );
+        let mut model_source = scan_model.trace_source(50_000);
+        let (_, profile) = gcr_activity::scan_source(
+            scan_model.rtl(),
+            &mut model_source,
+            &scan_params,
+            &mut scan_scratch,
+        )
+        .unwrap();
+        assert_eq!(
+            profile.chunk_allocs, 0,
+            "warm generator chunk loop allocated {} times (dense_limit {dense_limit})",
+            profile.chunk_allocs
+        );
+    }
     let n = 300;
     let sinks = spread_sinks(n);
     let tech = Technology::default();
