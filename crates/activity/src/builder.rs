@@ -47,9 +47,6 @@ pub const DEFAULT_CHUNK_CYCLES: usize = 64 * 1024;
 /// pairs instead of K².
 pub const DEFAULT_DENSE_LIMIT: usize = 1024;
 
-/// Hard cap on worker threads (mirrors the greedy engine's cap).
-const MAX_THREADS: usize = 16;
-
 /// Tuning knobs of [`scan_source`].
 #[derive(Clone, Debug)]
 pub struct ScanParams {
@@ -136,32 +133,15 @@ fn alloc_count() -> u64 {
 
 /// Worker-thread count for this scan: explicit [`ScanParams::threads`],
 /// else the `GCR_THREADS` environment variable, else
-/// `available_parallelism()`; clamped to `1..=16`.
+/// `available_parallelism()`; clamped to `1..=16`. Long-lived services
+/// resolve once at startup and pin [`ScanParams::threads`] instead.
 ///
-/// An unparsable `GCR_THREADS` is **rejected**, not silently ignored: it
-/// reports an `activity.threads` warning through `tracer` and resolves to
-/// 1, matching the greedy engine's policy.
+/// Delegates to the workspace-shared resolver
+/// ([`gcr_trace::threads::resolve`]) so the rejection policy and warn
+/// wording stay bit-identical to the greedy engine's; an unparsable
+/// `GCR_THREADS` warns under `activity.threads` and resolves to 1.
 fn resolve_threads(explicit: Option<usize>, tracer: &Tracer) -> usize {
-    explicit
-        .or_else(|| match std::env::var("GCR_THREADS") {
-            Ok(s) => match s.trim().parse() {
-                Ok(n) => Some(n),
-                Err(_) => {
-                    if tracer.enabled() {
-                        tracer.warn(
-                            "activity.threads",
-                            &format!("unparsable GCR_THREADS value {s:?}; running single-threaded"),
-                        );
-                    }
-                    Some(1)
-                }
-            },
-            Err(_) => None,
-        })
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        })
-        .clamp(1, MAX_THREADS)
+    gcr_trace::threads::resolve(explicit, "activity.threads", tracer)
 }
 
 /// One worker's partial count table: exact `u64` numerators of the IFT

@@ -103,6 +103,43 @@ pub fn route_gated_eco_traced(
     scratch: &mut EcoScratch,
     tracer: &Tracer,
 ) -> Result<GatedEcoResult, RouteError> {
+    route_gated_eco_with_params(
+        old,
+        old_sinks,
+        old_module_of,
+        edits,
+        tables,
+        config,
+        &GreedyParams::default(),
+        scratch,
+        tracer,
+    )
+}
+
+/// [`route_gated_eco_traced`] with explicit [`GreedyParams`] for the
+/// splice search. Long-lived services use this to pin the worker-thread
+/// count resolved once at startup ([`gcr_trace::threads::resolve`])
+/// instead of re-reading `GCR_THREADS` on every request, which the
+/// default-params entry points do.
+///
+/// # Errors
+///
+/// As [`route_gated_eco_traced`].
+#[expect(
+    clippy::too_many_arguments,
+    reason = "mirrors the traced route entry points"
+)]
+pub fn route_gated_eco_with_params(
+    old: &GatedRouting,
+    old_sinks: &[Sink],
+    old_module_of: &[usize],
+    edits: &[EcoEdit],
+    tables: &ActivityTables,
+    config: &RouterConfig,
+    params: &GreedyParams,
+    scratch: &mut EcoScratch,
+    tracer: &Tracer,
+) -> Result<GatedEcoResult, RouteError> {
     let num_modules = tables.rtl().num_modules();
     if old_sinks.len() != old.topology.num_leaves()
         || old_module_of.len() != old_sinks.len()
@@ -141,7 +178,7 @@ pub fn route_gated_eco_traced(
         &old_locations,
         edits,
         &mut objective,
-        &GreedyParams::default(),
+        params,
         scratch,
         tracer,
     )?;

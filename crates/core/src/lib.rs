@@ -78,7 +78,9 @@ mod tellez;
 pub use controller::ControllerPlan;
 pub use corners::{corner_analysis, CornerResult};
 pub use cost::merge_switched_cap;
-pub use eco::{route_gated_eco, route_gated_eco_traced, GatedEcoResult};
+pub use eco::{
+    route_gated_eco, route_gated_eco_traced, route_gated_eco_with_params, GatedEcoResult,
+};
 pub use error::RouteError;
 pub use evaluate::{
     evaluate, evaluate_breakdown, evaluate_buffered, evaluate_traced, evaluate_with_mask,

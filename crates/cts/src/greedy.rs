@@ -436,42 +436,18 @@ const PARALLEL_THRESHOLD: usize = 4_096;
 /// keep expansion entries surfacing for most of the run.
 const INITIAL_RINGS: usize = 6;
 
-/// Hard cap on worker threads (diminishing returns past the memory
-/// bandwidth of one socket).
-const MAX_THREADS: usize = 16;
-
 /// Worker-thread count for this run: explicit [`GreedyParams::threads`],
 /// else the `GCR_THREADS` environment variable, else
 /// `available_parallelism()`; clamped to `1..=MAX_THREADS`. Called once
-/// per run (reading the environment allocates).
+/// per run (reading the environment allocates). Long-lived services
+/// resolve once at startup and pin [`GreedyParams::threads`] instead.
 ///
-/// An unparsable `GCR_THREADS` is **rejected**, not silently ignored: it
-/// reports a `greedy.threads` warning through `tracer` and resolves to 1,
-/// so a typo in a CI timing run pins the engine instead of picking up
-/// ambient parallelism. Library code never writes to stderr — binaries
-/// that want the warning visible echo it from their sink.
+/// Delegates to the workspace-shared resolver
+/// ([`gcr_trace::threads::resolve`]) so the rejection policy and warn
+/// wording cannot drift between engines; an unparsable `GCR_THREADS`
+/// warns under `greedy.threads` and resolves to 1.
 pub(crate) fn resolve_threads(params: &GreedyParams, tracer: &Tracer) -> usize {
-    params
-        .threads
-        .or_else(|| match std::env::var("GCR_THREADS") {
-            Ok(s) => match s.trim().parse() {
-                Ok(n) => Some(n),
-                Err(_) => {
-                    if tracer.enabled() {
-                        tracer.warn(
-                            "greedy.threads",
-                            &format!("unparsable GCR_THREADS value {s:?}; running single-threaded"),
-                        );
-                    }
-                    Some(1)
-                }
-            },
-            Err(_) => None,
-        })
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        })
-        .clamp(1, MAX_THREADS)
+    gcr_trace::threads::resolve(params.threads, "greedy.threads", tracer)
 }
 
 /// One row of the deferred-candidate slab: `(bound, partner)` candidates
@@ -2456,7 +2432,7 @@ mod tests {
                 },
                 &tracer
             ),
-            MAX_THREADS
+            gcr_trace::threads::MAX_THREADS
         );
         assert!(resolve_threads(&GreedyParams::default(), &tracer) >= 1);
     }

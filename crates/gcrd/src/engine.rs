@@ -1,0 +1,420 @@
+//! The daemon's routing engine: cacheable design/routing entries and
+//! the compute paths that produce them.
+//!
+//! A [`DesignEntry`] is everything derivable from a design key —
+//! generated benchmark, scanned [`ActivityTables`](gcr_activity::ActivityTables),
+//! sink-to-module map, router configuration. A [`RoutingEntry`] is a
+//! completed gated routing plus its canonical decision log, the FNV-1a
+//! digest of that log, and the Equation-3 power evaluation — the full
+//! payload of a cache-hit response, so a hit is a pure replay that
+//! touches no engine code at all.
+//!
+//! [`route_design`] mirrors the single-shot CLI flow (`gcr-verify`'s
+//! audit path, [`gcr_core::route_gated_mapped_traced`]) exactly — same
+//! objective construction, same greedy engine, same embedding — so a
+//! daemon
+//! response is bit-identical to what the CLI produces for the same key.
+//! The one difference is mechanical: the daemon runs the greedy engine
+//! through a per-worker reusable [`GreedyScratch`] and *copies* the
+//! decision log out with [`GreedyScratch::decisions`] instead of
+//! stealing the buffer, which keeps the warm merge loop at
+//! `loop_allocs == 0`.
+
+use std::sync::Arc;
+
+use gcr_core::{
+    evaluate_traced, gated_region_factory, route_gated_eco_with_params, DeviceRole, GatedObjective,
+    GatedRouting, PowerReport, RouterConfig,
+};
+use gcr_cts::{
+    canonical_decision_log, embed_sized_traced, run_greedy_coarsened_traced,
+    run_greedy_with_scratch_traced, CoarsenParams, CoarsenScratch, DeviceAssignment, EcoEdit,
+    EcoOutcome, EcoScratch, GreedyParams, GreedyScratch, MergeDecision, SizingLimits,
+};
+use gcr_rctree::Technology;
+use gcr_trace::Tracer;
+use gcr_workloads::{TsayBenchmark, Workload, WorkloadParams};
+
+use crate::cache::fnv1a;
+
+/// Above this sink count the daemon routes through the hierarchical
+/// coarsening engine, matching the `gcr-verify` audit threshold — the
+/// flat pruned engine stays exact and economical below it.
+pub const COARSEN_LIMIT: usize = 10_000;
+
+/// The identity of a cacheable design: everything that determines the
+/// generated benchmark and activity tables bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DesignKey {
+    /// Which Tsay benchmark.
+    pub benchmark: TsayBenchmark,
+    /// Activity-stream length.
+    pub stream_len: usize,
+    /// Workload generator seed.
+    pub seed: u64,
+}
+
+impl DesignKey {
+    /// The canonical cache-key string; hashed with [`fnv1a`] for the
+    /// LRU key and stored alongside the entry for collision detection.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!(
+            "{}:{}:{}",
+            self.benchmark.name(),
+            self.stream_len,
+            self.seed
+        )
+    }
+
+    /// FNV-1a hash of [`Self::canonical`].
+    #[must_use]
+    pub fn hash(&self) -> u64 {
+        fnv1a(self.canonical().as_bytes())
+    }
+}
+
+/// Looks up a benchmark by its wire name (`"r1"` … `"r8"`).
+#[must_use]
+pub fn benchmark_by_name(name: &str) -> Option<TsayBenchmark> {
+    TsayBenchmark::ALL
+        .into_iter()
+        .chain(TsayBenchmark::SCALED)
+        .find(|b| b.name() == name)
+}
+
+/// A parsed, scanned, route-ready design (cache value).
+#[derive(Debug)]
+pub struct DesignEntry {
+    /// The key this entry was built from.
+    pub key: DesignKey,
+    /// Generated benchmark + scanned activity tables.
+    pub workload: Workload,
+    /// Sink-to-module map (identity on r1–r5, clamped on r6–r8).
+    pub module_of: Vec<usize>,
+    /// Router configuration: technology, die, source, controller plan —
+    /// the same defaults as the CLI (`RouterConfig::new`).
+    pub config: RouterConfig,
+}
+
+/// A completed routing plus its full response payload (cache value).
+#[derive(Debug)]
+pub struct RoutingEntry {
+    /// The routed, embedded gated clock tree.
+    pub routing: GatedRouting,
+    /// The committed merge decisions, in order.
+    pub decisions: Vec<MergeDecision>,
+    /// `canonical_decision_log(&decisions)`.
+    pub log: String,
+    /// FNV-1a digest of the canonical log — the wire `log_hash`.
+    pub log_hash: u64,
+    /// Equation-3 power evaluation of the routing.
+    pub report: PowerReport,
+    /// Merge-loop heap allocations of the run that produced this entry
+    /// (0 once the producing worker's scratch is warm).
+    pub loop_allocs: u64,
+}
+
+/// Per-worker reusable engine buffers. Each worker owns one; a warm
+/// scratch makes every subsequent flat-engine route allocation-free in
+/// its merge loop.
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
+    /// Flat pruned-engine arena + decision log buffer.
+    pub greedy: GreedyScratch,
+    /// Incremental-ECO frontier/replay buffers.
+    pub eco: EcoScratch,
+    /// Hierarchical-coarsening buffers (scale benchmarks only).
+    pub coarsen: CoarsenScratch,
+}
+
+impl WorkerScratch {
+    /// Fresh (cold) buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        WorkerScratch::default()
+    }
+}
+
+/// Generates and scans the design for `key`. This is the expensive,
+/// once-per-design path a design-cache hit skips.
+///
+/// # Errors
+///
+/// Returns a message for an invalid workload parameterization.
+pub fn build_design(key: DesignKey, tracer: &Tracer) -> Result<DesignEntry, String> {
+    let params = WorkloadParams::smoke()
+        .with_stream_len(key.stream_len)
+        .with_seed(key.seed);
+    let workload = Workload::generate_traced(key.benchmark, &params, tracer)
+        .map_err(|e| format!("workload generation failed: {e}"))?;
+    let module_of = workload.module_of();
+    let config = RouterConfig::new(Technology::default(), workload.benchmark.die);
+    Ok(DesignEntry {
+        key,
+        workload,
+        module_of,
+        config,
+    })
+}
+
+/// Routes `design` from scratch through the per-worker `scratch`,
+/// producing the full cacheable entry. Bit-identical to the CLI
+/// single-shot flow at any thread count and tracing state; the decision
+/// log is **copied** out of the scratch (not stolen), so a warm
+/// scratch's next run stays allocation-free.
+///
+/// # Errors
+///
+/// Returns a message for an engine failure (empty sink set, embedding
+/// failure — none occur for generated benchmarks).
+pub fn route_design(
+    design: &DesignEntry,
+    threads: usize,
+    scratch: &mut WorkerScratch,
+    tracer: &Tracer,
+) -> Result<RoutingEntry, String> {
+    let sinks = &design.workload.benchmark.sinks;
+    let tables = &design.workload.tables;
+    let config = &design.config;
+    let mut objective = GatedObjective::new(
+        config.tech(),
+        config.controller(),
+        tables,
+        sinks,
+        &design.module_of,
+    );
+    let params = GreedyParams {
+        threads: Some(threads),
+        log_decisions: true,
+    };
+    let (topology, profile, decisions) = if sinks.len() > COARSEN_LIMIT {
+        let coarsen = CoarsenParams {
+            greedy: params,
+            target_region_size: 0,
+        };
+        let factory = gated_region_factory(
+            config.tech(),
+            config.controller(),
+            tables,
+            sinks,
+            &design.module_of,
+        );
+        let (topology, _, profile) = run_greedy_coarsened_traced(
+            sinks.len(),
+            &mut objective,
+            factory,
+            &coarsen,
+            &mut scratch.coarsen,
+            tracer,
+        )
+        .map_err(|e| format!("coarsened route failed: {e}"))?;
+        let decisions = scratch.coarsen.decisions().to_vec();
+        (topology, profile, decisions)
+    } else {
+        let (topology, _, profile) = run_greedy_with_scratch_traced(
+            sinks.len(),
+            &mut objective,
+            &params,
+            &mut scratch.greedy,
+            tracer,
+        )
+        .map_err(|e| format!("route failed: {e}"))?;
+        // Copy, don't steal: `take_decisions` would leave the scratch's
+        // log buffer empty and the next warm run would regrow it,
+        // breaking the `loop_allocs == 0` steady state.
+        let decisions = scratch.greedy.decisions().to_vec();
+        (topology, profile, decisions)
+    };
+    let assignment = DeviceAssignment::everywhere(&topology, config.tech().and_gate());
+    let tree = embed_sized_traced(
+        &topology,
+        sinks,
+        config.tech(),
+        &assignment,
+        config.source(),
+        SizingLimits::default(),
+        tracer,
+    )
+    .map_err(|e| format!("embedding failed: {e}"))?;
+    let node_stats = objective.node_stats();
+    let node_modules = objective.node_modules();
+    let report = evaluate_traced(
+        &tree,
+        &node_stats,
+        config.controller(),
+        config.tech(),
+        DeviceRole::Gate,
+        tracer,
+    );
+    let log = canonical_decision_log(&decisions);
+    let log_hash = fnv1a(log.as_bytes());
+    Ok(RoutingEntry {
+        routing: GatedRouting {
+            topology,
+            assignment,
+            tree,
+            node_stats,
+            node_modules,
+        },
+        decisions,
+        log,
+        log_hash,
+        report,
+        loop_allocs: profile.loop_allocs,
+    })
+}
+
+/// The result of one incremental re-route served by the daemon.
+#[derive(Debug)]
+pub struct EcoAnswer {
+    /// Power evaluation of the re-routed tree.
+    pub report: PowerReport,
+    /// What the incremental engine did.
+    pub outcome: EcoOutcome,
+}
+
+/// Incrementally re-routes a cached routing under `edits` via the
+/// dirty-frontier engine — the 21–39× path for small edits — with the
+/// daemon's pinned thread count threaded through to the splice search.
+///
+/// # Errors
+///
+/// Returns a message for an invalid edit batch (out-of-range index,
+/// unknown module).
+pub fn eco_design(
+    design: &DesignEntry,
+    routing: &RoutingEntry,
+    edits: &[EcoEdit],
+    threads: usize,
+    scratch: &mut WorkerScratch,
+    tracer: &Tracer,
+) -> Result<EcoAnswer, String> {
+    let params = GreedyParams {
+        threads: Some(threads),
+        log_decisions: false,
+    };
+    let result = route_gated_eco_with_params(
+        &routing.routing,
+        &design.workload.benchmark.sinks,
+        &design.module_of,
+        edits,
+        &design.workload.tables,
+        &design.config,
+        &params,
+        &mut scratch.eco,
+        tracer,
+    )
+    .map_err(|e| format!("eco failed: {e}"))?;
+    let report = evaluate_traced(
+        &result.routing.tree,
+        &result.routing.node_stats,
+        design.config.controller(),
+        design.config.tech(),
+        DeviceRole::Gate,
+        tracer,
+    );
+    Ok(EcoAnswer {
+        report,
+        outcome: result.outcome,
+    })
+}
+
+/// Runs the full verifier lint suite over a routing and returns
+/// `(error_count, warn_count)`.
+#[must_use]
+pub fn verify_routing(design: &DesignEntry, routing: &RoutingEntry) -> (u64, u64) {
+    let verifier = gcr_verify::Verifier::with_default_lints();
+    let input = gcr_verify::VerifyInput::new(&routing.routing.tree, design.config.tech())
+        .with_die(design.workload.benchmark.die)
+        .with_controller(design.config.controller())
+        .with_tables(&design.workload.tables)
+        .with_node_stats(&routing.routing.node_stats)
+        .with_decision_log(&routing.decisions);
+    let report = verifier.run(&input);
+    let errors = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.severity == gcr_verify::Severity::Error)
+        .count();
+    let warns = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.severity == gcr_verify::Severity::Warn)
+        .count();
+    (errors as u64, warns as u64)
+}
+
+/// The single-shot CLI-equivalent reference: fresh (cold) scratch,
+/// single-threaded, untraced. Integration tests and the CI smoke
+/// compare daemon responses against this bit for bit.
+///
+/// # Errors
+///
+/// As [`build_design`] / [`route_design`].
+pub fn single_shot_reference(key: DesignKey) -> Result<(Arc<DesignEntry>, RoutingEntry), String> {
+    let tracer = Tracer::disabled();
+    let design = Arc::new(build_design(key, &tracer)?);
+    let routing = route_design(&design, 1, &mut WorkerScratch::new(), &tracer)?;
+    Ok((design, routing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_lookup_covers_suite_and_scaled() {
+        assert_eq!(benchmark_by_name("r1"), Some(TsayBenchmark::R1));
+        assert_eq!(benchmark_by_name("r5"), Some(TsayBenchmark::R5));
+        assert_eq!(benchmark_by_name("r8"), Some(TsayBenchmark::R8));
+        assert_eq!(benchmark_by_name("r9"), None);
+    }
+
+    #[test]
+    fn design_key_canonical_is_stable() {
+        let key = DesignKey {
+            benchmark: TsayBenchmark::R1,
+            stream_len: 500,
+            seed: 1998,
+        };
+        assert_eq!(key.canonical(), "r1:500:1998");
+        assert_eq!(key.hash(), fnv1a(b"r1:500:1998"));
+    }
+
+    /// A warm-scratch re-route reproduces the cold route bit for bit
+    /// (same canonical log, same hash) and the ECO fast path over a
+    /// no-op edit batch is a pure replay — the daemon's cache-hit and
+    /// incremental contracts, exercised without any networking.
+    #[test]
+    fn warm_reroute_and_pure_replay_match_cold_reference() {
+        let key = DesignKey {
+            benchmark: TsayBenchmark::R1,
+            stream_len: 500,
+            seed: 1998,
+        };
+        let tracer = Tracer::disabled();
+        let design = build_design(key, &tracer).unwrap();
+        let mut scratch = WorkerScratch::new();
+        let cold = route_design(&design, 1, &mut scratch, &tracer).unwrap();
+        let warm = route_design(&design, 1, &mut scratch, &tracer).unwrap();
+        assert_eq!(cold.log, warm.log);
+        assert_eq!(cold.log_hash, warm.log_hash);
+        assert_eq!(cold.routing.topology, warm.routing.topology);
+
+        let eco = eco_design(
+            &design,
+            &warm,
+            &[EcoEdit::SwapActivity { module: 0 }],
+            1,
+            &mut scratch,
+            &tracer,
+        )
+        .unwrap();
+        assert!(eco.outcome.pure_replay);
+        assert_eq!(eco.outcome.topology, cold.routing.topology);
+
+        let (errors, _) = verify_routing(&design, &warm);
+        assert_eq!(errors, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! `gcrd` — the long-running gated-clock-routing daemon.
+//!
+//! Everything below `gcrd` in this workspace is batch: generate a
+//! design, route it, evaluate it, exit. This crate turns that pipeline
+//! into a service. A daemon process binds a TCP port and serves
+//! `route` / `evaluate` / `verify` / `eco` requests for many designs
+//! concurrently over a newline-delimited JSON protocol
+//! ([`protocol`]), with:
+//!
+//! - **Keyed caches** ([`cache`]): parsed designs (generated benchmark
+//!   and scanned activity tables) and completed routings are cached
+//!   under the FNV-1a hash of their canonical key. A routing-cache hit is a
+//!   pure replay — the response (decision-log digest included) is
+//!   byte-identical to the miss that populated it, and bit-identical to
+//!   a single-shot CLI run of the same design.
+//! - **Per-worker reusable scratch** ([`engine::WorkerScratch`]): each
+//!   worker owns the engine arenas, so a warm worker's flat merge loop
+//!   performs zero heap allocations, daemon or no daemon.
+//! - **Bounded queue with backpressure** ([`service`]): a full queue
+//!   answers `rejected` with a `retry_after_ms` hint instead of
+//!   blocking; requests may carry a queue deadline.
+//! - **Incremental ECO**: `eco` requests against a cached design take
+//!   the dirty-frontier path ([`gcr_core::route_gated_eco_with_params`])
+//!   — the 21–39× shortcut over re-routing from scratch.
+//! - **Graceful shutdown**: `shutdown` drains queued and in-flight work,
+//!   answers everything, then stops.
+//! - **Observability**: every request emits a `gcrd.request` complete
+//!   span (with `gcrd.parse` / `gcrd.cache` / `gcrd.route` /
+//!   `gcrd.respond` phases) and the `gcrd.{hits,misses,rejected,
+//!   inflight,completed,panics}` counters through [`gcr_trace`].
+//!
+//! The engine thread count is resolved **once** at startup
+//! ([`gcr_trace::threads::resolve`]) and pinned through explicit params
+//! on every engine call — the daemon never re-reads `GCR_THREADS` per
+//! request.
+//!
+//! Binaries: `gcrd` (the daemon), `gcrd-client` (batch driver: send a
+//! `.jsonl` file, print responses), `gcrd-smoke` (the CI smoke gate:
+//! concurrent clients, bit-identity against a single-shot reference,
+//! backpressure, clean shutdown).
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod engine;
+pub mod protocol;
+pub mod service;
+
+pub use engine::{DesignKey, WorkerScratch, COARSEN_LIMIT};
+pub use protocol::{Command, Request, Response, MAX_LINE_BYTES};
+pub use service::{Service, ServiceConfig};

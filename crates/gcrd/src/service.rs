@@ -1,0 +1,715 @@
+//! The daemon itself: TCP acceptor, bounded work queue, blocking worker
+//! pool, caches, counters, and graceful shutdown.
+//!
+//! ## Concurrency model
+//!
+//! One nonblocking acceptor loop (the thread that called
+//! [`Service::run`]) spawns a thread per connection; connection threads
+//! parse request lines and either answer inline (`ping` / `stats` /
+//! `shutdown`) or enqueue a [`Job`] on the bounded queue. `workers`
+//! threads pop jobs and compute through per-worker reusable engine
+//! scratch ([`WorkerScratch`]) — so a warm worker's flat-engine merge
+//! loop allocates nothing. Responses go back through a per-connection
+//! writer mutex, so concurrent workers never interleave bytes on one
+//! socket.
+//!
+//! ## Backpressure and deadlines
+//!
+//! A full queue answers immediately with `status: "rejected"` and a
+//! `retry_after_ms` hint — the daemon never blocks an enqueue on a slow
+//! pool (the NDJSON analogue of HTTP 429 + Retry-After). A request may
+//! carry `deadline_ms`; if it spends longer than that *queued*, the
+//! worker answers with an error instead of doing stale work.
+//!
+//! ## Worker panics
+//!
+//! A panicking request is caught with [`std::panic::catch_unwind`]; the
+//! worker answers that request with an error, discards its (possibly
+//! inconsistent) scratch for a fresh one, bumps the `gcrd.panics`
+//! counter, and keeps serving. A bug in one request's input never
+//! wedges the daemon. The shared caches are never locked across engine
+//! calls, and every shared lock is poison-tolerant
+//! ([`PoisonError::into_inner`]), so even a panic at an unlucky point
+//! cannot poison another worker's path.
+//!
+//! ## Graceful shutdown
+//!
+//! `shutdown` flips the service into draining: new work is rejected
+//! (`"draining"`), queued and in-flight requests finish and are
+//! answered, then the shutdown request itself is answered with the
+//! lifetime `drained` count and the acceptor and workers exit.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use gcr_trace::Tracer;
+
+use crate::cache::LruCache;
+use crate::engine::{
+    benchmark_by_name, build_design, eco_design, route_design, verify_routing, DesignEntry,
+    DesignKey, RoutingEntry, WorkerScratch,
+};
+use crate::protocol::{parse_request, Command, Request, Response, StatsSnapshot, MAX_LINE_BYTES};
+
+/// Service deployment knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads computing routings.
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue rejects with a retry hint.
+    pub queue_capacity: usize,
+    /// Design-cache entries (parsed workload + scanned tables).
+    pub design_cache: usize,
+    /// Routing-cache entries (completed routings; a hit is pure replay).
+    pub routing_cache: usize,
+    /// Engine worker-thread count; `None` resolves once at startup via
+    /// [`gcr_trace::threads::resolve`] and is pinned from then on —
+    /// request handling never re-reads `GCR_THREADS`.
+    pub threads: Option<usize>,
+    /// `retry_after_ms` hint sent with backpressure rejections.
+    pub retry_after_ms: u64,
+    /// Default activity-stream length when a request omits `stream_len`.
+    pub default_stream_len: usize,
+    /// Default workload seed when a request omits `seed`.
+    pub default_seed: u64,
+    /// Enable the `sleep` / `panic` test commands. Never on by default.
+    pub debug_commands: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            design_cache: 16,
+            routing_cache: 32,
+            threads: None,
+            retry_after_ms: 100,
+            default_stream_len: 2_000,
+            default_seed: 1_998,
+            debug_commands: false,
+        }
+    }
+}
+
+/// Locks `m` tolerating poison: the daemon's shared state is counters
+/// and caches whose invariants hold between operations, so a panicking
+/// holder leaves them usable.
+fn lock_tolerant<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    fn send(&self, line: &str) {
+        let mut guard = lock_tolerant(&self.stream);
+        // A vanished client is its own problem; the daemon drops the
+        // bytes and keeps serving everyone else.
+        let _ = guard.write_all(line.as_bytes());
+        let _ = guard.write_all(b"\n");
+        let _ = guard.flush();
+    }
+}
+
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    writer: Arc<ConnWriter>,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+struct Queue {
+    capacity: usize,
+    inner: Mutex<QueueInner>,
+    cond: Condvar,
+}
+
+enum PushError {
+    Full,
+    Closed,
+}
+
+impl Queue {
+    fn new(capacity: usize) -> Self {
+        Queue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn try_push(&self, job: Job) -> Result<(), PushError> {
+        let mut inner = lock_tolerant(&self.inner);
+        if !inner.open {
+            return Err(PushError::Closed);
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed and
+    /// drained (the worker-exit signal).
+    fn pop(&self) -> Option<Job> {
+        let mut inner = lock_tolerant(&self.inner);
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if !inner.open {
+                return None;
+            }
+            inner = self
+                .cond
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        lock_tolerant(&self.inner).open = false;
+        self.cond.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        lock_tolerant(&self.inner).jobs.len()
+    }
+}
+
+struct Shared {
+    config: ServiceConfig,
+    /// Engine thread count, resolved exactly once at startup.
+    threads: usize,
+    tracer: Tracer,
+    queue: Queue,
+    designs: Mutex<LruCache<Arc<DesignEntry>>>,
+    routings: Mutex<LruCache<Arc<RoutingEntry>>>,
+    /// Work requests accepted (enqueued) but not yet answered. Bumped
+    /// *before* the queue push, so `draining && outstanding == 0` means
+    /// truly idle.
+    outstanding: AtomicU64,
+    draining: AtomicBool,
+    stopped: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl Shared {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            inflight: self.outstanding.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            queue_depth: self.queue.depth() as u64,
+        }
+    }
+}
+
+/// A bound, not-yet-running daemon. [`Service::run`] blocks until a
+/// `shutdown` request completes; tests spawn it on a thread and talk to
+/// [`Service::local_addr`] over real TCP.
+pub struct Service {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Service {
+    /// Binds `addr` (e.g. `"127.0.0.1:4517"` or `"127.0.0.1:0"`) and
+    /// resolves the engine thread count once — the only environment
+    /// read the daemon ever performs for threading.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServiceConfig,
+        tracer: Tracer,
+    ) -> std::io::Result<Service> {
+        let listener = TcpListener::bind(addr)?;
+        let threads = gcr_trace::threads::resolve(config.threads, "gcrd.threads", &tracer);
+        let shared = Arc::new(Shared {
+            threads,
+            queue: Queue::new(config.queue_capacity),
+            designs: Mutex::new(LruCache::new(config.design_cache)),
+            routings: Mutex::new(LruCache::new(config.routing_cache)),
+            outstanding: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            tracer,
+            config,
+        });
+        Ok(Service { listener, shared })
+    }
+
+    /// The bound address (read the ephemeral port back after `:0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the daemon: spawns the worker pool, accepts connections,
+    /// and returns after a `shutdown` request has drained all in-flight
+    /// work and every worker has exited.
+    pub fn run(self) {
+        let Service { listener, shared } = self;
+        let workers: Vec<_> = (0..shared.config.workers.max(1))
+            .filter_map(|i| {
+                let s = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("gcrd-worker-{i}"))
+                    .spawn(move || worker_loop(&s))
+                    .ok()
+            })
+            .collect();
+        if listener.set_nonblocking(true).is_err() {
+            shared.stopped.store(true, Ordering::SeqCst);
+        }
+        while !shared.stopped.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_nodelay(true);
+                    let s = Arc::clone(&shared);
+                    let _ = thread::Builder::new()
+                        .name("gcrd-conn".to_owned())
+                        .spawn(move || connection_loop(&s, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        shared.queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Consumes buffered input up to and including the next newline.
+/// Returns `false` on EOF or a read error.
+fn skip_to_newline(reader: &mut impl BufRead) -> bool {
+    loop {
+        let (found, used) = {
+            let Ok(buf) = reader.fill_buf() else {
+                return false;
+            };
+            if buf.is_empty() {
+                return false;
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(i) => (true, i + 1),
+                None => (false, buf.len()),
+            }
+        };
+        reader.consume(used);
+        if found {
+            return true;
+        }
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(ConnWriter {
+        stream: Mutex::new(write_half),
+    });
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut line = String::new();
+        let mut limited = std::io::Read::take(&mut reader, MAX_LINE_BYTES as u64 + 1);
+        match limited.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        if line.len() > MAX_LINE_BYTES {
+            writer.send(
+                &Response::error("", format!("request line exceeds {MAX_LINE_BYTES} bytes"))
+                    .render(),
+            );
+            if !skip_to_newline(&mut reader) {
+                return;
+            }
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        handle_line(shared, trimmed, &writer);
+        if shared.stopped.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn handle_line(shared: &Arc<Shared>, line: &str, writer: &Arc<ConnWriter>) {
+    let parse_start = shared.tracer.now_ns();
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            writer.send(&Response::error("", msg).render());
+            return;
+        }
+    };
+    shared.tracer.complete_span(
+        "gcrd.parse",
+        parse_start,
+        shared.tracer.now_ns() - parse_start,
+    );
+    match request.cmd {
+        Command::Ping => {
+            let mut resp = Response::ok(&request.id);
+            resp.cmd = Some("ping");
+            writer.send(&resp.render());
+        }
+        Command::Stats => {
+            let mut resp = Response::ok(&request.id);
+            resp.cmd = Some("stats");
+            resp.stats = Some(shared.snapshot());
+            writer.send(&resp.render());
+        }
+        Command::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            while shared.outstanding.load(Ordering::SeqCst) != 0 {
+                thread::sleep(Duration::from_millis(2));
+            }
+            let mut resp = Response::ok(&request.id);
+            resp.cmd = Some("shutdown");
+            resp.drained = Some(shared.completed.load(Ordering::Relaxed));
+            writer.send(&resp.render());
+            shared.stopped.store(true, Ordering::SeqCst);
+            shared.queue.close();
+        }
+        _ => enqueue_work(shared, request, writer),
+    }
+}
+
+fn enqueue_work(shared: &Arc<Shared>, request: Request, writer: &Arc<ConnWriter>) {
+    if matches!(request.cmd, Command::Sleep | Command::Panic) && !shared.config.debug_commands {
+        writer.send(
+            &Response::error(
+                &request.id,
+                format!("{:?} requires debug_commands", request.cmd.name()),
+            )
+            .render(),
+        );
+        return;
+    }
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        shared.tracer.counter(
+            "gcrd.rejected",
+            shared.rejected.load(Ordering::Relaxed) as f64,
+        );
+        writer.send(
+            &Response::rejected(&request.id, "draining", shared.config.retry_after_ms).render(),
+        );
+        return;
+    }
+    let id = request.id.clone();
+    shared.outstanding.fetch_add(1, Ordering::SeqCst);
+    let job = Job {
+        request,
+        enqueued: Instant::now(),
+        writer: Arc::clone(writer),
+    };
+    if let Err(err) = shared.queue.try_push(job) {
+        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        shared.tracer.counter(
+            "gcrd.rejected",
+            shared.rejected.load(Ordering::Relaxed) as f64,
+        );
+        let reason = match err {
+            PushError::Full => "queue full",
+            PushError::Closed => "draining",
+        };
+        writer.send(&Response::rejected(&id, reason, shared.config.retry_after_ms).render());
+    } else {
+        shared.tracer.counter(
+            "gcrd.inflight",
+            shared.outstanding.load(Ordering::Relaxed) as f64,
+        );
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let mut scratch = WorkerScratch::new();
+    while let Some(job) = shared.queue.pop() {
+        let id = job.request.id.clone();
+        let start = shared.tracer.now_ns();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_job(shared, &job.request, job.enqueued, &mut scratch)
+        }));
+        let response = match outcome {
+            Ok(resp) => resp,
+            Err(_) => {
+                // The scratch may be mid-mutation; replace it rather
+                // than risk a poisoned arena on the next request.
+                scratch = WorkerScratch::new();
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .tracer
+                    .counter("gcrd.panics", shared.panics.load(Ordering::Relaxed) as f64);
+                Response::error(&id, "worker panicked while handling request")
+            }
+        };
+        let respond_start = shared.tracer.now_ns();
+        job.writer.send(&response.render());
+        let end = shared.tracer.now_ns();
+        shared
+            .tracer
+            .complete_span("gcrd.respond", respond_start, end - respond_start);
+        shared
+            .tracer
+            .complete_span("gcrd.request", start, end - start);
+        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        shared.tracer.counter(
+            "gcrd.completed",
+            shared.completed.load(Ordering::Relaxed) as f64,
+        );
+        shared.tracer.counter(
+            "gcrd.inflight",
+            shared.outstanding.load(Ordering::Relaxed) as f64,
+        );
+    }
+}
+
+fn design_key(shared: &Shared, request: &Request) -> Result<DesignKey, String> {
+    let name = request
+        .benchmark
+        .as_deref()
+        .ok_or("missing \"benchmark\"")?;
+    let benchmark = benchmark_by_name(name).ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+    Ok(DesignKey {
+        benchmark,
+        stream_len: request
+            .stream_len
+            .unwrap_or(shared.config.default_stream_len),
+        seed: request.seed.unwrap_or(shared.config.default_seed),
+    })
+}
+
+/// Fetches (or builds and caches) the design for `key`. The cache lock
+/// is never held across the build, so a slow workload generation stalls
+/// only requests for that same design's first arrival — at worst two
+/// workers build it concurrently and the second insert wins.
+fn design_for(shared: &Shared, key: DesignKey) -> Result<Arc<DesignEntry>, String> {
+    let canonical = key.canonical();
+    let hash = key.hash();
+    if let Some(entry) = lock_tolerant(&shared.designs).get(hash, &canonical) {
+        return Ok(entry);
+    }
+    let entry = Arc::new(build_design(key, &shared.tracer)?);
+    lock_tolerant(&shared.designs).insert(hash, &canonical, Arc::clone(&entry));
+    Ok(entry)
+}
+
+/// Fetches (or computes and caches) the routing for `key`. Returns the
+/// entry plus whether it was a cache hit. `force` bypasses the cache
+/// *read* but still refreshes the entry.
+fn routing_for(
+    shared: &Shared,
+    key: DesignKey,
+    force: bool,
+    scratch: &mut WorkerScratch,
+) -> Result<(Arc<RoutingEntry>, bool), String> {
+    let canonical = key.canonical();
+    let hash = key.hash();
+    let cache_start = shared.tracer.now_ns();
+    if !force {
+        if let Some(entry) = lock_tolerant(&shared.routings).get(hash, &canonical) {
+            shared.hits.fetch_add(1, Ordering::Relaxed);
+            shared
+                .tracer
+                .counter("gcrd.hits", shared.hits.load(Ordering::Relaxed) as f64);
+            shared.tracer.complete_span(
+                "gcrd.cache",
+                cache_start,
+                shared.tracer.now_ns() - cache_start,
+            );
+            return Ok((entry, true));
+        }
+    }
+    shared.tracer.complete_span(
+        "gcrd.cache",
+        cache_start,
+        shared.tracer.now_ns() - cache_start,
+    );
+    let design = design_for(shared, key)?;
+    let route_start = shared.tracer.now_ns();
+    let entry = Arc::new(route_design(
+        &design,
+        shared.threads,
+        scratch,
+        &shared.tracer,
+    )?);
+    shared.tracer.complete_span(
+        "gcrd.route",
+        route_start,
+        shared.tracer.now_ns() - route_start,
+    );
+    shared.misses.fetch_add(1, Ordering::Relaxed);
+    shared
+        .tracer
+        .counter("gcrd.misses", shared.misses.load(Ordering::Relaxed) as f64);
+    lock_tolerant(&shared.routings).insert(hash, &canonical, Arc::clone(&entry));
+    Ok((entry, false))
+}
+
+fn routing_response(
+    request: &Request,
+    key: DesignKey,
+    entry: &RoutingEntry,
+    hit: bool,
+) -> Response {
+    let mut resp = Response::ok(&request.id);
+    resp.cmd = Some(request.cmd.name());
+    resp.cache = Some(if hit { "hit" } else { "miss" });
+    resp.benchmark = Some(key.benchmark.name().to_owned());
+    resp.sinks = Some(key.benchmark.num_sinks() as u64);
+    resp.merges = Some(entry.decisions.len() as u64);
+    resp.loop_allocs = Some(entry.loop_allocs);
+    resp.log_hash = Some(entry.log_hash);
+    if request.want_log {
+        resp.decision_log = Some(entry.log.clone());
+    }
+    resp.total_switched_cap = Some(entry.report.total_switched_cap);
+    resp.clock_switched_cap = Some(entry.report.clock_switched_cap);
+    resp.control_switched_cap = Some(entry.report.control_switched_cap);
+    resp
+}
+
+fn handle_job(
+    shared: &Shared,
+    request: &Request,
+    enqueued: Instant,
+    scratch: &mut WorkerScratch,
+) -> Response {
+    if let Some(deadline) = request.deadline_ms {
+        if enqueued.elapsed() > Duration::from_millis(deadline) {
+            return Response::error(
+                &request.id,
+                format!("deadline of {deadline}ms exceeded while queued"),
+            );
+        }
+    }
+    match request.cmd {
+        Command::Sleep => {
+            thread::sleep(Duration::from_millis(request.sleep_ms));
+            let mut resp = Response::ok(&request.id);
+            resp.cmd = Some("sleep");
+            resp
+        }
+        Command::Panic => panic!("injected test panic"),
+        Command::Route | Command::Evaluate | Command::Verify => {
+            let key = match design_key(shared, request) {
+                Ok(k) => k,
+                Err(msg) => return Response::error(&request.id, msg),
+            };
+            let (entry, hit) = match routing_for(shared, key, request.force, scratch) {
+                Ok(pair) => pair,
+                Err(msg) => return Response::error(&request.id, msg),
+            };
+            let mut resp = routing_response(request, key, &entry, hit);
+            if request.cmd == Command::Evaluate {
+                resp.total_area = Some(entry.report.total_area);
+                resp.num_devices = Some(entry.report.num_devices as u64);
+            }
+            if request.cmd == Command::Verify {
+                let design = match design_for(shared, key) {
+                    Ok(d) => d,
+                    Err(msg) => return Response::error(&request.id, msg),
+                };
+                let (errors, warns) = verify_routing(&design, &entry);
+                resp.verify_errors = Some(errors);
+                resp.verify_warnings = Some(warns);
+            }
+            resp
+        }
+        Command::Eco => {
+            let key = match design_key(shared, request) {
+                Ok(k) => k,
+                Err(msg) => return Response::error(&request.id, msg),
+            };
+            let (entry, hit) = match routing_for(shared, key, false, scratch) {
+                Ok(pair) => pair,
+                Err(msg) => return Response::error(&request.id, msg),
+            };
+            let design = match design_for(shared, key) {
+                Ok(d) => d,
+                Err(msg) => return Response::error(&request.id, msg),
+            };
+            match eco_design(
+                &design,
+                &entry,
+                &request.edits,
+                shared.threads,
+                scratch,
+                &shared.tracer,
+            ) {
+                Ok(answer) => {
+                    let mut resp = Response::ok(&request.id);
+                    resp.cmd = Some("eco");
+                    resp.cache = Some(if hit { "hit" } else { "miss" });
+                    resp.benchmark = Some(key.benchmark.name().to_owned());
+                    resp.pure_replay = Some(answer.outcome.pure_replay);
+                    resp.replayed = Some(answer.outcome.replayed as u64);
+                    resp.spliced = Some(answer.outcome.spliced as u64);
+                    resp.dirty_nodes = Some(answer.outcome.dirty_nodes.len() as u64);
+                    resp.loop_allocs = Some(answer.outcome.profile.loop_allocs);
+                    resp.total_switched_cap = Some(answer.report.total_switched_cap);
+                    resp.clock_switched_cap = Some(answer.report.clock_switched_cap);
+                    resp.control_switched_cap = Some(answer.report.control_switched_cap);
+                    resp
+                }
+                Err(msg) => Response::error(&request.id, msg),
+            }
+        }
+        // Inline commands never reach the queue.
+        Command::Ping | Command::Stats | Command::Shutdown => {
+            Response::error(&request.id, "control command on worker path")
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Integration tests of the `gcrd` daemon over real TCP: concurrent
+//! clients with bit-identity against single-shot CLI-equivalent runs,
+//! malformed/oversized request survival, backpressure rejection, queue
+//! deadlines, worker-panic isolation, and graceful-shutdown draining.
+//!
+//! Each test binds its own in-process service on an ephemeral port.
+//! Designs stay small (r1 at short streams) — these run in debug mode
+//! under `cargo test`; the full r1–r5 release-mode sweep is the
+//! `gcrd-smoke` binary.
+
+// Test code: unwrap/expect on infallible setup is idiomatic here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use gcr_bench::json::{self, Json};
+use gcr_trace::Tracer;
+use gcr_workloads::TsayBenchmark;
+use gcrd::engine::single_shot_reference;
+use gcrd::{DesignKey, Service, ServiceConfig};
+
+const STREAM_LEN: usize = 400;
+
+fn start(config: ServiceConfig) -> (String, JoinHandle<()>) {
+    let service = Service::bind("127.0.0.1:0", config, Tracer::disabled()).unwrap();
+    let addr = service.local_addr().unwrap().to_string();
+    let handle = thread::spawn(move || service.run());
+    (addr, handle)
+}
+
+/// Sends `requests` on one connection, returns one parsed response per
+/// request (completion order).
+fn send_batch(addr: &str, requests: &[String]) -> Vec<Json> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    for r in requests {
+        stream.write_all(format!("{r}\n").as_bytes()).unwrap();
+    }
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    (0..requests.len())
+        .map(|_| {
+            let mut line = String::new();
+            assert!(
+                reader.read_line(&mut line).unwrap() > 0,
+                "connection closed early"
+            );
+            json::parse(line.trim()).unwrap()
+        })
+        .collect()
+}
+
+fn status(j: &Json) -> &str {
+    j.get("status").and_then(Json::as_str).unwrap_or("")
+}
+
+fn str_field<'a>(j: &'a Json, key: &str) -> &'a str {
+    j.get(key).and_then(Json::as_str).unwrap_or("")
+}
+
+fn shutdown(addr: &str) {
+    let resp = send_batch(addr, &[r#"{"id":"sd","cmd":"shutdown"}"#.to_owned()]);
+    assert_eq!(status(&resp[0]), "ok");
+}
+
+fn r1_key(seed: u64) -> DesignKey {
+    DesignKey {
+        benchmark: TsayBenchmark::R1,
+        stream_len: STREAM_LEN,
+        seed,
+    }
+}
+
+/// Eight concurrent clients route two distinct designs; every response
+/// must be `ok` and every decision log bit-identical to the
+/// single-shot, cold-scratch, single-threaded reference — cache hits
+/// and misses alike.
+#[test]
+fn concurrent_clients_get_bit_identical_routings() {
+    let seeds = [1_998_u64, 7_u64];
+    let refs: Vec<_> = seeds
+        .iter()
+        .map(|&seed| single_shot_reference(r1_key(seed)).unwrap().1)
+        .collect();
+    let (addr, daemon) = start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let results: Vec<Vec<Json>> = thread::scope(|scope| {
+        (0..8)
+            .map(|idx| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let requests: Vec<String> = seeds
+                        .iter()
+                        .map(|&seed| {
+                            format!(
+                                "{{\"id\":\"c{idx}-s{seed}\",\"cmd\":\"route\",\
+                                 \"benchmark\":\"r1\",\"stream_len\":{STREAM_LEN},\
+                                 \"seed\":{seed},\"log\":true}}"
+                            )
+                        })
+                        .collect();
+                    send_batch(&addr, &requests)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for responses in &results {
+        for resp in responses {
+            assert_eq!(status(resp), "ok", "error: {}", str_field(resp, "error"));
+            let id = str_field(resp, "id");
+            let seed: u64 = id.rsplit("-s").next().unwrap().parse().unwrap();
+            let reference = &refs[seeds.iter().position(|&s| s == seed).unwrap()];
+            assert_eq!(
+                str_field(resp, "decision_log"),
+                reference.log,
+                "{id}: decision log differs from single-shot reference"
+            );
+            assert_eq!(
+                str_field(resp, "log_hash"),
+                format!("{:016x}", reference.log_hash)
+            );
+            // Shortest-roundtrip floats make this a bit-exact check.
+            assert_eq!(
+                resp.get("total_switched_cap").and_then(Json::as_f64),
+                Some(reference.report.total_switched_cap)
+            );
+        }
+    }
+    // 16 route requests over 2 designs: the cache must have served the
+    // overwhelming majority as pure replays.
+    let stats = send_batch(&addr, &[r#"{"id":"st","cmd":"stats"}"#.to_owned()]);
+    let hits = stats[0]
+        .get("stats")
+        .and_then(|s| s.get("hits"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(hits >= 8.0, "expected ≥8 cache hits, saw {hits}");
+    shutdown(&addr);
+    daemon.join().unwrap();
+}
+
+/// Malformed JSON, oversized lines, unknown commands/benchmarks, and
+/// invalid ECO batches all get `error` responses — and the daemon keeps
+/// serving the same connection afterwards.
+#[test]
+fn malformed_requests_get_errors_and_daemon_survives() {
+    let (addr, daemon) = start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let oversized = format!(
+        "{{\"id\":\"big\",\"cmd\":\"ping\",\"pad\":\"{}\"}}",
+        "x".repeat(gcrd::MAX_LINE_BYTES)
+    );
+    let requests = vec![
+        "this is not json".to_owned(),
+        oversized,
+        r#"{"id":"k1","cmd":"levitate"}"#.to_owned(),
+        r#"{"id":"k2","cmd":"route"}"#.to_owned(),
+        r#"{"id":"k3","cmd":"route","benchmark":"r99"}"#.to_owned(),
+        format!(
+            "{{\"id\":\"k4\",\"cmd\":\"eco\",\"benchmark\":\"r1\",\"stream_len\":{STREAM_LEN},\
+             \"edits\":[{{\"op\":\"remove_sink\",\"index\":99999}}]}}"
+        ),
+        r#"{"id":"alive","cmd":"ping"}"#.to_owned(),
+    ];
+    let responses = send_batch(&addr, &requests);
+    // Six failures; the ping must still be answered `ok` on the same
+    // connection.
+    let ping = responses
+        .iter()
+        .find(|r| str_field(r, "id") == "alive")
+        .expect("ping answered");
+    assert_eq!(status(ping), "ok");
+    for resp in &responses {
+        if str_field(resp, "id") == "alive" {
+            continue;
+        }
+        assert_eq!(status(resp), "error", "line: {resp:?}");
+        assert!(!str_field(resp, "error").is_empty());
+    }
+    shutdown(&addr);
+    daemon.join().unwrap();
+}
+
+/// A one-slot queue behind one busy worker rejects overflow immediately
+/// with `status: "rejected"` and a `retry_after_ms` hint.
+#[test]
+fn backpressure_rejects_with_retry_hint() {
+    let (addr, daemon) = start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        retry_after_ms: 150,
+        debug_commands: true,
+        ..ServiceConfig::default()
+    });
+    let requests: Vec<String> = (0..5)
+        .map(|i| format!("{{\"id\":\"bp{i}\",\"cmd\":\"sleep\",\"sleep_ms\":200}}"))
+        .collect();
+    let responses = send_batch(&addr, &requests);
+    let rejected: Vec<_> = responses
+        .iter()
+        .filter(|r| status(r) == "rejected")
+        .collect();
+    assert!(
+        !rejected.is_empty(),
+        "no rejection at workers=1, queue=1 under 5 instant requests"
+    );
+    for r in &rejected {
+        assert_eq!(
+            r.get("retry_after_ms").and_then(Json::as_f64),
+            Some(150.0),
+            "rejection must carry the configured retry hint"
+        );
+    }
+    assert!(responses.iter().any(|r| status(r) == "ok"));
+    shutdown(&addr);
+    daemon.join().unwrap();
+}
+
+/// A request whose `deadline_ms` elapses while queued is answered with
+/// a deadline error instead of being served stale.
+#[test]
+fn queue_deadline_expires_into_error() {
+    let (addr, daemon) = start(ServiceConfig {
+        workers: 1,
+        debug_commands: true,
+        ..ServiceConfig::default()
+    });
+    let requests = vec![
+        r#"{"id":"busy","cmd":"sleep","sleep_ms":250}"#.to_owned(),
+        r#"{"id":"late","cmd":"sleep","sleep_ms":0,"deadline_ms":50}"#.to_owned(),
+    ];
+    let responses = send_batch(&addr, &requests);
+    let late = responses
+        .iter()
+        .find(|r| str_field(r, "id") == "late")
+        .unwrap();
+    assert_eq!(status(late), "error");
+    assert!(str_field(late, "error").contains("deadline"));
+    shutdown(&addr);
+    daemon.join().unwrap();
+}
+
+/// A panicking request is answered with an error, counted, and the
+/// worker keeps serving with fresh scratch — one poisoned request never
+/// wedges the daemon.
+#[test]
+fn worker_panic_is_isolated() {
+    let (addr, daemon) = start(ServiceConfig {
+        workers: 1,
+        debug_commands: true,
+        ..ServiceConfig::default()
+    });
+    let responses = send_batch(
+        &addr,
+        &[
+            r#"{"id":"boom","cmd":"panic"}"#.to_owned(),
+            r#"{"id":"after","cmd":"sleep","sleep_ms":0}"#.to_owned(),
+        ],
+    );
+    let boom = responses
+        .iter()
+        .find(|r| str_field(r, "id") == "boom")
+        .unwrap();
+    assert_eq!(status(boom), "error");
+    assert!(str_field(boom, "error").contains("panicked"));
+    let after = responses
+        .iter()
+        .find(|r| str_field(r, "id") == "after")
+        .unwrap();
+    assert_eq!(status(after), "ok", "worker must survive the panic");
+    // Both work responses are in hand, so the counter is settled.
+    let stats = send_batch(&addr, &[r#"{"id":"st","cmd":"stats"}"#.to_owned()]);
+    assert_eq!(
+        stats[0]
+            .get("stats")
+            .and_then(|s| s.get("panics"))
+            .and_then(Json::as_f64),
+        Some(1.0)
+    );
+    shutdown(&addr);
+    daemon.join().unwrap();
+}
+
+/// `shutdown` drains: queued and in-flight work is answered `ok` before
+/// the daemon stops, new work is rejected as draining, and `run()`
+/// returns.
+#[test]
+fn graceful_shutdown_drains_inflight_work() {
+    let (addr, daemon) = start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        debug_commands: true,
+        ..ServiceConfig::default()
+    });
+    let mut busy = TcpStream::connect(&addr).unwrap();
+    busy.write_all(
+        b"{\"id\":\"d0\",\"cmd\":\"sleep\",\"sleep_ms\":200}\n\
+          {\"id\":\"d1\",\"cmd\":\"sleep\",\"sleep_ms\":200}\n",
+    )
+    .unwrap();
+    busy.flush().unwrap();
+    thread::sleep(Duration::from_millis(50));
+    let resp = send_batch(&addr, &[r#"{"id":"sd","cmd":"shutdown"}"#.to_owned()]);
+    assert_eq!(status(&resp[0]), "ok");
+    assert!(resp[0].get("drained").and_then(Json::as_f64).is_some());
+    // Both in-flight sleeps were answered before shutdown returned.
+    let mut reader = BufReader::new(busy);
+    for _ in 0..2 {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0);
+        let parsed = json::parse(line.trim()).unwrap();
+        assert_eq!(status(&parsed), "ok");
+    }
+    daemon.join().unwrap();
+}

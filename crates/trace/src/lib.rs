@@ -45,8 +45,10 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
+
+pub mod threads;
 
 /// One structured trace event. Timestamps are nanoseconds on the owning
 /// [`Tracer`]'s monotonic clock, measured from its creation ([`Tracer`]
@@ -156,17 +158,15 @@ impl MemorySink {
 
     /// A copy of every recorded event, in record order.
     ///
-    /// # Panics
-    ///
-    /// Panics if a recording thread panicked while holding the buffer
-    /// lock.
+    /// A poisoned buffer (a recording thread panicked mid-push) is read
+    /// through rather than propagated: the events are plain data and a
+    /// long-lived service must keep tracing after one worker dies.
     #[must_use]
-    #[expect(
-        clippy::expect_used,
-        reason = "poisoned lock means a test already failed"
-    )]
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().expect("trace buffer poisoned").clone()
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// The last value recorded for counter `name`, if any.
@@ -231,14 +231,13 @@ impl MemorySink {
 }
 
 impl TraceSink for MemorySink {
-    #[expect(
-        clippy::expect_used,
-        reason = "poisoned lock means a recorder already panicked"
-    )]
+    // Poison-tolerant: a worker panicking mid-record must not wedge every
+    // later tracing call in a long-lived process (the buffer holds plain
+    // data, so reading through the poison is safe).
     fn record(&self, event: TraceEvent) {
         self.events
             .lock()
-            .expect("trace buffer poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(event);
     }
 }
@@ -262,17 +261,12 @@ impl ChromeTraceSink {
     /// Renders the Chrome-trace JSON document for everything recorded so
     /// far.
     ///
-    /// # Panics
-    ///
-    /// Panics if a recording thread panicked while holding the buffer
-    /// lock.
+    /// A poisoned buffer (a recording thread panicked mid-push) is read
+    /// through rather than propagated, so a daemon can still export its
+    /// trace after a worker died.
     #[must_use]
-    #[expect(
-        clippy::expect_used,
-        reason = "poisoned lock means a recorder already panicked"
-    )]
     pub fn to_json(&self) -> String {
-        let events = self.events.lock().expect("trace buffer poisoned");
+        let events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
         let mut out = String::with_capacity(64 + 96 * events.len());
         out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
         let us = |ns: u64| ns as f64 / 1e3;
@@ -351,14 +345,11 @@ impl ChromeTraceSink {
 }
 
 impl TraceSink for ChromeTraceSink {
-    #[expect(
-        clippy::expect_used,
-        reason = "poisoned lock means a recorder already panicked"
-    )]
+    // Poison-tolerant for the same reason as `MemorySink::record`.
     fn record(&self, event: TraceEvent) {
         self.events
             .lock()
-            .expect("trace buffer poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(event);
     }
 }

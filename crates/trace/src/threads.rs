@@ -1,0 +1,135 @@
+//! Worker-thread resolution shared by every parallel engine in the
+//! workspace.
+//!
+//! The greedy merge engine (`gcr-cts`), the streaming activity scanner
+//! (`gcr-activity`) and the routing daemon (`gcrd`) all size their worker
+//! pools the same way: an explicit parameter wins, then the `GCR_THREADS`
+//! environment variable, then [`std::thread::available_parallelism`],
+//! clamped to `1..=`[`MAX_THREADS`]. This module is the single
+//! implementation; the crates used to carry near-identical private
+//! copies whose warning wording and fallback behavior could drift.
+//!
+//! An unparsable `GCR_THREADS` is **rejected**, not silently ignored: it
+//! reports a warning through the caller's [`Tracer`] (under the caller's
+//! own category name, e.g. `greedy.threads` / `activity.threads`) and
+//! resolves to 1, so a typo in a CI timing run pins the engine instead
+//! of picking up ambient parallelism. Library code never writes to
+//! stderr — binaries that want the warning visible echo it from their
+//! sink.
+//!
+//! Long-lived services must not consult the environment per call: the
+//! env can change mid-run, and two requests resolving different thread
+//! counts would break cross-request determinism of *wall-time* profiles
+//! (the committed merges are thread-count-invariant, but reproducible
+//! timing matters too). A daemon calls [`resolve`] **once** at startup
+//! and threads the resolved count through explicit params
+//! (`GreedyParams::threads`, `ScanParams::threads`) from then on — the
+//! explicit value always wins, so the per-call env read only happens on
+//! CLI entry points that leave the params at `None`.
+
+use crate::Tracer;
+
+/// Hard cap on worker threads (diminishing returns past the memory
+/// bandwidth of one socket).
+pub const MAX_THREADS: usize = 16;
+
+/// Resolves a worker-thread count from an explicit request and an
+/// already-read `GCR_THREADS` value (pass
+/// `std::env::var("GCR_THREADS").ok()` — or a captured copy in a
+/// long-lived service). Resolution order: `explicit`, then `env`, then
+/// [`std::thread::available_parallelism`]; clamped to
+/// `1..=`[`MAX_THREADS`].
+///
+/// An unparsable `env` value resolves to 1 and reports a warning under
+/// `warn_name` through `tracer` (only when tracing is enabled — the
+/// disabled path allocates nothing).
+#[must_use]
+pub fn resolve_with_env(
+    explicit: Option<usize>,
+    env: Option<&str>,
+    warn_name: &'static str,
+    tracer: &Tracer,
+) -> usize {
+    explicit
+        .or_else(|| {
+            let s = env?;
+            match s.trim().parse() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    if tracer.enabled() {
+                        tracer.warn(
+                            warn_name,
+                            &format!("unparsable GCR_THREADS value {s:?}; running single-threaded"),
+                        );
+                    }
+                    Some(1)
+                }
+            }
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+        .clamp(1, MAX_THREADS)
+}
+
+/// [`resolve_with_env`] reading `GCR_THREADS` from the process
+/// environment — the CLI entry-point variant. Reading the environment
+/// allocates; call once per run (or once per process for services) and
+/// pass the result through explicit params.
+#[must_use]
+pub fn resolve(explicit: Option<usize>, warn_name: &'static str, tracer: &Tracer) -> usize {
+    let env = std::env::var("GCR_THREADS").ok();
+    resolve_with_env(explicit, env.as_deref(), warn_name, tracer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemorySink;
+    use std::sync::Arc;
+
+    #[test]
+    fn explicit_wins_over_env() {
+        let t = Tracer::disabled();
+        assert_eq!(resolve_with_env(Some(3), Some("8"), "t.threads", &t), 3);
+    }
+
+    #[test]
+    fn env_parses_and_clamps() {
+        let t = Tracer::disabled();
+        assert_eq!(resolve_with_env(None, Some("4"), "t.threads", &t), 4);
+        assert_eq!(resolve_with_env(None, Some(" 2 "), "t.threads", &t), 2);
+        assert_eq!(resolve_with_env(None, Some("0"), "t.threads", &t), 1);
+        assert_eq!(
+            resolve_with_env(None, Some("999"), "t.threads", &t),
+            MAX_THREADS
+        );
+    }
+
+    #[test]
+    fn explicit_clamps_too() {
+        let t = Tracer::disabled();
+        assert_eq!(resolve_with_env(Some(0), None, "t.threads", &t), 1);
+        assert_eq!(
+            resolve_with_env(Some(64), None, "t.threads", &t),
+            MAX_THREADS
+        );
+    }
+
+    #[test]
+    fn unparsable_env_pins_to_one_and_warns() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Tracer::new(sink.clone());
+        assert_eq!(resolve_with_env(None, Some("bogus"), "t.threads", &t), 1);
+        let warnings = sink.warnings("t.threads");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("\"bogus\""));
+    }
+
+    #[test]
+    fn missing_env_uses_available_parallelism() {
+        let t = Tracer::disabled();
+        let n = resolve_with_env(None, None, "t.threads", &t);
+        assert!((1..=MAX_THREADS).contains(&n));
+    }
+}
